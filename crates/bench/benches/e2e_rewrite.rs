@@ -1,0 +1,44 @@
+//! The full pipeline as one benchmark: parse → synthesize → rewrite →
+//! optimize → execute, on the §2 motivating query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sia_bench::runtime::tpch_catalog;
+use sia_core::Synthesizer;
+use sia_engine::OptimizerConfig;
+use sia_sql::parse_query;
+use sia_tpch::{generate, TpchConfig};
+
+fn bench_e2e(c: &mut Criterion) {
+    let sql = "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
+               AND l_shipdate - o_orderdate < 20 \
+               AND o_orderdate < DATE '1993-06-01' \
+               AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10";
+    let db = generate(&TpchConfig {
+        scale_factor: 0.01,
+        ..TpchConfig::default()
+    });
+    let catalog = tpch_catalog();
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(10);
+    group.bench_function("parse_synthesize_rewrite_execute", |b| {
+        b.iter(|| {
+            let q = parse_query(sql).unwrap();
+            let mut syn = Synthesizer::default();
+            let outcome = sia_core::rewrite_query(&mut syn, &q, &catalog, "lineitem").unwrap();
+            let rewritten = outcome.rewritten.expect("rewritable");
+            let r = db.run(&rewritten, OptimizerConfig::default()).unwrap();
+            criterion::black_box(r.table.num_rows());
+        });
+    });
+    group.bench_function("execute_only_original", |b| {
+        let q = parse_query(sql).unwrap();
+        b.iter(|| {
+            let r = db.run(&q, OptimizerConfig::default()).unwrap();
+            criterion::black_box(r.table.num_rows());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Execution-engine benchmarks: filter and join throughput plus the
+//! push-down on/off ablation (where the paper's runtime win comes from).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_engine::OptimizerConfig;
+use sia_sql::parse_query;
+use sia_tpch::{generate, TpchConfig};
+
+fn bench_filter_scan(c: &mut Criterion) {
+    let db = generate(&TpchConfig {
+        scale_factor: 0.05,
+        ..TpchConfig::default()
+    });
+    let q = parse_query("SELECT * FROM lineitem WHERE l_shipdate < DATE '1995-01-01'").unwrap();
+    c.bench_function("engine/filter_scan_sf005", |b| {
+        b.iter(|| {
+            let r = db.run(&q, OptimizerConfig::default()).unwrap();
+            criterion::black_box(r.table.num_rows());
+        });
+    });
+}
+
+fn bench_join(c: &mut Criterion) {
+    let db = generate(&TpchConfig {
+        scale_factor: 0.05,
+        ..TpchConfig::default()
+    });
+    let q = parse_query("SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey").unwrap();
+    c.bench_function("engine/hash_join_sf005", |b| {
+        b.iter(|| {
+            let r = db.run(&q, OptimizerConfig::default()).unwrap();
+            criterion::black_box(r.table.num_rows());
+        });
+    });
+}
+
+/// The Fig 1 ablation: the same rewritten query with push-down enabled vs
+/// disabled. The enabled plan filters lineitem before the join.
+fn bench_pushdown_ablation(c: &mut Criterion) {
+    let db = generate(&TpchConfig {
+        scale_factor: 0.05,
+        ..TpchConfig::default()
+    });
+    let q = parse_query(
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
+         AND l_shipdate < DATE '1993-06-20' \
+         AND o_orderdate < DATE '1993-06-01' \
+         AND l_shipdate - o_orderdate < 20",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("engine/pushdown");
+    for (name, pushdown) in [("on", true), ("off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pushdown, |b, &p| {
+            b.iter(|| {
+                let r = db.run(&q, OptimizerConfig { pushdown: p }).unwrap();
+                criterion::black_box(r.table.num_rows());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_filter_scan, bench_join, bench_pushdown_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Micro-benchmarks of the SMT substrate: SAT, simplex-backed LIA checks,
+//! and Cooper quantifier elimination — including the Cooper-vs-CEGQI
+//! ablation for FALSE-sample generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_core::{PredEncoder, SampleOutcome, Sampler};
+use sia_num::BigRat;
+use sia_smt::{eliminate_exists, Formula, LinTerm, QeConfig, Solver, Sort};
+use sia_sql::parse_predicate;
+
+fn bench_lia_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/lia_check");
+    for vars in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, &n| {
+            b.iter(|| {
+                let mut s = Solver::new();
+                let vs: Vec<_> = (0..n)
+                    .map(|i| s.declare(format!("v{i}"), Sort::Int))
+                    .collect();
+                // Chain: v0 < v1 < … < v_{n-1} ∧ v_{n-1} < v0 + n (sat).
+                let mut f = Formula::True;
+                for w in vs.windows(2) {
+                    f = f.and(Formula::lt0(LinTerm::var(w[0]).sub(&LinTerm::var(w[1]))));
+                }
+                f = f.and(Formula::lt0(
+                    LinTerm::var(vs[n - 1])
+                        .sub(&LinTerm::var(vs[0]))
+                        .sub(&LinTerm::constant(BigRat::from(n as i64))),
+                ));
+                assert!(s.check(&f).is_sat());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cooper_qe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/cooper_qe");
+    // The motivating example's projection, the workhorse shape.
+    group.bench_function("motivating_projection", |b| {
+        let mut enc = PredEncoder::new();
+        let p =
+            parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
+        let pf = enc.encode(&p).unwrap();
+        let b1 = enc.value_var("b1");
+        b.iter(|| {
+            let r = eliminate_exists(&pf, &[b1], &QeConfig::default()).unwrap();
+            assert!(r.size() > 0);
+        });
+    });
+    // Non-unit coefficients exercise the δ-normalization path.
+    group.bench_function("with_coefficients", |b| {
+        let mut enc = PredEncoder::new();
+        let p = parse_predicate("3 * a - 2 * b < 10 AND 2 * b - a > 0 AND b < 50").unwrap();
+        let pf = enc.encode(&p).unwrap();
+        let bv = enc.value_var("b");
+        b.iter(|| {
+            let r = eliminate_exists(&pf, &[bv], &QeConfig::default()).unwrap();
+            assert!(r.size() > 0);
+        });
+    });
+    group.finish();
+}
+
+/// The Cooper vs CEGQI ablation: 10 FALSE samples through either path.
+fn bench_false_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/false_samples_x10");
+    let sql = "a - b < 5 AND b < 0";
+    group.bench_function("cooper", |b| {
+        b.iter(|| {
+            let mut enc = PredEncoder::new();
+            let p = parse_predicate(sql).unwrap();
+            let pf = enc.encode(&p).unwrap();
+            let a = enc.value_var("a");
+            let bv = enc.value_var("b");
+            let region = sia_core::unsat_region(&pf, &[bv], &QeConfig::default()).unwrap();
+            let mut sampler = Sampler::new(region, vec![a], 1);
+            for _ in 0..10 {
+                assert!(matches!(
+                    sampler.sample(enc.solver()),
+                    SampleOutcome::Sample(_)
+                ));
+            }
+        });
+    });
+    group.bench_function("cegqi", |b| {
+        use rand::SeedableRng;
+        b.iter(|| {
+            let mut enc = PredEncoder::new();
+            let p = parse_predicate(sql).unwrap();
+            let pf = enc.encode(&p).unwrap();
+            let a = enc.value_var("a");
+            let mut seen = Vec::new();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            for _ in 0..10 {
+                let out = sia_core::cegqi::false_sample(
+                    enc.solver(),
+                    &pf,
+                    &[a],
+                    &Formula::True,
+                    &mut seen,
+                    &mut rng,
+                    &sia_core::cegqi::CegqiConfig::default(),
+                );
+                assert!(matches!(out, SampleOutcome::Sample(_)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lia_check, bench_cooper_qe, bench_false_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Linear-SVM training and rationalization micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_svm::{rationalize, train, Sample, SvmConfig};
+
+fn clustered_samples(n: usize, dim: usize) -> Vec<Sample> {
+    // Deterministic separable clusters around ±50 per axis.
+    let mut out = Vec::with_capacity(n);
+    let mut seed = 0x5eed_u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for i in 0..n {
+        let label = i % 2 == 0;
+        let base = if label { 50.0 } else { -50.0 };
+        let features = (0..dim)
+            .map(|_| base + (next() % 40) as f64 - 20.0)
+            .collect();
+        out.push(Sample::new(features, label));
+    }
+    out
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm/train");
+    for (n, dim) in [(20usize, 1usize), (110, 2), (440, 3)] {
+        let samples = clustered_samples(n, dim);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{dim}")),
+            &samples,
+            |b, s| {
+                b.iter(|| {
+                    let h = train(s, &SvmConfig::default());
+                    assert!(h.accuracy(s) > 0.9);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rationalize(c: &mut Criterion) {
+    let samples = clustered_samples(110, 3);
+    let h = train(&samples, &SvmConfig::default());
+    c.bench_function("svm/rationalize", |b| {
+        b.iter(|| {
+            let ih = rationalize(&h, 64);
+            assert!(!ih.is_degenerate());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_train, bench_rationalize
+}
+criterion_main!(benches);

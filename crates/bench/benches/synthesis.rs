@@ -1,0 +1,66 @@
+//! End-to-end synthesis benchmarks, mirroring Table 3's per-column-count
+//! breakdown: one benchmark per requested subset size on the paper's
+//! motivating predicate family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_core::{SiaConfig, Synthesizer};
+use sia_sql::parse_predicate;
+
+fn bench_synthesis_by_columns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/by_columns");
+    group.sample_size(10);
+    let p = parse_predicate(
+        "l_shipdate - o_orderdate < 20 \
+         AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10 \
+         AND l_receiptdate - l_shipdate < 30 \
+         AND o_orderdate < DATE '1993-06-01'",
+    )
+    .unwrap();
+    let cases: [(&str, Vec<&str>); 3] = [
+        ("one", vec!["l_shipdate"]),
+        ("two", vec!["l_shipdate", "l_commitdate"]),
+        ("three", vec!["l_shipdate", "l_commitdate", "l_receiptdate"]),
+    ];
+    for (name, cols) in cases {
+        let cols: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cols, |b, cols| {
+            b.iter(|| {
+                let mut syn = Synthesizer::new(SiaConfig {
+                    max_iterations: 15, // bounded for stable bench times
+                    ..SiaConfig::default()
+                });
+                let r = syn.synthesize(&p, cols).unwrap();
+                criterion::black_box(r);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    // SIA vs SIA_v1 vs SIA_v2 on the one-column task (Table 3's columns).
+    let mut group = c.benchmark_group("synthesis/variants");
+    group.sample_size(10);
+    let p = parse_predicate(
+        "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'",
+    )
+    .unwrap();
+    let cols = vec!["l_shipdate".to_string()];
+    for (name, cfg) in [
+        ("sia", SiaConfig::default()),
+        ("v1", SiaConfig::v1()),
+        ("v2", SiaConfig::v2()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut syn = Synthesizer::new(cfg.clone());
+                let r = syn.synthesize(&p, &cols).unwrap();
+                criterion::black_box(r);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis_by_columns, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Run every experiment and print all tables/figures in paper order.
+use sia_bench::{casestudy, motivating, report, runtime, suite, util};
+
+fn main() {
+    let queries = util::env_usize("SIA_BENCH_QUERIES", 200);
+    let sf_small = util::env_f64("SIA_BENCH_SF_SMALL", 0.02);
+    let sf_large = util::env_f64("SIA_BENCH_SF_LARGE", 0.2);
+
+    println!("== §2 Motivating example ==");
+    let m = motivating::run(sf_large);
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    println!("rewritten: {}", m.rewritten_sql);
+    println!(
+        "Q1 {:.1} ms | Sia {:.1} ms ({:.2}x) | paper-Q2 {:.1} ms\n",
+        ms(m.original.elapsed),
+        ms(m.sia.elapsed),
+        ms(m.original.elapsed) / ms(m.sia.elapsed),
+        ms(m.paper_q2.elapsed),
+    );
+
+    println!("== Fig 6 case study ==");
+    let log = casestudy::simulate(&casestudy::CaseStudyConfig::default());
+    println!("{}", report::fig6(&log));
+
+    println!("== Synthesis sweep ({queries} queries) ==");
+    let baselines = util::env_usize("SIA_BENCH_BASELINES", 1) != 0;
+    if !baselines {
+        println!("(v1/v2 baselines skipped: SIA_BENCH_BASELINES=0 — see exp_baselines)");
+    }
+    let sweep = suite::run_sweep(&suite::SweepConfig {
+        queries,
+        run_baselines: baselines,
+        ..suite::SweepConfig::default()
+    });
+    println!("Table 1\n{}", report::table1());
+    println!("Table 2\n{}", report::table2(&sweep));
+    println!("Table 3\n{}", report::table3(&sweep));
+    println!("{}", report::fig7(&sweep));
+    println!("{}", report::fig8(&sweep));
+
+    println!("== Runtime impact ==");
+    let (rewritten, total) = runtime::rewrite_workload(queries, 0x51A_2021, &sia_core::SiaConfig::default());
+    for sf in [sf_small, sf_large] {
+        let db = sia_tpch::generate(&sia_tpch::TpchConfig {
+            scale_factor: sf,
+            ..Default::default()
+        });
+        let points = runtime::measure(&db, &rewritten, 3);
+        println!(
+            "{}",
+            report::fig9(&format!("scale factor {sf}"), &points, rewritten.len(), total)
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! One sweep with the SIA_v1/SIA_v2 baselines enabled, printing Table 2
+//! and Table 3 (the baselines' 110/220-sample generation dominates, so
+//! this is split from `exp_all` and typically run at a smaller count).
+use sia_bench::{report, suite, util};
+
+fn main() {
+    let queries = util::env_usize("SIA_BENCH_QUERIES", 200);
+    eprintln!("baseline sweep over {queries} queries (SIA + v1 + v2 + TC)…");
+    let r = suite::run_sweep(&suite::SweepConfig {
+        queries,
+        ..suite::SweepConfig::default()
+    });
+    println!("Table 2 ({} queries)\n{}", r.queries, report::table2(&r));
+    println!("Table 3 ({} queries)\n{}", r.queries, report::table3(&r));
+}

@@ -1,0 +1,11 @@
+//! Fig 6: the (simulated) MaxCompute case study.
+use sia_bench::{casestudy, report, util};
+
+fn main() {
+    let queries = util::env_usize("SIA_CASESTUDY_QUERIES", 10_000);
+    let log = casestudy::simulate(&casestudy::CaseStudyConfig {
+        queries,
+        ..casestudy::CaseStudyConfig::default()
+    });
+    println!("{}", report::fig6(&log));
+}

@@ -1,0 +1,13 @@
+//! Fig 8: TRUE/FALSE sample counts at the final learning iteration.
+use sia_bench::{report, suite, util};
+
+fn main() {
+    let queries = util::env_usize("SIA_BENCH_QUERIES", 200);
+    eprintln!("running synthesis sweep over {queries} queries (baselines skipped)…");
+    let r = suite::run_sweep(&suite::SweepConfig {
+        queries,
+        run_baselines: false,
+        ..suite::SweepConfig::default()
+    });
+    println!("{}", report::fig8(&r));
+}

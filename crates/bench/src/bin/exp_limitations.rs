@@ -1,0 +1,26 @@
+//! §6.7: the non-linearly-separable limitation, demonstrated.
+use sia_core::{SiaConfig, Synthesizer};
+use sia_sql::parse_predicate;
+
+fn main() {
+    // The paper's example: a > b && a < b + 50 && b > 0 && b < 150.
+    // Over {a} the satisfiable region is the interval 2..=199 — FALSE
+    // samples lie on *both sides* of the TRUE samples, so a single linear
+    // model cannot be optimal and Sia must either emit a disjunction or
+    // give up optimality.
+    let p = parse_predicate("a > b AND a < b + 50 AND b > 0 AND b < 150").unwrap();
+    let mut syn = Synthesizer::new(SiaConfig::default());
+    let r = syn.synthesize(&p, &["a".to_string()]).unwrap();
+    println!("predicate: {:?}", r.predicate.as_ref().map(|q| q.to_string()));
+    println!("optimal:   {}", r.optimal);
+    println!("iterations: {}", r.stats.iterations);
+    println!(
+        "samples: {} TRUE / {} FALSE",
+        r.stats.true_samples, r.stats.false_samples
+    );
+    println!();
+    println!("The satisfiable region for a is [2, 199]; an optimal predicate");
+    println!("needs both a lower and an upper bound. Invalid single-plane");
+    println!("candidates are discarded by the verification step, exactly as");
+    println!("§6.7 describes.");
+}

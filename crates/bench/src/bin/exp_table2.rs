@@ -1,0 +1,15 @@
+//! Table 2: efficacy of SIA vs transitive closure, SIA_v1, SIA_v2.
+use sia_bench::{report, suite, util};
+
+fn main() {
+    let queries = util::env_usize("SIA_BENCH_QUERIES", 200);
+    eprintln!("running synthesis sweep over {queries} queries (set SIA_BENCH_QUERIES to change)…");
+    let baselines = util::env_usize("SIA_BENCH_BASELINES", 1) != 0;
+    let r = suite::run_sweep(&suite::SweepConfig {
+        queries,
+        run_baselines: baselines,
+        ..suite::SweepConfig::default()
+    });
+    println!("Table 1: baseline configurations\n{}", report::table1());
+    println!("Table 2: efficacy ({} queries)\n{}", r.queries, report::table2(&r));
+}

@@ -1,0 +1,14 @@
+//! Table 3: synthesis-time breakdown for SIA, SIA_v1, SIA_v2.
+use sia_bench::{report, suite, util};
+
+fn main() {
+    let queries = util::env_usize("SIA_BENCH_QUERIES", 200);
+    eprintln!("running synthesis sweep over {queries} queries…");
+    let baselines = util::env_usize("SIA_BENCH_BASELINES", 1) != 0;
+    let r = suite::run_sweep(&suite::SweepConfig {
+        queries,
+        run_baselines: baselines,
+        ..suite::SweepConfig::default()
+    });
+    println!("Table 3: efficiency ({} queries)\n{}", r.queries, report::table3(&r));
+}

@@ -1,0 +1,339 @@
+//! Library backing the `sia` command-line tool (kept as a library so the
+//! argument parser and command runners are unit-testable).
+
+#![warn(missing_docs)]
+
+use sia_core::baselines::transitive_closure;
+use sia_core::{rewrite_query, PredEncoder, SiaConfig, Synthesizer};
+use sia_expr::Catalog;
+use sia_smt::{QeConfig, SmtResult};
+use sia_sql::{parse_predicate, parse_query};
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  sia synth   <predicate> --cols <c1,c2,…> [--v1|--v2] [--max-iter N]
+  sia solve   <predicate>
+  sia project <predicate> --keep <c1,c2,…>
+  sia rewrite <query-sql> --table <name>        (TPC-H benchmark schema)
+  sia baseline <predicate> --cols <c1,c2,…>
+
+predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
+dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Synthesize a reduced predicate.
+    Synth {
+        /// The predicate source.
+        predicate: String,
+        /// Target columns.
+        cols: Vec<String>,
+        /// Which preset: "sia" (default), "v1", "v2".
+        variant: String,
+        /// Optional iteration override.
+        max_iter: Option<u32>,
+    },
+    /// Check satisfiability and print a model.
+    Solve {
+        /// The predicate source.
+        predicate: String,
+    },
+    /// Project the predicate onto the kept columns (∃-eliminate the rest).
+    Project {
+        /// The predicate source.
+        predicate: String,
+        /// Columns to keep.
+        keep: Vec<String>,
+    },
+    /// Rewrite a TPC-H benchmark query.
+    Rewrite {
+        /// The query source.
+        sql: String,
+        /// Target table for push-down.
+        table: String,
+    },
+    /// Run the transitive-closure baseline.
+    Baseline {
+        /// The predicate source.
+        predicate: String,
+        /// Target columns.
+        cols: Vec<String>,
+    },
+}
+
+impl Command {
+    /// Parse raw arguments (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        let sub = it.next().ok_or("missing subcommand")?;
+        let positional = it.next().cloned().ok_or("missing argument")?;
+        let mut cols = Vec::new();
+        let mut keep = Vec::new();
+        let mut table = None;
+        let mut variant = "sia".to_string();
+        let mut max_iter = None;
+        let rest: Vec<String> = it.cloned().collect();
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--cols" => {
+                    i += 1;
+                    cols = split_list(rest.get(i).ok_or("--cols needs a value")?);
+                }
+                "--keep" => {
+                    i += 1;
+                    keep = split_list(rest.get(i).ok_or("--keep needs a value")?);
+                }
+                "--table" => {
+                    i += 1;
+                    table = Some(rest.get(i).ok_or("--table needs a value")?.clone());
+                }
+                "--max-iter" => {
+                    i += 1;
+                    max_iter = Some(
+                        rest.get(i)
+                            .ok_or("--max-iter needs a value")?
+                            .parse()
+                            .map_err(|_| "--max-iter must be an integer")?,
+                    );
+                }
+                "--v1" => variant = "v1".to_string(),
+                "--v2" => variant = "v2".to_string(),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            i += 1;
+        }
+        match sub.as_str() {
+            "synth" => {
+                if cols.is_empty() {
+                    return Err("synth requires --cols".into());
+                }
+                Ok(Command::Synth {
+                    predicate: positional,
+                    cols,
+                    variant,
+                    max_iter,
+                })
+            }
+            "solve" => Ok(Command::Solve {
+                predicate: positional,
+            }),
+            "project" => {
+                if keep.is_empty() {
+                    return Err("project requires --keep".into());
+                }
+                Ok(Command::Project {
+                    predicate: positional,
+                    keep,
+                })
+            }
+            "rewrite" => Ok(Command::Rewrite {
+                sql: positional,
+                table: table.ok_or("rewrite requires --table")?,
+            }),
+            "baseline" => {
+                if cols.is_empty() {
+                    return Err("baseline requires --cols".into());
+                }
+                Ok(Command::Baseline {
+                    predicate: positional,
+                    cols,
+                })
+            }
+            other => Err(format!("unknown subcommand {other:?}")),
+        }
+    }
+}
+
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect()
+}
+
+/// Execute a command, returning its printable output.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Synth {
+            predicate,
+            cols,
+            variant,
+            max_iter,
+        } => {
+            let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
+            let mut config = match variant.as_str() {
+                "v1" => SiaConfig::v1(),
+                "v2" => SiaConfig::v2(),
+                _ => SiaConfig::default(),
+            };
+            if let Some(m) = max_iter {
+                config.max_iterations = m;
+            }
+            let mut syn = Synthesizer::new(config);
+            let r = syn.synthesize(&p, &cols).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            match &r.predicate {
+                Some(q) => out.push_str(&format!("predicate: {q}\n")),
+                None => out.push_str("predicate: TRUE (nothing non-trivial is valid)\n"),
+            }
+            out.push_str(&format!(
+                "optimal: {}\niterations: {}\nsamples: {} TRUE / {} FALSE",
+                r.optimal, r.stats.iterations, r.stats.true_samples, r.stats.false_samples
+            ));
+            Ok(out)
+        }
+        Command::Solve { predicate } => {
+            let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
+            let mut enc = PredEncoder::new();
+            let f = enc.encode(&p).map_err(|e| e.to_string())?;
+            let cols: Vec<(String, sia_smt::VarId)> = enc
+                .columns()
+                .map(|(c, v)| (c.to_string(), v))
+                .collect();
+            match enc.solver().check(&f) {
+                SmtResult::Sat(m) => {
+                    let mut out = String::from("sat\n");
+                    for (c, v) in cols {
+                        out.push_str(&format!("  {c} = {}\n", m.rat(v)));
+                    }
+                    Ok(out.trim_end().to_string())
+                }
+                SmtResult::Unsat => Ok("unsat".to_string()),
+                SmtResult::Unknown => Ok("unknown (budget exhausted)".to_string()),
+            }
+        }
+        Command::Project { predicate, keep } => {
+            let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
+            let mut enc = PredEncoder::new();
+            let f = enc.encode(&p).map_err(|e| e.to_string())?;
+            let keep_vars: Vec<_> = keep.iter().map(|c| enc.value_var(c)).collect();
+            let others: Vec<_> = enc
+                .columns()
+                .map(|(_, v)| v)
+                .filter(|v| !keep_vars.contains(v))
+                .collect();
+            let projected = sia_smt::eliminate_exists(&f, &others, &QeConfig::default())
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "∃-projection onto {keep:?} (solver variables v0..):\n{projected}"
+            ))
+        }
+        Command::Rewrite { sql, table } => {
+            let q = parse_query(&sql).map_err(|e| e.to_string())?;
+            let mut cat = Catalog::new();
+            cat.add_table("orders", sia_tpch::orders_schema());
+            cat.add_table("lineitem", sia_tpch::lineitem_schema());
+            let mut syn = Synthesizer::default();
+            let outcome =
+                rewrite_query(&mut syn, &q, &cat, &table).map_err(|e| e.to_string())?;
+            match outcome.rewritten {
+                Some(rw) => Ok(format!(
+                    "synthesized: {}\nrewritten: {rw}",
+                    outcome.synthesized.expect("present with rewritten")
+                )),
+                None => Ok("no useful predicate found; query unchanged".to_string()),
+            }
+        }
+        Command::Baseline { predicate, cols } => {
+            let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
+            match transitive_closure(&p, &cols) {
+                Some(tc) => Ok(format!("transitive closure derives: {tc}")),
+                None => Ok("transitive closure derives: nothing".to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_synth() {
+        let cmd = Command::parse(&strs(&[
+            "synth", "a < b", "--cols", "a,b", "--max-iter", "5", "--v2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Synth {
+                predicate: "a < b".into(),
+                cols: strs(&["a", "b"]),
+                variant: "v2".into(),
+                max_iter: Some(5),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Command::parse(&[]).is_err());
+        assert!(Command::parse(&strs(&["synth", "a < b"])).is_err()); // no --cols
+        assert!(Command::parse(&strs(&["nope", "x"])).is_err());
+        assert!(Command::parse(&strs(&["rewrite", "SELECT"])).is_err()); // no --table
+        assert!(Command::parse(&strs(&["solve", "a < b", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_solve() {
+        let out = run(Command::Solve {
+            predicate: "x + y = 10 AND x - y = 4".into(),
+        })
+        .unwrap();
+        assert!(out.starts_with("sat"));
+        assert!(out.contains("x = 7"));
+        assert!(out.contains("y = 3"));
+        let out = run(Command::Solve {
+            predicate: "x < 0 AND x > 0".into(),
+        })
+        .unwrap();
+        assert_eq!(out, "unsat");
+    }
+
+    #[test]
+    fn run_baseline() {
+        let out = run(Command::Baseline {
+            predicate: "y1 > x AND x > y2".into(),
+            cols: strs(&["y1", "y2"]),
+        })
+        .unwrap();
+        assert!(out.contains("y2 - y1 < 0"), "{out}");
+    }
+
+    #[test]
+    fn run_synth_small() {
+        let out = run(Command::Synth {
+            predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+            cols: strs(&["a"]),
+            variant: "sia".into(),
+            max_iter: Some(6),
+        })
+        .unwrap();
+        assert!(out.contains("a >= 22"), "{out}");
+    }
+
+    #[test]
+    fn run_project() {
+        let out = run(Command::Project {
+            predicate: "a - b < 5 AND b < 0".into(),
+            keep: strs(&["a"]),
+        })
+        .unwrap();
+        assert!(out.contains("projection"));
+    }
+
+    #[test]
+    fn run_invalid_predicate() {
+        assert!(run(Command::Solve {
+            predicate: "a <".into()
+        })
+        .is_err());
+    }
+}

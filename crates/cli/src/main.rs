@@ -1,0 +1,33 @@
+//! `sia` — command-line interface to the predicate synthesizer.
+//!
+//! ```text
+//! sia synth "a - b < 5 AND b < 0" --cols a            # synthesize a reduction
+//! sia solve "x + y = 10 AND x - y = 4"                # SAT check + model
+//! sia project "a - b < 5 AND b < 0" --keep a          # ∃-eliminate the rest
+//! sia rewrite "SELECT * FROM lineitem, orders WHERE …" --table lineitem
+//! sia baseline "y1 > x AND x > y2" --cols y1,y2       # transitive closure
+//! ```
+
+use sia_cli::{run, Command};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Command::parse(&args) {
+        Ok(cmd) => match run(cmd) {
+            Ok(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", sia_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

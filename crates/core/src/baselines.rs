@@ -1,0 +1,383 @@
+//! Syntax-driven baselines (§2, §6.3): the transitive-closure
+//! transformation and constant propagation.
+//!
+//! These are the state of the art Sia is compared against in Table 2. Both
+//! are *syntactic*: they only fire when conjuncts have a specific shape
+//! (unit-coefficient difference constraints for transitive closure;
+//! `col = const` equalities for constant propagation), which is exactly why
+//! they miss the arithmetic-heavy predicates the benchmark generates.
+
+use sia_expr::{CmpOp, LinAtom, LinExpr, NonLinearPolicy, Pred};
+use sia_num::BigRat;
+use std::collections::BTreeMap;
+
+/// A bound `u - v ⋖ w` where ⋖ is `<` (strict) or `≤`, with `v = None`
+/// meaning the virtual zero node (`u ⋖ w`).
+#[derive(Debug, Clone, PartialEq)]
+struct DiffBound {
+    weight: BigRat,
+    strict: bool,
+}
+
+impl DiffBound {
+    fn tighter(&self, other: &DiffBound) -> bool {
+        self.weight < other.weight
+            || (self.weight == other.weight && self.strict && !other.strict)
+    }
+
+    fn compose(&self, other: &DiffBound) -> DiffBound {
+        DiffBound {
+            weight: &self.weight + &other.weight,
+            strict: self.strict || other.strict,
+        }
+    }
+}
+
+/// Transitive-closure inference: derive difference/bound predicates over
+/// `cols` implied by chains of unit-coefficient comparisons in `p`'s
+/// conjuncts (Ioannidis & Ramakrishnan, VLDB 1988 style).
+///
+/// Returns the conjunction of *newly derived* constraints whose columns
+/// all lie in `cols`, or `None` when nothing new is derivable. Only
+/// conjuncts of the syntactic shapes `x ⋖ y + c`, `x ⋖ c` participate —
+/// matching the baseline's documented weakness.
+pub fn transitive_closure(p: &Pred, cols: &[String]) -> Option<Pred> {
+    // Node 0 is the virtual zero; nodes 1.. are columns in discovery order.
+    let mut nodes: Vec<String> = vec![String::new()];
+    let mut index: BTreeMap<String, usize> = BTreeMap::new();
+    let node_of = |name: &str, nodes: &mut Vec<String>, index: &mut BTreeMap<String, usize>| {
+        *index.entry(name.to_string()).or_insert_with(|| {
+            nodes.push(name.to_string());
+            nodes.len() - 1
+        })
+    };
+    // edges[(u, v)] = tightest bound on u - v.
+    let mut edges: BTreeMap<(usize, usize), DiffBound> = BTreeMap::new();
+    let add_edge = |u: usize, v: usize, b: DiffBound, edges: &mut BTreeMap<(usize, usize), DiffBound>| {
+        match edges.get(&(u, v)) {
+            Some(existing) if !b.tighter(existing) => {}
+            _ => {
+                edges.insert((u, v), b);
+            }
+        }
+    };
+    let mut original: Vec<(usize, usize, DiffBound)> = Vec::new();
+    for conj in p.conjuncts() {
+        let Pred::Cmp { op, lhs, rhs } = conj else {
+            continue;
+        };
+        let Ok(atom) = LinAtom::from_cmp(*op, lhs, rhs, NonLinearPolicy::Reject) else {
+            continue;
+        };
+        // Accept shapes: ±x ∓ y + c ⋖ 0 or ±x + c ⋖ 0 with unit coeffs.
+        let bounds = difference_form(&atom);
+        for (pos, neg, weight, strict) in bounds {
+            let u = pos.map(|c| node_of(&c, &mut nodes, &mut index)).unwrap_or(0);
+            let v = neg.map(|c| node_of(&c, &mut nodes, &mut index)).unwrap_or(0);
+            if u == v {
+                continue;
+            }
+            let b = DiffBound { weight, strict };
+            original.push((u, v, b.clone()));
+            add_edge(u, v, b, &mut edges);
+        }
+    }
+    // Floyd–Warshall closure.
+    let n = nodes.len();
+    for k in 0..n {
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let Some(ik) = edges.get(&(i, k)).cloned() else {
+                continue;
+            };
+            for j in 0..n {
+                if j == i || j == k {
+                    continue;
+                }
+                let Some(kj) = edges.get(&(k, j)).cloned() else {
+                    continue;
+                };
+                let composed = ik.compose(&kj);
+                match edges.get(&(i, j)) {
+                    Some(existing) if !composed.tighter(existing) => {}
+                    _ => {
+                        edges.insert((i, j), composed);
+                    }
+                }
+            }
+        }
+    }
+    // Emit derived constraints whose columns are all in `cols`, skipping
+    // ones equal to an original conjunct.
+    let in_target = |i: usize| i == 0 || cols.contains(&nodes[i]);
+    let mut derived: Vec<Pred> = Vec::new();
+    for ((u, v), b) in &edges {
+        if !in_target(*u) || !in_target(*v) || (*u == 0 && *v == 0) {
+            continue;
+        }
+        if original
+            .iter()
+            .any(|(ou, ov, ob)| ou == u && ov == v && !b.tighter(ob))
+        {
+            continue;
+        }
+        // u - v ⋖ w  as a predicate.
+        let mut expr = LinExpr::constant(-b.weight.clone());
+        if *u != 0 {
+            expr = expr.add(&LinExpr::column(nodes[*u].clone()));
+        }
+        if *v != 0 {
+            expr = expr.sub(&LinExpr::column(nodes[*v].clone()));
+        }
+        let op = if b.strict { CmpOp::Lt } else { CmpOp::Le };
+        derived.push(LinAtom { op, expr }.to_pred());
+    }
+    if derived.is_empty() {
+        None
+    } else {
+        Some(Pred::and_all(derived))
+    }
+}
+
+/// Decompose an atom into difference-bound form if it has the syntactic
+/// shape the classic transitive-closure transformation handles: a bare
+/// column-to-column comparison `x ⋖ y` (no constant offset — `x - y < 20`
+/// is an *arithmetic* predicate the rule cannot see through, which is the
+/// very weakness §2 illustrates), or a single-column bound `x ⋖ c`.
+/// Equalities produce both directions; the `>`-family is normalized
+/// first.
+fn difference_form(atom: &LinAtom) -> Vec<(Option<String>, Option<String>, BigRat, bool)> {
+    let (op, expr) = (atom.op, &atom.expr);
+    // Normalize op direction to <, ≤, or = by flipping the expression.
+    let (expr, op) = match op {
+        CmpOp::Gt => (expr.scale(&-BigRat::one()), CmpOp::Lt),
+        CmpOp::Ge => (expr.scale(&-BigRat::one()), CmpOp::Le),
+        other => (expr.clone(), other),
+    };
+    let terms: Vec<(String, BigRat)> = expr
+        .terms()
+        .map(|(c, k)| (c.to_string(), k.clone()))
+        .collect();
+    let unit = |k: &BigRat| k.abs() == BigRat::one();
+    let (pos, neg) = match terms.len() {
+        1 if unit(&terms[0].1) => {
+            if terms[0].1.is_positive() {
+                (Some(terms[0].0.clone()), None)
+            } else {
+                (None, Some(terms[0].0.clone()))
+            }
+        }
+        2 if unit(&terms[0].1)
+            && unit(&terms[1].1)
+            && terms[0].1.signum() != terms[1].1.signum() =>
+        {
+            if terms[0].1.is_positive() {
+                (Some(terms[0].0.clone()), Some(terms[1].0.clone()))
+            } else {
+                (Some(terms[1].0.clone()), Some(terms[0].0.clone()))
+            }
+        }
+        _ => return Vec::new(),
+    };
+    let w = -expr.constant_term().clone();
+    // Two-column comparisons participate only without a constant offset.
+    if pos.is_some() && neg.is_some() && !w.is_zero() {
+        return Vec::new();
+    }
+    match op {
+        CmpOp::Lt => vec![(pos, neg, w, true)],
+        CmpOp::Le => vec![(pos, neg, w, false)],
+        CmpOp::Eq => vec![
+            (pos.clone(), neg.clone(), w.clone(), false),
+            (neg, pos, -w, false),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Constant propagation (§2): substitute `col = const` conjuncts into the
+/// remaining conjuncts and fold. Returns the rewritten predicate when at
+/// least one substitution fired.
+pub fn constant_propagation(p: &Pred) -> Option<Pred> {
+    let conjuncts = p.conjuncts();
+    let mut constants: BTreeMap<String, i64> = BTreeMap::new();
+    for conj in &conjuncts {
+        let Pred::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = conj
+        else {
+            continue;
+        };
+        let Ok(atom) = LinAtom::from_cmp(CmpOp::Eq, lhs, rhs, NonLinearPolicy::Reject) else {
+            continue;
+        };
+        let terms: Vec<(String, BigRat)> = atom
+            .expr
+            .terms()
+            .map(|(c, k)| (c.to_string(), k.clone()))
+            .collect();
+        if terms.len() == 1 && terms[0].1.abs() == BigRat::one() {
+            // ±col + c = 0 → col = ∓c
+            let val = -(atom.expr.constant_term() / &terms[0].1);
+            if val.is_integer() {
+                if let Some(v) = val.numer().to_i64() {
+                    constants.insert(terms[0].0.clone(), v);
+                }
+            }
+        }
+    }
+    if constants.is_empty() {
+        return None;
+    }
+    // A defining equality (`col = const` itself) is kept verbatim —
+    // substituting into it would fold it to TRUE and lose the constraint.
+    let is_defining = |conj: &Pred| -> bool {
+        let Pred::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = conj
+        else {
+            return false;
+        };
+        matches!(
+            (lhs, rhs),
+            (sia_expr::Expr::Column(_), sia_expr::Expr::Int(_))
+                | (sia_expr::Expr::Int(_), sia_expr::Expr::Column(_))
+        )
+    };
+    let mut changed = false;
+    let rewritten: Vec<Pred> = conjuncts
+        .iter()
+        .map(|conj| match conj {
+            Pred::Cmp { op, lhs, rhs } if !is_defining(conj) => {
+                let nl = substitute_constants(lhs, &constants);
+                let nr = substitute_constants(rhs, &constants);
+                if &nl != lhs || &nr != rhs {
+                    changed = true;
+                }
+                nl.cmp(*op, nr)
+            }
+            other => (*other).clone(),
+        })
+        .collect();
+    if !changed {
+        return None;
+    }
+    Some(Pred::and_all(rewritten))
+}
+
+fn substitute_constants(e: &sia_expr::Expr, constants: &BTreeMap<String, i64>) -> sia_expr::Expr {
+    use sia_expr::Expr;
+    match e {
+        Expr::Column(c) => match constants.get(c) {
+            Some(v) => Expr::Int(*v),
+            None => e.clone(),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(substitute_constants(lhs, constants)),
+            rhs: Box::new(substitute_constants(rhs, constants)),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_sql::parse_predicate;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn classic_transitive_closure() {
+        // y1 > x && x > y2  →  y1 > y2 (the §2 example).
+        let p = parse_predicate("y1 > x AND x > y2").unwrap();
+        let out = transitive_closure(&p, &strs(&["y1", "y2"])).unwrap();
+        assert_eq!(out.to_string(), "y2 - y1 < 0");
+    }
+
+    #[test]
+    fn chains_through_constants() {
+        // a < b AND b < 3  →  a < 3 (column-to-column link, constant sink).
+        let p = parse_predicate("a < b AND b < 3").unwrap();
+        let out = transitive_closure(&p, &strs(&["a"])).unwrap();
+        assert_eq!(out.to_string(), "a < 3");
+        // …but an arithmetic offset breaks the chain (the §2 weakness).
+        let q = parse_predicate("a < b + 5 AND b < 3").unwrap();
+        assert!(transitive_closure(&q, &strs(&["a"])).is_none());
+    }
+
+    #[test]
+    fn motivating_example_defeats_tc() {
+        // The §3.2 predicate has a 3-variable term; TC derives nothing
+        // over {a1, a2} beyond… nothing (no unit difference chain links
+        // a1 to a2).
+        let p = parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
+        // Every term carries arithmetic, so the syntax-driven rule derives
+        // nothing at all — exactly the paper's point in §2.
+        assert!(transitive_closure(&p, &strs(&["a1", "a2"])).is_none());
+    }
+
+    #[test]
+    fn equality_chains() {
+        // a = b AND b <= 7 → a <= 7.
+        let p = parse_predicate("a = b AND b <= 7").unwrap();
+        let out = transitive_closure(&p, &strs(&["a"])).unwrap();
+        assert!(out.to_string().contains("a <= 7"), "{out}");
+    }
+
+    #[test]
+    fn nothing_derivable() {
+        let p = parse_predicate("a + b < 10").unwrap(); // same-sign coeffs
+        assert!(transitive_closure(&p, &strs(&["a"])).is_none());
+        let q = parse_predicate("2 * a < b").unwrap(); // non-unit
+        assert!(transitive_closure(&q, &strs(&["a"])).is_none());
+    }
+
+    #[test]
+    fn derived_constraints_are_implied() {
+        use sia_expr::{eval_pred, Value};
+        use std::collections::HashMap;
+        let p = parse_predicate("a < b AND b < c AND c <= 4").unwrap();
+        let out = transitive_closure(&p, &strs(&["a", "b"])).unwrap();
+        for a in -6i64..6 {
+            for b in -6i64..6 {
+                for cv in -6i64..6 {
+                    let m: HashMap<String, Value> = [
+                        ("a".to_string(), Value::Int(a)),
+                        ("b".to_string(), Value::Int(b)),
+                        ("c".to_string(), Value::Int(cv)),
+                    ]
+                    .into_iter()
+                    .collect();
+                    if eval_pred(&p, &m) == Some(true) {
+                        assert_eq!(eval_pred(&out, &m), Some(true), "at ({a},{b},{cv})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_propagation_example() {
+        // x = 5 && x + y = 20 → 5 + y = 20 (the §2 example).
+        let p = parse_predicate("x = 5 AND x + y = 20").unwrap();
+        let out = constant_propagation(&p).unwrap();
+        let s = out.to_string();
+        assert!(s.contains("5 + y = 20") || s.contains("y = 15"), "{s}");
+    }
+
+    #[test]
+    fn constant_propagation_none_without_equalities() {
+        let p = parse_predicate("x < 5 AND y > 3").unwrap();
+        assert!(constant_propagation(&p).is_none());
+    }
+}

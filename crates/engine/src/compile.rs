@@ -1,0 +1,547 @@
+//! Predicate compilation: resolve column names to column indices once, so
+//! the per-row evaluation loop does no string hashing.
+
+use crate::table::Table;
+use sia_expr::{ArithOp, CmpOp, DataType, Expr, Pred, Schema};
+
+/// A compiled arithmetic expression over column indices.
+#[derive(Debug, Clone)]
+pub enum CExpr {
+    /// Column payload by index.
+    Col(usize),
+    /// Integer constant (dates already lowered to day offsets).
+    ConstI(i64),
+    /// Double constant.
+    ConstF(f64),
+    /// Binary arithmetic.
+    Bin(ArithOp, Box<CExpr>, Box<CExpr>),
+}
+
+/// A compiled predicate over column indices.
+#[derive(Debug, Clone)]
+pub enum CPred {
+    /// Constant.
+    Lit(bool),
+    /// Comparison.
+    Cmp(CmpOp, CExpr, CExpr),
+    /// Conjunction.
+    And(Vec<CPred>),
+    /// Disjunction.
+    Or(Vec<CPred>),
+    /// Negation.
+    Not(Box<CPred>),
+}
+
+/// Compile-time error: a referenced column is missing from the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownColumn(pub String);
+
+impl std::fmt::Display for UnknownColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown column {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownColumn {}
+
+/// Compile an expression against a schema.
+pub fn compile_expr(e: &Expr, schema: &Schema) -> Result<CExpr, UnknownColumn> {
+    Ok(match e {
+        Expr::Column(c) => CExpr::Col(
+            schema
+                .index_of(c)
+                .ok_or_else(|| UnknownColumn(c.clone()))?,
+        ),
+        Expr::Int(v) => CExpr::ConstI(*v),
+        Expr::Double(v) => CExpr::ConstF(*v),
+        Expr::Date(d) => CExpr::ConstI(d.to_days()),
+        Expr::Binary { op, lhs, rhs } => CExpr::Bin(
+            *op,
+            Box::new(compile_expr(lhs, schema)?),
+            Box::new(compile_expr(rhs, schema)?),
+        ),
+    })
+}
+
+/// Compile a predicate against a schema.
+pub fn compile_pred(p: &Pred, schema: &Schema) -> Result<CPred, UnknownColumn> {
+    Ok(match p {
+        Pred::Lit(b) => CPred::Lit(*b),
+        Pred::Cmp { op, lhs, rhs } => CPred::Cmp(
+            *op,
+            compile_expr(lhs, schema)?,
+            compile_expr(rhs, schema)?,
+        ),
+        Pred::And(ps) => CPred::And(
+            ps.iter()
+                .map(|q| compile_pred(q, schema))
+                .collect::<Result<_, _>>()?,
+        ),
+        Pred::Or(ps) => CPred::Or(
+            ps.iter()
+                .map(|q| compile_pred(q, schema))
+                .collect::<Result<_, _>>()?,
+        ),
+        Pred::Not(q) => CPred::Not(Box::new(compile_pred(q, schema)?)),
+    })
+}
+
+/// Scalar result of compiled evaluation; `None` = NULL.
+type Scalar = Option<ScalarVal>;
+
+#[derive(Debug, Clone, Copy)]
+enum ScalarVal {
+    I(i64),
+    F(f64),
+}
+
+impl CExpr {
+    #[inline]
+    fn eval(&self, table: &Table, row: usize) -> Scalar {
+        match self {
+            CExpr::Col(i) => {
+                let col = &table.columns[*i];
+                if let Some(mask) = &col.validity {
+                    if !mask[row] {
+                        return None;
+                    }
+                }
+                Some(match &col.data {
+                    crate::table::ColumnData::Int(v) => ScalarVal::I(v[row]),
+                    crate::table::ColumnData::Double(v) => ScalarVal::F(v[row]),
+                })
+            }
+            CExpr::ConstI(v) => Some(ScalarVal::I(*v)),
+            CExpr::ConstF(v) => Some(ScalarVal::F(*v)),
+            CExpr::Bin(op, l, r) => {
+                let (l, r) = (l.eval(table, row)?, r.eval(table, row)?);
+                match (l, r) {
+                    (ScalarVal::I(a), ScalarVal::I(b)) => match op {
+                        ArithOp::Add => Some(ScalarVal::I(a.saturating_add(b))),
+                        ArithOp::Sub => Some(ScalarVal::I(a.saturating_sub(b))),
+                        ArithOp::Mul => Some(ScalarVal::I(a.saturating_mul(b))),
+                        ArithOp::Div => {
+                            if b == 0 {
+                                None
+                            } else {
+                                Some(ScalarVal::I(a.wrapping_div(b)))
+                            }
+                        }
+                    },
+                    (a, b) => {
+                        let (x, y) = (a.as_f64(), b.as_f64());
+                        let v = match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => {
+                                if y == 0.0 {
+                                    return None;
+                                }
+                                x / y
+                            }
+                        };
+                        Some(ScalarVal::F(v))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ScalarVal {
+    #[inline]
+    fn as_f64(self) -> f64 {
+        match self {
+            ScalarVal::I(v) => v as f64,
+            ScalarVal::F(v) => v,
+        }
+    }
+}
+
+impl CPred {
+    /// Three-valued evaluation of one row.
+    #[inline]
+    pub fn eval(&self, table: &Table, row: usize) -> Option<bool> {
+        match self {
+            CPred::Lit(b) => Some(*b),
+            CPred::Cmp(op, l, r) => {
+                let (l, r) = (l.eval(table, row)?, r.eval(table, row)?);
+                let ord = match (l, r) {
+                    (ScalarVal::I(a), ScalarVal::I(b)) => a.cmp(&b),
+                    (a, b) => a.as_f64().partial_cmp(&b.as_f64())?,
+                };
+                Some(op.eval_ord(ord))
+            }
+            CPred::And(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval(table, row) {
+                        Some(false) => return Some(false),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            CPred::Or(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval(table, row) {
+                        Some(true) => return Some(true),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            CPred::Not(p) => p.eval(table, row).map(|b| !b),
+        }
+    }
+
+    /// Rows of the table the predicate accepts (WHERE semantics: NULL
+    /// rejects).
+    pub fn filter(&self, table: &Table) -> Vec<usize> {
+        (0..table.num_rows())
+            .filter(|&row| self.eval(table, row) == Some(true))
+            .collect()
+    }
+
+    /// The fraction of rows accepted (selectivity; 1.0 on empty input).
+    pub fn selectivity(&self, table: &Table) -> f64 {
+        let n = table.num_rows();
+        if n == 0 {
+            return 1.0;
+        }
+        self.filter(table).len() as f64 / n as f64
+    }
+}
+
+/// Verify the predicate's columns exist and yield comparable types
+/// (lightweight semantic check used by the planner).
+pub fn typecheck(p: &Pred, schema: &Schema) -> Result<(), UnknownColumn> {
+    for c in p.columns() {
+        if schema.index_of(&c).is_none() {
+            return Err(UnknownColumn(c));
+        }
+    }
+    Ok(())
+}
+
+/// Result type helper used by the planner to decide join key types.
+pub fn column_type(schema: &Schema, name: &str) -> Option<DataType> {
+    schema.column(name).map(|c| c.ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Table};
+    use sia_expr::ColumnDef;
+    use sia_sql::parse_predicate;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+                ColumnDef::new("d", DataType::Double),
+            ]),
+            vec![
+                Column::int(vec![1, 5, 10, -3]),
+                Column::int(vec![2, 2, 2, 2]),
+                Column::double(vec![0.5, 4.5, 10.5, -2.5]),
+            ],
+        )
+    }
+
+    #[test]
+    fn filter_rows() {
+        let t = table();
+        let p = compile_pred(&parse_predicate("a > b").unwrap(), &t.schema).unwrap();
+        assert_eq!(p.filter(&t), vec![1, 2]);
+        assert_eq!(p.selectivity(&t), 0.5);
+    }
+
+    #[test]
+    fn arithmetic_and_doubles() {
+        let t = table();
+        let p = compile_pred(
+            &parse_predicate("a + b * 2 >= 9 AND d < 11").unwrap(),
+            &t.schema,
+        )
+        .unwrap();
+        assert_eq!(p.filter(&t), vec![1, 2]);
+    }
+
+    #[test]
+    fn null_rejects_in_where() {
+        let mut t = table();
+        t.columns[0].validity = Some(vec![true, false, true, true]);
+        let p = compile_pred(&parse_predicate("a > 0").unwrap(), &t.schema).unwrap();
+        // row 1 (a NULL) rejected even though stored payload is 5.
+        assert_eq!(p.filter(&t), vec![0, 2]);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table();
+        assert!(compile_pred(&parse_predicate("zzz > 0").unwrap(), &t.schema).is_err());
+        assert!(typecheck(&parse_predicate("zzz > 0").unwrap(), &t.schema).is_err());
+        assert!(typecheck(&parse_predicate("a > 0").unwrap(), &t.schema).is_ok());
+    }
+
+    #[test]
+    fn division_semantics() {
+        let t = table();
+        // a / 0 is NULL → rejected.
+        let p = compile_pred(&parse_predicate("a / 0 > 0").unwrap(), &t.schema).unwrap();
+        assert!(p.filter(&t).is_empty());
+        // Integer division truncates.
+        let q = compile_pred(&parse_predicate("a / 2 = 2").unwrap(), &t.schema).unwrap();
+        assert_eq!(q.filter(&t), vec![1]); // 5/2 = 2
+    }
+
+    #[test]
+    fn matches_interpreted_eval() {
+        use std::collections::HashMap;
+        let t = table();
+        let pred = parse_predicate("a - b < 3 OR d > 4.0").unwrap();
+        let c = compile_pred(&pred, &t.schema).unwrap();
+        for row in 0..t.num_rows() {
+            let m: HashMap<String, sia_expr::Value> = ["a", "b", "d"]
+                .iter()
+                .map(|n| (n.to_string(), t.value(row, n)))
+                .collect();
+            assert_eq!(
+                c.eval(&t, row),
+                sia_expr::eval_pred(&pred, &m),
+                "row {row}"
+            );
+        }
+    }
+}
+
+/// Batch (vectorized) evaluation: integer-only expressions evaluate whole
+/// columns at a time, cutting the per-row interpretive overhead that
+/// row-at-a-time `eval` pays. Falls back to row-wise for DOUBLE columns.
+mod batch {
+    use super::*;
+    use crate::table::ColumnData;
+
+    /// A column vector of evaluated values plus validity (None = all valid).
+    pub(super) struct IntVec {
+        pub values: Vec<i64>,
+        pub validity: Option<Vec<bool>>,
+    }
+
+    impl CExpr {
+        /// Evaluate over all rows at once; `None` when the expression
+        /// touches non-integer columns (caller falls back to row-wise).
+        pub(super) fn eval_batch(&self, table: &Table) -> Option<IntVec> {
+            let n = table.num_rows();
+            match self {
+                CExpr::Col(i) => {
+                    let col = &table.columns[*i];
+                    let ColumnData::Int(v) = &col.data else {
+                        return None;
+                    };
+                    Some(IntVec {
+                        values: v.clone(),
+                        validity: col.validity.clone(),
+                    })
+                }
+                CExpr::ConstI(c) => Some(IntVec {
+                    values: vec![*c; n],
+                    validity: None,
+                }),
+                CExpr::ConstF(_) => None,
+                CExpr::Bin(op, l, r) => {
+                    let mut a = l.eval_batch(table)?;
+                    let b = r.eval_batch(table)?;
+                    let validity = merge_validity(a.validity.take(), b.validity, |m| m);
+                    let mut values = a.values;
+                    match op {
+                        ArithOp::Add => {
+                            for (x, y) in values.iter_mut().zip(&b.values) {
+                                *x = x.saturating_add(*y);
+                            }
+                            Some(IntVec { values, validity })
+                        }
+                        ArithOp::Sub => {
+                            for (x, y) in values.iter_mut().zip(&b.values) {
+                                *x = x.saturating_sub(*y);
+                            }
+                            Some(IntVec { values, validity })
+                        }
+                        ArithOp::Mul => {
+                            for (x, y) in values.iter_mut().zip(&b.values) {
+                                *x = x.saturating_mul(*y);
+                            }
+                            Some(IntVec { values, validity })
+                        }
+                        ArithOp::Div => {
+                            // Division by zero yields NULL row-wise; the
+                            // extra mask bookkeeping isn't worth the rare
+                            // case — fall back.
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge_validity(
+        a: Option<Vec<bool>>,
+        b: Option<Vec<bool>>,
+        f: impl Fn(Vec<bool>) -> Vec<bool>,
+    ) -> Option<Vec<bool>> {
+        match (a, b) {
+            (None, None) => None,
+            (Some(m), None) | (None, Some(m)) => Some(f(m)),
+            (Some(mut m), Some(o)) => {
+                for (x, y) in m.iter_mut().zip(&o) {
+                    *x = *x && *y;
+                }
+                Some(m)
+            }
+        }
+    }
+
+    /// Tri-state row mask: `Some(true/false)` decided, `None` = NULL.
+    pub(super) fn pred_mask(p: &CPred, table: &Table) -> Option<Vec<Option<bool>>> {
+        let n = table.num_rows();
+        match p {
+            CPred::Lit(b) => Some(vec![Some(*b); n]),
+            CPred::Cmp(op, l, r) => {
+                let a = l.eval_batch(table)?;
+                let b = r.eval_batch(table)?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let null = a.validity.as_ref().map(|m| !m[i]).unwrap_or(false)
+                        || b.validity.as_ref().map(|m| !m[i]).unwrap_or(false);
+                    out.push(if null {
+                        None
+                    } else {
+                        Some(op.eval_ord(a.values[i].cmp(&b.values[i])))
+                    });
+                }
+                Some(out)
+            }
+            CPred::And(ps) => {
+                let mut acc = vec![Some(true); n];
+                for q in ps {
+                    let m = pred_mask(q, table)?;
+                    for (x, y) in acc.iter_mut().zip(&m) {
+                        *x = match (*x, y) {
+                            (Some(false), _) | (_, Some(false)) => Some(false),
+                            (Some(true), v) => *v,
+                            (None, Some(true)) | (None, None) => None,
+                        };
+                    }
+                }
+                Some(acc)
+            }
+            CPred::Or(ps) => {
+                let mut acc = vec![Some(false); n];
+                for q in ps {
+                    let m = pred_mask(q, table)?;
+                    for (x, y) in acc.iter_mut().zip(&m) {
+                        *x = match (*x, y) {
+                            (Some(true), _) | (_, Some(true)) => Some(true),
+                            (Some(false), v) => *v,
+                            (None, Some(false)) | (None, None) => None,
+                        };
+                    }
+                }
+                Some(acc)
+            }
+            CPred::Not(q) => {
+                let m = pred_mask(q, table)?;
+                Some(m.into_iter().map(|v| v.map(|b| !b)).collect())
+            }
+        }
+    }
+}
+
+impl CPred {
+    /// Vectorized variant of [`CPred::filter`]: whole-column evaluation
+    /// for integer-only predicates, row-wise fallback otherwise.
+    pub fn filter_vectorized(&self, table: &Table) -> Vec<usize> {
+        match batch::pred_mask(self, table) {
+            Some(mask) => mask
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v == Some(true))
+                .map(|(i, _)| i)
+                .collect(),
+            None => self.filter(table),
+        }
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::table::{Column, Table};
+    use sia_expr::{ColumnDef, DataType, Schema};
+    use sia_sql::parse_predicate;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+                ColumnDef::new("d", DataType::Double),
+            ]),
+            vec![
+                Column::int(vec![1, 5, 10, -3, 7]),
+                Column::int(vec![2, 2, 2, 2, 7]),
+                Column::double(vec![0.5, 4.5, 10.5, -2.5, 0.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn vectorized_matches_rowwise() {
+        let t = table();
+        for sql in [
+            "a > b",
+            "a + b * 2 >= 9",
+            "a - b < 3 OR a = 7",
+            "NOT (a < b) AND a <> 10",
+            "a > b AND d < 5.0",  // double → fallback path
+            "a / 2 = 2",          // division → fallback path
+        ] {
+            let p = compile_pred(&parse_predicate(sql).unwrap(), &t.schema).unwrap();
+            assert_eq!(
+                p.filter_vectorized(&t),
+                p.filter(&t),
+                "mismatch for {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn vectorized_null_handling() {
+        let mut t = table();
+        t.columns[0].validity = Some(vec![true, false, true, true, false]);
+        for sql in ["a > 0", "a > b OR b = 2", "a = a"] {
+            let p = compile_pred(&parse_predicate(sql).unwrap(), &t.schema).unwrap();
+            assert_eq!(
+                p.filter_vectorized(&t),
+                p.filter(&t),
+                "mismatch for {sql}"
+            );
+        }
+    }
+}

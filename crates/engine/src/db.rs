@@ -1,0 +1,288 @@
+//! The database: named tables, query planning, and the run-a-SQL-string
+//! entry point used by the benchmark harness.
+
+use crate::exec::{execute, ExecError, ExecStats};
+use crate::optimize::{optimize, OptimizerConfig};
+use crate::plan::Plan;
+use crate::table::Table;
+use sia_expr::Pred;
+use sia_sql::{Query, SelectList};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A collection of named in-memory tables.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+/// The result of running one query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output rows.
+    pub table: Table,
+    /// Wall-clock execution time (excludes planning).
+    pub elapsed: Duration,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// The optimized plan that ran.
+    pub plan: Plan,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn insert(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    fn columns_of(&self, table: &str) -> Vec<String> {
+        self.tables
+            .get(table)
+            .map(|t| {
+                t.schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Which table (among the query's FROM list) owns a column.
+    fn owner_of(&self, tables: &[String], col: &str) -> Option<String> {
+        if let Some((t, c)) = col.split_once('.') {
+            if tables.iter().any(|n| n == t)
+                && self.columns_of(t).iter().any(|n| n == c)
+            {
+                return Some(t.to_string());
+            }
+            return None;
+        }
+        let mut hit = None;
+        for t in tables {
+            if self.columns_of(t).iter().any(|n| n == col) {
+                if hit.is_some() {
+                    return None; // ambiguous
+                }
+                hit = Some(t.clone());
+            }
+        }
+        hit
+    }
+
+    /// Build a logical plan for a query: left-deep join tree over the FROM
+    /// list using equi-join conjuncts from the WHERE clause, remaining
+    /// predicate as a filter on top, then the projection.
+    pub fn plan(&self, query: &Query) -> Result<Plan, ExecError> {
+        for t in &query.tables {
+            if !self.tables.contains_key(t) {
+                return Err(ExecError::UnknownTable(t.clone()));
+            }
+        }
+        let pred = query.predicate_or_true();
+        // Partition conjuncts into equi-join conditions and filters.
+        let mut join_conds: Vec<(String, String, String, String)> = Vec::new(); // (t1, c1, t2, c2)
+        let mut filters: Vec<Pred> = Vec::new();
+        for conj in pred.conjuncts() {
+            if let Pred::Cmp {
+                op: sia_expr::CmpOp::Eq,
+                lhs: sia_expr::Expr::Column(a),
+                rhs: sia_expr::Expr::Column(b),
+            } = conj
+            {
+                let (oa, ob) = (
+                    self.owner_of(&query.tables, a),
+                    self.owner_of(&query.tables, b),
+                );
+                if let (Some(ta), Some(tb)) = (oa, ob) {
+                    if ta != tb {
+                        join_conds.push((ta, a.clone(), tb, b.clone()));
+                        continue;
+                    }
+                }
+            }
+            filters.push(conj.clone());
+        }
+        // Left-deep join tree in FROM order; tables without a usable join
+        // condition would need a cross join, which this engine does not
+        // support (the paper's workload never needs one).
+        let mut plan = Plan::scan(query.tables[0].clone());
+        let mut joined: Vec<String> = vec![query.tables[0].clone()];
+        let mut remaining: Vec<String> = query.tables[1..].to_vec();
+        let mut conds = join_conds;
+        while !remaining.is_empty() {
+            // Find a join condition connecting a joined table to a new one.
+            let pos = conds.iter().position(|(ta, _, tb, _)| {
+                (joined.contains(ta) && remaining.contains(tb))
+                    || (joined.contains(tb) && remaining.contains(ta))
+            });
+            let Some(pos) = pos else {
+                return Err(ExecError::UnknownColumn(format!(
+                    "no equi-join condition connects table(s) {remaining:?}"
+                )));
+            };
+            let (ta, ca, tb, cb) = conds.remove(pos);
+            let (new_table, left_key, right_key) = if joined.contains(&ta) {
+                (tb.clone(), ca, cb)
+            } else {
+                (ta.clone(), cb, ca)
+            };
+            plan = plan.hash_join(Plan::scan(new_table.clone()), left_key, right_key);
+            remaining.retain(|t| *t != new_table);
+            joined.push(new_table);
+        }
+        // Any leftover join conditions act as plain filters.
+        for (_, ca, _, cb) in conds {
+            filters.push(sia_expr::Expr::Column(ca).eq_(sia_expr::Expr::Column(cb)));
+        }
+        plan = plan.filter(Pred::and_all(filters));
+        if let SelectList::Columns(cols) = &query.select {
+            plan = plan.project(cols.clone());
+        }
+        Ok(plan)
+    }
+
+    /// Plan, optimize, and execute a query.
+    pub fn run(&self, query: &Query, config: OptimizerConfig) -> Result<QueryResult, ExecError> {
+        let plan = self.plan(query)?;
+        let plan = optimize(plan, &|t| self.columns_of(t), config);
+        let (table, elapsed, stats) = execute(&plan, self)?;
+        Ok(QueryResult {
+            table,
+            elapsed,
+            stats,
+            plan,
+        })
+    }
+
+    /// Parse and run a SQL string with the default optimizer.
+    pub fn run_sql(&self, sql: &str) -> Result<QueryResult, String> {
+        let query = sia_sql::parse_query(sql).map_err(|e| e.to_string())?;
+        self.run(&query, OptimizerConfig::default())
+            .map_err(|e| e.to_string())
+    }
+
+    /// Measured selectivity of a predicate against one table.
+    pub fn selectivity(&self, table: &str, pred: &Pred) -> Result<f64, ExecError> {
+        let t = self
+            .table(table)
+            .ok_or_else(|| ExecError::UnknownTable(table.to_string()))?;
+        let compiled = crate::compile::compile_pred(pred, &t.schema)?;
+        Ok(compiled.selectivity(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use sia_expr::{ColumnDef, DataType, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(
+            "orders",
+            Table::new(
+                Schema::new(vec![
+                    ColumnDef::new("o_orderkey", DataType::Integer),
+                    ColumnDef::new("o_orderdate", DataType::Date),
+                ]),
+                vec![
+                    Column::int(vec![1, 2, 3, 4]),
+                    Column::int(vec![-10, 5, -3, 20]),
+                ],
+            ),
+        );
+        db.insert(
+            "lineitem",
+            Table::new(
+                Schema::new(vec![
+                    ColumnDef::new("l_orderkey", DataType::Integer),
+                    ColumnDef::new("l_shipdate", DataType::Date),
+                ]),
+                vec![
+                    Column::int(vec![1, 1, 2, 3, 5]),
+                    Column::int(vec![0, 7, 9, 2, 100]),
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn end_to_end_join_query() {
+        let db = db();
+        let r = db
+            .run_sql(
+                "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
+                 AND o_orderdate < 0",
+            )
+            .unwrap();
+        // orders with date < 0: keys 1, 3 → lineitem rows with keys 1,1,3.
+        assert_eq!(r.table.num_rows(), 3);
+        // Pushdown put the orders filter below the join.
+        assert_eq!(r.plan.filters_below_joins(), 1);
+    }
+
+    #[test]
+    fn plan_rejects_cartesian() {
+        let db = db();
+        let q = sia_sql::parse_query("SELECT * FROM lineitem, orders WHERE o_orderdate < 0")
+            .unwrap();
+        assert!(db.plan(&q).is_err());
+    }
+
+    #[test]
+    fn projection_in_query() {
+        let db = db();
+        let r = db
+            .run_sql("SELECT l_shipdate FROM lineitem WHERE l_shipdate > 5")
+            .unwrap();
+        assert_eq!(r.table.schema.len(), 1);
+        assert_eq!(r.table.num_rows(), 3);
+        assert_eq!(r.table.value(0, "l_shipdate"), Value::Int(7));
+    }
+
+    #[test]
+    fn pushdown_preserves_semantics() {
+        let db = db();
+        let sql = "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
+                   AND l_shipdate - o_orderdate < 8 AND l_shipdate < 10";
+        let q = sia_sql::parse_query(sql).unwrap();
+        let with = db.run(&q, OptimizerConfig { pushdown: true }).unwrap();
+        let without = db.run(&q, OptimizerConfig { pushdown: false }).unwrap();
+        assert_eq!(with.table.num_rows(), without.table.num_rows());
+        assert!(with.plan.filters_below_joins() > 0);
+        assert_eq!(without.plan.filters_below_joins(), 0);
+        // Pushdown shrinks the join input.
+        assert!(with.stats.join_input_rows < without.stats.join_input_rows);
+    }
+
+    #[test]
+    fn selectivity_measurement() {
+        let db = db();
+        let p = sia_sql::parse_predicate("l_shipdate < 8").unwrap();
+        assert_eq!(db.selectivity("lineitem", &p).unwrap(), 0.6);
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let db = db();
+        assert!(db.run_sql("SELECT * FROM nope").is_err());
+    }
+}

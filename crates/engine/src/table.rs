@@ -1,0 +1,259 @@
+//! In-memory columnar tables.
+
+use sia_expr::{DataType, Schema, Value};
+
+/// Column storage: one typed vector per column, with an optional validity
+/// mask (absent ⇒ all rows valid).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// INTEGER / DATE / TIMESTAMP payloads.
+    Int(Vec<i64>),
+    /// DOUBLE payloads.
+    Double(Vec<f64>),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Double(v) => v.len(),
+        }
+    }
+
+    /// True if the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row` (assuming valid).
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Double(v) => Value::Double(v[row]),
+        }
+    }
+
+    fn gather(&self, rows: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::Double(v) => {
+                ColumnData::Double(rows.iter().map(|&r| v[r]).collect())
+            }
+        }
+    }
+}
+
+/// A column with its validity mask.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Payload vector.
+    pub data: ColumnData,
+    /// `Some(mask)` with `mask[row] == false` meaning NULL.
+    pub validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// A non-nullable integer column.
+    pub fn int(values: Vec<i64>) -> Self {
+        Column {
+            data: ColumnData::Int(values),
+            validity: None,
+        }
+    }
+
+    /// A non-nullable double column.
+    pub fn double(values: Vec<f64>) -> Self {
+        Column {
+            data: ColumnData::Double(values),
+            validity: None,
+        }
+    }
+
+    /// The value at `row` (NULL-aware).
+    pub fn get(&self, row: usize) -> Value {
+        if let Some(mask) = &self.validity {
+            if !mask[row] {
+                return Value::Null;
+            }
+        }
+        self.data.get(row)
+    }
+
+    /// Materialize the rows at the given indices.
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        Column {
+            data: self.data.gather(rows),
+            validity: self
+                .validity
+                .as_ref()
+                .map(|m| rows.iter().map(|&r| m[r]).collect()),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A materialized table: schema plus columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column names/types (order matches `columns`).
+    pub schema: Schema,
+    /// Column payloads.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| match c.ty {
+                DataType::Double => Column::double(Vec::new()),
+                _ => Column::int(Vec::new()),
+            })
+            .collect();
+        Table { schema, columns }
+    }
+
+    /// Build from a schema and columns.
+    ///
+    /// # Panics
+    /// Panics if column counts or lengths are inconsistent.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        if let Some(first) = columns.first() {
+            assert!(
+                columns.iter().all(|c| c.len() == first.len()),
+                "ragged columns"
+            );
+        }
+        Table { schema, columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// The value of `(row, column name)` (NULL-aware).
+    pub fn value(&self, row: usize, name: &str) -> Value {
+        self.column(name)
+            .unwrap_or_else(|| panic!("no column {name:?}"))
+            .get(row)
+    }
+
+    /// Materialize the given row subset.
+    pub fn gather(&self, rows: &[usize]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(rows)).collect(),
+        }
+    }
+
+    /// Concatenate the columns of two equal-length tables (used by joins).
+    pub fn zip(mut self, other: Table) -> Table {
+        assert_eq!(self.num_rows(), other.num_rows(), "zip length mismatch");
+        let mut cols = self.schema.columns().to_vec();
+        cols.extend(other.schema.columns().iter().cloned());
+        self.columns.extend(other.columns);
+        Table {
+            schema: Schema::new(cols),
+            columns: self.columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_expr::ColumnDef;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("a", DataType::Integer),
+            ColumnDef::new("d", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn build_and_access() {
+        let t = Table::new(
+            schema2(),
+            vec![Column::int(vec![1, 2, 3]), Column::double(vec![0.5, 1.5, 2.5])],
+        );
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(1, "a"), Value::Int(2));
+        assert_eq!(t.value(2, "d"), Value::Double(2.5));
+    }
+
+    #[test]
+    fn nulls_via_validity() {
+        let mut c = Column::int(vec![7, 8]);
+        c.validity = Some(vec![true, false]);
+        let t = Table::new(
+            Schema::new(vec![ColumnDef::nullable("a", DataType::Integer)]),
+            vec![c],
+        );
+        assert_eq!(t.value(0, "a"), Value::Int(7));
+        assert_eq!(t.value(1, "a"), Value::Null);
+    }
+
+    #[test]
+    fn gather() {
+        let t = Table::new(
+            schema2(),
+            vec![Column::int(vec![1, 2, 3, 4]), Column::double(vec![0.0, 1.0, 2.0, 3.0])],
+        );
+        let g = t.gather(&[3, 1]);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.value(0, "a"), Value::Int(4));
+        assert_eq!(g.value(1, "d"), Value::Double(1.0));
+    }
+
+    #[test]
+    fn zip_tables() {
+        let t1 = Table::new(
+            Schema::new(vec![ColumnDef::new("x", DataType::Integer)]),
+            vec![Column::int(vec![1, 2])],
+        );
+        let t2 = Table::new(
+            Schema::new(vec![ColumnDef::new("y", DataType::Integer)]),
+            vec![Column::int(vec![10, 20])],
+        );
+        let z = t1.zip(t2);
+        assert_eq!(z.num_rows(), 2);
+        assert_eq!(z.value(1, "y"), Value::Int(20));
+        assert_eq!(z.schema.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_panics() {
+        let _ = Table::new(
+            schema2(),
+            vec![Column::int(vec![1]), Column::double(vec![0.0, 1.0])],
+        );
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::empty(schema2());
+        assert_eq!(t.num_rows(), 0);
+        assert!(t.columns[0].is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Three-valued-logic (Kleene) evaluation of expressions and predicates.
+//!
+//! `eval_pred` returns `Some(true)`, `Some(false)`, or `None` (the SQL
+//! `NULL`/UNKNOWN truth value). A comparison with a NULL operand is UNKNOWN;
+//! `AND`/`OR`/`NOT` follow Kleene's strong three-valued logic. A WHERE
+//! clause keeps a tuple only when the predicate evaluates to `Some(true)`.
+
+use crate::expr::{ArithOp, Expr, Pred};
+use crate::types::Value;
+use std::collections::HashMap;
+
+/// Source of column values for one tuple.
+pub trait Tuple {
+    /// The value of column `name`; `Value::Null` for SQL NULL. Implementors
+    /// may panic on unknown columns (the caller guarantees resolution).
+    fn get(&self, name: &str) -> Value;
+}
+
+impl Tuple for HashMap<String, Value> {
+    fn get(&self, name: &str) -> Value {
+        *HashMap::get(self, name)
+            .unwrap_or_else(|| panic!("tuple has no column {name:?}"))
+    }
+}
+
+impl Tuple for HashMap<&str, Value> {
+    fn get(&self, name: &str) -> Value {
+        *HashMap::get(self, name)
+            .unwrap_or_else(|| panic!("tuple has no column {name:?}"))
+    }
+}
+
+impl<F: Fn(&str) -> Value> Tuple for F {
+    fn get(&self, name: &str) -> Value {
+        self(name)
+    }
+}
+
+/// Evaluate an arithmetic expression against a tuple.
+///
+/// NULL propagates through every operator. Integer arithmetic saturates on
+/// overflow (query data in this workspace never approaches the bounds; the
+/// alternative — a runtime error channel — would infect every caller for a
+/// case that cannot occur). Division by zero yields NULL, and integer
+/// division truncates.
+pub fn eval_expr(e: &Expr, t: &impl Tuple) -> Value {
+    match e {
+        Expr::Column(c) => t.get(c),
+        Expr::Int(v) => Value::Int(*v),
+        Expr::Double(v) => Value::Double(*v),
+        Expr::Date(d) => Value::Int(d.to_days()),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(lhs, t);
+            let r = eval_expr(rhs, t);
+            eval_arith(*op, l, r)
+        }
+    }
+}
+
+fn eval_arith(op: ArithOp, l: Value, r: Value) -> Value {
+    match (l, r) {
+        (Value::Null, _) | (_, Value::Null) => Value::Null,
+        (Value::Int(a), Value::Int(b)) => match op {
+            ArithOp::Add => Value::Int(a.saturating_add(b)),
+            ArithOp::Sub => Value::Int(a.saturating_sub(b)),
+            ArithOp::Mul => Value::Int(a.saturating_mul(b)),
+            ArithOp::Div => {
+                if b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.wrapping_div(b))
+                }
+            }
+        },
+        (a, b) => {
+            let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+                return Value::Null;
+            };
+            let v = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Value::Null;
+                    }
+                    x / y
+                }
+            };
+            Value::Double(v)
+        }
+    }
+}
+
+/// Compare two values under SQL semantics; `None` if either is NULL or the
+/// values are not comparable.
+pub fn compare_values(l: Value, r: Value) -> Option<std::cmp::Ordering> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Some(a.cmp(&b)),
+        (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(&b)),
+        (a, b) => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            x.partial_cmp(&y)
+        }
+    }
+}
+
+/// Evaluate a predicate against a tuple under three-valued logic.
+pub fn eval_pred(p: &Pred, t: &impl Tuple) -> Option<bool> {
+    match p {
+        Pred::Lit(b) => Some(*b),
+        Pred::Cmp { op, lhs, rhs } => {
+            let l = eval_expr(lhs, t);
+            let r = eval_expr(rhs, t);
+            let ord = compare_values(l, r)?;
+            Some(op.eval_ord(ord))
+        }
+        Pred::And(ps) => {
+            let mut saw_unknown = false;
+            for q in ps {
+                match eval_pred(q, t) {
+                    Some(false) => return Some(false),
+                    None => saw_unknown = true,
+                    Some(true) => {}
+                }
+            }
+            if saw_unknown {
+                None
+            } else {
+                Some(true)
+            }
+        }
+        Pred::Or(ps) => {
+            let mut saw_unknown = false;
+            for q in ps {
+                match eval_pred(q, t) {
+                    Some(true) => return Some(true),
+                    None => saw_unknown = true,
+                    Some(false) => {}
+                }
+            }
+            if saw_unknown {
+                None
+            } else {
+                Some(false)
+            }
+        }
+        Pred::Not(q) => eval_pred(q, t).map(|b| !b),
+    }
+}
+
+/// Evaluate a predicate the way a WHERE clause does: NULL counts as
+/// "do not keep the tuple".
+pub fn accepts(p: &Pred, t: &impl Tuple) -> bool {
+    eval_pred(p, t) == Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, CmpOp, Expr, Pred};
+    use crate::types::Date;
+
+    fn tup(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_eval() {
+        let t = tup(&[("a", Value::Int(7)), ("b", Value::Int(2))]);
+        assert_eq!(eval_expr(&col("a").add(col("b")), &t), Value::Int(9));
+        assert_eq!(eval_expr(&col("a").sub(col("b")), &t), Value::Int(5));
+        assert_eq!(eval_expr(&col("a").mul(col("b")), &t), Value::Int(14));
+        assert_eq!(eval_expr(&col("a").div(col("b")), &t), Value::Int(3));
+        assert_eq!(eval_expr(&col("a").div(lit(0)), &t), Value::Null);
+    }
+
+    #[test]
+    fn double_widening() {
+        let t = tup(&[("a", Value::Int(1)), ("d", Value::Double(0.5))]);
+        assert_eq!(eval_expr(&col("a").add(col("d")), &t), Value::Double(1.5));
+        assert_eq!(eval_expr(&col("d").div(col("a")), &t), Value::Double(0.5));
+    }
+
+    #[test]
+    fn null_propagates_through_arith() {
+        let t = tup(&[("a", Value::Null), ("b", Value::Int(2))]);
+        assert_eq!(eval_expr(&col("a").add(col("b")), &t), Value::Null);
+        assert_eq!(eval_expr(&col("b").mul(col("a")), &t), Value::Null);
+    }
+
+    #[test]
+    fn date_literals_evaluate_to_days() {
+        let t = tup(&[]);
+        let d = Date::parse("1993-06-01").unwrap();
+        assert_eq!(eval_expr(&Expr::Date(d), &t), Value::Int(d.to_days()));
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = tup(&[("a", Value::Int(5)), ("b", Value::Int(7))]);
+        assert_eq!(eval_pred(&col("a").lt(col("b")), &t), Some(true));
+        assert_eq!(eval_pred(&col("a").ge(col("b")), &t), Some(false));
+        assert_eq!(eval_pred(&col("a").eq_(lit(5)), &t), Some(true));
+        assert_eq!(eval_pred(&col("a").ne_(lit(5)), &t), Some(false));
+    }
+
+    #[test]
+    fn null_comparison_is_unknown() {
+        let t = tup(&[("a", Value::Null), ("b", Value::Int(7))]);
+        assert_eq!(eval_pred(&col("a").lt(col("b")), &t), None);
+        assert_eq!(eval_pred(&col("a").eq_(col("a")), &t), None);
+    }
+
+    #[test]
+    fn kleene_and() {
+        let t = tup(&[("n", Value::Null)]);
+        let unknown = col("n").lt(lit(0));
+        // UNKNOWN AND FALSE = FALSE
+        assert_eq!(eval_pred(&unknown.clone().and(Pred::false_()), &t), Some(false));
+        // UNKNOWN AND TRUE = UNKNOWN
+        assert_eq!(eval_pred(&unknown.clone().and(Pred::true_()), &t), None);
+        // UNKNOWN OR TRUE = TRUE
+        assert_eq!(eval_pred(&unknown.clone().or(Pred::true_()), &t), Some(true));
+        // UNKNOWN OR FALSE = UNKNOWN
+        assert_eq!(eval_pred(&unknown.clone().or(Pred::false_()), &t), None);
+        // NOT UNKNOWN = UNKNOWN
+        assert_eq!(eval_pred(&unknown.not(), &t), None);
+    }
+
+    #[test]
+    fn accepts_rejects_unknown() {
+        let t = tup(&[("n", Value::Null)]);
+        assert!(!accepts(&col("n").lt(lit(0)), &t));
+        assert!(accepts(&Pred::true_(), &t));
+    }
+
+    #[test]
+    fn motivating_example_semantics() {
+        // §3.2: a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0
+        let p = col("a2")
+            .sub(col("b1"))
+            .lt(lit(20))
+            .and(col("a1").sub(col("a2")).lt(col("a2").sub(col("b1")).add(lit(10))))
+            .and(col("b1").lt(lit(0)));
+        // The paper's TRUE sample (-5, 1) extends with b1 = -15:
+        let t = tup(&[("a1", Value::Int(-5)), ("a2", Value::Int(1)), ("b1", Value::Int(-15))]);
+        assert_eq!(eval_pred(&p, &t), Some(true));
+        // A genuine unsatisfaction tuple: (a1, a2) = (50, 0) forces the
+        // empty b1 range (-20, -40). (Note: the paper's illustrative FALSE
+        // sample (-40, -2) is actually satisfiable, e.g. with b1 = -10 —
+        // the exact region is a1 - a2 <= 28 AND a2 <= 18.)
+        let t2 = tup(&[("a1", Value::Int(50)), ("a2", Value::Int(0)), ("b1", Value::Int(-25))]);
+        assert_eq!(eval_pred(&p, &t2), Some(false));
+        let t3 = tup(&[("a1", Value::Int(-40)), ("a2", Value::Int(-2)), ("b1", Value::Int(-10))]);
+        assert_eq!(eval_pred(&p, &t3), Some(true));
+    }
+
+    #[test]
+    fn closure_tuples_work() {
+        let f = |name: &str| -> Value {
+            if name == "x" {
+                Value::Int(3)
+            } else {
+                Value::Null
+            }
+        };
+        assert_eq!(eval_pred(&col("x").cmp(CmpOp::Eq, lit(3)), &f), Some(true));
+    }
+}

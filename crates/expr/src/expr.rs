@@ -1,0 +1,685 @@
+//! The predicate / expression AST of §4.1:
+//!
+//! ```text
+//! P  := E CP E | P L P | NOT P
+//! E  := Column | Const | E OP E
+//! CP := > | < | = | <= | >= | <>
+//! OP := + | - | * | /
+//! L  := AND | OR
+//! ```
+
+use crate::types::{DataType, Date};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// Logical negation of the comparison (`NOT (a < b)` ⇔ `a >= b`).
+    ///
+    /// Note this is the *two-valued* negation; NULL handling is the
+    /// evaluator's / encoder's concern.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Apply the comparison to a pair of ordered values.
+    pub fn eval_ord(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        })
+    }
+}
+
+/// An arithmetic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, by (optionally qualified) name.
+    Column(String),
+    /// Integer constant (also used for INTERVAL day counts).
+    Int(i64),
+    /// Floating-point constant.
+    Double(f64),
+    /// Date constant.
+    Date(Date),
+    /// Binary arithmetic.
+    Binary {
+        /// The operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Date literal parsed from `YYYY-MM-DD`.
+    pub fn date(s: &str) -> Expr {
+        Expr::Date(Date::parse(s).expect("valid date literal"))
+    }
+
+    fn bin(op: ArithOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(ArithOp::Add, self, rhs)
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(ArithOp::Sub, self, rhs)
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(ArithOp::Mul, self, rhs)
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(ArithOp::Div, self, rhs)
+    }
+
+    /// `self CP rhs` as a predicate.
+    pub fn cmp(self, op: CmpOp, rhs: Expr) -> Pred {
+        Pred::Cmp {
+            op,
+            lhs: self,
+            rhs,
+        }
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Pred {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Pred {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Pred {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Pred {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self = rhs`
+    pub fn eq_(self, rhs: Expr) -> Pred {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self <> rhs`
+    pub fn ne_(self, rhs: Expr) -> Pred {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// Collect column names referenced by the expression into `out`.
+    pub fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Column(c) => {
+                out.insert(c.clone());
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// All column names referenced by the expression, sorted.
+    pub fn columns(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        self.collect_columns(&mut set);
+        set.into_iter().collect()
+    }
+
+    /// Rewrite every column reference with `f` (used to qualify/unqualify
+    /// names and to fold non-linear column products into composite columns).
+    pub fn map_columns(&self, f: &impl Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Column(c) => Expr::Column(f(c)),
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.map_columns(f)),
+                rhs: Box::new(rhs.map_columns(f)),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// The static result type, given per-column types from `col_ty`.
+    /// Arithmetic on two integral operands stays integral; anything touching
+    /// a DOUBLE widens to DOUBLE. Date arithmetic yields dates/intervals,
+    /// which are all integral internally.
+    pub fn result_type(&self, col_ty: &impl Fn(&str) -> Option<DataType>) -> Option<DataType> {
+        match self {
+            Expr::Column(c) => col_ty(c),
+            Expr::Int(_) => Some(DataType::Integer),
+            Expr::Double(_) => Some(DataType::Double),
+            Expr::Date(_) => Some(DataType::Date),
+            Expr::Binary { lhs, rhs, .. } => {
+                let l = lhs.result_type(col_ty)?;
+                let r = rhs.result_type(col_ty)?;
+                if l == DataType::Double || r == DataType::Double {
+                    Some(DataType::Double)
+                } else {
+                    Some(DataType::Integer)
+                }
+            }
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op: ArithOp::Add | ArithOp::Sub, .. } => 1,
+            Expr::Binary { op: ArithOp::Mul | ArithOp::Div, .. } => 2,
+            _ => 3,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => f.write_str(c),
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Double(v) => write!(f, "{v}"),
+            Expr::Date(d) => write!(f, "DATE '{d}'"),
+            Expr::Binary { op, lhs, rhs } => {
+                let my_prec = self.precedence();
+                if lhs.precedence() < my_prec {
+                    write!(f, "({lhs})")?;
+                } else {
+                    write!(f, "{lhs}")?;
+                }
+                write!(f, " {op} ")?;
+                // Right operand needs parens at equal precedence too, since
+                // `-` and `/` are not associative.
+                if rhs.precedence() <= my_prec {
+                    write!(f, "({rhs})")
+                } else {
+                    write!(f, "{rhs}")
+                }
+            }
+        }
+    }
+}
+
+/// A predicate (boolean-valued expression).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Constant TRUE / FALSE.
+    Lit(bool),
+    /// Comparison of two arithmetic expressions.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// N-ary conjunction.
+    And(Vec<Pred>),
+    /// N-ary disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// The predicate TRUE.
+    pub fn true_() -> Pred {
+        Pred::Lit(true)
+    }
+
+    /// The predicate FALSE.
+    pub fn false_() -> Pred {
+        Pred::Lit(false)
+    }
+
+    /// True iff this is the literal TRUE.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Pred::Lit(true))
+    }
+
+    /// True iff this is the literal FALSE.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Pred::Lit(false))
+    }
+
+    /// Conjunction, flattening nested ANDs and absorbing literals.
+    pub fn and(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::Lit(true), p) | (p, Pred::Lit(true)) => p,
+            (Pred::Lit(false), _) | (_, Pred::Lit(false)) => Pred::Lit(false),
+            (Pred::And(mut a), Pred::And(b)) => {
+                a.extend(b);
+                Pred::And(a)
+            }
+            (Pred::And(mut a), p) => {
+                a.push(p);
+                Pred::And(a)
+            }
+            (p, Pred::And(mut b)) => {
+                b.insert(0, p);
+                Pred::And(b)
+            }
+            (a, b) => Pred::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction, flattening nested ORs and absorbing literals.
+    pub fn or(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::Lit(false), p) | (p, Pred::Lit(false)) => p,
+            (Pred::Lit(true), _) | (_, Pred::Lit(true)) => Pred::Lit(true),
+            (Pred::Or(mut a), Pred::Or(b)) => {
+                a.extend(b);
+                Pred::Or(a)
+            }
+            (Pred::Or(mut a), p) => {
+                a.push(p);
+                Pred::Or(a)
+            }
+            (p, Pred::Or(mut b)) => {
+                b.insert(0, p);
+                Pred::Or(b)
+            }
+            (a, b) => Pred::Or(vec![a, b]),
+        }
+    }
+
+    /// Negation (collapses double negation).
+    pub fn not(self) -> Pred {
+        match self {
+            Pred::Lit(b) => Pred::Lit(!b),
+            Pred::Not(inner) => *inner,
+            p => Pred::Not(Box::new(p)),
+        }
+    }
+
+    /// Conjunction of an iterator of predicates.
+    pub fn and_all(preds: impl IntoIterator<Item = Pred>) -> Pred {
+        preds
+            .into_iter()
+            .fold(Pred::true_(), |acc, p| acc.and(p))
+    }
+
+    /// Disjunction of an iterator of predicates.
+    pub fn or_all(preds: impl IntoIterator<Item = Pred>) -> Pred {
+        preds
+            .into_iter()
+            .fold(Pred::false_(), |acc, p| acc.or(p))
+    }
+
+    /// Collect referenced column names into `out`.
+    pub fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Pred::Lit(_) => {}
+            Pred::Cmp { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Pred::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// All referenced column names, sorted and deduplicated.
+    pub fn columns(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        self.collect_columns(&mut set);
+        set.into_iter().collect()
+    }
+
+    /// True iff every referenced column is in `cols` — i.e. this is a
+    /// *predicate over columns `cols`* in the sense of §4.1.
+    pub fn over_columns(&self, cols: &[String]) -> bool {
+        self.columns().iter().all(|c| cols.contains(c))
+    }
+
+    /// Rewrite every column reference with `f`.
+    pub fn map_columns(&self, f: &impl Fn(&str) -> String) -> Pred {
+        match self {
+            Pred::Lit(b) => Pred::Lit(*b),
+            Pred::Cmp { op, lhs, rhs } => Pred::Cmp {
+                op: *op,
+                lhs: lhs.map_columns(f),
+                rhs: rhs.map_columns(f),
+            },
+            Pred::And(ps) => Pred::And(ps.iter().map(|p| p.map_columns(f)).collect()),
+            Pred::Or(ps) => Pred::Or(ps.iter().map(|p| p.map_columns(f)).collect()),
+            Pred::Not(p) => Pred::Not(Box::new(p.map_columns(f))),
+        }
+    }
+
+    /// The top-level conjuncts of the predicate (`p` itself if it is not a
+    /// conjunction). Used by optimizer rules that split AND chains.
+    pub fn conjuncts(&self) -> Vec<&Pred> {
+        match self {
+            Pred::And(ps) => ps.iter().flat_map(|p| p.conjuncts()).collect(),
+            p => vec![p],
+        }
+    }
+
+    /// Negation-normal form: negation pushed onto comparisons and flipped
+    /// there. Two-valued transformation (see `eval` for NULL semantics —
+    /// NNF is used only for SMT encoding of non-NULL sample generation).
+    pub fn nnf(&self) -> Pred {
+        fn go(p: &Pred, neg: bool) -> Pred {
+            match p {
+                Pred::Lit(b) => Pred::Lit(*b != neg),
+                Pred::Cmp { op, lhs, rhs } => Pred::Cmp {
+                    op: if neg { op.negated() } else { *op },
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                },
+                Pred::And(ps) => {
+                    let kids: Vec<Pred> = ps.iter().map(|q| go(q, neg)).collect();
+                    if neg {
+                        Pred::or_all(kids)
+                    } else {
+                        Pred::and_all(kids)
+                    }
+                }
+                Pred::Or(ps) => {
+                    let kids: Vec<Pred> = ps.iter().map(|q| go(q, neg)).collect();
+                    if neg {
+                        Pred::and_all(kids)
+                    } else {
+                        Pred::or_all(kids)
+                    }
+                }
+                Pred::Not(q) => go(q, !neg),
+            }
+        }
+        go(self, false)
+    }
+
+    /// Size of the AST (number of nodes); used by tests and heuristics.
+    pub fn size(&self) -> usize {
+        match self {
+            Pred::Lit(_) => 1,
+            Pred::Cmp { .. } => 1,
+            Pred::And(ps) | Pred::Or(ps) => 1 + ps.iter().map(|p| p.size()).sum::<usize>(),
+            Pred::Not(p) => 1 + p.size(),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_prec(p: &Pred, f: &mut fmt::Formatter<'_>, parent_or: bool) -> fmt::Result {
+            match p {
+                Pred::Lit(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+                Pred::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+                Pred::And(ps) => {
+                    for (i, q) in ps.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(" AND ")?;
+                        }
+                        match q {
+                            Pred::Or(_) => {
+                                f.write_str("(")?;
+                                fmt_prec(q, f, false)?;
+                                f.write_str(")")?;
+                            }
+                            _ => fmt_prec(q, f, false)?,
+                        }
+                    }
+                    Ok(())
+                }
+                Pred::Or(ps) => {
+                    if parent_or {
+                        f.write_str("(")?;
+                    }
+                    for (i, q) in ps.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(" OR ")?;
+                        }
+                        fmt_prec(q, f, true)?;
+                    }
+                    if parent_or {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+                Pred::Not(q) => {
+                    f.write_str("NOT (")?;
+                    fmt_prec(q, f, false)?;
+                    f.write_str(")")
+                }
+            }
+        }
+        fmt_prec(self, f, false)
+    }
+}
+
+/// Convenience: `col("x")`.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::col(name)
+}
+
+/// Convenience: integer literal.
+pub fn lit(v: i64) -> Expr {
+    Expr::int(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let p = col("a").add(lit(10)).gt(col("b").add(lit(20)));
+        assert_eq!(p.to_string(), "a + 10 > b + 20");
+        let p2 = col("a").sub(col("b").sub(col("c"))).lt(lit(5));
+        assert_eq!(p2.to_string(), "a - (b - c) < 5");
+        let p3 = col("a").mul(col("b").add(lit(1))).eq_(lit(0));
+        assert_eq!(p3.to_string(), "a * (b + 1) = 0");
+    }
+
+    #[test]
+    fn display_logical_parens() {
+        let p = col("a").lt(lit(1)).or(col("b").lt(lit(2))).and(col("c").lt(lit(3)));
+        assert_eq!(p.to_string(), "(a < 1 OR b < 2) AND c < 3");
+        let q = col("a").lt(lit(1)).and(col("b").lt(lit(2))).or(col("c").lt(lit(3)));
+        assert_eq!(q.to_string(), "a < 1 AND b < 2 OR c < 3");
+        let n = col("a").lt(lit(1)).not();
+        assert_eq!(n.to_string(), "NOT (a < 1)");
+    }
+
+    #[test]
+    fn and_or_absorption() {
+        assert!(Pred::true_().and(Pred::false_()).is_false());
+        assert_eq!(Pred::true_().and(col("a").lt(lit(1))), col("a").lt(lit(1)));
+        assert!(Pred::true_().or(col("a").lt(lit(1))).is_true());
+        assert_eq!(Pred::false_().or(col("a").lt(lit(1))), col("a").lt(lit(1)));
+    }
+
+    #[test]
+    fn flattening() {
+        let p = col("a").lt(lit(1)).and(col("b").lt(lit(2))).and(col("c").lt(lit(3)));
+        match &p {
+            Pred::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn columns_collection() {
+        let p = col("b.x").add(lit(1)).lt(col("a.y")).and(col("a.y").gt(lit(0)));
+        assert_eq!(p.columns(), vec!["a.y".to_string(), "b.x".to_string()]);
+        assert!(p.over_columns(&["a.y".into(), "b.x".into(), "z".into()]));
+        assert!(!p.over_columns(&["a.y".into()]));
+    }
+
+    #[test]
+    fn negation_collapse() {
+        let p = col("a").lt(lit(1));
+        assert_eq!(p.clone().not().not(), p);
+        assert!(Pred::true_().not().is_false());
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let p = col("a").lt(lit(1)).and(col("b").ge(lit(2))).not();
+        let n = p.nnf();
+        assert_eq!(n.to_string(), "a >= 1 OR b < 2");
+        // NNF of a non-negated formula is itself (modulo flattening)
+        let q = col("a").lt(lit(1)).or(col("b").gt(lit(2)));
+        assert_eq!(q.nnf(), q);
+        // Double negation
+        let r = col("a").eq_(lit(5)).not().not();
+        assert_eq!(r.nnf().to_string(), "a = 5");
+    }
+
+    #[test]
+    fn cmp_op_helpers() {
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.negated(), CmpOp::Ne);
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.eval_ord(Equal));
+        assert!(CmpOp::Le.eval_ord(Less));
+        assert!(!CmpOp::Le.eval_ord(Greater));
+        assert!(CmpOp::Ne.eval_ord(Less));
+    }
+
+    #[test]
+    fn map_columns_rewrites() {
+        let p = col("x").lt(col("y"));
+        let q = p.map_columns(&|c| format!("t.{c}"));
+        assert_eq!(q.to_string(), "t.x < t.y");
+    }
+
+    #[test]
+    fn result_type_widening() {
+        let ty = |c: &str| -> Option<DataType> {
+            match c {
+                "i" => Some(DataType::Integer),
+                "d" => Some(DataType::Double),
+                "dt" => Some(DataType::Date),
+                _ => None,
+            }
+        };
+        assert_eq!(col("i").add(lit(1)).result_type(&ty), Some(DataType::Integer));
+        assert_eq!(col("d").add(lit(1)).result_type(&ty), Some(DataType::Double));
+        assert_eq!(col("dt").sub(col("dt")).result_type(&ty), Some(DataType::Integer));
+        assert_eq!(col("missing").result_type(&ty), None);
+    }
+
+    #[test]
+    fn pred_size() {
+        assert_eq!(Pred::true_().size(), 1);
+        let p = col("a").lt(lit(1)).and(col("b").lt(lit(2)));
+        assert_eq!(p.size(), 3);
+    }
+}

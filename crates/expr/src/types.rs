@@ -1,0 +1,277 @@
+//! SQL data types, runtime values, and calendar-date conversion.
+//!
+//! Sia supports `INTEGER`, `DOUBLE`, `DATE`, and `TIMESTAMP` (§4.1). Dates
+//! and timestamps are converted to an integral representation — the number of
+//! days (resp. seconds) since an *origin* — which preserves every arithmetic
+//! and inequality relation the predicate language can express (§3.2, §5.2).
+
+use std::fmt;
+
+/// A SQL column data type supported by Sia.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit IEEE-754 floating point.
+    Double,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+    /// Timestamp, stored as seconds since 1970-01-01T00:00:00.
+    Timestamp,
+    /// Boolean (result type of predicates; not a column type in Sia).
+    Boolean,
+}
+
+impl DataType {
+    /// True if the type is represented as an integer internally.
+    pub fn is_integral(self) -> bool {
+        matches!(self, DataType::Integer | DataType::Date | DataType::Timestamp)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Integer => "INTEGER",
+            DataType::Double => "DOUBLE",
+            DataType::Date => "DATE",
+            DataType::Timestamp => "TIMESTAMP",
+            DataType::Boolean => "BOOLEAN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime value. `Null` is the SQL NULL of three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer / date / timestamp payload.
+    Int(i64),
+    /// Floating-point payload.
+    Double(f64),
+    /// Boolean payload.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// True iff the value is NULL.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as `f64` (integers widen); `None` for NULL/booleans.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(v as f64),
+            Value::Double(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for anything except `Int`.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{}", if *v { "TRUE" } else { "FALSE" }),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Construct from components, validating ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, String> {
+        if !(1..=12).contains(&month) {
+            return Err(format!("month out of range: {month}"));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(format!("day out of range: {year:04}-{month:02}-{day:02}"));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 3 {
+            return Err(format!("invalid date literal {s:?}"));
+        }
+        let year: i32 = parts[0].parse().map_err(|_| format!("invalid year in {s:?}"))?;
+        let month: u8 = parts[1].parse().map_err(|_| format!("invalid month in {s:?}"))?;
+        let day: u8 = parts[2].parse().map_err(|_| format!("invalid day in {s:?}"))?;
+        Date::new(year, month, day)
+    }
+
+    /// Days since the Unix epoch (1970-01-01 is day 0). Uses the
+    /// days-from-civil algorithm (Howard Hinnant).
+    pub fn to_days(self) -> i64 {
+        let y = if self.month <= 2 { self.year as i64 - 1 } else { self.year as i64 };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe - 719468
+    }
+
+    /// Inverse of [`Date::to_days`].
+    pub fn from_days(days: i64) -> Self {
+        let z = days + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        let year = (if m <= 2 { y + 1 } else { y }) as i32;
+        Date { year, month: m, day: d }
+    }
+
+    /// Year component.
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1–12).
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// Day-of-month component.
+    pub fn day(self) -> u8 {
+        self.day
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn date_epoch() {
+        let d = Date::parse("1970-01-01").unwrap();
+        assert_eq!(d.to_days(), 0);
+        assert_eq!(Date::from_days(0), d);
+    }
+
+    #[test]
+    fn date_known_offsets() {
+        assert_eq!(Date::parse("1970-01-02").unwrap().to_days(), 1);
+        assert_eq!(Date::parse("1969-12-31").unwrap().to_days(), -1);
+        assert_eq!(Date::parse("2000-03-01").unwrap().to_days(), 11017);
+        // Paper's motivating example anchors
+        let origin = Date::parse("1993-06-01").unwrap().to_days();
+        let ship = Date::parse("1993-06-20").unwrap().to_days();
+        assert_eq!(ship - origin, 19);
+        let commit = Date::parse("1993-07-18").unwrap().to_days();
+        assert_eq!(commit - origin, 47);
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(Date::new(1993, 13, 1).is_err());
+        assert!(Date::new(1993, 2, 29).is_err()); // 1993 not a leap year
+        assert!(Date::new(1992, 2, 29).is_ok()); // 1992 is
+        assert!(Date::new(1900, 2, 29).is_err()); // century, not leap
+        assert!(Date::new(2000, 2, 29).is_ok()); // 400-year, leap
+        assert!(Date::parse("1993-6").is_err());
+        assert!(Date::parse("abcd-01-01").is_err());
+    }
+
+    #[test]
+    fn date_display() {
+        assert_eq!(Date::parse("1993-06-01").unwrap().to_string(), "1993-06-01");
+        assert_eq!(Date::new(7, 1, 2).unwrap().to_string(), "0007-01-02");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Double(3.0).as_i64(), None);
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn datatype_properties() {
+        assert!(DataType::Date.is_integral());
+        assert!(DataType::Timestamp.is_integral());
+        assert!(DataType::Integer.is_integral());
+        assert!(!DataType::Double.is_integral());
+        assert_eq!(DataType::Date.to_string(), "DATE");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_date_roundtrip(days in -1_000_000i64..1_000_000i64) {
+            let d = Date::from_days(days);
+            prop_assert_eq!(d.to_days(), days);
+        }
+
+        #[test]
+        fn prop_date_ordering_matches_days(a in -500_000i64..500_000, b in -500_000i64..500_000) {
+            let (da, db) = (Date::from_days(a), Date::from_days(b));
+            prop_assert_eq!(da < db, a < b);
+        }
+
+        #[test]
+        fn prop_date_parse_roundtrip(days in -500_000i64..500_000) {
+            let d = Date::from_days(days);
+            if d.year() > 0 {
+                prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+            }
+        }
+    }
+}

@@ -1,0 +1,799 @@
+//! Sign-magnitude arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision signed integer.
+///
+/// Stored as a sign plus little-endian `u32` limbs. Invariants:
+/// * `limbs` has no trailing zero limb,
+/// * `sign == 0` iff `limbs` is empty.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigInt {
+    sign: i8,
+    limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer zero.
+    pub fn zero() -> Self {
+        BigInt::default()
+    }
+
+    /// The integer one.
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    /// True iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// True iff `self == 1`.
+    pub fn is_one(&self) -> bool {
+        self.sign == 1 && self.limbs == [1]
+    }
+
+    /// True iff `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// True iff `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// Sign of the value: -1, 0, or 1.
+    pub fn signum(&self) -> i8 {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: self.sign.abs(),
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    /// True iff the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l % 2 == 0)
+    }
+
+    fn from_limbs(sign: i8, mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        let sign = if limbs.is_empty() { 0 } else { sign };
+        BigInt { sign, limbs }
+    }
+
+    /// Magnitude comparison (ignores sign).
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Subtract magnitudes; requires `a >= b`.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u64 + x as u64 * y as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Divide magnitude by a single `u32`, returning (quotient, remainder).
+    fn divmod_small(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | a[i] as u64;
+            q[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        (q, rem as u32)
+    }
+
+    /// Long division on magnitudes: returns (quotient, remainder) with
+    /// `a = q*b + r`, `0 <= r < b`. Simple shift-and-subtract base-2^32
+    /// algorithm with a normalization step (Knuth D, simplified).
+    fn divmod_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero BigInt");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            let (q, r) = Self::divmod_small(a, b[0]);
+            return (q, if r == 0 { Vec::new() } else { vec![r] });
+        }
+        // Knuth algorithm D with u32 limbs and u64 intermediates.
+        let shift = b.last().unwrap().leading_zeros();
+        let bn = Self::shl_bits(b, shift);
+        let mut an = Self::shl_bits(a, shift);
+        an.push(0); // extra limb for the algorithm
+        let n = bn.len();
+        let m = an.len() - n - 1;
+        let mut q = vec![0u32; m + 1];
+        let btop = bn[n - 1] as u64;
+        let bsec = bn[n - 2] as u64;
+        for j in (0..=m).rev() {
+            let top = ((an[j + n] as u64) << 32) | an[j + n - 1] as u64;
+            let mut qhat = top / btop;
+            let mut rhat = top % btop;
+            while qhat >= 1u64 << 32
+                || qhat * bsec > ((rhat << 32) | an[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += btop;
+                if rhat >= 1u64 << 32 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract qhat * bn from an[j..j+n+1].
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * bn[i] as u64 + carry;
+                carry = p >> 32;
+                let d = an[j + i] as i64 - (p as u32) as i64 - borrow;
+                if d < 0 {
+                    an[j + i] = (d + (1i64 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    an[j + i] = d as u32;
+                    borrow = 0;
+                }
+            }
+            let d = an[j + n] as i64 - carry as i64 - borrow;
+            if d < 0 {
+                // qhat was one too large: add back.
+                an[j + n] = (d + (1i64 << 32)) as u32;
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let s = an[j + i] as u64 + bn[i] as u64 + c;
+                    an[j + i] = s as u32;
+                    c = s >> 32;
+                }
+                an[j + n] = an[j + n].wrapping_add(c as u32);
+            } else {
+                an[j + n] = d as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        let rem = Self::shr_bits(&an[..n], shift);
+        (q, rem)
+    }
+
+    fn shl_bits(a: &[u32], bits: u32) -> Vec<u32> {
+        if bits == 0 {
+            return a.to_vec();
+        }
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u32;
+        for &x in a {
+            out.push((x << bits) | carry);
+            carry = (x as u64 >> (32 - bits)) as u32;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    fn shr_bits(a: &[u32], bits: u32) -> Vec<u32> {
+        if bits == 0 {
+            let mut v = a.to_vec();
+            while v.last() == Some(&0) {
+                v.pop();
+            }
+            return v;
+        }
+        let mut out = vec![0u32; a.len()];
+        let mut carry = 0u32;
+        for i in (0..a.len()).rev() {
+            out[i] = (a[i] >> bits) | carry;
+            carry = a[i] << (32 - bits);
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Truncated division and remainder (`(a/b, a%b)` with the remainder
+    /// taking the sign of `a`, matching Rust's `/` and `%` on primitives).
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero BigInt");
+        let (q, r) = Self::divmod_mag(&self.limbs, &other.limbs);
+        let qs = self.sign * other.sign;
+        (
+            BigInt::from_limbs(qs, q),
+            BigInt::from_limbs(self.sign, r),
+        )
+    }
+
+    /// Floor division: rounds toward negative infinity.
+    pub fn div_floor(&self, other: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(other);
+        if !r.is_zero() && (r.sign * other.sign) < 0 {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Euclidean / floor modulus: result has the sign of `other`
+    /// (and `0 <= |result| < |other|`). Satisfies
+    /// `self == self.div_floor(other) * other + self.mod_floor(other)`.
+    pub fn mod_floor(&self, other: &BigInt) -> BigInt {
+        let (_, r) = self.div_rem(other);
+        if !r.is_zero() && (r.sign * other.sign) < 0 {
+            r + other.clone()
+        } else {
+            r
+        }
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple (always non-negative).
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let g = self.gcd(other);
+        (self.abs() / g) * other.abs()
+    }
+
+    /// `self` raised to a small power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Convert to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        self.to_i128().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// Convert to `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut mag: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            mag |= (l as u128) << (32 * i);
+        }
+        if self.sign >= 0 {
+            i128::try_from(mag).ok()
+        } else if mag <= i128::MAX as u128 + 1 {
+            Some((mag as i128).wrapping_neg())
+        } else {
+            None
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 4294967296.0 + l as f64;
+        }
+        if self.sign < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign: i8 = if v < 0 { -1 } else { 1 };
+        let mut mag = v.unsigned_abs();
+        let mut limbs = Vec::new();
+        while mag != 0 {
+            limbs.push(mag as u32);
+            mag >>= 32;
+        }
+        BigInt { sign, limbs }
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (-1i8, rest),
+            None => (1i8, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(format!("invalid integer literal: {s:?}"));
+        }
+        let mut acc = BigInt::zero();
+        let ten = BigInt::from(10i64);
+        for c in digits.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or_else(|| format!("invalid digit {c:?} in integer literal"))?;
+            acc = &acc * &ten + BigInt::from(d as i64);
+        }
+        acc.sign = if acc.limbs.is_empty() { 0 } else { sign };
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.limbs.clone();
+        while !mag.is_empty() {
+            let (q, r) = BigInt::divmod_small(&mag, 1_000_000_000);
+            let mut q = q;
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            digits.push(r);
+            mag = q;
+        }
+        let mut s = String::new();
+        if self.sign < 0 {
+            s.push('-');
+        }
+        s.push_str(&digits.pop().unwrap().to_string());
+        while let Some(d) = digits.pop() {
+            s.push_str(&format!("{d:09}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        let mag = Self::cmp_mag(&self.limbs, &other.limbs);
+        if self.sign < 0 {
+            mag.reverse()
+        } else {
+            mag
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = -self.sign;
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        if self.sign == 0 {
+            return other.clone();
+        }
+        if other.sign == 0 {
+            return self.clone();
+        }
+        if self.sign == other.sign {
+            BigInt::from_limbs(self.sign, BigInt::add_mag(&self.limbs, &other.limbs))
+        } else {
+            match BigInt::cmp_mag(&self.limbs, &other.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_limbs(self.sign, BigInt::sub_mag(&self.limbs, &other.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_limbs(other.sign, BigInt::sub_mag(&other.limbs, &self.limbs))
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other.clone())
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        BigInt::from_limbs(
+            self.sign * other.sign,
+            BigInt::mul_mag(&self.limbs, &other.limbs),
+        )
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, other: &BigInt) -> BigInt {
+        self.div_rem(other).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, other: &BigInt) -> BigInt {
+        self.div_rem(other).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: &BigInt) -> BigInt {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn construct_and_signs() {
+        assert!(bi(0).is_zero());
+        assert_eq!(bi(0).signum(), 0);
+        assert_eq!(bi(5).signum(), 1);
+        assert_eq!(bi(-5).signum(), -1);
+        assert!(bi(1).is_one());
+        assert!(!bi(-1).is_one());
+        assert!(bi(4).is_even());
+        assert!(!bi(7).is_even());
+        assert!(bi(0).is_even());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for v in [0i128, 1, -1, 42, -42, i64::MAX as i128, i64::MIN as i128] {
+            assert_eq!(bi(v).to_string(), v.to_string());
+            assert_eq!(v.to_string().parse::<BigInt>().unwrap(), bi(v));
+        }
+        let big = "123456789012345678901234567890123456789012345678901";
+        let parsed: BigInt = big.parse().unwrap();
+        assert_eq!(parsed.to_string(), big);
+        let neg = format!("-{big}");
+        assert_eq!(neg.parse::<BigInt>().unwrap().to_string(), neg);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12x".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(bi(2) + bi(3), bi(5));
+        assert_eq!(bi(2) - bi(3), bi(-1));
+        assert_eq!(bi(-2) * bi(3), bi(-6));
+        assert_eq!(bi(7) / bi(2), bi(3));
+        assert_eq!(bi(7) % bi(2), bi(1));
+        assert_eq!(bi(-7) / bi(2), bi(-3));
+        assert_eq!(bi(-7) % bi(2), bi(-1));
+    }
+
+    #[test]
+    fn floor_division() {
+        assert_eq!(bi(7).div_floor(&bi(2)), bi(3));
+        assert_eq!(bi(-7).div_floor(&bi(2)), bi(-4));
+        assert_eq!(bi(7).div_floor(&bi(-2)), bi(-4));
+        assert_eq!(bi(-7).div_floor(&bi(-2)), bi(3));
+        assert_eq!(bi(-7).mod_floor(&bi(2)), bi(1));
+        assert_eq!(bi(7).mod_floor(&bi(-2)), bi(-1));
+        assert_eq!(bi(6).mod_floor(&bi(3)), bi(0));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(4).lcm(&bi(6)), bi(12));
+        assert_eq!(bi(0).lcm(&bi(6)), bi(0));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(-3).pow(3), bi(-27));
+        assert_eq!(bi(5).pow(0), bi(1));
+        assert_eq!(bi(10).pow(30).to_string(), format!("1{}", "0".repeat(30)));
+    }
+
+    #[test]
+    fn big_multiplication_identity() {
+        let a: BigInt = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        let b = &a * &a;
+        assert_eq!((&b / &a), a);
+        assert!((&b % &a).is_zero());
+    }
+
+    #[test]
+    fn to_primitive() {
+        assert_eq!(bi(42).to_i64(), Some(42));
+        assert_eq!(bi(-42).to_i64(), Some(-42));
+        assert_eq!(bi(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(bi(i128::MIN).to_i128(), Some(i128::MIN));
+        let huge: BigInt = "170141183460469231731687303715884105728".parse().unwrap(); // 2^127
+        assert_eq!(huge.to_i128(), None);
+        assert_eq!((-huge).to_i128(), Some(i128::MIN));
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(bi(0).bits(), 0);
+        assert_eq!(bi(1).bits(), 1);
+        assert_eq!(bi(255).bits(), 8);
+        assert_eq!(bi(256).bits(), 9);
+        assert_eq!(bi(1i128 << 100).bits(), 101);
+    }
+
+    #[test]
+    fn to_f64_approx() {
+        assert_eq!(bi(0).to_f64(), 0.0);
+        assert_eq!(bi(-3).to_f64(), -3.0);
+        assert!((bi(1i128 << 80).to_f64() - (1i128 << 80) as f64).abs() < 1e60);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!(bi(a) + bi(b), bi(a + b));
+        }
+
+        #[test]
+        fn prop_sub_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!(bi(a) - bi(b), bi(a - b));
+        }
+
+        #[test]
+        fn prop_mul_matches_i128(a in -(1i128<<60)..(1i128<<60), b in -(1i128<<60)..(1i128<<60)) {
+            prop_assert_eq!(bi(a) * bi(b), bi(a * b));
+        }
+
+        #[test]
+        fn prop_divrem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
+            prop_assert_eq!(q, bi((a / b) as i128));
+            prop_assert_eq!(r, bi((a % b) as i128));
+        }
+
+        #[test]
+        fn prop_divrem_reconstructs(a_str in "-?[0-9]{1,40}", b_str in "[1-9][0-9]{0,20}") {
+            let a: BigInt = a_str.parse().unwrap();
+            let b: BigInt = b_str.parse().unwrap();
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&q * &b + &r, a.clone());
+            prop_assert!(r.abs() < b.abs());
+            // remainder sign matches dividend (truncated semantics)
+            prop_assert!(r.is_zero() || r.signum() == a.signum());
+        }
+
+        #[test]
+        fn prop_floor_div_reconstructs(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            let (a_big, b_big) = (bi(a as i128), bi(b as i128));
+            let q = a_big.div_floor(&b_big);
+            let m = a_big.mod_floor(&b_big);
+            prop_assert_eq!(&q * &b_big + &m, a_big);
+            prop_assert!(m.is_zero() || m.signum() == b_big.signum());
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in any::<i64>(), b in any::<i64>()) {
+            let g = bi(a as i128).gcd(&bi(b as i128));
+            if a != 0 || b != 0 {
+                prop_assert!((bi(a as i128) % &g).is_zero());
+                prop_assert!((bi(b as i128) % &g).is_zero());
+                prop_assert!(g.is_positive());
+            } else {
+                prop_assert!(g.is_zero());
+            }
+        }
+
+        #[test]
+        fn prop_cmp_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+            prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(a in "-?[1-9][0-9]{0,60}") {
+            let v: BigInt = a.parse().unwrap();
+            prop_assert_eq!(v.to_string(), a);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Arbitrary-precision integer and rational arithmetic for Sia.
+//!
+//! The SMT solver ([`sia-smt`](../sia_smt/index.html)) performs simplex
+//! pivoting over rationals and Cooper quantifier elimination over integers;
+//! both produce intermediate coefficients that overflow `i128` on adversarial
+//! inputs, so every theory-level number in the workspace is a [`BigInt`] or a
+//! [`BigRat`].
+//!
+//! The representation is deliberately simple — sign + little-endian `u32`
+//! limbs, schoolbook multiplication, Knuth-style long division — because the
+//! numbers that arise from query predicates are small (a few limbs); we
+//! optimize for correctness and predictable behaviour, not for
+//! thousand-digit throughput.
+
+#![warn(missing_docs)]
+
+mod bigint;
+mod bigrat;
+
+pub use bigint::BigInt;
+pub use bigrat::BigRat;
+
+/// Greatest common divisor of two `u64`s (binary GCD).
+///
+/// Exposed because several callers (coefficient normalization in
+/// `sia-smt`, weight rationalization in `sia-svm`) need a fast machine-word
+/// GCD before falling back to bignums.
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Least common multiple of two `u64`s; panics on overflow.
+pub fn lcm_u64(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd_u64(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_u64_basics() {
+        assert_eq!(gcd_u64(0, 0), 0);
+        assert_eq!(gcd_u64(0, 7), 7);
+        assert_eq!(gcd_u64(7, 0), 7);
+        assert_eq!(gcd_u64(12, 18), 6);
+        assert_eq!(gcd_u64(17, 13), 1);
+        assert_eq!(gcd_u64(u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn lcm_u64_basics() {
+        assert_eq!(lcm_u64(0, 5), 0);
+        assert_eq!(lcm_u64(4, 6), 12);
+        assert_eq!(lcm_u64(7, 13), 91);
+    }
+}

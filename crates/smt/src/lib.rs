@@ -1,0 +1,35 @@
+//! A from-scratch SMT solver for linear integer/real arithmetic, built for
+//! Sia's predicate synthesis loop (replacing Z3 in the paper's stack).
+//!
+//! Components:
+//!
+//! * [`sat`] — CDCL SAT core (watched literals, 1UIP learning, VSIDS,
+//!   Luby restarts);
+//! * [`simplex`] — Dutertre–de Moura general simplex over exact rationals
+//!   with delta-rational strict bounds;
+//! * [`solver`] — the lazy DPLL(T) integration plus integer
+//!   branch-and-bound and divisibility lowering: the public
+//!   [`Solver`] façade;
+//! * [`qe`] — Cooper's quantifier-elimination procedure for the
+//!   `∃cols′. … ∧ ∀others. ¬p` formulas Sia uses to generate FALSE
+//!   samples and decide optimality (§4.2, §5.3, §5.5), and a model-based
+//!   CEGQI alternative used for ablation.
+//!
+//! Formulas ([`Formula`]) are built over linear terms ([`LinTerm`]) with
+//! variables declared on the solver.
+
+#![warn(missing_docs)]
+
+pub mod formula;
+pub mod qe;
+pub mod sat;
+pub mod simplex;
+pub mod solver;
+pub mod term;
+pub mod var;
+
+pub use formula::Formula;
+pub use qe::{eliminate_exists, QeConfig, QeError};
+pub use solver::{Model, SmtResult, Solver, SolverConfig, SolverStats};
+pub use term::{Atom, LinTerm, Rel};
+pub use var::{Sort, VarId, VarTable};

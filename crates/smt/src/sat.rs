@@ -1,0 +1,596 @@
+//! CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+//! analysis, VSIDS-style decision heuristic, phase saving, and Luby
+//! restarts. Small and dependency-free; the DPLL(T) layer
+//! ([`crate::solver`]) lazily adds theory lemmas as ordinary clauses.
+
+/// A literal: variable index with polarity. `code = var << 1 | neg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of variable `v`.
+    pub fn pos(v: usize) -> Lit {
+        Lit((v as u32) << 1)
+    }
+
+    /// Negative literal of variable `v`.
+    pub fn neg(v: usize) -> Lit {
+        Lit(((v as u32) << 1) | 1)
+    }
+
+    /// Literal of variable `v` with the given `positive` polarity.
+    pub fn with_sign(v: usize, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// True iff the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_neg() {
+            write!(f, "-x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+/// Result of a SAT call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (see [`SatSolver::model_value`]).
+    Sat,
+    /// No satisfying assignment exists.
+    Unsat,
+}
+
+type ClauseRef = usize;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Solver statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+/// A CDCL SAT solver.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>, // indexed by literal code
+    assign: Vec<Option<bool>>,    // indexed by var
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    unsat: bool,
+    /// Statistics for the current lifetime of the solver.
+    pub stats: SatStats,
+}
+
+impl SatSolver {
+    /// Fresh solver with no variables.
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Declare a new variable; returns its index.
+    pub fn new_var(&mut self) -> usize {
+        let v = self.assign.len();
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new()); // pos watch list
+        self.watches.push(Vec::new()); // neg watch list
+        v
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var()].map(|b| b != l.is_neg())
+    }
+
+    /// Add a clause. Returns `false` if the solver is already known UNSAT.
+    /// Clauses may be added between `solve` calls (incremental use); the
+    /// trail is rewound to level 0 first.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.backtrack_to(0);
+        lits.sort();
+        lits.dedup();
+        // Tautology?
+        if lits.windows(2).any(|w| w[0] == w[1].negated()) {
+            return true;
+        }
+        // Drop root-level-false literals; detect satisfied clauses.
+        let mut filtered = Vec::with_capacity(lits.len());
+        for l in lits {
+            match self.value(l) {
+                Some(true) => return true,
+                Some(false) => {}
+                None => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let cref = self.clauses.len();
+                self.watches[filtered[0].negated().code()].push(cref);
+                self.watches[filtered[1].negated().code()].push(cref);
+                self.clauses.push(Clause { lits: filtered });
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.value(l).is_none());
+        let v = l.var();
+        self.assign[v] = Some(!l.is_neg());
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause ref if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬p must be visited: p just became true, so
+            // the watcher list for literal p (code of p) holds clauses in
+            // which one watched literal is ¬p... We store watches keyed by
+            // the *falsified* literal: a clause watching literal l is in
+            // watches[l.negated()]; when p becomes true, literals ¬p are
+            // falsified, so visit watches[p.code()].
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cref = ws[i];
+                // Ensure the falsified literal is at position 1.
+                let false_lit = p.negated();
+                {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                // First literal satisfied? keep watching.
+                let first = self.clauses[cref].lits[0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value(lk) != Some(false) {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lk.negated().code()].push(cref);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == Some(false) {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[p.code()].extend(ws.drain(..));
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[p.code()].extend(ws.drain(..));
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backjump level).
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let cur_level = self.trail_lim.len() as u32;
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut index = self.trail.len();
+        loop {
+            let start = usize::from(p.is_some());
+            // Skip lits[0] when it is the asserting literal p itself.
+            let lits: Vec<Lit> = self.clauses[cref].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                seen[v] = true;
+                self.bump_var(v);
+                if self.level[v] == cur_level {
+                    counter += 1;
+                } else {
+                    learned.push(q);
+                }
+            }
+            // Find next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if seen[self.trail[index].var()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            seen[lit.var()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            cref = self.reason[lit.var()].expect("non-decision must have a reason");
+            p = Some(lit);
+        }
+        let asserting = p.unwrap().negated();
+        learned.insert(0, asserting);
+        let backjump = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var()])
+            .max()
+            .unwrap_or(0);
+        (learned, backjump)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var();
+                self.phase[v] = self.assign[v].unwrap();
+                self.assign[v] = None;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v].is_none()
+                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            {
+                best = Some(v);
+            }
+        }
+        best.map(|v| Lit::with_sign(v, self.phase[v]))
+    }
+
+    /// Solve the current clause set.
+    pub fn solve(&mut self) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_idx = 1u64;
+        let mut restart_limit = 64 * luby(restart_idx);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                let (learned, backjump) = self.analyze(conflict);
+                self.backtrack_to(backjump);
+                self.decay_activity();
+                if learned.len() == 1 {
+                    self.enqueue(learned[0], None);
+                } else {
+                    let cref = self.clauses.len();
+                    self.watches[learned[0].negated().code()].push(cref);
+                    self.watches[learned[1].negated().code()].push(cref);
+                    let asserting = learned[0];
+                    self.clauses.push(Clause { lits: learned });
+                    self.enqueue(asserting, Some(cref));
+                }
+            } else if conflicts_since_restart >= restart_limit {
+                self.stats.restarts += 1;
+                conflicts_since_restart = 0;
+                restart_idx += 1;
+                restart_limit = 64 * luby(restart_idx);
+                self.backtrack_to(0);
+            } else {
+                match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of variable `v` in the current model (valid after
+    /// `solve() == Sat`).
+    pub fn model_value(&self, v: usize) -> bool {
+        self.assign[v].unwrap_or(false)
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,…).
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // Find k with 2^k - 1 >= i
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_model(s: &SatSolver, clauses: &[Vec<Lit>]) {
+        for c in clauses {
+            assert!(
+                c.iter().any(|l| s.model_value(l.var()) != l.is_neg()),
+                "clause {c:?} not satisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(vec![Lit::pos(a)]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(a));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(vec![Lit::pos(a)]));
+        assert!(!s.add_clause(vec![Lit::neg(a)]) || s.solve() == SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause(vec![]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(vec![Lit::pos(a), Lit::neg(a)]));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = SatSolver::new();
+        let vars: Vec<usize> = (0..10).map(|_| s.new_var()).collect();
+        // x0 and (xi -> xi+1)
+        assert!(s.add_clause(vec![Lit::pos(vars[0])]));
+        for w in vars.windows(2) {
+            assert!(s.add_clause(vec![Lit::neg(w[0]), Lit::pos(w[1])]));
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        for &v in &vars {
+            assert!(s.model_value(v));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
+        let mut s = SatSolver::new();
+        let mut p = [[0usize; 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                p[i][j] = s.new_var();
+            }
+        }
+        for i in 0..3 {
+            assert!(s.add_clause(vec![Lit::pos(p[i][0]), Lit::pos(p[i][1])]));
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    assert!(s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]));
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // (a xor b) and (b xor c) and a  =>  model a=1,b=0,c=1
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let clauses = vec![
+            vec![Lit::pos(a), Lit::pos(b)],
+            vec![Lit::neg(a), Lit::neg(b)],
+            vec![Lit::pos(b), Lit::pos(c)],
+            vec![Lit::neg(b), Lit::neg(c)],
+            vec![Lit::pos(a)],
+        ];
+        for c in &clauses {
+            assert!(s.add_clause(c.clone()));
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        check_model(&s, &clauses);
+        assert!(s.model_value(a));
+        assert!(!s.model_value(b));
+        assert!(s.model_value(c));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(vec![Lit::pos(a), Lit::pos(b)]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Block the found model, resolve; repeat until UNSAT. There are
+        // exactly 3 models of (a or b).
+        let mut models = 0;
+        loop {
+            let block: Vec<Lit> = [a, b]
+                .iter()
+                .map(|&v| Lit::with_sign(v, !s.model_value(v)))
+                .collect();
+            models += 1;
+            if !s.add_clause(block) || s.solve() == SatResult::Unsat {
+                break;
+            }
+            assert!(models <= 3, "too many models");
+        }
+        assert_eq!(models, 3);
+    }
+
+    #[test]
+    fn random_3sat_smoke() {
+        // Deterministic pseudo-random 3-SAT instances around the phase
+        // transition; verify models when SAT.
+        let mut seed = 0xdeadbeefu64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let n = 30;
+            let m = 120;
+            let mut s = SatSolver::new();
+            let vars: Vec<usize> = (0..n).map(|_| s.new_var()).collect();
+            let mut clauses = Vec::new();
+            let mut ok = true;
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[(rnd() % n as u64) as usize];
+                    c.push(Lit::with_sign(v, rnd() % 2 == 0));
+                }
+                clauses.push(c.clone());
+                if !s.add_clause(c) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && s.solve() == SatResult::Sat {
+                check_model(&s, &clauses);
+            }
+        }
+    }
+}

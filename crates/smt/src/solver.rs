@@ -1,0 +1,956 @@
+//! The SMT solver: lazy DPLL(T) over the CDCL SAT core and the simplex
+//! theory solver, with integer branch-and-bound for `Int`-sorted variables
+//! and preprocessing of divisibility constraints.
+//!
+//! The loop is the classic lazy scheme: the SAT solver proposes a boolean
+//! assignment of the atom skeleton, the theory checks the implied
+//! conjunction of bounds, and each theory conflict comes back as a
+//! blocking clause (theory lemma) built from the simplex explanation.
+
+use crate::formula::Formula;
+use crate::sat::{Lit, SatResult, SatSolver};
+use crate::simplex::{Conflict, Expl, QDelta, Simplex};
+use crate::term::{LinTerm, Rel};
+use crate::var::{Sort, VarId, VarTable};
+use sia_num::{BigInt, BigRat};
+use std::collections::HashMap;
+
+/// Result of an SMT `check`.
+#[derive(Debug, Clone)]
+pub enum SmtResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource budget exhausted before a verdict.
+    Unknown,
+}
+
+impl SmtResult {
+    /// True iff `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// True iff `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// The model, if `Sat`.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SmtResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A satisfying assignment.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    arith: HashMap<VarId, BigRat>,
+    bools: HashMap<VarId, bool>,
+}
+
+impl Model {
+    /// Rational value of an arithmetic variable (0 if unconstrained).
+    pub fn rat(&self, v: VarId) -> BigRat {
+        self.arith.get(&v).cloned().unwrap_or_else(BigRat::zero)
+    }
+
+    /// Integer value of an `Int` variable.
+    ///
+    /// # Panics
+    /// Panics if the model value is not integral (cannot happen for
+    /// variables declared `Int`).
+    pub fn int(&self, v: VarId) -> BigInt {
+        let r = self.rat(v);
+        assert!(r.is_integer(), "model value of {v} is not integral: {r}");
+        r.numer().clone()
+    }
+
+    /// Boolean value of a `Bool` variable (false if unconstrained).
+    pub fn boolean(&self, v: VarId) -> bool {
+        self.bools.get(&v).copied().unwrap_or(false)
+    }
+
+    /// Evaluate a formula under this model.
+    pub fn eval(&self, f: &Formula) -> bool {
+        f.eval(&|v| self.rat(v), &|v| self.boolean(v))
+    }
+}
+
+/// Tunable resource limits.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum lazy DPLL(T) rounds before `Unknown`.
+    pub max_rounds: u64,
+    /// Maximum branch-and-bound nodes per theory check before `Unknown`.
+    pub max_bb_nodes: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            // Formulas from query predicates solve in tens of lazy rounds;
+            // thousands signal a pathological (Cooper-blowup) region that
+            // callers handle by degrading to CEGQI — so fail fast.
+            max_rounds: 4_000,
+            max_bb_nodes: 5_000,
+        }
+    }
+}
+
+/// Cumulative statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverStats {
+    /// `check` invocations.
+    pub checks: u64,
+    /// Lazy loop rounds across all checks.
+    pub rounds: u64,
+    /// Theory lemmas learned.
+    pub theory_lemmas: u64,
+    /// Branch-and-bound nodes explored.
+    pub bb_nodes: u64,
+}
+
+/// The SMT solver façade: declare variables, then [`Solver::check`]
+/// formulas over them. Each `check` is self-contained (no assertion
+/// stack); callers conjoin what they need.
+#[derive(Debug, Default)]
+pub struct Solver {
+    vars: VarTable,
+    /// Resource limits.
+    pub config: SolverConfig,
+    /// Statistics.
+    pub stats: SolverStats,
+}
+
+impl Solver {
+    /// Fresh solver.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Solver with explicit limits.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            ..Solver::default()
+        }
+    }
+
+    /// Declare a variable.
+    pub fn declare(&mut self, name: impl Into<String>, sort: Sort) -> VarId {
+        self.vars.declare(name, sort)
+    }
+
+    /// The variable table (names, sorts).
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Decide satisfiability of `f` and produce a model if satisfiable.
+    pub fn check(&mut self, f: &Formula) -> SmtResult {
+        self.stats.checks += 1;
+        let mut ctx = CheckCtx::new(&self.vars, &self.config);
+        let result = ctx.run(f);
+        self.stats.rounds += ctx.rounds;
+        self.stats.theory_lemmas += ctx.lemmas;
+        self.stats.bb_nodes += ctx.bb_nodes;
+        result
+    }
+}
+
+/// Canonical key for an arithmetic atom's variable combination.
+type ComboKey = Vec<(VarId, BigRat)>;
+
+/// One atom's translation: which simplex variable it bounds and how.
+#[derive(Debug, Clone)]
+struct AtomInfo {
+    simplex_var: usize,
+    /// Bound asserted when the atom literal is TRUE.
+    on_true: BoundSpec,
+    /// Bound asserted when the atom literal is FALSE (the negation).
+    on_false: BoundSpec,
+}
+
+#[derive(Debug, Clone)]
+enum BoundSpec {
+    Upper(QDelta),
+    Lower(QDelta),
+}
+
+struct CheckCtx<'a> {
+    vars: &'a VarTable,
+    config: &'a SolverConfig,
+    sat: SatSolver,
+    simplex: Simplex,
+    /// VarId → simplex var (for arithmetic vars incl. fresh ones).
+    arith_map: HashMap<VarId, usize>,
+    /// simplex var → VarId for model extraction of declared vars.
+    back_map: HashMap<usize, VarId>,
+    /// combo key → slack simplex var.
+    combos: HashMap<ComboKey, usize>,
+    /// sat var → atom translation (None for pure boolean vars).
+    atoms: Vec<Option<AtomInfo>>,
+    /// canonical atom → sat var, so repeated atoms share one literal.
+    atom_memo: HashMap<(Rel, bool, BigRat, ComboKey), usize>,
+    /// VarId (bool) → sat var.
+    bool_map: HashMap<VarId, usize>,
+    /// simplex vars that must take integral values.
+    int_simplex_vars: Vec<usize>,
+    /// next fresh VarId (beyond the declared table).
+    next_fresh: u32,
+    rounds: u64,
+    lemmas: u64,
+    bb_nodes: u64,
+}
+
+impl<'a> CheckCtx<'a> {
+    fn new(vars: &'a VarTable, config: &'a SolverConfig) -> Self {
+        CheckCtx {
+            vars,
+            config,
+            sat: SatSolver::new(),
+            simplex: Simplex::new(),
+            arith_map: HashMap::new(),
+            back_map: HashMap::new(),
+            combos: HashMap::new(),
+            atoms: Vec::new(),
+            atom_memo: HashMap::new(),
+            bool_map: HashMap::new(),
+            int_simplex_vars: Vec::new(),
+            next_fresh: vars.len() as u32,
+            rounds: 0,
+            lemmas: 0,
+            bb_nodes: 0,
+        }
+    }
+
+    fn fresh_int(&mut self) -> VarId {
+        let id = VarId(self.next_fresh);
+        self.next_fresh += 1;
+        id
+    }
+
+    fn sort_of(&self, v: VarId) -> Sort {
+        if v.index() < self.vars.len() {
+            self.vars.sort(v)
+        } else {
+            Sort::Int // fresh vars are always divisibility witnesses
+        }
+    }
+
+    fn simplex_var(&mut self, v: VarId) -> usize {
+        if let Some(&s) = self.arith_map.get(&v) {
+            return s;
+        }
+        let s = self.simplex.new_var();
+        self.arith_map.insert(v, s);
+        self.back_map.insert(s, v);
+        if self.sort_of(v) == Sort::Int {
+            self.int_simplex_vars.push(s);
+        }
+        s
+    }
+
+    /// Rewrite divisibility literals into linear constraints with fresh
+    /// integer witnesses: `m | t` ⇒ `t = m·k`; `m ∤ t` ⇒ `t = m·k + r ∧
+    /// 1 ≤ r ≤ m-1`. The formula must already be in NNF.
+    fn lower_divisibility(&mut self, f: &Formula) -> Formula {
+        match f {
+            Formula::Divides(m, t) => {
+                let k = self.fresh_int();
+                let mk = LinTerm::var(k).scale(&BigRat::from_int(m.clone()));
+                Formula::eq0(t.sub(&mk))
+            }
+            Formula::NotDivides(m, t) => {
+                let k = self.fresh_int();
+                let r = self.fresh_int();
+                let mk = LinTerm::var(k).scale(&BigRat::from_int(m.clone()));
+                let rt = LinTerm::var(r);
+                let def = Formula::eq0(t.sub(&mk).sub(&rt));
+                // 1 ≤ r ≤ m-1  ⇔  1 - r ≤ 0 ∧ r - (m-1) ≤ 0
+                let low = Formula::le0(LinTerm::constant(BigRat::one()).sub(&rt));
+                let hi = Formula::le0(rt.add(&LinTerm::constant(BigRat::from_int(
+                    BigInt::one() - m.clone(),
+                ))));
+                def.and(low).and(hi)
+            }
+            Formula::And(fs) => {
+                Formula::and_all(fs.iter().map(|g| self.lower_divisibility(g)))
+            }
+            Formula::Or(fs) => Formula::or_all(fs.iter().map(|g| self.lower_divisibility(g))),
+            Formula::Not(g) => {
+                // NNF guarantees Not only wraps BoolVar.
+                Formula::Not(Box::new(self.lower_divisibility(g)))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Get/create the SAT variable for a canonical atom, registering its
+    /// bound translation.
+    fn atom_sat_var(&mut self, rel: Rel, term: &LinTerm) -> Lit {
+        // term rel 0  ⇔  Σ aᵢxᵢ rel -c. Normalize the variable part.
+        let combo_term = term.without_constant().normalize_integer();
+        // normalize_integer on just the var part: compute the positive
+        // scale factor f such that combo = f · var_part; then the bound is
+        // -c · f ... easier: find factor by comparing a leading coeff.
+        let lead = term
+            .iter()
+            .next()
+            .expect("atom with variables")
+            .0;
+        let orig_lead = term.coeff(lead);
+        let norm_lead = combo_term.coeff(lead);
+        // factor = norm/orig (may be negative if normalize flipped sign —
+        // it cannot: normalize_integer multiplies by a positive rational).
+        let factor = &norm_lead / &orig_lead;
+        debug_assert!(factor.is_positive());
+        let bound_val = -(term.constant_term() * &factor);
+        // Canonical: make leading coefficient positive so that `combo` and
+        // `-combo` share a slack variable.
+        let (combo_term, bound_val, flipped) = if combo_term.coeff(lead).is_negative() {
+            (combo_term.negated(), -bound_val, true)
+        } else {
+            (combo_term, bound_val, false)
+        };
+        let key: ComboKey = combo_term.iter().map(|(v, k)| (v, k.clone())).collect();
+        let memo_key = (rel, flipped, bound_val.clone(), key.clone());
+        if let Some(&sv) = self.atom_memo.get(&memo_key) {
+            return Lit::pos(sv);
+        }
+        let simplex_var = match self.combos.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = if key.len() == 1 && key[0].1 == BigRat::one() {
+                    self.simplex_var(key[0].0)
+                } else {
+                    let parts: Vec<(usize, BigRat)> = key
+                        .iter()
+                        .map(|(v, k)| (self.simplex_var(*v), k.clone()))
+                        .collect();
+                    let s = self.simplex.new_var();
+                    self.simplex.define(s, parts);
+                    // A combination of integer variables with integer
+                    // coefficients is itself integral. Branching on the
+                    // slack gives branch-and-bound GCD-style cuts for free
+                    // (e.g. 2x - 2y = 1 refutes by branching on x - y at
+                    // value 1/2) — without it, unbounded diophantine
+                    // conflicts diverge.
+                    let integral = key.iter().all(|(v, k)| {
+                        self.sort_of(*v) == Sort::Int && k.is_integer()
+                    });
+                    if integral {
+                        self.int_simplex_vars.push(s);
+                    }
+                    s
+                };
+                self.combos.insert(key.clone(), s);
+                s
+            }
+        };
+        // Effective relation after the potential flip:
+        //   combo rel bound   (no flip)
+        //   combo rel' bound  with rel' = flipped direction (flip)
+        // rel ∈ {Le, Lt} means term ≤/< 0 i.e. combo ≤/< bound originally;
+        // after flip: combo ≥/> bound.
+        let (on_true, on_false) = if !flipped {
+            match rel {
+                Rel::Le => (
+                    BoundSpec::Upper(QDelta::rational(bound_val.clone())),
+                    BoundSpec::Lower(QDelta::plus_delta(bound_val)),
+                ),
+                Rel::Lt => (
+                    BoundSpec::Upper(QDelta::minus_delta(bound_val.clone())),
+                    BoundSpec::Lower(QDelta::rational(bound_val)),
+                ),
+            }
+        } else {
+            match rel {
+                Rel::Le => (
+                    BoundSpec::Lower(QDelta::rational(bound_val.clone())),
+                    BoundSpec::Upper(QDelta::minus_delta(bound_val)),
+                ),
+                Rel::Lt => (
+                    BoundSpec::Lower(QDelta::plus_delta(bound_val.clone())),
+                    BoundSpec::Upper(QDelta::rational(bound_val)),
+                ),
+            }
+        };
+        // Integer bound tightening: an integral combination satisfies
+        // `s < c` iff `s ≤ ⌈c⌉-1` and `s > c` iff `s ≥ ⌊c⌋+1`. This turns
+        // strict-window infeasibilities (e.g. 18 < s < 20 ∧ s = 19 is the
+        // only slot but excluded elsewhere) into direct simplex conflicts,
+        // and makes branch-and-bound unnecessary for most queries.
+        let combo_integral = key.iter().all(|(v, k)| {
+            self.sort_of(*v) == Sort::Int && k.is_integer()
+        });
+        let (on_true, on_false) = if combo_integral {
+            (tighten_int(on_true), tighten_int(on_false))
+        } else {
+            (on_true, on_false)
+        };
+        let sv = self.sat.new_var();
+        debug_assert_eq!(sv, self.atoms.len());
+        self.atoms.push(Some(AtomInfo {
+            simplex_var,
+            on_true,
+            on_false,
+        }));
+        self.atom_memo.insert(memo_key, sv);
+        Lit::pos(sv)
+    }
+
+    fn bool_sat_var(&mut self, v: VarId) -> usize {
+        if let Some(&sv) = self.bool_map.get(&v) {
+            return sv;
+        }
+        let sv = self.sat.new_var();
+        debug_assert_eq!(sv, self.atoms.len());
+        self.atoms.push(None);
+        self.bool_map.insert(v, sv);
+        sv
+    }
+
+    /// Tseitin conversion of an NNF, divisibility-free formula. Returns
+    /// the literal equivalent to (implying) the formula.
+    fn tseitin(&mut self, f: &Formula) -> Result<Lit, bool> {
+        match f {
+            Formula::True => Err(true),
+            Formula::False => Err(false),
+            Formula::Atom(a) => Ok(self.atom_sat_var(a.rel, &a.term)),
+            Formula::BoolVar(v) => Ok(Lit::pos(self.bool_sat_var(*v))),
+            Formula::Not(g) => match g.as_ref() {
+                Formula::BoolVar(v) => Ok(Lit::neg(self.bool_sat_var(*v))),
+                _ => unreachable!("NNF leaves negation only on bool vars"),
+            },
+            Formula::Divides(..) | Formula::NotDivides(..) => {
+                unreachable!("divisibility lowered before tseitin")
+            }
+            Formula::And(fs) => {
+                let mut lits = Vec::with_capacity(fs.len());
+                for g in fs {
+                    match self.tseitin(g) {
+                        Ok(l) => lits.push(l),
+                        Err(true) => {}
+                        Err(false) => return Err(false),
+                    }
+                }
+                if lits.is_empty() {
+                    return Err(true);
+                }
+                if lits.len() == 1 {
+                    return Ok(lits[0]);
+                }
+                let y = self.sat.new_var();
+                self.atoms.push(None);
+                // y → lᵢ for each i (Plaisted–Greenbaum, positive polarity
+                // suffices for NNF input).
+                for l in &lits {
+                    self.sat.add_clause(vec![Lit::neg(y), *l]);
+                }
+                Ok(Lit::pos(y))
+            }
+            Formula::Or(fs) => {
+                let mut lits = Vec::with_capacity(fs.len());
+                for g in fs {
+                    match self.tseitin(g) {
+                        Ok(l) => lits.push(l),
+                        Err(false) => {}
+                        Err(true) => return Err(true),
+                    }
+                }
+                if lits.is_empty() {
+                    return Err(false);
+                }
+                if lits.len() == 1 {
+                    return Ok(lits[0]);
+                }
+                let y = self.sat.new_var();
+                self.atoms.push(None);
+                // y → (l₁ ∨ … ∨ lₙ)
+                let mut clause = vec![Lit::neg(y)];
+                clause.extend(lits.iter().copied());
+                self.sat.add_clause(clause);
+                Ok(Lit::pos(y))
+            }
+        }
+    }
+
+    fn run(&mut self, f: &Formula) -> SmtResult {
+        let nnf = f.nnf();
+        let lowered = self.lower_divisibility(&nnf);
+        // lower_divisibility introduces Eq0 (And of atoms) inside; it is
+        // still NNF. Re-normalize in case constant folding exposed literals.
+        match self.tseitin(&lowered) {
+            Err(false) => return SmtResult::Unsat,
+            Err(true) => return SmtResult::Sat(Model::default()),
+            Ok(root) => {
+                self.sat.add_clause(vec![root]);
+            }
+        }
+        loop {
+            if self.rounds >= self.config.max_rounds {
+                return SmtResult::Unknown;
+            }
+            self.rounds += 1;
+            if self.sat.solve() == SatResult::Unsat {
+                return SmtResult::Unsat;
+            }
+            // Assert the theory literals implied by the boolean model.
+            self.simplex.push();
+            let mut conflict: Option<Conflict> = None;
+            let mut asserted: Vec<Lit> = Vec::new();
+            for sv in 0..self.atoms.len() {
+                let Some(info) = &self.atoms[sv] else {
+                    continue;
+                };
+                let truth = self.sat.model_value(sv);
+                let lit = Lit::with_sign(sv, truth);
+                let spec = if truth {
+                    info.on_true.clone()
+                } else {
+                    info.on_false.clone()
+                };
+                let tag = Expl(lit_code(lit));
+                let res = match spec {
+                    BoundSpec::Upper(b) => self.simplex.assert_upper(info.simplex_var, b, tag),
+                    BoundSpec::Lower(b) => self.simplex.assert_lower(info.simplex_var, b, tag),
+                };
+                asserted.push(lit);
+                if let Err(c) = res {
+                    conflict = Some(c);
+                    break;
+                }
+            }
+            if conflict.is_none() {
+                conflict = self.simplex.check().err();
+            }
+            match conflict {
+                Some(c) => {
+                    self.simplex.pop();
+                    self.learn_conflict(&c, &asserted);
+                }
+                None => {
+                    // Rational model found; enforce integrality.
+                    let mut budget = self.config.max_bb_nodes;
+                    let bb = self.branch_and_bound(&mut budget, 0);
+                    match bb {
+                        BbResult::Sat => {
+                            let model = self.extract_model();
+                            self.simplex.pop();
+                            debug_assert!(model.eval(f), "model check failed for {f}");
+                            return SmtResult::Sat(model);
+                        }
+                        BbResult::Infeasible => {
+                            self.simplex.pop();
+                            // Weak lemma: not this exact combination of
+                            // theory literals.
+                            let clause: Vec<Lit> =
+                                asserted.iter().map(|l| l.negated()).collect();
+                            self.lemmas += 1;
+                            if !self.sat.add_clause(clause) {
+                                return SmtResult::Unsat;
+                            }
+                        }
+                        BbResult::Budget => {
+                            self.simplex.pop();
+                            return SmtResult::Unknown;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn learn_conflict(&mut self, c: &Conflict, asserted: &[Lit]) {
+        self.lemmas += 1;
+        let clause: Vec<Lit> = if c.has_internal() {
+            asserted.iter().map(|l| l.negated()).collect()
+        } else {
+            c.tags
+                .iter()
+                .map(|t| lit_from_code(t.0).negated())
+                .collect()
+        };
+        let _ = self.sat.add_clause(clause);
+    }
+
+    /// Branch and bound over the integer simplex variables. On `Sat` the
+    /// simplex state (with all branching bounds pushed) is left in place so
+    /// the model can be read; otherwise the state is restored.
+    fn branch_and_bound(&mut self, budget: &mut u64, depth: u32) -> BbResult {
+        // Recursion depth cap: deep chains of branchings indicate an
+        // unbounded diophantine search; give up rather than overflow.
+        if *budget == 0 || depth > 120 {
+            return BbResult::Budget;
+        }
+        *budget -= 1;
+        self.bb_nodes += 1;
+        if self.simplex.check().is_err() {
+            return BbResult::Infeasible;
+        }
+        let delta = self.simplex.concrete_delta();
+        // Prefer branching on doubly-bounded fractional variables (equality
+        // slacks and boxed variables): their branches refute or fix
+        // immediately, whereas branching on an unbounded variable of an
+        // unsatisfiable diophantine system descends forever.
+        let mut branch_var: Option<(usize, BigRat)> = None;
+        let mut fallback: Option<(usize, BigRat)> = None;
+        for &x in &self.int_simplex_vars {
+            let v = self.simplex.value(x).materialize(&delta);
+            if !v.is_integer() {
+                let boxed = self.simplex.lower_bound(x).is_some()
+                    && self.simplex.upper_bound(x).is_some();
+                if boxed {
+                    branch_var = Some((x, v));
+                    break;
+                }
+                if fallback.is_none() {
+                    fallback = Some((x, v));
+                }
+            }
+        }
+        let Some((x, v)) = branch_var.or(fallback) else {
+            return BbResult::Sat;
+        };
+        let fl = v.floor();
+        // Branch x ≤ ⌊v⌋.
+        self.simplex.push();
+        if self
+            .simplex
+            .assert_upper(x, QDelta::rational(BigRat::from_int(fl.clone())), Expl::INTERNAL)
+            .is_ok()
+        {
+            match self.branch_and_bound(budget, depth + 1) {
+                BbResult::Sat => return BbResult::Sat,
+                BbResult::Budget => {
+                    self.simplex.pop();
+                    return BbResult::Budget;
+                }
+                BbResult::Infeasible => {}
+            }
+        }
+        self.simplex.pop();
+        // Branch x ≥ ⌊v⌋+1.
+        self.simplex.push();
+        if self
+            .simplex
+            .assert_lower(
+                x,
+                QDelta::rational(BigRat::from_int(fl + BigInt::one())),
+                Expl::INTERNAL,
+            )
+            .is_ok()
+        {
+            match self.branch_and_bound(budget, depth + 1) {
+                BbResult::Sat => return BbResult::Sat,
+                BbResult::Budget => {
+                    self.simplex.pop();
+                    return BbResult::Budget;
+                }
+                BbResult::Infeasible => {}
+            }
+        }
+        self.simplex.pop();
+        BbResult::Infeasible
+    }
+
+    fn extract_model(&self) -> Model {
+        let delta = self.simplex.concrete_delta();
+        let mut model = Model::default();
+        for (v, &s) in &self.arith_map {
+            if v.index() < self.vars.len() {
+                let mut val = self.simplex.value(s).materialize(&delta);
+                if self.vars.sort(*v) == Sort::Int && !val.is_integer() {
+                    // An Int var outside every atom may carry a spurious
+                    // fractional part from delta materialization; it is
+                    // unconstrained in that direction, so round.
+                    val = BigRat::from_int(val.floor());
+                }
+                model.arith.insert(*v, val);
+            }
+        }
+        for (v, &sv) in &self.bool_map {
+            model.bools.insert(*v, self.sat.model_value(sv));
+        }
+        model
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BbResult {
+    Sat,
+    Infeasible,
+    Budget,
+}
+
+/// Tighten a bound on an integer-valued variable to the nearest integer:
+/// upper bounds round down (strict `< c` ⇒ `≤ ⌈c⌉-1`), lower bounds round
+/// up (strict `> c` ⇒ `≥ ⌊c⌋+1`).
+fn tighten_int(spec: BoundSpec) -> BoundSpec {
+    match spec {
+        BoundSpec::Upper(q) => {
+            let v = if q.k.is_negative() {
+                // strict: largest integer strictly below r
+                let c = q.r.ceil();
+                BigRat::from_int(c - BigInt::one())
+            } else {
+                BigRat::from_int(q.r.floor())
+            };
+            BoundSpec::Upper(QDelta::rational(v))
+        }
+        BoundSpec::Lower(q) => {
+            let v = if q.k.is_positive() {
+                let f = q.r.floor();
+                BigRat::from_int(f + BigInt::one())
+            } else {
+                BigRat::from_int(q.r.ceil())
+            };
+            BoundSpec::Lower(QDelta::rational(v))
+        }
+    }
+}
+
+fn lit_code(l: Lit) -> u32 {
+    ((l.var() as u32) << 1) | u32::from(l.is_neg())
+}
+
+fn lit_from_code(code: u32) -> Lit {
+    if code & 1 == 1 {
+        Lit::neg((code >> 1) as usize)
+    } else {
+        Lit::pos((code >> 1) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula as F;
+
+    fn int_solver(names: &[&str]) -> (Solver, Vec<VarId>) {
+        let mut s = Solver::new();
+        let vs = names.iter().map(|n| s.declare(*n, Sort::Int)).collect();
+        (s, vs)
+    }
+
+    fn t1(v: VarId) -> LinTerm {
+        LinTerm::var(v)
+    }
+
+    fn c(n: i64) -> LinTerm {
+        LinTerm::constant(BigRat::from(n))
+    }
+
+    #[test]
+    fn trivial() {
+        let mut s = Solver::new();
+        assert!(s.check(&F::True).is_sat());
+        assert!(s.check(&F::False).is_unsat());
+    }
+
+    #[test]
+    fn single_bound() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        // x - 5 <= 0
+        let f = F::le0(t1(x).sub(&c(5)));
+        let r = s.check(&f);
+        let m = r.model().unwrap();
+        assert!(m.int(x) <= BigInt::from(5i64));
+    }
+
+    #[test]
+    fn conflicting_bounds() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        // x <= 2 and x >= 5
+        let f = F::le0(t1(x).sub(&c(2))).and(F::le0(c(5).sub(&t1(x))));
+        assert!(s.check(&f).is_unsat());
+    }
+
+    #[test]
+    fn strict_integer_gap() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        // 0 < x < 1 has no integer solution (but is real-feasible).
+        let f = F::lt0(c(0).sub(&t1(x))).and(F::lt0(t1(x).sub(&c(1))));
+        assert!(s.check(&f).is_unsat());
+    }
+
+    #[test]
+    fn strict_real_gap_is_sat() {
+        let mut s = Solver::new();
+        let x = s.declare("x", Sort::Real);
+        let f = F::lt0(c(0).sub(&t1(x))).and(F::lt0(t1(x).sub(&c(1))));
+        let r = s.check(&f);
+        let m = r.model().unwrap();
+        let v = m.rat(x);
+        assert!(v > BigRat::zero() && v < BigRat::one(), "got {v}");
+    }
+
+    #[test]
+    fn equality_and_sum() {
+        let (mut s, vs) = int_solver(&["x", "y"]);
+        let (x, y) = (vs[0], vs[1]);
+        // x + y = 10 and x - y = 4  →  x = 7, y = 3
+        let f = F::eq0(t1(x).add(&t1(y)).sub(&c(10))).and(F::eq0(t1(x).sub(&t1(y)).sub(&c(4))));
+        let r = s.check(&f);
+        let m = r.model().unwrap();
+        assert_eq!(m.int(x), BigInt::from(7i64));
+        assert_eq!(m.int(y), BigInt::from(3i64));
+    }
+
+    #[test]
+    fn disequality() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        // 0 <= x <= 1 and x != 0 and x != 1 → unsat
+        let f = F::le0(c(0).sub(&t1(x)))
+            .and(F::le0(t1(x).sub(&c(1))))
+            .and(F::ne0(t1(x)))
+            .and(F::ne0(t1(x).sub(&c(1))));
+        assert!(s.check(&f).is_unsat());
+        // allowing x = 2 works
+        let g = F::le0(c(0).sub(&t1(x)))
+            .and(F::le0(t1(x).sub(&c(2))))
+            .and(F::ne0(t1(x)))
+            .and(F::ne0(t1(x).sub(&c(1))));
+        let m = s.check(&g);
+        assert_eq!(m.model().unwrap().int(x), BigInt::from(2i64));
+    }
+
+    #[test]
+    fn disjunction() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        // (x <= -10 or x >= 10) and -5 <= x <= 5 → unsat
+        let f = F::le0(t1(x).add(&c(10)))
+            .or(F::le0(c(10).sub(&t1(x))))
+            .and(F::le0(t1(x).sub(&c(5))))
+            .and(F::le0(c(-5).sub(&t1(x))));
+        assert!(s.check(&f).is_unsat());
+    }
+
+    #[test]
+    fn integer_cut_diagonal() {
+        let (mut s, vs) = int_solver(&["x", "y"]);
+        let (x, y) = (vs[0], vs[1]);
+        // 2x = 2y + 1 has no integer solution.
+        let two = BigRat::from(2);
+        let f = F::eq0(t1(x).scale(&two).sub(&t1(y).scale(&two)).sub(&c(1)));
+        assert!(s.check(&f).is_unsat());
+    }
+
+    #[test]
+    fn divisibility() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        // 10 <= x <= 12 and 7 | x  →  unsat; 7 | x with 13 <= x <= 15 → x = 14
+        let dom = |lo: i64, hi: i64| {
+            F::le0(c(lo).sub(&t1(x))).and(F::le0(t1(x).sub(&c(hi))))
+        };
+        let f = dom(10, 12).and(F::divides(BigInt::from(7i64), t1(x)));
+        assert!(s.check(&f).is_unsat());
+        let g = dom(13, 15).and(F::divides(BigInt::from(7i64), t1(x)));
+        let m = s.check(&g);
+        assert_eq!(m.model().unwrap().int(x), BigInt::from(14i64));
+    }
+
+    #[test]
+    fn not_divides() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        // 4 <= x <= 6 and 2 ∤ x  →  x = 5
+        let f = F::le0(c(4).sub(&t1(x)))
+            .and(F::le0(t1(x).sub(&c(6))))
+            .and(F::Divides(BigInt::from(2i64), t1(x)).not());
+        let m = s.check(&f);
+        assert_eq!(m.model().unwrap().int(x), BigInt::from(5i64));
+    }
+
+    #[test]
+    fn boolean_mixing() {
+        let mut s = Solver::new();
+        let x = s.declare("x", Sort::Int);
+        let p = s.declare("p", Sort::Bool);
+        // (p or x <= 0) and (not p) and x >= 1  →  unsat
+        let f = F::BoolVar(p)
+            .or(F::le0(t1(x)))
+            .and(F::BoolVar(p).not())
+            .and(F::le0(c(1).sub(&t1(x))));
+        assert!(s.check(&f).is_unsat());
+        // drop x >= 1: sat with p=false, x<=0
+        let g = F::BoolVar(p).or(F::le0(t1(x))).and(F::BoolVar(p).not());
+        let r = s.check(&g);
+        let m = r.model().unwrap();
+        assert!(!m.boolean(p));
+        assert!(m.int(x) <= BigInt::zero());
+    }
+
+    #[test]
+    fn motivating_example_true_sample() {
+        // p: a2 - b1 < 20 ∧ a1 - a2 < a2 - b1 + 10 ∧ b1 < 0 is satisfiable.
+        let (mut s, vs) = int_solver(&["a1", "a2", "b1"]);
+        let (a1, a2, b1) = (vs[0], vs[1], vs[2]);
+        let p = F::lt0(t1(a2).sub(&t1(b1)).sub(&c(20)))
+            .and(F::lt0(
+                t1(a1).sub(&t1(a2)).sub(&t1(a2).sub(&t1(b1))).sub(&c(10)),
+            ))
+            .and(F::lt0(t1(b1)));
+        let r = s.check(&p);
+        let m = r.model().unwrap();
+        // Verify model against the formula itself.
+        assert!(m.eval(&p));
+    }
+
+    #[test]
+    fn models_are_verified() {
+        // Random-ish conjunctions/disjunctions; every SAT answer must
+        // produce a model that evaluates to true.
+        let (mut s, vs) = int_solver(&["x", "y", "z"]);
+        let (x, y, z) = (vs[0], vs[1], vs[2]);
+        let cases = vec![
+            F::le0(t1(x).add(&t1(y)).sub(&c(3))).and(F::lt0(c(1).sub(&t1(x)))),
+            F::eq0(t1(x).scale(&BigRat::from(3)).sub(&t1(y)).sub(&c(7)))
+                .and(F::le0(t1(y).sub(&c(100))))
+                .and(F::le0(c(-100).sub(&t1(y)))),
+            F::ne0(t1(x).sub(&t1(y)))
+                .and(F::ne0(t1(y).sub(&t1(z))))
+                .and(F::le0(t1(x).sub(&c(1))))
+                .and(F::le0(t1(y).sub(&c(1))))
+                .and(F::le0(t1(z).sub(&c(1))))
+                .and(F::le0(c(0).sub(&t1(x))))
+                .and(F::le0(c(0).sub(&t1(y))))
+                .and(F::le0(c(0).sub(&t1(z)))),
+        ];
+        for (i, f) in cases.iter().enumerate() {
+            match s.check(f) {
+                SmtResult::Sat(m) => assert!(m.eval(f), "case {i}: bad model"),
+                SmtResult::Unsat => {
+                    if i == 2 {
+                        // x,y,z ∈ {0,1} pairwise-adjacent distinct: x≠y, y≠z is satisfiable (x=z=0,y=1)
+                        panic!("case 2 should be satisfiable");
+                    }
+                }
+                SmtResult::Unknown => panic!("case {i}: unknown"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut s, vs) = int_solver(&["x"]);
+        let x = vs[0];
+        let f = F::le0(t1(x));
+        let _ = s.check(&f);
+        let _ = s.check(&f);
+        assert_eq!(s.stats.checks, 2);
+        assert!(s.stats.rounds >= 2);
+    }
+}

@@ -1,0 +1,360 @@
+//! Linear terms and theory atoms.
+//!
+//! All arithmetic leaves of a formula are *atoms* comparing a linear term
+//! with zero. Equality is expanded into a pair of `≤` atoms and
+//! disequality into a pair of strict `<` atoms before solving, so the
+//! theory layer only ever sees `≤ 0` / `< 0` bounds — exactly what the
+//! simplex core consumes — plus integer divisibility constraints produced
+//! by Cooper elimination.
+
+use crate::var::VarId;
+use sia_num::{BigInt, BigRat};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear term `Σ coeffᵢ·varᵢ + constant` over exact rationals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinTerm {
+    coeffs: BTreeMap<VarId, BigRat>,
+    constant: BigRat,
+}
+
+impl LinTerm {
+    /// The zero term.
+    pub fn zero() -> Self {
+        LinTerm::default()
+    }
+
+    /// A constant term.
+    pub fn constant(c: BigRat) -> Self {
+        LinTerm {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The term `1·v`.
+    pub fn var(v: VarId) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, BigRat::one());
+        LinTerm {
+            coeffs,
+            constant: BigRat::zero(),
+        }
+    }
+
+    /// Build from raw parts, dropping zero coefficients.
+    pub fn from_parts(
+        coeffs: impl IntoIterator<Item = (VarId, BigRat)>,
+        constant: BigRat,
+    ) -> Self {
+        let mut t = LinTerm::constant(constant);
+        for (v, k) in coeffs {
+            t.add_coeff(v, &k);
+        }
+        t
+    }
+
+    /// The constant component.
+    pub fn constant_term(&self) -> &BigRat {
+        &self.constant
+    }
+
+    /// Coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: VarId) -> BigRat {
+        self.coeffs.get(&v).cloned().unwrap_or_else(BigRat::zero)
+    }
+
+    /// Iterate `(var, coeff)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &BigRat)> {
+        self.coeffs.iter().map(|(v, k)| (*v, k))
+    }
+
+    /// Variables with non-zero coefficients.
+    pub fn vars(&self) -> Vec<VarId> {
+        self.coeffs.keys().copied().collect()
+    }
+
+    /// True iff the term mentions `v`.
+    pub fn mentions(&self, v: VarId) -> bool {
+        self.coeffs.contains_key(&v)
+    }
+
+    /// True iff the term has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    fn add_coeff(&mut self, v: VarId, k: &BigRat) {
+        if k.is_zero() {
+            return;
+        }
+        match self.coeffs.get_mut(&v) {
+            Some(c) => {
+                *c += k;
+                if c.is_zero() {
+                    self.coeffs.remove(&v);
+                }
+            }
+            None => {
+                self.coeffs.insert(v, k.clone());
+            }
+        }
+    }
+
+    /// `self + other`
+    pub fn add(&self, other: &LinTerm) -> LinTerm {
+        let mut out = self.clone();
+        out.constant += &other.constant;
+        for (v, k) in &other.coeffs {
+            out.add_coeff(*v, k);
+        }
+        out
+    }
+
+    /// `self - other`
+    pub fn sub(&self, other: &LinTerm) -> LinTerm {
+        self.add(&other.scale(&-BigRat::one()))
+    }
+
+    /// `k·self`
+    pub fn scale(&self, k: &BigRat) -> LinTerm {
+        if k.is_zero() {
+            return LinTerm::zero();
+        }
+        LinTerm {
+            coeffs: self.coeffs.iter().map(|(v, c)| (*v, c * k)).collect(),
+            constant: &self.constant * k,
+        }
+    }
+
+    /// Negated term.
+    pub fn negated(&self) -> LinTerm {
+        self.scale(&-BigRat::one())
+    }
+
+    /// Replace `v` with `replacement` (used by quantifier elimination).
+    pub fn subst(&self, v: VarId, replacement: &LinTerm) -> LinTerm {
+        let k = self.coeff(v);
+        if k.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(&v);
+        out.add(&replacement.scale(&k))
+    }
+
+    /// Evaluate under an assignment of rationals to variables.
+    pub fn eval(&self, get: &impl Fn(VarId) -> BigRat) -> BigRat {
+        let mut acc = self.constant.clone();
+        for (v, k) in &self.coeffs {
+            acc += &(k * &get(*v));
+        }
+        acc
+    }
+
+    /// Scale so all coefficients and the constant become integers with
+    /// gcd 1; returns the scaled term. The scale factor is always positive,
+    /// so comparisons with zero are preserved.
+    pub fn normalize_integer(&self) -> LinTerm {
+        let mut l = self.constant.denom().clone();
+        for k in self.coeffs.values() {
+            l = l.lcm(k.denom());
+        }
+        let scaled = self.scale(&BigRat::from_int(l));
+        let mut g = scaled.constant.numer().abs();
+        for k in scaled.coeffs.values() {
+            g = g.gcd(k.numer());
+        }
+        if g.is_zero() || g.is_one() {
+            return scaled;
+        }
+        scaled.scale(&BigRat::new(BigInt::one(), g))
+    }
+
+    /// The variable-part only (constant dropped).
+    pub fn without_constant(&self) -> LinTerm {
+        LinTerm {
+            coeffs: self.coeffs.clone(),
+            constant: BigRat::zero(),
+        }
+    }
+}
+
+impl fmt::Display for LinTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, k) in &self.coeffs {
+            if first {
+                write!(f, "{k}*{v}")?;
+                first = false;
+            } else if k.is_negative() {
+                write!(f, " - {}*{v}", k.abs())?;
+            } else {
+                write!(f, " + {k}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)
+        } else if self.constant.is_negative() {
+            write!(f, " - {}", self.constant.abs())
+        } else if !self.constant.is_zero() {
+            write!(f, " + {}", self.constant)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Relation of an atom against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `term ≤ 0`
+    Le,
+    /// `term < 0`
+    Lt,
+}
+
+/// A theory atom: `term ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation.
+    pub rel: Rel,
+    /// The linear term compared against zero.
+    pub term: LinTerm,
+}
+
+impl Atom {
+    /// `term ≤ 0`
+    pub fn le(term: LinTerm) -> Self {
+        Atom { rel: Rel::Le, term }
+    }
+
+    /// `term < 0`
+    pub fn lt(term: LinTerm) -> Self {
+        Atom { rel: Rel::Lt, term }
+    }
+
+    /// The logical negation: `¬(t ≤ 0) = (-t < 0)`, `¬(t < 0) = (-t ≤ 0)`.
+    pub fn negated(&self) -> Atom {
+        match self.rel {
+            Rel::Le => Atom::lt(self.term.negated()),
+            Rel::Lt => Atom::le(self.term.negated()),
+        }
+    }
+
+    /// Evaluate under a rational assignment.
+    pub fn eval(&self, get: &impl Fn(VarId) -> BigRat) -> bool {
+        let v = self.term.eval(get);
+        match self.rel {
+            Rel::Le => !v.is_positive(),
+            Rel::Lt => v.is_negative(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.rel {
+            Rel::Le => "<=",
+            Rel::Lt => "<",
+        };
+        write!(f, "{} {op} 0", self.term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> BigRat {
+        BigRat::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn term_algebra() {
+        let a = LinTerm::var(v(0)).scale(&q(2, 1));
+        let b = LinTerm::var(v(1));
+        let t = a.add(&b).add(&LinTerm::constant(q(5, 1)));
+        assert_eq!(t.coeff(v(0)), q(2, 1));
+        assert_eq!(t.coeff(v(1)), q(1, 1));
+        assert_eq!(t.constant_term(), &q(5, 1));
+        let u = t.sub(&LinTerm::var(v(1)));
+        assert!(!u.mentions(v(1)));
+        assert_eq!(u.num_vars(), 1);
+    }
+
+    #[test]
+    fn cancellation_drops_vars() {
+        let t = LinTerm::var(v(0)).sub(&LinTerm::var(v(0)));
+        assert!(t.is_constant());
+        assert!(t.constant_term().is_zero());
+    }
+
+    #[test]
+    fn substitution() {
+        // t = 2x + y + 1; x := y - 3  →  2y - 6 + y + 1 = 3y - 5
+        let t = LinTerm::from_parts(vec![(v(0), q(2, 1)), (v(1), q(1, 1))], q(1, 1));
+        let r = LinTerm::from_parts(vec![(v(1), q(1, 1))], q(-3, 1));
+        let s = t.subst(v(0), &r);
+        assert_eq!(s.coeff(v(1)), q(3, 1));
+        assert_eq!(s.constant_term(), &q(-5, 1));
+        // substituting an absent var is a no-op
+        assert_eq!(t.subst(v(5), &r), t);
+    }
+
+    #[test]
+    fn eval() {
+        let t = LinTerm::from_parts(vec![(v(0), q(1, 2))], q(1, 1));
+        let r = t.eval(&|_| q(3, 1));
+        assert_eq!(r, q(5, 2));
+    }
+
+    #[test]
+    fn normalize_integer() {
+        // x/2 + y/3 + 1/6  →  3x + 2y + 1
+        let t = LinTerm::from_parts(vec![(v(0), q(1, 2)), (v(1), q(1, 3))], q(1, 6));
+        let n = t.normalize_integer();
+        assert_eq!(n.coeff(v(0)), q(3, 1));
+        assert_eq!(n.coeff(v(1)), q(2, 1));
+        assert_eq!(n.constant_term(), &q(1, 1));
+        // 4x + 6  →  2x + 3
+        let t2 = LinTerm::from_parts(vec![(v(0), q(4, 1))], q(6, 1));
+        let n2 = t2.normalize_integer();
+        assert_eq!(n2.coeff(v(0)), q(2, 1));
+        assert_eq!(n2.constant_term(), &q(3, 1));
+    }
+
+    #[test]
+    fn atom_negation() {
+        let t = LinTerm::from_parts(vec![(v(0), q(1, 1))], q(-5, 1)); // x - 5
+        let a = Atom::le(t.clone()); // x <= 5
+        let n = a.negated(); // x > 5  i.e.  5 - x < 0
+        assert_eq!(n.rel, Rel::Lt);
+        assert_eq!(n.term.coeff(v(0)), q(-1, 1));
+        // evaluation agrees
+        let at6 = |_: VarId| q(6, 1);
+        let at5 = |_: VarId| q(5, 1);
+        assert!(!a.eval(&at6));
+        assert!(n.eval(&at6));
+        assert!(a.eval(&at5));
+        assert!(!n.eval(&at5));
+    }
+
+    #[test]
+    fn display() {
+        let t = LinTerm::from_parts(vec![(v(0), q(2, 1)), (v(1), q(-1, 1))], q(-7, 1));
+        assert_eq!(t.to_string(), "2*v0 - 1*v1 - 7");
+        assert_eq!(Atom::lt(t).to_string(), "2*v0 - 1*v1 - 7 < 0");
+        assert_eq!(LinTerm::zero().to_string(), "0");
+    }
+}

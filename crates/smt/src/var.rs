@@ -1,0 +1,124 @@
+//! Solver variables: identifiers, sorts, and the variable table.
+
+use std::fmt;
+
+/// A solver variable identifier. Indexes into the owning
+/// [`VarTable`]; cheap to copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The sort (type) of a solver variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Mathematical integer.
+    Int,
+    /// Mathematical real (rational models).
+    Real,
+    /// Boolean.
+    Bool,
+}
+
+/// Variable metadata.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Human-readable name (for diagnostics and model printing).
+    pub name: String,
+    /// Sort.
+    pub sort: Sort,
+}
+
+/// Arena of declared variables.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    vars: Vec<VarInfo>,
+}
+
+impl VarTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        VarTable::default()
+    }
+
+    /// Declare a fresh variable.
+    pub fn declare(&mut self, name: impl Into<String>, sort: Sort) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.into(),
+            sort,
+        });
+        id
+    }
+
+    /// Metadata for a variable.
+    pub fn info(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// Sort of a variable.
+    pub fn sort(&self, v: VarId) -> Sort {
+        self.vars[v.index()].sort
+    }
+
+    /// Name of a variable.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Number of declared variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if no variables are declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterate over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (VarId(i as u32), info))
+    }
+
+    /// Find a variable by name (linear scan; diagnostics only).
+    pub fn find(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut t = VarTable::new();
+        let a = t.declare("a", Sort::Int);
+        let b = t.declare("b", Sort::Real);
+        assert_eq!(t.len(), 2);
+        assert_ne!(a, b);
+        assert_eq!(t.sort(a), Sort::Int);
+        assert_eq!(t.name(b), "b");
+        assert_eq!(t.find("a"), Some(a));
+        assert_eq!(t.find("zzz"), None);
+        assert_eq!(a.to_string(), "v0");
+    }
+}

@@ -1,0 +1,142 @@
+//! Differential testing of the full SMT stack against brute-force grid
+//! enumeration on small integer domains.
+
+use proptest::prelude::*;
+use sia_num::BigRat;
+use sia_smt::{eliminate_exists, Formula, LinTerm, QeConfig, SmtResult, Solver, Sort, VarId};
+
+/// A random atom over two variables with small coefficients, bounded so
+/// the grid check stays conclusive.
+#[derive(Debug, Clone)]
+struct RawAtom {
+    ax: i64,
+    ay: i64,
+    c: i64,
+    strict: bool,
+}
+
+fn atom_strategy() -> impl Strategy<Value = RawAtom> {
+    (-3i64..=3, -3i64..=3, -12i64..=12, any::<bool>()).prop_map(|(ax, ay, c, strict)| RawAtom {
+        ax,
+        ay,
+        c,
+        strict,
+    })
+}
+
+fn to_formula(a: &RawAtom, x: VarId, y: VarId) -> Formula {
+    let t = LinTerm::var(x)
+        .scale(&BigRat::from(a.ax))
+        .add(&LinTerm::var(y).scale(&BigRat::from(a.ay)))
+        .add(&LinTerm::constant(BigRat::from(a.c)));
+    if a.strict {
+        Formula::lt0(t)
+    } else {
+        Formula::le0(t)
+    }
+}
+
+fn holds(a: &RawAtom, x: i64, y: i64) -> bool {
+    let v = a.ax * x + a.ay * y + a.c;
+    if a.strict {
+        v < 0
+    } else {
+        v <= 0
+    }
+}
+
+/// Box both variables so the problem is finite and grid-checkable.
+fn boxed(x: VarId, y: VarId, r: i64) -> Formula {
+    let bound = |v: VarId| {
+        Formula::le0(
+            LinTerm::var(v).sub(&LinTerm::constant(BigRat::from(r))),
+        )
+        .and(Formula::le0(
+            LinTerm::constant(BigRat::from(-r)).sub(&LinTerm::var(v)),
+        ))
+    };
+    bound(x).and(bound(y))
+}
+
+const R: i64 = 10;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solver verdicts on random conjunctions match grid enumeration.
+    #[test]
+    fn conjunction_matches_grid(atoms in proptest::collection::vec(atom_strategy(), 1..5)) {
+        let mut s = Solver::new();
+        let x = s.declare("x", Sort::Int);
+        let y = s.declare("y", Sort::Int);
+        let f = atoms
+            .iter()
+            .fold(boxed(x, y, R), |acc, a| acc.and(to_formula(a, x, y)));
+        let grid_sat = (-R..=R).any(|gx| {
+            (-R..=R).any(|gy| atoms.iter().all(|a| holds(a, gx, gy)))
+        });
+        match s.check(&f) {
+            SmtResult::Sat(m) => {
+                let (mx, my) = (m.int(x).to_i64().unwrap(), m.int(y).to_i64().unwrap());
+                prop_assert!(grid_sat, "solver sat at ({mx},{my}) but grid unsat");
+                prop_assert!(
+                    atoms.iter().all(|a| holds(a, mx, my)),
+                    "model ({mx},{my}) violates an atom"
+                );
+                prop_assert!((-R..=R).contains(&mx) && (-R..=R).contains(&my));
+            }
+            SmtResult::Unsat => prop_assert!(!grid_sat, "solver unsat but grid sat"),
+            SmtResult::Unknown => {}
+        }
+    }
+
+    /// QE of one variable agrees with per-point grid satisfiability.
+    #[test]
+    fn elimination_matches_grid(atoms in proptest::collection::vec(atom_strategy(), 1..4)) {
+        let mut s = Solver::new();
+        let x = s.declare("x", Sort::Int);
+        let y = s.declare("y", Sort::Int);
+        let f = atoms
+            .iter()
+            .fold(boxed(x, y, R), |acc, a| acc.and(to_formula(a, x, y)));
+        let Ok(projected) = eliminate_exists(&f, &[y], &QeConfig::default()) else {
+            return Ok(()); // budget: fine
+        };
+        for gx in -R..=R {
+            let expect = (-R..=R).any(|gy| atoms.iter().all(|a| holds(a, gx, gy)));
+            let g = projected.subst(x, &LinTerm::constant(BigRat::from(gx)));
+            let actual = match &g {
+                Formula::True => true,
+                Formula::False => false,
+                g if g.vars().is_empty() => g.eval(&|_| BigRat::zero(), &|_| false),
+                _ => {
+                    // Residual divisibility witnesses: decide with the solver.
+                    matches!(s.check(&g), SmtResult::Sat(_))
+                }
+            };
+            prop_assert_eq!(actual, expect, "projection wrong at x = {}", gx);
+        }
+    }
+
+    /// Disjunctions exercise the boolean layer: (A ∧ box) ∨ (B ∧ box).
+    #[test]
+    fn disjunction_matches_grid(
+        a in proptest::collection::vec(atom_strategy(), 1..3),
+        b in proptest::collection::vec(atom_strategy(), 1..3),
+    ) {
+        let mut s = Solver::new();
+        let x = s.declare("x", Sort::Int);
+        let y = s.declare("y", Sort::Int);
+        let fa = a.iter().fold(Formula::True, |acc, t| acc.and(to_formula(t, x, y)));
+        let fb = b.iter().fold(Formula::True, |acc, t| acc.and(to_formula(t, x, y)));
+        let f = boxed(x, y, R).and(fa.or(fb));
+        let grid_sat = (-R..=R).any(|gx| (-R..=R).any(|gy| {
+            a.iter().all(|t| holds(t, gx, gy)) || b.iter().all(|t| holds(t, gx, gy))
+        }));
+        match s.check(&f) {
+            SmtResult::Sat(_) => prop_assert!(grid_sat),
+            SmtResult::Unsat => prop_assert!(!grid_sat),
+            SmtResult::Unknown => {}
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Query-level AST: the `SELECT … FROM … WHERE …` shape Sia rewrites.
+
+use sia_expr::Pred;
+use std::fmt;
+
+/// The projection list of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectList {
+    /// `SELECT *`
+    Star,
+    /// Explicit column list.
+    Columns(Vec<String>),
+}
+
+impl fmt::Display for SelectList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectList::Star => f.write_str("*"),
+            SelectList::Columns(cols) => f.write_str(&cols.join(", ")),
+        }
+    }
+}
+
+/// A parsed query: `SELECT select FROM tables WHERE predicate`.
+///
+/// Joins are expressed the way the paper's benchmark queries express them —
+/// as a comma-separated table list with join conditions in the WHERE clause
+/// (`o_orderkey = l_orderkey AND …`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection.
+    pub select: SelectList,
+    /// Tables in the FROM clause.
+    pub tables: Vec<String>,
+    /// WHERE predicate, if present.
+    pub predicate: Option<Pred>,
+}
+
+impl Query {
+    /// The WHERE predicate, or TRUE if absent.
+    pub fn predicate_or_true(&self) -> Pred {
+        self.predicate.clone().unwrap_or_else(Pred::true_)
+    }
+
+    /// Return a copy with `extra` conjoined to the WHERE clause — how Sia
+    /// injects a synthesized predicate (the rewritten query stays
+    /// semantically equivalent because the extra conjunct is implied by the
+    /// original predicate).
+    pub fn with_extra_predicate(&self, extra: Pred) -> Query {
+        let predicate = match &self.predicate {
+            None => extra,
+            Some(p) => p.clone().and(extra),
+        };
+        Query {
+            select: self.select.clone(),
+            tables: self.tables.clone(),
+            predicate: Some(predicate),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {} FROM {}", self.select, self.tables.join(", "))?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_expr::{col, lit};
+
+    #[test]
+    fn display() {
+        let q = Query {
+            select: SelectList::Star,
+            tables: vec!["a".into(), "b".into()],
+            predicate: Some(col("a.x").lt(lit(5))),
+        };
+        assert_eq!(q.to_string(), "SELECT * FROM a, b WHERE a.x < 5");
+    }
+
+    #[test]
+    fn with_extra_predicate() {
+        let q = Query {
+            select: SelectList::Columns(vec!["x".into()]),
+            tables: vec!["t".into()],
+            predicate: None,
+        };
+        let q2 = q.with_extra_predicate(col("x").gt(lit(0)));
+        assert_eq!(q2.to_string(), "SELECT x FROM t WHERE x > 0");
+        let q3 = q2.with_extra_predicate(col("x").lt(lit(10)));
+        assert_eq!(q3.to_string(), "SELECT x FROM t WHERE x > 0 AND x < 10");
+    }
+
+    #[test]
+    fn predicate_or_true() {
+        let q = Query {
+            select: SelectList::Star,
+            tables: vec!["t".into()],
+            predicate: None,
+        };
+        assert!(q.predicate_or_true().is_true());
+    }
+}

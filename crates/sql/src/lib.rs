@@ -1,0 +1,16 @@
+//! SQL front-end for Sia: a lexer, a recursive-descent parser for the
+//! `SELECT … FROM … WHERE …` subset the paper's benchmark uses (§6.3), and
+//! an unparser (`Display` on the AST).
+//!
+//! The paper builds on Apache Calcite for this layer; this crate replaces
+//! exactly the slice of Calcite that Sia exercises: turning a SQL string
+//! into a predicate AST and rendering rewritten queries back to SQL.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use ast::{Query, SelectList};
+pub use parser::{parse_expr, parse_predicate, parse_query, ParseError};

@@ -1,0 +1,204 @@
+//! Continued-fraction rationalization of learned hyperplanes.
+//!
+//! The SVM produces float weights; the synthesized SQL predicate and the
+//! SMT verification query need exact, preferably small, integer
+//! coefficients. Each weight is normalized by the largest weight
+//! magnitude, approximated by a rational with bounded denominator via the
+//! continued-fraction (Stern–Brocot) expansion, and the result scaled by
+//! the common denominator. Rounding can only *tilt* the plane slightly —
+//! validity of the final predicate is still guaranteed because Sia
+//! re-verifies every learned predicate with the solver (§5.5).
+
+use crate::{Hyperplane, IntHyperplane};
+use sia_num::{BigInt, BigRat};
+
+/// Best rational approximation `p/q` to `v` with `q ≤ max_den`
+/// (continued-fraction convergents).
+pub fn rationalize_value(v: f64, max_den: u64) -> BigRat {
+    assert!(max_den >= 1);
+    if !v.is_finite() {
+        return BigRat::zero();
+    }
+    let negative = v < 0.0;
+    let mut x = v.abs();
+    // Convergents p_k/q_k of the continued fraction of x.
+    let (mut p0, mut q0) = (BigInt::zero(), BigInt::one());
+    let (mut p1, mut q1) = (BigInt::one(), BigInt::zero());
+    let max_den_big = BigInt::from(max_den as i64);
+    for _ in 0..64 {
+        let a = x.floor();
+        if a > 1e18 {
+            break;
+        }
+        let a_big = BigInt::from(a as i64);
+        let p2 = &a_big * &p1 + &p0;
+        let q2 = &a_big * &q1 + &q0;
+        if q2 > max_den_big {
+            break;
+        }
+        p0 = p1;
+        q0 = q1;
+        p1 = p2;
+        q1 = q2;
+        let frac = x - a;
+        if frac < 1e-12 {
+            break;
+        }
+        x = 1.0 / frac;
+    }
+    if q1.is_zero() {
+        return BigRat::zero();
+    }
+    let r = BigRat::new(p1, q1);
+    if negative {
+        -r
+    } else {
+        r
+    }
+}
+
+/// Convert a float hyperplane to integer coefficients.
+///
+/// Weights are scaled relative to the largest |weight| and approximated
+/// with denominators bounded by `max_den`; the bias is approximated on the
+/// same relative scale. Weights that vanish after rounding (relative
+/// magnitude below `1/max_den`) become exactly zero, which is how Sia's
+/// "use all the given columns" check detects that the learner effectively
+/// dropped a column (§6.4).
+pub fn rationalize(h: &Hyperplane, max_den: u64) -> IntHyperplane {
+    let max_w = h
+        .weights
+        .iter()
+        .fold(0.0f64, |m, w| m.max(w.abs()));
+    if max_w == 0.0 {
+        return IntHyperplane {
+            weights: vec![BigInt::zero(); h.weights.len()],
+            bias: rationalize_value(h.bias, 1).numer().clone(),
+        };
+    }
+    let rel: Vec<BigRat> = h
+        .weights
+        .iter()
+        .map(|w| rationalize_value(w / max_w, max_den))
+        .collect();
+    // Common denominator over the *weights* → small integer coefficients.
+    let mut lcm = BigInt::one();
+    for r in &rel {
+        lcm = lcm.lcm(r.denom());
+    }
+    let scale = BigRat::from_int(lcm.clone());
+    let weights: Vec<BigInt> = rel
+        .iter()
+        .map(|r| (r * &scale).numer().clone())
+        .collect();
+    // Integer points satisfy w·x + b > 0 iff w·x ≥ 1 - ⌈b⌉, so the
+    // ceiling of the scaled bias is the exact integer bias: the integer
+    // plane accepts precisely the integer points the float plane accepts.
+    // (Exactness here is what lets the CEGIS loop pinch onto the optimal
+    // boundary instead of dithering ±1 around it.)
+    let bias_scaled = h.bias / max_w * lcm.to_f64();
+    let bias = BigInt::from(bias_scaled.ceil().clamp(-9e17, 9e17) as i64);
+    // Remove any common factor for the smallest equivalent plane.
+    let mut g = bias.abs();
+    for w in &weights {
+        g = g.gcd(w);
+    }
+    if g.is_zero() || g.is_one() {
+        return IntHyperplane { weights, bias };
+    }
+    IntHyperplane {
+        weights: weights.into_iter().map(|w| w / &g).collect(),
+        bias: bias / &g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> BigRat {
+        BigRat::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn exact_small_rationals() {
+        assert_eq!(rationalize_value(0.5, 100), q(1, 2));
+        assert_eq!(rationalize_value(-0.25, 100), q(-1, 4));
+        assert_eq!(rationalize_value(3.0, 100), q(3, 1));
+        assert_eq!(rationalize_value(0.0, 100), BigRat::zero());
+        assert_eq!(rationalize_value(2.0 / 3.0, 100), q(2, 3));
+    }
+
+    #[test]
+    fn bounded_denominator() {
+        // π with denominator ≤ 10 is 22/7; ≤ 200 is 355/113.
+        let pi = std::f64::consts::PI;
+        assert_eq!(rationalize_value(pi, 10), q(22, 7));
+        assert_eq!(rationalize_value(pi, 200), q(355, 113));
+    }
+
+    #[test]
+    fn non_finite_is_zero() {
+        assert_eq!(rationalize_value(f64::NAN, 10), BigRat::zero());
+        assert_eq!(rationalize_value(f64::INFINITY, 10), BigRat::zero());
+    }
+
+    #[test]
+    fn plane_rationalization() {
+        // 2·a1 + 1·a2 + 50 scaled arbitrarily.
+        let h = Hyperplane {
+            weights: vec![0.4, 0.2],
+            bias: 10.0,
+        };
+        let ih = rationalize(&h, 64);
+        assert_eq!(
+            ih.weights,
+            vec![BigInt::from(2i64), BigInt::from(1i64)]
+        );
+        assert_eq!(ih.bias, BigInt::from(50i64));
+    }
+
+    #[test]
+    fn near_zero_weight_truncates() {
+        let h = Hyperplane {
+            weights: vec![1.0, 1e-9],
+            bias: 0.0,
+        };
+        let ih = rationalize(&h, 64);
+        assert_eq!(ih.weights[1], BigInt::zero());
+        assert_eq!(ih.weights[0], BigInt::one());
+    }
+
+    #[test]
+    fn zero_plane() {
+        let h = Hyperplane {
+            weights: vec![0.0, 0.0],
+            bias: 1.5,
+        };
+        let ih = rationalize(&h, 64);
+        assert!(ih.is_degenerate());
+    }
+
+    #[test]
+    fn classification_preserved_for_clean_planes() {
+        // For a plane with exactly representable ratios, the integer plane
+        // classifies identically on integer points away from the boundary.
+        let h = Hyperplane {
+            weights: vec![1.0, -2.0],
+            bias: 3.0,
+        };
+        let ih = rationalize(&h, 64);
+        for x in -10i64..10 {
+            for y in -10i64..10 {
+                let fd = h.decision(&[x as f64, y as f64]);
+                if fd.abs() > 1e-6 {
+                    assert_eq!(
+                        ih.classify(&[BigInt::from(x), BigInt::from(y)]),
+                        fd > 0.0,
+                        "at ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The 200-query benchmark workload of §6.3.
+//!
+//! Every query instantiates the template
+//!
+//! ```sql
+//! SELECT * FROM lineitem, orders
+//! WHERE o_orderkey = l_orderkey AND <predicate>
+//! ```
+//!
+//! where `<predicate>` is a conjunction of 3–8 randomly generated terms,
+//! each term a binary arithmetic comparison over the three lineitem date
+//! columns, `o_orderdate`, date constants, and day intervals — and **every
+//! term references `o_orderdate`**, so the original predicate can never be
+//! pushed below the join toward `lineitem`. Unsatisfiable draws are
+//! rejected (checked with the workspace SMT solver) and regenerated,
+//! exactly as the paper does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sia_core::PredEncoder;
+use sia_expr::{col, CmpOp, Date, Expr, Pred};
+use sia_sql::{Query, SelectList};
+
+/// The lineitem date columns the benchmark constrains.
+pub const LINEITEM_COLS: [&str; 3] = ["l_shipdate", "l_commitdate", "l_receiptdate"];
+
+/// The orders-side column every term must reference.
+pub const ORDERS_COL: &str = "o_orderdate";
+
+/// A generated benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Sequential id (0-based).
+    pub id: usize,
+    /// The full query (join + predicate).
+    pub query: Query,
+    /// The random predicate (without the join condition).
+    pub predicate: Pred,
+}
+
+impl BenchQuery {
+    /// Render as SQL.
+    pub fn sql(&self) -> String {
+        self.query.to_string()
+    }
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries (the paper uses 200).
+    pub count: usize,
+    /// Minimum conjunct count.
+    pub min_terms: usize,
+    /// Maximum conjunct count.
+    pub max_terms: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            count: 200,
+            min_terms: 3,
+            max_terms: 8,
+            seed: 0x51A_2021,
+        }
+    }
+}
+
+/// Generate the workload. Each returned predicate is satisfiable and
+/// every one of its terms references `o_orderdate`.
+pub fn generate_workload(config: &WorkloadConfig) -> Vec<BenchQuery> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.count);
+    let mut id = 0;
+    while out.len() < config.count {
+        let n_terms = rng.gen_range(config.min_terms..=config.max_terms);
+        let terms: Vec<Pred> = (0..n_terms).map(|_| random_term(&mut rng)).collect();
+        let predicate = Pred::and_all(terms);
+        if !is_satisfiable(&predicate) {
+            continue;
+        }
+        let query = Query {
+            select: SelectList::Star,
+            tables: vec!["lineitem".into(), "orders".into()],
+            predicate: Some(
+                col("o_orderkey")
+                    .eq_(col("l_orderkey"))
+                    .and(predicate.clone()),
+            ),
+        };
+        out.push(BenchQuery {
+            id,
+            query,
+            predicate,
+        });
+        id += 1;
+    }
+    out
+}
+
+fn random_lineitem_col(rng: &mut StdRng) -> Expr {
+    col(LINEITEM_COLS[rng.gen_range(0..LINEITEM_COLS.len())])
+}
+
+fn random_date(rng: &mut StdRng) -> Expr {
+    // Uniform over the populated order-date range.
+    let lo = Date::parse("1992-06-01").unwrap().to_days();
+    let hi = Date::parse("1998-06-01").unwrap().to_days();
+    Expr::Date(Date::from_days(rng.gen_range(lo..=hi)))
+}
+
+fn random_interval(rng: &mut StdRng) -> Expr {
+    Expr::Int(rng.gen_range(-60..=120))
+}
+
+fn random_cmp(rng: &mut StdRng) -> CmpOp {
+    match rng.gen_range(0..10) {
+        0..=3 => CmpOp::Lt,
+        4..=5 => CmpOp::Le,
+        6..=7 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+/// One random term. Shapes (all referencing `o_orderdate`):
+///
+/// 1. `l_col - o_orderdate ⋖ interval` — the push-down-blocking
+///    difference constraint;
+/// 2. `o_orderdate ⋖ date` — an orders-side range;
+/// 3. `l_col - l_col ⋖ l_col - o_orderdate + interval` — the paper's
+///    complex arithmetic shape (§2);
+/// 4. `l_col ⋖ o_orderdate + interval` — a shifted bound.
+fn random_term(rng: &mut StdRng) -> Pred {
+    let op = random_cmp(rng);
+    match rng.gen_range(0..10) {
+        0..=3 => random_lineitem_col(rng)
+            .sub(col(ORDERS_COL))
+            .cmp(op, random_interval(rng)),
+        4..=5 => col(ORDERS_COL).cmp(op, random_date(rng)),
+        6..=7 => {
+            let a = random_lineitem_col(rng);
+            let b = random_lineitem_col(rng);
+            a.sub(b).cmp(
+                op,
+                random_lineitem_col(rng)
+                    .sub(col(ORDERS_COL))
+                    .add(random_interval(rng)),
+            )
+        }
+        _ => random_lineitem_col(rng).cmp(op, col(ORDERS_COL).add(random_interval(rng))),
+    }
+}
+
+/// Satisfiability filter (§6.3: "we re-generate the query if the
+/// predicate cannot be satisfied by any tuples").
+pub fn is_satisfiable(p: &Pred) -> bool {
+    let mut enc = PredEncoder::new();
+    match enc.encode(p) {
+        Ok(f) => enc.solver().check(&f).is_sat(),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let qs = generate_workload(&WorkloadConfig {
+            count: 25,
+            ..WorkloadConfig::default()
+        });
+        assert_eq!(qs.len(), 25);
+        assert_eq!(qs[24].id, 24);
+    }
+
+    #[test]
+    fn every_term_references_o_orderdate() {
+        let qs = generate_workload(&WorkloadConfig {
+            count: 15,
+            ..WorkloadConfig::default()
+        });
+        for q in &qs {
+            for term in q.predicate.conjuncts() {
+                assert!(
+                    term.columns().contains(&ORDERS_COL.to_string()),
+                    "term {term} lacks o_orderdate in query {}",
+                    q.id
+                );
+            }
+            let n = q.predicate.conjuncts().len();
+            assert!((3..=8).contains(&n));
+        }
+    }
+
+    #[test]
+    fn predicates_are_satisfiable() {
+        let qs = generate_workload(&WorkloadConfig {
+            count: 10,
+            ..WorkloadConfig::default()
+        });
+        for q in &qs {
+            assert!(is_satisfiable(&q.predicate), "query {} unsat", q.id);
+        }
+    }
+
+    #[test]
+    fn queries_parse_back() {
+        let qs = generate_workload(&WorkloadConfig {
+            count: 5,
+            ..WorkloadConfig::default()
+        });
+        for q in &qs {
+            let reparsed = sia_sql::parse_query(&q.sql()).unwrap();
+            assert_eq!(reparsed.tables, vec!["lineitem", "orders"]);
+            assert!(reparsed.predicate.is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WorkloadConfig {
+            count: 8,
+            ..WorkloadConfig::default()
+        };
+        let a = generate_workload(&cfg);
+        let b = generate_workload(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql(), y.sql());
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_filter_works() {
+        let p = sia_sql::parse_predicate("o_orderdate < DATE '1993-01-01' AND o_orderdate > DATE '1994-01-01'").unwrap();
+        assert!(!is_satisfiable(&p));
+    }
+}

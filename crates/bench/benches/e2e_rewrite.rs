@@ -1,8 +1,11 @@
 //! The full pipeline as one benchmark: parse → synthesize → rewrite →
 //! optimize → execute, on the §2 motivating query.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use sia_bench::microbench::Criterion;
 use sia_bench::runtime::tpch_catalog;
+use sia_bench::{criterion_group, criterion_main};
 use sia_core::Synthesizer;
 use sia_engine::OptimizerConfig;
 use sia_sql::parse_query;
@@ -27,14 +30,14 @@ fn bench_e2e(c: &mut Criterion) {
             let outcome = sia_core::rewrite_query(&mut syn, &q, &catalog, "lineitem").unwrap();
             let rewritten = outcome.rewritten.expect("rewritable");
             let r = db.run(&rewritten, OptimizerConfig::default()).unwrap();
-            criterion::black_box(r.table.num_rows());
+            sia_bench::microbench::black_box(r.table.num_rows());
         });
     });
     group.bench_function("execute_only_original", |b| {
         let q = parse_query(sql).unwrap();
         b.iter(|| {
             let r = db.run(&q, OptimizerConfig::default()).unwrap();
-            criterion::black_box(r.table.num_rows());
+            sia_bench::microbench::black_box(r.table.num_rows());
         });
     });
     group.finish();

@@ -1,7 +1,10 @@
 //! Execution-engine benchmarks: filter and join throughput plus the
 //! push-down on/off ablation (where the paper's runtime win comes from).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use sia_bench::microbench::{BenchmarkId, Criterion};
+use sia_bench::{criterion_group, criterion_main};
 use sia_engine::OptimizerConfig;
 use sia_sql::parse_query;
 use sia_tpch::{generate, TpchConfig};
@@ -15,7 +18,7 @@ fn bench_filter_scan(c: &mut Criterion) {
     c.bench_function("engine/filter_scan_sf005", |b| {
         b.iter(|| {
             let r = db.run(&q, OptimizerConfig::default()).unwrap();
-            criterion::black_box(r.table.num_rows());
+            sia_bench::microbench::black_box(r.table.num_rows());
         });
     });
 }
@@ -29,7 +32,7 @@ fn bench_join(c: &mut Criterion) {
     c.bench_function("engine/hash_join_sf005", |b| {
         b.iter(|| {
             let r = db.run(&q, OptimizerConfig::default()).unwrap();
-            criterion::black_box(r.table.num_rows());
+            sia_bench::microbench::black_box(r.table.num_rows());
         });
     });
 }
@@ -53,7 +56,7 @@ fn bench_pushdown_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &pushdown, |b, &p| {
             b.iter(|| {
                 let r = db.run(&q, OptimizerConfig { pushdown: p }).unwrap();
-                criterion::black_box(r.table.num_rows());
+                sia_bench::microbench::black_box(r.table.num_rows());
             });
         });
     }

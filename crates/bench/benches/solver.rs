@@ -2,7 +2,10 @@
 //! and Cooper quantifier elimination — including the Cooper-vs-CEGQI
 //! ablation for FALSE-sample generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use sia_bench::microbench::{BenchmarkId, Criterion};
+use sia_bench::{criterion_group, criterion_main};
 use sia_core::{PredEncoder, SampleOutcome, Sampler};
 use sia_num::BigRat;
 use sia_smt::{eliminate_exists, Formula, LinTerm, QeConfig, Solver, Sort};
@@ -39,8 +42,7 @@ fn bench_cooper_qe(c: &mut Criterion) {
     // The motivating example's projection, the workhorse shape.
     group.bench_function("motivating_projection", |b| {
         let mut enc = PredEncoder::new();
-        let p =
-            parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
+        let p = parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
         let pf = enc.encode(&p).unwrap();
         let b1 = enc.value_var("b1");
         b.iter(|| {
@@ -84,14 +86,14 @@ fn bench_false_sampling(c: &mut Criterion) {
         });
     });
     group.bench_function("cegqi", |b| {
-        use rand::SeedableRng;
+        use sia_rand::SeedableRng;
         b.iter(|| {
             let mut enc = PredEncoder::new();
             let p = parse_predicate(sql).unwrap();
             let pf = enc.encode(&p).unwrap();
             let a = enc.value_var("a");
             let mut seen = Vec::new();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let mut rng = sia_rand::rngs::StdRng::seed_from_u64(1);
             for _ in 0..10 {
                 let out = sia_core::cegqi::false_sample(
                     enc.solver(),

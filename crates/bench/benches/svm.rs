@@ -1,6 +1,9 @@
 //! Linear-SVM training and rationalization micro-benchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use sia_bench::microbench::{BenchmarkId, Criterion};
+use sia_bench::{criterion_group, criterion_main};
 use sia_svm::{rationalize, train, Sample, SvmConfig};
 
 fn clustered_samples(n: usize, dim: usize) -> Vec<Sample> {

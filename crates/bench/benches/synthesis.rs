@@ -2,7 +2,10 @@
 //! breakdown: one benchmark per requested subset size on the paper's
 //! motivating predicate family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use sia_bench::microbench::{BenchmarkId, Criterion};
+use sia_bench::{criterion_group, criterion_main};
 use sia_core::{SiaConfig, Synthesizer};
 use sia_sql::parse_predicate;
 
@@ -30,7 +33,7 @@ fn bench_synthesis_by_columns(c: &mut Criterion) {
                     ..SiaConfig::default()
                 });
                 let r = syn.synthesize(&p, cols).unwrap();
-                criterion::black_box(r);
+                sia_bench::microbench::black_box(r);
             });
         });
     }
@@ -41,10 +44,8 @@ fn bench_variants(c: &mut Criterion) {
     // SIA vs SIA_v1 vs SIA_v2 on the one-column task (Table 3's columns).
     let mut group = c.benchmark_group("synthesis/variants");
     group.sample_size(10);
-    let p = parse_predicate(
-        "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'",
-    )
-    .unwrap();
+    let p = parse_predicate("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'")
+        .unwrap();
     let cols = vec!["l_shipdate".to_string()];
     for (name, cfg) in [
         ("sia", SiaConfig::default()),
@@ -55,7 +56,7 @@ fn bench_variants(c: &mut Criterion) {
             b.iter(|| {
                 let mut syn = Synthesizer::new(cfg.clone());
                 let r = syn.synthesize(&p, &cols).unwrap();
-                criterion::black_box(r);
+                sia_bench::microbench::black_box(r);
             });
         });
     }

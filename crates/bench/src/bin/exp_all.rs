@@ -39,7 +39,8 @@ fn main() {
     println!("{}", report::fig8(&sweep));
 
     println!("== Runtime impact ==");
-    let (rewritten, total) = runtime::rewrite_workload(queries, 0x51A_2021, &sia_core::SiaConfig::default());
+    let (rewritten, total) =
+        runtime::rewrite_workload(queries, 0x51A_2021, &sia_core::SiaConfig::default());
     for sf in [sf_small, sf_large] {
         let db = sia_tpch::generate(&sia_tpch::TpchConfig {
             scale_factor: sf,
@@ -48,7 +49,12 @@ fn main() {
         let points = runtime::measure(&db, &rewritten, 3);
         println!(
             "{}",
-            report::fig9(&format!("scale factor {sf}"), &points, rewritten.len(), total)
+            report::fig9(
+                &format!("scale factor {sf}"),
+                &points,
+                rewritten.len(),
+                total
+            )
         );
     }
 }

@@ -6,11 +6,26 @@ fn main() {
     let sf_small = util::env_f64("SIA_BENCH_SF_SMALL", 0.02);
     let sf_large = util::env_f64("SIA_BENCH_SF_LARGE", 0.2);
     eprintln!("rewriting {queries} queries…");
-    let (rewritten, total) = runtime::rewrite_workload(queries, 0x51A_2021, &sia_core::SiaConfig::default());
-    eprintln!("{} rewritable; measuring at SF {sf_small} and SF {sf_large}…", rewritten.len());
+    let (rewritten, total) =
+        runtime::rewrite_workload(queries, 0x51A_2021, &sia_core::SiaConfig::default());
+    eprintln!(
+        "{} rewritable; measuring at SF {sf_small} and SF {sf_large}…",
+        rewritten.len()
+    );
     for sf in [sf_small, sf_large] {
-        let db = sia_tpch::generate(&sia_tpch::TpchConfig { scale_factor: sf, ..Default::default() });
+        let db = sia_tpch::generate(&sia_tpch::TpchConfig {
+            scale_factor: sf,
+            ..Default::default()
+        });
         let points = runtime::measure(&db, &rewritten, 3);
-        println!("{}", report::fig9(&format!("scale factor {sf}"), &points, rewritten.len(), total));
+        println!(
+            "{}",
+            report::fig9(
+                &format!("scale factor {sf}"),
+                &points,
+                rewritten.len(),
+                total
+            )
+        );
     }
 }

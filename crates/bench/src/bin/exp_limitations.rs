@@ -11,7 +11,10 @@ fn main() {
     let p = parse_predicate("a > b AND a < b + 50 AND b > 0 AND b < 150").unwrap();
     let mut syn = Synthesizer::new(SiaConfig::default());
     let r = syn.synthesize(&p, &["a".to_string()]).unwrap();
-    println!("predicate: {:?}", r.predicate.as_ref().map(|q| q.to_string()));
+    println!(
+        "predicate: {:?}",
+        r.predicate.as_ref().map(|q| q.to_string())
+    );
     println!("optimal:   {}", r.optimal);
     println!("iterations: {}", r.stats.iterations);
     println!(

@@ -11,5 +11,9 @@ fn main() {
         ..suite::SweepConfig::default()
     });
     println!("Table 1: baseline configurations\n{}", report::table1());
-    println!("Table 2: efficacy ({} queries)\n{}", r.queries, report::table2(&r));
+    println!(
+        "Table 2: efficacy ({} queries)\n{}",
+        r.queries,
+        report::table2(&r)
+    );
 }

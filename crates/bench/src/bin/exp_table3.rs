@@ -10,5 +10,9 @@ fn main() {
         run_baselines: baselines,
         ..suite::SweepConfig::default()
     });
-    println!("Table 3: efficiency ({} queries)\n{}", r.queries, report::table3(&r));
+    println!(
+        "Table 3: efficiency ({} queries)\n{}",
+        r.queries,
+        report::table3(&r)
+    );
 }

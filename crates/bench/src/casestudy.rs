@@ -17,8 +17,8 @@
 //!   plausible CPU/memory co-scaling.
 
 use crate::suite::has_unsat_tuple;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sia_rand::rngs::StdRng;
+use sia_rand::{Rng, SeedableRng};
 use sia_sql::parse_predicate;
 
 /// One simulated production query.
@@ -65,7 +65,10 @@ fn templates() -> Vec<(&'static str, f64)> {
         // Equality through the other table's bounded column: relevant.
         ("t.a = u.x + 10 AND u.x >= 0 AND u.x <= 50", 0.04),
         // Two-sided window: relevant.
-        ("t.a - u.x < 20 AND u.x - t.a < 5 AND u.x > 0 AND u.x < 200", 0.03),
+        (
+            "t.a - u.x < 20 AND u.x - t.a < 5 AND u.x > 0 AND u.x < 200",
+            0.03,
+        ),
         // Difference with an unbounded partner column: not relevant.
         ("t.a - u.x < 30", 0.40),
         // Cross-table sum with free partner: not relevant.
@@ -83,8 +86,7 @@ pub fn simulate(config: &CaseStudyConfig) -> Vec<LogEntry> {
         .into_iter()
         .map(|(sql, weight)| {
             let pred = parse_predicate(sql).expect("template parses");
-            let relevant =
-                has_unsat_tuple(&pred, &["t.a".to_string()]) == Some(true);
+            let relevant = has_unsat_tuple(&pred, &["t.a".to_string()]) == Some(true);
             (weight, relevant)
         })
         .collect();
@@ -168,8 +170,7 @@ mod tests {
             queries: 4000,
             seed: 7,
         });
-        let rate = log.iter().filter(|e| e.symbolically_relevant).count() as f64
-            / log.len() as f64;
+        let rate = log.iter().filter(|e| e.symbolically_relevant).count() as f64 / log.len() as f64;
         // Paper: 26,104 / 204,287 ≈ 12.8%.
         assert!((0.08..0.18).contains(&rate), "rate {rate}");
     }
@@ -195,8 +196,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = simulate(&CaseStudyConfig { queries: 50, seed: 9 });
-        let b = simulate(&CaseStudyConfig { queries: 50, seed: 9 });
+        let a = simulate(&CaseStudyConfig {
+            queries: 50,
+            seed: 9,
+        });
+        let b = simulate(&CaseStudyConfig {
+            queries: 50,
+            seed: 9,
+        });
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.exec_seconds, y.exec_seconds);

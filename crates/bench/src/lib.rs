@@ -20,8 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod casestudy;
-pub mod report;
+pub mod microbench;
 pub mod motivating;
+pub mod report;
 pub mod runtime;
 pub mod suite;
 pub mod util;

@@ -1,0 +1,282 @@
+//! A minimal in-repo replacement for the `criterion` micro-benchmark
+//! harness, offering the small API surface the `benches/` targets use.
+//!
+//! The external `criterion` crate cannot be vendored into this offline
+//! build. This shim keeps the familiar shape — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! the `criterion_group!`/`criterion_main!` macros — with two modes:
+//!
+//! * **test mode** (default, what `cargo test` triggers): every benchmark
+//!   body runs exactly once so regressions in bench code are caught by the
+//!   ordinary test suite, with no timing overhead;
+//! * **bench mode** (`--bench` on the command line, what `cargo bench`
+//!   passes): each benchmark is warmed up once and then timed over
+//!   `sample_size` iterations, and a mean per-iteration time is printed.
+//!
+//! A single free-form command-line argument acts as a substring filter on
+//! benchmark names, matching criterion's CLI convention.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterization of a benchmark.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value, e.g. a size.
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations and record the
+    /// mean wall-clock time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.nanos_per_iter = total / self.iters as f64;
+    }
+}
+
+/// The top-level harness: holds the run mode, the name filter, and the
+/// default sample size.
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                bench_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+            // Other flags (--test, --nocapture, ...) are accepted and ignored.
+        }
+        Criterion {
+            sample_size: 20,
+            bench_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style override of the default sample size.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.run(name, self.sample_size, f);
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iters = if self.bench_mode {
+            sample_size.max(1) as u64
+        } else {
+            1
+        };
+        let mut b = Bencher {
+            iters,
+            nanos_per_iter: 0.0,
+        };
+        if self.bench_mode {
+            // One untimed warm-up pass before the measured samples.
+            let mut warm = Bencher {
+                iters: 1,
+                nanos_per_iter: 0.0,
+            };
+            f(&mut warm);
+        }
+        f(&mut b);
+        if self.bench_mode {
+            println!(
+                "{name}: {} ns/iter ({iters} iters)",
+                fmt_ns(b.nanos_per_iter)
+            );
+        } else {
+            println!("{name}: ok (test mode)");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark named `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let full = format!("{}/{name}", self.name);
+        let sample_size = self.sample_size;
+        self.c.run(&full, sample_size, f);
+    }
+
+    /// Run a parameterized benchmark named `group/param`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.param);
+        let sample_size = self.sample_size;
+        self.c.run(&full, sample_size, |b| f(b, input));
+    }
+
+    /// Close the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a function running a list of benchmark targets, mirroring
+/// criterion's macro of the same name. Both the plain and the
+/// `name = ...; config = ...; targets = ...` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::microbench::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Define the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            bench_mode: false,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("unit/once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_samples_and_warms_up() {
+        let mut c = Criterion {
+            sample_size: 5,
+            bench_mode: true,
+            filter: None,
+        };
+        let mut runs = 0u64;
+        c.bench_function("unit/sampled", |b| b.iter(|| runs += 1));
+        // One warm-up iteration plus five samples.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            bench_mode: false,
+            filter: Some("match".to_string()),
+        };
+        let mut ran = false;
+        c.bench_function("other/name", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("does/match", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_inherit_sample_size() {
+        let mut c = Criterion {
+            sample_size: 3,
+            bench_mode: true,
+            filter: Some("g/p".to_string()),
+        };
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter("p"), &7u64, |b, &step| {
+                b.iter(|| runs += step);
+            });
+            g.finish();
+        }
+        // Warm-up (1) + samples (2), each adding `step`.
+        assert_eq!(runs, 21);
+    }
+}

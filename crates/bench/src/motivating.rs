@@ -60,9 +60,7 @@ pub fn run(scale_factor: f64) -> MotivatingResult {
         ..TpchConfig::default()
     });
     let outcome = rewrite_q1();
-    let rewritten = outcome
-        .rewritten
-        .expect("Q1 admits a lineitem predicate");
+    let rewritten = outcome.rewritten.expect("Q1 admits a lineitem predicate");
     let cfg = OptimizerConfig::default();
     let original = db.run(&q1(), cfg).expect("Q1 runs");
     let sia = db.run(&rewritten, cfg).expect("rewritten Q1 runs");
@@ -86,7 +84,11 @@ mod tests {
         let r = run(0.01);
         // Q2 and the Sia rewrite both enable push-down into lineitem.
         assert_eq!(r.original.plan.filters_below_joins(), 1); // orders side only
-        assert!(r.sia.plan.filters_below_joins() >= 2, "plan:\n{}", r.sia.plan);
+        assert!(
+            r.sia.plan.filters_below_joins() >= 2,
+            "plan:\n{}",
+            r.sia.plan
+        );
         assert!(r.paper_q2.plan.filters_below_joins() >= 2);
         // And push-down shrinks the join input.
         assert!(r.sia.stats.join_input_rows < r.original.stats.join_input_rows);

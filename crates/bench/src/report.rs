@@ -19,9 +19,27 @@ pub fn table1() -> String {
             "# Samples per Iteration",
         ],
         &[
-            vec!["SIA_v1".into(), "1".into(), "110".into(), "110".into(), "N/A".into()],
-            vec!["SIA_v2".into(), "1".into(), "220".into(), "220".into(), "N/A".into()],
-            vec!["SIA".into(), "41".into(), "10".into(), "10".into(), "5".into()],
+            vec![
+                "SIA_v1".into(),
+                "1".into(),
+                "110".into(),
+                "110".into(),
+                "N/A".into(),
+            ],
+            vec![
+                "SIA_v2".into(),
+                "1".into(),
+                "220".into(),
+                "220".into(),
+                "N/A".into(),
+            ],
+            vec![
+                "SIA".into(),
+                "41".into(),
+                "10".into(),
+                "10".into(),
+                "5".into(),
+            ],
         ],
     )
 }
@@ -129,7 +147,11 @@ pub fn fig8(r: &SweepResult) -> String {
     let mut out = String::new();
     for (i, c) in r.categories.iter().enumerate() {
         let tb = bucketize(
-            &c.sia.true_samples.iter().map(|v| *v as u32).collect::<Vec<_>>(),
+            &c.sia
+                .true_samples
+                .iter()
+                .map(|v| *v as u32)
+                .collect::<Vec<_>>(),
             &[(0, 49), (50, 99), (100, 149), (150, 999)],
         );
         out.push_str(&histogram(
@@ -137,7 +159,11 @@ pub fn fig8(r: &SweepResult) -> String {
             &tb,
         ));
         let fb = bucketize(
-            &c.sia.false_samples.iter().map(|v| *v as u32).collect::<Vec<_>>(),
+            &c.sia
+                .false_samples
+                .iter()
+                .map(|v| *v as u32)
+                .collect::<Vec<_>>(),
             &[(0, 49), (50, 99), (100, 149), (150, 999)],
         );
         out.push_str(&histogram(
@@ -228,7 +254,10 @@ pub fn fig6(log: &[LogEntry]) -> String {
     let all: Vec<&LogEntry> = log.iter().collect();
     let mut rows = Vec::new();
     for (name, f) in [
-        ("exec time (s)", (|e: &LogEntry| e.exec_seconds) as fn(&LogEntry) -> f64),
+        (
+            "exec time (s)",
+            (|e: &LogEntry| e.exec_seconds) as fn(&LogEntry) -> f64,
+        ),
         ("CPU (core-s)", |e: &LogEntry| e.cpu_core_seconds),
         ("memory (GB)", |e: &LogEntry| e.memory_gb),
     ] {
@@ -263,7 +292,11 @@ mod tests {
     #[test]
     fn tables_render_without_data() {
         let r = SweepResult {
-            categories: [Category::default(), Category::default(), Category::default()],
+            categories: [
+                Category::default(),
+                Category::default(),
+                Category::default(),
+            ],
             queries: 0,
         };
         assert!(table1().contains("SIA_v1"));

@@ -146,11 +146,7 @@ pub fn rewrite_workload(
 
 /// Execute original vs rewritten on a database; repeat and keep the best
 /// time per side (standard noise reduction for in-memory runs).
-pub fn measure(
-    db: &Database,
-    queries: &[RewrittenQuery],
-    repetitions: u32,
-) -> Vec<RuntimePoint> {
+pub fn measure(db: &Database, queries: &[RewrittenQuery], repetitions: u32) -> Vec<RuntimePoint> {
     let mut out = Vec::new();
     for rq in queries {
         let mut best_orig = Duration::MAX;
@@ -223,8 +219,8 @@ mod tests {
             join_input_rewritten: 0,
         };
         let pts = vec![
-            mk(100, 40, 0.3),  // 2.5x faster
-            mk(100, 80, 0.7),  // faster
+            mk(100, 40, 0.3),   // 2.5x faster
+            mk(100, 80, 0.7),   // faster
             mk(100, 110, 0.95), // slower
             mk(100, 250, 0.99), // 2.5x slower
         ];

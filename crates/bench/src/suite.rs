@@ -6,9 +6,7 @@
 //! the transitive-closure baseline, and aggregate per subset size.
 
 use sia_core::baselines::transitive_closure;
-use sia_core::{
-    unsat_region, PredEncoder, SiaConfig, SynthStats, Synthesizer,
-};
+use sia_core::{unsat_region, PredEncoder, SiaConfig, SynthStats, Synthesizer};
 use sia_smt::QeConfig;
 use sia_tpch::{generate_workload, BenchQuery, WorkloadConfig, LINEITEM_COLS};
 use std::time::Duration;
@@ -230,10 +228,9 @@ mod tests {
 
     #[test]
     fn subsets_grouped_by_size() {
-        let p = parse_predicate(
-            "l_shipdate - o_orderdate < 20 AND l_commitdate - o_orderdate < 50",
-        )
-        .unwrap();
+        let p =
+            parse_predicate("l_shipdate - o_orderdate < 20 AND l_commitdate - o_orderdate < 50")
+                .unwrap();
         let subsets = lineitem_subsets(&p);
         assert_eq!(subsets.len(), 3); // {s}, {c}, {s,c}
         assert_eq!(subsets[0].len(), 1);
@@ -244,14 +241,10 @@ mod tests {
     fn unsat_tuple_existence() {
         // l_shipdate bounded through o_orderdate: tuples with huge
         // shipdate are unsatisfiable.
-        let p = parse_predicate(
-            "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'",
-        )
-        .unwrap();
-        assert_eq!(
-            has_unsat_tuple(&p, &["l_shipdate".to_string()]),
-            Some(true)
-        );
+        let p =
+            parse_predicate("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'")
+                .unwrap();
+        assert_eq!(has_unsat_tuple(&p, &["l_shipdate".to_string()]), Some(true));
         // Unconstrained direction: no unsatisfaction tuples.
         let q = parse_predicate("l_shipdate - o_orderdate < 20").unwrap();
         assert_eq!(

@@ -122,6 +122,9 @@ mod tests {
     #[test]
     fn ms_format() {
         assert_eq!(ms(Duration::from_millis(1500)), "1500.0");
-        assert_eq!(avg_ms(&[Duration::from_millis(10), Duration::from_millis(20)]), 15.0);
+        assert_eq!(
+            avg_ms(&[Duration::from_millis(10), Duration::from_millis(20)]),
+            15.0
+        );
     }
 }

@@ -1,0 +1,297 @@
+//! Farkas-certificate verification for linear-arithmetic conflicts.
+//!
+//! A theory lemma `¬l₁ ∨ … ∨ ¬lₖ` claims the bound atoms `l₁ … lₖ` cannot
+//! hold together. Its certificate is a list of strictly positive rational
+//! multipliers, one per premise literal. Soundness is checked from first
+//! principles: writing each premise as `Σ cᵢ·xᵢ ≤ b` (or `<` when strict),
+//! the multiplier-weighted sum of the left-hand sides must cancel every
+//! variable, and the weighted sum of the bounds must be negative — or zero
+//! with at least one strict premise. By Farkas' lemma that combination
+//! proves the conjunction infeasible over the rationals, independently of
+//! how the solver's simplex arrived at the conflict.
+
+use crate::CheckError;
+use sia_num::{BigInt, BigRat};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A linear inequality `Σ coeffs·x ≤ bound` (`<` when `strict`), the
+/// `≤ 0`-free normal form every premise is written in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearIneq {
+    /// Variable/coefficient pairs; variables are opaque `u32` ids.
+    pub coeffs: Vec<(u32, BigRat)>,
+    /// Right-hand side.
+    pub bound: BigRat,
+    /// True for `<`, false for `≤`.
+    pub strict: bool,
+    /// When the solver tightened an integer-valued combination to the
+    /// nearest integer bound, the original `(bound, strict)` it was
+    /// rounded from. The checker re-validates the rounding.
+    pub tightened_from: Option<(BigRat, bool)>,
+}
+
+impl LinearIneq {
+    /// A plain inequality with no tightening note.
+    pub fn new(coeffs: Vec<(u32, BigRat)>, bound: BigRat, strict: bool) -> Self {
+        LinearIneq {
+            coeffs,
+            bound,
+            strict,
+            tightened_from: None,
+        }
+    }
+}
+
+/// Maps each DIMACS literal to the inequality asserted when it is true,
+/// plus the set of integer-sorted variables (needed to validate integer
+/// bound tightenings).
+#[derive(Debug, Clone, Default)]
+pub struct AtomTable {
+    /// literal → asserted inequality.
+    pub entries: BTreeMap<i64, LinearIneq>,
+    /// Variables known to range over the integers.
+    pub int_vars: BTreeSet<u32>,
+}
+
+impl AtomTable {
+    /// Validate every tightened entry: the combination must be integral
+    /// (integer coefficients over integer variables) and the tightened
+    /// bound must be exactly the integer rounding of the original.
+    /// For `Σ c·x ≤ b` the valid rounding is `⌊b⌋`; for `Σ c·x < b` it is
+    /// `⌈b⌉ - 1`; the result is always non-strict.
+    pub fn validate(&self) -> Result<(), CheckError> {
+        for (&lit, ineq) in &self.entries {
+            let Some((orig_bound, orig_strict)) = &ineq.tightened_from else {
+                continue;
+            };
+            let integral = ineq
+                .coeffs
+                .iter()
+                .all(|(v, c)| self.int_vars.contains(v) && c.is_integer());
+            if !integral || ineq.strict {
+                return Err(CheckError::BadTightening { lit });
+            }
+            let expected = if *orig_strict {
+                BigRat::from_int(orig_bound.ceil() - BigInt::one())
+            } else {
+                BigRat::from_int(orig_bound.floor())
+            };
+            if ineq.bound != expected {
+                return Err(CheckError::BadTightening { lit });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strictly positive multipliers over premise literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarkasCertificate {
+    /// `(premise literal, multiplier)` pairs.
+    pub terms: Vec<(i64, BigRat)>,
+}
+
+/// Verify one Farkas-certified lemma: `clause` must contain the negation
+/// of every premise, and the weighted sum of premise inequalities must be
+/// a constant contradiction.
+pub fn check_farkas(
+    atoms: &AtomTable,
+    clause: &[i64],
+    cert: &FarkasCertificate,
+) -> Result<(), CheckError> {
+    if cert.terms.is_empty() {
+        return Err(CheckError::EmptyCertificate);
+    }
+    let mut sum: BTreeMap<u32, BigRat> = BTreeMap::new();
+    let mut bound_acc = BigRat::zero();
+    let mut any_strict = false;
+    for (lit, mult) in &cert.terms {
+        if !mult.is_positive() {
+            return Err(CheckError::BadMultiplier);
+        }
+        let ineq = atoms
+            .entries
+            .get(lit)
+            .ok_or(CheckError::UnknownAtom { lit: *lit })?;
+        if !clause.contains(&-lit) {
+            return Err(CheckError::LemmaClauseMismatch { lit: *lit });
+        }
+        for (v, c) in &ineq.coeffs {
+            let e = sum.entry(*v).or_insert_with(BigRat::zero);
+            *e = &*e + &(c * mult);
+        }
+        bound_acc = &bound_acc + &(&ineq.bound * mult);
+        any_strict |= ineq.strict;
+    }
+    for (v, c) in &sum {
+        if !c.is_zero() {
+            return Err(CheckError::ResidualVariable { var: *v });
+        }
+    }
+    // Σ 0·x ≤ bound_acc (strict if any premise was): contradiction iff the
+    // bound is negative, or zero under a strict comparison.
+    let contradictory = bound_acc.is_negative() || (bound_acc.is_zero() && any_strict);
+    if !contradictory {
+        return Err(CheckError::NoContradiction);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64) -> BigRat {
+        BigRat::from(n)
+    }
+
+    fn qq(n: i64, d: i64) -> BigRat {
+        BigRat::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    /// x ≤ 2 (lit 1) and x ≥ 5 i.e. -x ≤ -5 (lit 2) with multipliers 1, 1.
+    fn simple_table() -> AtomTable {
+        let mut t = AtomTable::default();
+        t.entries
+            .insert(1, LinearIneq::new(vec![(0, q(1))], q(2), false));
+        t.entries
+            .insert(2, LinearIneq::new(vec![(0, q(-1))], q(-5), false));
+        t
+    }
+
+    #[test]
+    fn accepts_direct_bound_conflict() {
+        let t = simple_table();
+        let cert = FarkasCertificate {
+            terms: vec![(1, q(1)), (2, q(1))],
+        };
+        assert_eq!(check_farkas(&t, &[-1, -2], &cert), Ok(()));
+    }
+
+    #[test]
+    fn accepts_strict_zero_sum() {
+        // x < 3 and x ≥ 3: sum is 0 but strict.
+        let mut t = AtomTable::default();
+        t.entries
+            .insert(1, LinearIneq::new(vec![(0, q(1))], q(3), true));
+        t.entries
+            .insert(2, LinearIneq::new(vec![(0, q(-1))], q(-3), false));
+        let cert = FarkasCertificate {
+            terms: vec![(1, q(1)), (2, q(1))],
+        };
+        assert_eq!(check_farkas(&t, &[-1, -2], &cert), Ok(()));
+    }
+
+    #[test]
+    fn accepts_row_conflict_with_rational_multipliers() {
+        // s = x + y: x ≥ 6 (lit 1), y ≥ 5 (lit 2), s ≤ 10 (lit 3);
+        // multipliers 1,1,1 — but scale lit 1's by writing 2x ≥ 12 with ½.
+        let mut t = AtomTable::default();
+        t.entries
+            .insert(1, LinearIneq::new(vec![(0, q(-2))], q(-12), false));
+        t.entries
+            .insert(2, LinearIneq::new(vec![(1, q(-1))], q(-5), false));
+        t.entries
+            .insert(3, LinearIneq::new(vec![(0, q(1)), (1, q(1))], q(10), false));
+        let cert = FarkasCertificate {
+            terms: vec![(1, qq(1, 2)), (2, q(1)), (3, q(1))],
+        };
+        assert_eq!(check_farkas(&t, &[-1, -2, -3], &cert), Ok(()));
+    }
+
+    #[test]
+    fn rejects_satisfiable_combination() {
+        // x ≤ 2 and -x ≤ 5 sums to 0·x ≤ 7: no contradiction.
+        let mut t = simple_table();
+        t.entries
+            .insert(2, LinearIneq::new(vec![(0, q(-1))], q(5), false));
+        let cert = FarkasCertificate {
+            terms: vec![(1, q(1)), (2, q(1))],
+        };
+        assert_eq!(
+            check_farkas(&t, &[-1, -2], &cert),
+            Err(CheckError::NoContradiction)
+        );
+    }
+
+    #[test]
+    fn rejects_uncancelled_variable() {
+        let t = simple_table();
+        let cert = FarkasCertificate {
+            terms: vec![(1, q(2)), (2, q(1))],
+        };
+        assert_eq!(
+            check_farkas(&t, &[-1, -2], &cert),
+            Err(CheckError::ResidualVariable { var: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_nonpositive_multiplier() {
+        let t = simple_table();
+        let cert = FarkasCertificate {
+            terms: vec![(1, q(0)), (2, q(1))],
+        };
+        assert_eq!(
+            check_farkas(&t, &[-1, -2], &cert),
+            Err(CheckError::BadMultiplier)
+        );
+    }
+
+    #[test]
+    fn rejects_clause_missing_premise_negation() {
+        let t = simple_table();
+        let cert = FarkasCertificate {
+            terms: vec![(1, q(1)), (2, q(1))],
+        };
+        assert_eq!(
+            check_farkas(&t, &[-1], &cert),
+            Err(CheckError::LemmaClauseMismatch { lit: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_atom_and_empty_cert() {
+        let t = simple_table();
+        let cert = FarkasCertificate {
+            terms: vec![(9, q(1))],
+        };
+        assert_eq!(
+            check_farkas(&t, &[-9], &cert),
+            Err(CheckError::UnknownAtom { lit: 9 })
+        );
+        let empty = FarkasCertificate { terms: vec![] };
+        assert_eq!(
+            check_farkas(&t, &[], &empty),
+            Err(CheckError::EmptyCertificate)
+        );
+    }
+
+    #[test]
+    fn validates_integer_tightening() {
+        let mut t = AtomTable::default();
+        t.int_vars.insert(0);
+        // 2x < 9 tightened to 2x ≤ 4? wrong: ⌈9/2⌉… the combo bound is on
+        // 2x, so 2x < 9 rounds to 2x ≤ ⌈9⌉-1 = 8.
+        let mut ok = LinearIneq::new(vec![(0, q(2))], q(8), false);
+        ok.tightened_from = Some((q(9), true));
+        t.entries.insert(1, ok);
+        assert_eq!(t.validate(), Ok(()));
+        // ⌊9/2⌋-style fractional bound: x ≤ 9/2 rounds to x ≤ 4.
+        let mut ok2 = LinearIneq::new(vec![(0, q(1))], q(4), false);
+        ok2.tightened_from = Some((qq(9, 2), false));
+        t.entries.insert(3, ok2);
+        assert_eq!(t.validate(), Ok(()));
+        // Wrong rounding is rejected.
+        let mut bad = LinearIneq::new(vec![(0, q(1))], q(5), false);
+        bad.tightened_from = Some((qq(9, 2), false));
+        t.entries.insert(5, bad);
+        assert_eq!(t.validate(), Err(CheckError::BadTightening { lit: 5 }));
+        t.entries.remove(&5);
+        // Tightening a non-integer variable is rejected.
+        let mut non_int = LinearIneq::new(vec![(7, q(1))], q(4), false);
+        non_int.tightened_from = Some((qq(9, 2), false));
+        t.entries.insert(7, non_int);
+        assert_eq!(t.validate(), Err(CheckError::BadTightening { lit: 7 }));
+    }
+}

@@ -1,0 +1,106 @@
+//! Independent certificate checker for the `sia-smt` solver.
+//!
+//! The solver's whole value rests on being *sound*: a wrong UNSAT answer
+//! makes the synthesis loop accept an invalid predicate that silently
+//! changes query results. This crate re-verifies solver verdicts from
+//! first principles, sharing **no code** with the solver:
+//!
+//! * **Clause proofs** ([`proof`]): the CDCL core logs every input clause,
+//!   theory lemma, and learned clause. Learned clauses are re-verified by
+//!   *reverse unit propagation* (RUP) — assume the clause false, propagate
+//!   units over the preceding clause database, and demand a conflict. The
+//!   propagation here is a deliberately naive repeated scan, structurally
+//!   unlike the solver's two-watched-literal scheme, so a shared bug is
+//!   implausible.
+//! * **Farkas certificates** ([`farkas`]): every simplex theory conflict
+//!   carries nonnegative multipliers over the asserted bound inequalities.
+//!   The checker recomputes the weighted sum in exact [`sia_num::BigRat`]
+//!   arithmetic and demands that all variables cancel and the constant
+//!   part is contradictory. Integer bound tightenings (`x < 5 ⇒ x ≤ 4`)
+//!   are re-validated against the declared integer variables.
+//!
+//! Literals use the DIMACS convention: solver variable `v` (0-based) is
+//! written `±(v+1)`, with the sign carrying polarity. The crate depends
+//! only on `sia-num`; `sia-smt` depends on *it* (to emit certificates in
+//! these types), never the other way around.
+
+pub mod farkas;
+pub mod proof;
+
+pub use farkas::{check_farkas, AtomTable, FarkasCertificate, LinearIneq};
+pub use proof::{check_refutation, CertifiedUnsat, CheckReport, Justification, ProofStep};
+
+/// Why a certificate was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A derived clause is not implied by reverse unit propagation over
+    /// the preceding clause database.
+    NotRup {
+        /// Index of the offending proof step.
+        step: usize,
+    },
+    /// The proof never derives (and verifies) the empty clause.
+    NoEmptyClause,
+    /// A Farkas premise literal has no atom-table entry.
+    UnknownAtom {
+        /// The DIMACS literal without a registered inequality.
+        lit: i64,
+    },
+    /// A Farkas multiplier is not strictly positive.
+    BadMultiplier,
+    /// The weighted premise sum leaves a variable uncancelled.
+    ResidualVariable {
+        /// The variable with a nonzero residual coefficient.
+        var: u32,
+    },
+    /// The weighted premise sum is satisfiable (no constant contradiction).
+    NoContradiction,
+    /// A lemma clause does not contain the negation of a premise literal.
+    LemmaClauseMismatch {
+        /// The premise literal whose negation is missing from the clause.
+        lit: i64,
+    },
+    /// An integer-tightened bound is not a valid rounding of its original.
+    BadTightening {
+        /// The DIMACS literal whose atom entry is mis-tightened.
+        lit: i64,
+    },
+    /// A Farkas certificate with no premises.
+    EmptyCertificate,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NotRup { step } => {
+                write!(f, "proof step {step}: clause is not RUP-derivable")
+            }
+            CheckError::NoEmptyClause => {
+                write!(f, "proof does not derive the empty clause")
+            }
+            CheckError::UnknownAtom { lit } => {
+                write!(f, "no atom-table inequality for literal {lit}")
+            }
+            CheckError::BadMultiplier => {
+                write!(f, "Farkas multiplier must be strictly positive")
+            }
+            CheckError::ResidualVariable { var } => {
+                write!(f, "Farkas sum leaves variable v{var} uncancelled")
+            }
+            CheckError::NoContradiction => {
+                write!(f, "Farkas sum is not a constant contradiction")
+            }
+            CheckError::LemmaClauseMismatch { lit } => {
+                write!(f, "lemma clause lacks negation of premise {lit}")
+            }
+            CheckError::BadTightening { lit } => {
+                write!(f, "invalid integer tightening on atom of literal {lit}")
+            }
+            CheckError::EmptyCertificate => {
+                write!(f, "Farkas certificate has no premises")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}

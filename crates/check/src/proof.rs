@@ -1,0 +1,234 @@
+//! Clause-proof checking by reverse unit propagation (RUP).
+//!
+//! The solver logs a [`ProofStep`] for every clause that enters its
+//! database, in chronological order. The checker replays the log:
+//!
+//! * [`ProofStep::Input`] clauses come from the Tseitin encoding of the
+//!   user's formula and are axiomatic;
+//! * [`ProofStep::Lemma`] clauses are theory lemmas; those justified by a
+//!   Farkas certificate are verified against the atom table, while
+//!   integer-branching lemmas are accepted but counted (they rest on the
+//!   solver's branch-and-bound, which has no rational certificate);
+//! * [`ProofStep::Derived`] clauses were learned by conflict analysis and
+//!   must pass the RUP test against everything logged before them.
+//!
+//! A refutation is accepted only if a [`ProofStep::Derived`] empty clause
+//! is reached. The unit propagation here is a naive repeated scan over
+//! full clauses — deliberately nothing like the solver's two-watched
+//! literal scheme.
+
+use crate::farkas::{check_farkas, AtomTable, FarkasCertificate};
+use crate::CheckError;
+use std::collections::HashSet;
+
+/// How a logged lemma clause is justified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Justification {
+    /// Linear-arithmetic conflict with a Farkas certificate.
+    Farkas(FarkasCertificate),
+    /// Conflict involving solver-internal integer branching bounds; has
+    /// no rational certificate and is accepted on trust (but counted).
+    IntegerBranch,
+}
+
+/// One entry of the clause-proof log. Literals are DIMACS-style signed
+/// integers (`±(var+1)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// Encoding clause (axiomatic).
+    Input(Vec<i64>),
+    /// Theory lemma with its justification.
+    Lemma(Vec<i64>, Justification),
+    /// Clause learned by conflict analysis; must be RUP.
+    Derived(Vec<i64>),
+}
+
+impl ProofStep {
+    /// The clause of this step.
+    pub fn clause(&self) -> &[i64] {
+        match self {
+            ProofStep::Input(c) | ProofStep::Derived(c) => c,
+            ProofStep::Lemma(c, _) => c,
+        }
+    }
+}
+
+/// A complete UNSAT certificate: the atom table tying literals to
+/// inequalities, and the chronological clause-proof log.
+#[derive(Debug, Clone, Default)]
+pub struct CertifiedUnsat {
+    /// Literal → asserted-bound inequality mapping.
+    pub atoms: AtomTable,
+    /// The proof log, oldest first.
+    pub steps: Vec<ProofStep>,
+}
+
+/// What a successful refutation check verified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Axiomatic encoding clauses.
+    pub inputs: usize,
+    /// Learned clauses verified by RUP.
+    pub derived: usize,
+    /// Theory lemmas verified against Farkas certificates.
+    pub farkas_lemmas: usize,
+    /// Integer-branching lemmas accepted on trust.
+    pub branch_lemmas: usize,
+}
+
+/// Does assuming `¬clause` and unit-propagating over `db` yield a
+/// conflict? Naive repeated-scan propagation; clauses are slices of
+/// DIMACS literals.
+pub fn rup_holds(db: &[Vec<i64>], clause: &[i64]) -> bool {
+    // `truths` holds literals currently assigned true.
+    let mut truths: HashSet<i64> = HashSet::new();
+    for &l in clause {
+        if truths.contains(&l) {
+            // clause contains both l and ¬l: a tautology, trivially implied.
+            return true;
+        }
+        truths.insert(-l);
+    }
+    loop {
+        let mut changed = false;
+        for c in db {
+            let mut unassigned = None;
+            let mut open = 0usize;
+            let mut satisfied = false;
+            for &l in c {
+                if truths.contains(&l) {
+                    satisfied = true;
+                    break;
+                }
+                if !truths.contains(&-l) {
+                    open += 1;
+                    unassigned = Some(l);
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match open {
+                0 => return true, // falsified clause: conflict reached
+                1 => {
+                    truths.insert(unassigned.unwrap());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// Verify a complete refutation. Returns counters on success.
+pub fn check_refutation(cert: &CertifiedUnsat) -> Result<CheckReport, CheckError> {
+    cert.atoms.validate()?;
+    let mut db: Vec<Vec<i64>> = Vec::with_capacity(cert.steps.len());
+    let mut report = CheckReport::default();
+    let mut refuted = false;
+    for (i, step) in cert.steps.iter().enumerate() {
+        match step {
+            ProofStep::Input(c) => {
+                report.inputs += 1;
+                db.push(c.clone());
+            }
+            ProofStep::Lemma(c, Justification::Farkas(f)) => {
+                check_farkas(&cert.atoms, c, f)?;
+                report.farkas_lemmas += 1;
+                db.push(c.clone());
+            }
+            ProofStep::Lemma(c, Justification::IntegerBranch) => {
+                report.branch_lemmas += 1;
+                db.push(c.clone());
+            }
+            ProofStep::Derived(c) => {
+                if !rup_holds(&db, c) {
+                    return Err(CheckError::NotRup { step: i });
+                }
+                report.derived += 1;
+                if c.is_empty() {
+                    refuted = true;
+                }
+                db.push(c.clone());
+            }
+        }
+    }
+    if !refuted {
+        return Err(CheckError::NoEmptyClause);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rup_accepts_unit_chain_conflict() {
+        // a; ¬a ∨ b; ¬b. RUP of []: propagate a, then b, then ¬b conflicts.
+        let db = vec![vec![1], vec![-1, 2], vec![-2]];
+        assert!(rup_holds(&db, &[]));
+    }
+
+    #[test]
+    fn rup_accepts_learned_clause() {
+        // (a∨b) ∧ (a∨¬b): clause (a) is RUP — assume ¬a, propagate b and ¬b.
+        let db = vec![vec![1, 2], vec![1, -2]];
+        assert!(rup_holds(&db, &[1]));
+    }
+
+    #[test]
+    fn rup_rejects_unsupported_clause() {
+        let db = vec![vec![1, 2]];
+        assert!(!rup_holds(&db, &[1]));
+        assert!(!rup_holds(&db, &[]));
+    }
+
+    #[test]
+    fn rup_accepts_tautology() {
+        assert!(rup_holds(&[], &[3, -3]));
+    }
+
+    #[test]
+    fn refutation_end_to_end() {
+        // Pigeonhole-free toy: a, ¬a∨b, learn b (RUP), then ¬b input,
+        // derive [].
+        let cert = CertifiedUnsat {
+            atoms: AtomTable::default(),
+            steps: vec![
+                ProofStep::Input(vec![1]),
+                ProofStep::Input(vec![-1, 2]),
+                ProofStep::Derived(vec![2]),
+                ProofStep::Input(vec![-2]),
+                ProofStep::Derived(vec![]),
+            ],
+        };
+        let report = check_refutation(&cert).unwrap();
+        assert_eq!(report.inputs, 3);
+        assert_eq!(report.derived, 2);
+    }
+
+    #[test]
+    fn refutation_requires_empty_clause() {
+        let cert = CertifiedUnsat {
+            atoms: AtomTable::default(),
+            steps: vec![ProofStep::Input(vec![1])],
+        };
+        assert_eq!(check_refutation(&cert), Err(CheckError::NoEmptyClause));
+    }
+
+    #[test]
+    fn refutation_rejects_bogus_derivation() {
+        let cert = CertifiedUnsat {
+            atoms: AtomTable::default(),
+            steps: vec![
+                ProofStep::Input(vec![1, 2]),
+                ProofStep::Derived(vec![1]), // not RUP from (1∨2) alone
+            ],
+        };
+        assert_eq!(check_refutation(&cert), Err(CheckError::NotRup { step: 1 }));
+    }
+}

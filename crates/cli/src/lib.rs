@@ -189,10 +189,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
             let mut enc = PredEncoder::new();
             let f = enc.encode(&p).map_err(|e| e.to_string())?;
-            let cols: Vec<(String, sia_smt::VarId)> = enc
-                .columns()
-                .map(|(c, v)| (c.to_string(), v))
-                .collect();
+            let cols: Vec<(String, sia_smt::VarId)> =
+                enc.columns().map(|(c, v)| (c.to_string(), v)).collect();
             match enc.solver().check(&f) {
                 SmtResult::Sat(m) => {
                     let mut out = String::from("sat\n");
@@ -227,8 +225,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             cat.add_table("orders", sia_tpch::orders_schema());
             cat.add_table("lineitem", sia_tpch::lineitem_schema());
             let mut syn = Synthesizer::default();
-            let outcome =
-                rewrite_query(&mut syn, &q, &cat, &table).map_err(|e| e.to_string())?;
+            let outcome = rewrite_query(&mut syn, &q, &cat, &table).map_err(|e| e.to_string())?;
             match outcome.rewritten {
                 Some(rw) => Ok(format!(
                     "synthesized: {}\nrewritten: {rw}",
@@ -258,7 +255,13 @@ mod tests {
     #[test]
     fn parse_synth() {
         let cmd = Command::parse(&strs(&[
-            "synth", "a < b", "--cols", "a,b", "--max-iter", "5", "--v2",
+            "synth",
+            "a < b",
+            "--cols",
+            "a,b",
+            "--max-iter",
+            "5",
+            "--v2",
         ]))
         .unwrap();
         assert_eq!(

@@ -21,8 +21,7 @@ struct DiffBound {
 
 impl DiffBound {
     fn tighter(&self, other: &DiffBound) -> bool {
-        self.weight < other.weight
-            || (self.weight == other.weight && self.strict && !other.strict)
+        self.weight < other.weight || (self.weight == other.weight && self.strict && !other.strict)
     }
 
     fn compose(&self, other: &DiffBound) -> DiffBound {
@@ -53,14 +52,15 @@ pub fn transitive_closure(p: &Pred, cols: &[String]) -> Option<Pred> {
     };
     // edges[(u, v)] = tightest bound on u - v.
     let mut edges: BTreeMap<(usize, usize), DiffBound> = BTreeMap::new();
-    let add_edge = |u: usize, v: usize, b: DiffBound, edges: &mut BTreeMap<(usize, usize), DiffBound>| {
-        match edges.get(&(u, v)) {
-            Some(existing) if !b.tighter(existing) => {}
-            _ => {
-                edges.insert((u, v), b);
+    let add_edge =
+        |u: usize, v: usize, b: DiffBound, edges: &mut BTreeMap<(usize, usize), DiffBound>| {
+            match edges.get(&(u, v)) {
+                Some(existing) if !b.tighter(existing) => {}
+                _ => {
+                    edges.insert((u, v), b);
+                }
             }
-        }
-    };
+        };
     let mut original: Vec<(usize, usize, DiffBound)> = Vec::new();
     for conj in p.conjuncts() {
         let Pred::Cmp { op, lhs, rhs } = conj else {
@@ -72,8 +72,12 @@ pub fn transitive_closure(p: &Pred, cols: &[String]) -> Option<Pred> {
         // Accept shapes: ±x ∓ y + c ⋖ 0 or ±x + c ⋖ 0 with unit coeffs.
         let bounds = difference_form(&atom);
         for (pos, neg, weight, strict) in bounds {
-            let u = pos.map(|c| node_of(&c, &mut nodes, &mut index)).unwrap_or(0);
-            let v = neg.map(|c| node_of(&c, &mut nodes, &mut index)).unwrap_or(0);
+            let u = pos
+                .map(|c| node_of(&c, &mut nodes, &mut index))
+                .unwrap_or(0);
+            let v = neg
+                .map(|c| node_of(&c, &mut nodes, &mut index))
+                .unwrap_or(0);
             if u == v {
                 continue;
             }

@@ -11,9 +11,9 @@
 //! and benchmarked against Cooper in the ablation suite.
 
 use crate::samples::SampleOutcome;
-use rand::rngs::StdRng;
-use rand::Rng;
 use sia_num::{BigInt, BigRat};
+use sia_rand::rngs::StdRng;
+use sia_rand::Rng;
 use sia_smt::{Formula, LinTerm, SmtResult, Solver, VarId};
 
 /// Configuration for the CEGQI sampler.
@@ -122,7 +122,7 @@ fn scatter(keep: &[VarId], rng: &mut StdRng) -> Formula {
 mod tests {
     use super::*;
     use crate::encode::PredEncoder;
-    use rand::SeedableRng;
+    use sia_rand::SeedableRng;
     use sia_sql::parse_predicate;
 
     #[test]

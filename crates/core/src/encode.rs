@@ -16,9 +16,9 @@
 //!   do not occur elsewhere in the predicate (the paper's side condition);
 //!   otherwise encoding fails.
 
-use sia_expr::{DataType, LinAtom, NonLinearPolicy, Pred};
 use sia_expr::linear::linearize;
 use sia_expr::CmpOp;
+use sia_expr::{DataType, LinAtom, NonLinearPolicy, Pred};
 use sia_smt::{Formula, LinTerm, Solver, Sort, VarId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -332,10 +332,9 @@ mod tests {
     #[test]
     fn date_predicates_encode_as_days() {
         let mut enc = PredEncoder::new();
-        let p = parse_predicate(
-            "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'",
-        )
-        .unwrap();
+        let p =
+            parse_predicate("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'")
+                .unwrap();
         let f = enc.encode(&p).unwrap();
         let r = enc.solver().check(&f);
         assert!(r.is_sat());
@@ -379,7 +378,10 @@ mod tests {
         let mut enc = PredEncoder::new();
         let p = enc.encode(&parse_predicate("a > 20").unwrap()).unwrap();
         let p1 = enc.encode(&parse_predicate("a > 10").unwrap()).unwrap();
-        assert!(enc.solver().check(&p.clone().and(p1.clone().not())).is_unsat());
+        assert!(enc
+            .solver()
+            .check(&p.clone().and(p1.clone().not()))
+            .is_unsat());
         // and the converse is sat (p1 does not imply p)
         assert!(enc.solver().check(&p1.and(p.not())).is_sat());
     }
@@ -388,8 +390,7 @@ mod tests {
     fn three_valued_null_blocks_truth() {
         // With a nullable, (a < 5) OR (b < 5) can be TRUE while a is NULL
         // (via b); any candidate over {a} alone cannot be implied.
-        let mut enc = PredEncoder::new()
-            .with_nullable(vec!["a".to_string()]);
+        let mut enc = PredEncoder::new().with_nullable(vec!["a".to_string()]);
         let p = parse_predicate("a < 5 OR b < 5").unwrap();
         let p_true = enc.encode_is_true_3v(&p).unwrap();
         let cand = parse_predicate("a < 5").unwrap();

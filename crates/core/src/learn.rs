@@ -153,8 +153,8 @@ pub fn learn(
             .zip(&offsets)
             .fold(BigInt::zero(), |acc, (w, o)| acc + w * o);
         let soft_threshold = w_dot_o - int_plane.bias.clone() + BigInt::one();
-        let threshold = midgap_threshold(&int_plane.weights, &remaining, fs)
-            .unwrap_or(soft_threshold);
+        let threshold =
+            midgap_threshold(&int_plane.weights, &remaining, fs).unwrap_or(soft_threshold);
         let plane = LearnedPlane {
             weights: int_plane.weights.clone(),
             threshold,
@@ -188,23 +188,15 @@ pub fn learn(
 /// keeps the CEGIS loop from pinching onto the optimal boundary. Returns
 /// `None` when the direction does not separate (non-separable round —
 /// fall back to the SVM bias).
-fn midgap_threshold(
-    weights: &[BigInt],
-    ts: &[Vec<BigInt>],
-    fs: &[Vec<BigInt>],
-) -> Option<BigInt> {
+fn midgap_threshold(weights: &[BigInt], ts: &[Vec<BigInt>], fs: &[Vec<BigInt>]) -> Option<BigInt> {
     let proj = |t: &Vec<BigInt>| -> BigInt {
         weights
             .iter()
             .zip(t)
             .fold(BigInt::zero(), |acc, (w, v)| acc + w * v)
     };
-    let min_t = ts.iter().map(|t| proj(t)).min()?;
-    let max_f_below = fs
-        .iter()
-        .map(|f| proj(f))
-        .filter(|p| *p < min_t)
-        .max()?;
+    let min_t = ts.iter().map(&proj).min()?;
+    let max_f_below = fs.iter().map(&proj).filter(|p| *p < min_t).max()?;
     // Every FALSE sample must project strictly below every TRUE one for
     // the direction to count as separating.
     if fs.iter().any(|f| proj(f) >= min_t) {
@@ -255,7 +247,12 @@ mod tests {
             pt(&[-28, -46]),
             pt(&[-7, -1]),
         ];
-        let fs = vec![pt(&[-40, -2]), pt(&[-56, -2]), pt(&[-53, -2]), pt(&[-48, -2])];
+        let fs = vec![
+            pt(&[-40, -2]),
+            pt(&[-56, -2]),
+            pt(&[-53, -2]),
+            pt(&[-48, -2]),
+        ];
         let out = learn(&cols(&["a1", "a2"]), &ts, &fs, &LearnConfig::default()).unwrap();
         assert!(out.covered_all);
         for t in &ts {
@@ -348,7 +345,11 @@ mod tests {
         let fs = vec![pt(&[-5, -3]), pt(&[-9, -1])];
         let names = cols(&["x", "y"]);
         let out = learn(&names, &ts, &fs, &LearnConfig::default()).unwrap();
-        for (tuple, expect) in ts.iter().map(|t| (t, true)).chain(fs.iter().map(|f| (f, false))) {
+        for (tuple, expect) in ts
+            .iter()
+            .map(|t| (t, true))
+            .chain(fs.iter().map(|f| (f, false)))
+        {
             let m: HashMap<String, Value> = names
                 .iter()
                 .zip(tuple)

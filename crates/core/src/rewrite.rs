@@ -126,10 +126,7 @@ pub fn rewrite_query(
     // exact optimum (one boundary to pinch), and the paper's own Q2 is
     // precisely such a conjunction: two per-column bounds plus one
     // multi-column difference (§2).
-    let mut subsets: Vec<Vec<String>> = target_cols
-        .iter()
-        .map(|c| vec![c.clone()])
-        .collect();
+    let mut subsets: Vec<Vec<String>> = target_cols.iter().map(|c| vec![c.clone()]).collect();
     if target_cols.len() > 1 {
         subsets.push(target_cols.clone());
     }
@@ -219,10 +216,7 @@ mod tests {
         .unwrap();
         let (joins, filter) = split_predicate(q.predicate.as_ref().unwrap(), &cat);
         assert_eq!(joins.len(), 1);
-        assert_eq!(
-            filter.unwrap().to_string(),
-            "l_shipdate - o_orderdate < 20"
-        );
+        assert_eq!(filter.unwrap().to_string(), "l_shipdate - o_orderdate < 20");
     }
 
     #[test]
@@ -268,8 +262,9 @@ mod tests {
             (cutoff, false),
             (cutoff + 50, false),
         ] {
-            let m: HashMap<String, Value> =
-                [("l_shipdate".to_string(), Value::Int(d))].into_iter().collect();
+            let m: HashMap<String, Value> = [("l_shipdate".to_string(), Value::Int(d))]
+                .into_iter()
+                .collect();
             assert_eq!(eval_pred(&pred, &m), Some(expect), "at day {d}");
         }
         let rewritten = out.rewritten.unwrap();

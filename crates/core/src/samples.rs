@@ -10,9 +10,9 @@
 //! cluster at the first vertex the simplex finds, which starves the SVM of
 //! signal.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sia_num::{BigInt, BigRat};
+use sia_rand::rngs::StdRng;
+use sia_rand::{Rng, SeedableRng};
 use sia_smt::{Formula, LinTerm, SmtResult, Solver, VarId};
 
 /// Outcome of requesting one more sample.
@@ -75,8 +75,7 @@ impl Sampler {
     fn differs_from(&self, tuple: &[BigInt]) -> Formula {
         let mut differs = Formula::False;
         for (v, val) in self.vars.iter().zip(tuple) {
-            let t =
-                LinTerm::var(*v).sub(&LinTerm::constant(BigRat::from_int(val.clone())));
+            let t = LinTerm::var(*v).sub(&LinTerm::constant(BigRat::from_int(val.clone())));
             differs = differs.or(Formula::ne0(t));
         }
         differs
@@ -95,12 +94,8 @@ impl Sampler {
             let hi = BigRat::from(c + self.box_radius);
             // lo ≤ v ≤ hi
             acc = acc
-                .and(Formula::le0(
-                    LinTerm::constant(lo).sub(&LinTerm::var(v)),
-                ))
-                .and(Formula::le0(
-                    LinTerm::var(v).sub(&LinTerm::constant(hi)),
-                ));
+                .and(Formula::le0(LinTerm::constant(lo).sub(&LinTerm::var(v))))
+                .and(Formula::le0(LinTerm::var(v).sub(&LinTerm::constant(hi))));
         }
         acc
     }
@@ -246,9 +241,8 @@ mod tests {
         let (mut enc, mut sampler) = setup("a > 0", &["a"]);
         let extra_var = sampler.vars[0];
         // extra: a > 100
-        let extra = Formula::lt0(
-            LinTerm::constant(BigRat::from(100)).sub(&LinTerm::var(extra_var)),
-        );
+        let extra =
+            Formula::lt0(LinTerm::constant(BigRat::from(100)).sub(&LinTerm::var(extra_var)));
         match sampler.sample_with(enc.solver(), &extra) {
             SampleOutcome::Sample(t) => assert!(t[0].to_i64().unwrap() > 100),
             other => panic!("expected sample, got {other:?}"),

@@ -6,10 +6,10 @@ use crate::encode::{EncodeError, PredEncoder};
 use crate::learn::{learn, LearnConfig};
 use crate::samples::{SampleOutcome, Sampler};
 use crate::verify::{unsat_region, verify_implies, Validity};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sia_expr::{col, CmpOp, Expr, Pred};
 use sia_num::BigInt;
+use sia_rand::rngs::StdRng;
+use sia_rand::SeedableRng;
 use sia_smt::{Formula, QeConfig, VarId};
 use std::time::{Duration, Instant};
 
@@ -221,12 +221,8 @@ impl Synthesizer {
         // Build the FALSE-sample machinery.
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b97f4a7c15);
         let false_region: Option<Formula> = match self.config.false_strategy {
-            FalseSampleStrategy::CooperQe => {
-                match unsat_region(&p_f, &others, &self.config.qe) {
-                    Ok(r) => Some(r),
-                    Err(_) => None, // fall back to CEGQI
-                }
-            }
+            // On QE budget errors this is None and we fall back to CEGQI.
+            FalseSampleStrategy::CooperQe => unsat_region(&p_f, &others, &self.config.qe).ok(),
             FalseSampleStrategy::Cegqi => None,
         };
         let mut ts_sampler = Sampler::new(p_f.clone(), keep.clone(), self.config.seed);
@@ -342,8 +338,7 @@ impl Synthesizer {
             let Some(learned) = learned else { break };
             // Alg 2 routinely emits planes subsumed by later ones; strip
             // them so p₃ and the final output stay readable.
-            let learned_pred =
-                crate::verify::remove_redundant_disjuncts(enc, &learned.pred);
+            let learned_pred = crate::verify::remove_redundant_disjuncts(enc, &learned.pred);
             // Verify (§5.5).
             let val_start = Instant::now();
             let validity = verify_implies(enc, p, &learned_pred)?;
@@ -506,10 +501,12 @@ mod tests {
         // Validity on a grid.
         for a in -50i64..=50 {
             for b in -50i64..=50 {
-                let m: HashMap<String, Value> =
-                    [("a".to_string(), Value::Int(a)), ("b".to_string(), Value::Int(b))]
-                        .into_iter()
-                        .collect();
+                let m: HashMap<String, Value> = [
+                    ("a".to_string(), Value::Int(a)),
+                    ("b".to_string(), Value::Int(b)),
+                ]
+                .into_iter()
+                .collect();
                 if eval_pred(&p, &m) == Some(true) {
                     assert_eq!(eval_pred(&learned, &m), Some(true), "violated at ({a},{b})");
                 }
@@ -625,10 +622,7 @@ mod tests {
         // satisfiable b-region is 1..149 (finite) — handled exactly. Keep
         // {a} instead: a ∈ 2..199 (finite too). Use wider bounds so the
         // region is effectively learned, not enumerated: scale to ±10⁶.
-        let p = parse_predicate(
-            "a > b AND a < b + 500000 AND b > 0 AND b < 1500000",
-        )
-        .unwrap();
+        let p = parse_predicate("a > b AND a < b + 500000 AND b > 0 AND b < 1500000").unwrap();
         let mut syn = Synthesizer::default();
         let r = syn.synthesize(&p, &strs(&["a"])).unwrap();
         // Must terminate; predicate if any must be valid at spot checks.

@@ -156,7 +156,10 @@ mod tests {
         let mut enc = PredEncoder::new();
         let p = parse_predicate("a > 20 AND b < 5").unwrap();
         let weaker = parse_predicate("a > 10").unwrap();
-        assert_eq!(verify_implies(&mut enc, &p, &weaker).unwrap(), Validity::Valid);
+        assert_eq!(
+            verify_implies(&mut enc, &p, &weaker).unwrap(),
+            Validity::Valid
+        );
     }
 
     #[test]
@@ -177,12 +180,12 @@ mod tests {
         // still VALID to be weaker; a1 - a2 <= 20 cuts off satisfying
         // tuples and must be Invalid.
         let mut enc = PredEncoder::new();
-        let p = parse_predicate(
-            "a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0",
-        )
-        .unwrap();
+        let p = parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
         let valid = parse_predicate("a1 - a2 <= 28").unwrap();
-        assert_eq!(verify_implies(&mut enc, &p, &valid).unwrap(), Validity::Valid);
+        assert_eq!(
+            verify_implies(&mut enc, &p, &valid).unwrap(),
+            Validity::Valid
+        );
         let invalid = parse_predicate("a1 - a2 <= 20").unwrap();
         assert_eq!(
             verify_implies(&mut enc, &p, &invalid).unwrap(),
@@ -194,10 +197,7 @@ mod tests {
     fn unsat_region_matches_projection() {
         // p = a2 ≤ 18-ish region from the motivating example.
         let mut enc = PredEncoder::new();
-        let p = parse_predicate(
-            "a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0",
-        )
-        .unwrap();
+        let p = parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
         let pf = enc.encode(&p).unwrap();
         let b1 = enc.value_var("b1");
         let region = unsat_region(&pf, &[b1], &QeConfig::default()).unwrap();

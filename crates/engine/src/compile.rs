@@ -47,11 +47,7 @@ impl std::error::Error for UnknownColumn {}
 /// Compile an expression against a schema.
 pub fn compile_expr(e: &Expr, schema: &Schema) -> Result<CExpr, UnknownColumn> {
     Ok(match e {
-        Expr::Column(c) => CExpr::Col(
-            schema
-                .index_of(c)
-                .ok_or_else(|| UnknownColumn(c.clone()))?,
-        ),
+        Expr::Column(c) => CExpr::Col(schema.index_of(c).ok_or_else(|| UnknownColumn(c.clone()))?),
         Expr::Int(v) => CExpr::ConstI(*v),
         Expr::Double(v) => CExpr::ConstF(*v),
         Expr::Date(d) => CExpr::ConstI(d.to_days()),
@@ -67,11 +63,9 @@ pub fn compile_expr(e: &Expr, schema: &Schema) -> Result<CExpr, UnknownColumn> {
 pub fn compile_pred(p: &Pred, schema: &Schema) -> Result<CPred, UnknownColumn> {
     Ok(match p {
         Pred::Lit(b) => CPred::Lit(*b),
-        Pred::Cmp { op, lhs, rhs } => CPred::Cmp(
-            *op,
-            compile_expr(lhs, schema)?,
-            compile_expr(rhs, schema)?,
-        ),
+        Pred::Cmp { op, lhs, rhs } => {
+            CPred::Cmp(*op, compile_expr(lhs, schema)?, compile_expr(rhs, schema)?)
+        }
         Pred::And(ps) => CPred::And(
             ps.iter()
                 .map(|q| compile_pred(q, schema))
@@ -321,11 +315,7 @@ mod tests {
                 .iter()
                 .map(|n| (n.to_string(), t.value(row, n)))
                 .collect();
-            assert_eq!(
-                c.eval(&t, row),
-                sia_expr::eval_pred(&pred, &m),
-                "row {row}"
-            );
+            assert_eq!(c.eval(&t, row), sia_expr::eval_pred(&pred, &m), "row {row}");
         }
     }
 }
@@ -445,7 +435,7 @@ mod batch {
                         *x = match (*x, y) {
                             (Some(false), _) | (_, Some(false)) => Some(false),
                             (Some(true), v) => *v,
-                            (None, Some(true)) | (None, None) => None,
+                            (None, Some(true) | None) => None,
                         };
                     }
                 }
@@ -459,7 +449,7 @@ mod batch {
                         *x = match (*x, y) {
                             (Some(true), _) | (_, Some(true)) => Some(true),
                             (Some(false), v) => *v,
-                            (None, Some(false)) | (None, None) => None,
+                            (None, Some(false) | None) => None,
                         };
                     }
                 }
@@ -519,15 +509,11 @@ mod batch_tests {
             "a + b * 2 >= 9",
             "a - b < 3 OR a = 7",
             "NOT (a < b) AND a <> 10",
-            "a > b AND d < 5.0",  // double → fallback path
-            "a / 2 = 2",          // division → fallback path
+            "a > b AND d < 5.0", // double → fallback path
+            "a / 2 = 2",         // division → fallback path
         ] {
             let p = compile_pred(&parse_predicate(sql).unwrap(), &t.schema).unwrap();
-            assert_eq!(
-                p.filter_vectorized(&t),
-                p.filter(&t),
-                "mismatch for {sql}"
-            );
+            assert_eq!(p.filter_vectorized(&t), p.filter(&t), "mismatch for {sql}");
         }
     }
 
@@ -537,11 +523,7 @@ mod batch_tests {
         t.columns[0].validity = Some(vec![true, false, true, true, false]);
         for sql in ["a > 0", "a > b OR b = 2", "a = a"] {
             let p = compile_pred(&parse_predicate(sql).unwrap(), &t.schema).unwrap();
-            assert_eq!(
-                p.filter_vectorized(&t),
-                p.filter(&t),
-                "mismatch for {sql}"
-            );
+            assert_eq!(p.filter_vectorized(&t), p.filter(&t), "mismatch for {sql}");
         }
     }
 }

@@ -53,22 +53,14 @@ impl Database {
     fn columns_of(&self, table: &str) -> Vec<String> {
         self.tables
             .get(table)
-            .map(|t| {
-                t.schema
-                    .columns()
-                    .iter()
-                    .map(|c| c.name.clone())
-                    .collect()
-            })
+            .map(|t| t.schema.columns().iter().map(|c| c.name.clone()).collect())
             .unwrap_or_default()
     }
 
     /// Which table (among the query's FROM list) owns a column.
     fn owner_of(&self, tables: &[String], col: &str) -> Option<String> {
         if let Some((t, c)) = col.split_once('.') {
-            if tables.iter().any(|n| n == t)
-                && self.columns_of(t).iter().any(|n| n == c)
-            {
+            if tables.iter().any(|n| n == t) && self.columns_of(t).iter().any(|n| n == c) {
                 return Some(t.to_string());
             }
             return None;
@@ -242,8 +234,8 @@ mod tests {
     #[test]
     fn plan_rejects_cartesian() {
         let db = db();
-        let q = sia_sql::parse_query("SELECT * FROM lineitem, orders WHERE o_orderdate < 0")
-            .unwrap();
+        let q =
+            sia_sql::parse_query("SELECT * FROM lineitem, orders WHERE o_orderdate < 0").unwrap();
         assert!(db.plan(&q).is_err());
     }
 

@@ -218,7 +218,8 @@ mod tests {
     #[test]
     fn hash_join_basic() {
         let db = db();
-        let plan = Plan::scan("lineitem").hash_join(Plan::scan("orders"), "l_orderkey", "o_orderkey");
+        let plan =
+            Plan::scan("lineitem").hash_join(Plan::scan("orders"), "l_orderkey", "o_orderkey");
         let (t, _, stats) = execute(&plan, &db).unwrap();
         // keys 1(×2), 2, 3 match; 5 does not.
         assert_eq!(t.num_rows(), 4);

@@ -56,11 +56,7 @@ pub fn optimize(
     current
 }
 
-fn pass(
-    plan: Plan,
-    table_schema: &impl Fn(&str) -> Vec<String>,
-    config: OptimizerConfig,
-) -> Plan {
+fn pass(plan: Plan, table_schema: &impl Fn(&str) -> Vec<String>, config: OptimizerConfig) -> Plan {
     match plan {
         Plan::Scan { .. } => plan,
         Plan::Project { columns, input } => Plan::Project {
@@ -120,11 +116,7 @@ fn pass(
                         let new_left = left.filter(Pred::and_all(left_preds));
                         let new_right = right.filter(Pred::and_all(right_preds));
                         let joined = new_left.hash_join(new_right, left_key, right_key);
-                        return pass(
-                            joined.filter(Pred::and_all(keep)),
-                            table_schema,
-                            config,
-                        );
+                        return pass(joined.filter(Pred::and_all(keep)), table_schema, config);
                     }
                     return Plan::Filter {
                         pred,

@@ -95,9 +95,7 @@ impl Plan {
         fn go(p: &Plan, below_join: bool) -> usize {
             match p {
                 Plan::Scan { .. } => 0,
-                Plan::Filter { input, .. } => {
-                    usize::from(below_join) + go(input, below_join)
-                }
+                Plan::Filter { input, .. } => usize::from(below_join) + go(input, below_join),
                 Plan::Project { input, .. } => go(input, below_join),
                 Plan::HashJoin { left, right, .. } => go(left, true) + go(right, true),
             }
@@ -162,9 +160,10 @@ mod tests {
 
     #[test]
     fn filters_below_joins_counts() {
-        let pushed = Plan::scan("a")
-            .filter(col("x").lt(lit(1)))
-            .hash_join(Plan::scan("b"), "k", "k");
+        let pushed =
+            Plan::scan("a")
+                .filter(col("x").lt(lit(1)))
+                .hash_join(Plan::scan("b"), "k", "k");
         assert_eq!(pushed.filters_below_joins(), 1);
         let unpushed = Plan::scan("a")
             .hash_join(Plan::scan("b"), "k", "k")

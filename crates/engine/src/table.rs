@@ -37,9 +37,7 @@ impl ColumnData {
     fn gather(&self, rows: &[usize]) -> ColumnData {
         match self {
             ColumnData::Int(v) => ColumnData::Int(rows.iter().map(|&r| v[r]).collect()),
-            ColumnData::Double(v) => {
-                ColumnData::Double(rows.iter().map(|&r| v[r]).collect())
-            }
+            ColumnData::Double(v) => ColumnData::Double(rows.iter().map(|&r| v[r]).collect()),
         }
     }
 }
@@ -194,7 +192,10 @@ mod tests {
     fn build_and_access() {
         let t = Table::new(
             schema2(),
-            vec![Column::int(vec![1, 2, 3]), Column::double(vec![0.5, 1.5, 2.5])],
+            vec![
+                Column::int(vec![1, 2, 3]),
+                Column::double(vec![0.5, 1.5, 2.5]),
+            ],
         );
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.value(1, "a"), Value::Int(2));
@@ -217,7 +218,10 @@ mod tests {
     fn gather() {
         let t = Table::new(
             schema2(),
-            vec![Column::int(vec![1, 2, 3, 4]), Column::double(vec![0.0, 1.0, 2.0, 3.0])],
+            vec![
+                Column::int(vec![1, 2, 3, 4]),
+                Column::double(vec![0.0, 1.0, 2.0, 3.0]),
+            ],
         );
         let g = t.gather(&[3, 1]);
         assert_eq!(g.num_rows(), 2);

@@ -18,15 +18,13 @@ pub trait Tuple {
 
 impl Tuple for HashMap<String, Value> {
     fn get(&self, name: &str) -> Value {
-        *HashMap::get(self, name)
-            .unwrap_or_else(|| panic!("tuple has no column {name:?}"))
+        *HashMap::get(self, name).unwrap_or_else(|| panic!("tuple has no column {name:?}"))
     }
 }
 
 impl Tuple for HashMap<&str, Value> {
     fn get(&self, name: &str) -> Value {
-        *HashMap::get(self, name)
-            .unwrap_or_else(|| panic!("tuple has no column {name:?}"))
+        *HashMap::get(self, name).unwrap_or_else(|| panic!("tuple has no column {name:?}"))
     }
 }
 
@@ -217,11 +215,17 @@ mod tests {
         let t = tup(&[("n", Value::Null)]);
         let unknown = col("n").lt(lit(0));
         // UNKNOWN AND FALSE = FALSE
-        assert_eq!(eval_pred(&unknown.clone().and(Pred::false_()), &t), Some(false));
+        assert_eq!(
+            eval_pred(&unknown.clone().and(Pred::false_()), &t),
+            Some(false)
+        );
         // UNKNOWN AND TRUE = UNKNOWN
         assert_eq!(eval_pred(&unknown.clone().and(Pred::true_()), &t), None);
         // UNKNOWN OR TRUE = TRUE
-        assert_eq!(eval_pred(&unknown.clone().or(Pred::true_()), &t), Some(true));
+        assert_eq!(
+            eval_pred(&unknown.clone().or(Pred::true_()), &t),
+            Some(true)
+        );
         // UNKNOWN OR FALSE = UNKNOWN
         assert_eq!(eval_pred(&unknown.clone().or(Pred::false_()), &t), None);
         // NOT UNKNOWN = UNKNOWN
@@ -241,18 +245,34 @@ mod tests {
         let p = col("a2")
             .sub(col("b1"))
             .lt(lit(20))
-            .and(col("a1").sub(col("a2")).lt(col("a2").sub(col("b1")).add(lit(10))))
+            .and(
+                col("a1")
+                    .sub(col("a2"))
+                    .lt(col("a2").sub(col("b1")).add(lit(10))),
+            )
             .and(col("b1").lt(lit(0)));
         // The paper's TRUE sample (-5, 1) extends with b1 = -15:
-        let t = tup(&[("a1", Value::Int(-5)), ("a2", Value::Int(1)), ("b1", Value::Int(-15))]);
+        let t = tup(&[
+            ("a1", Value::Int(-5)),
+            ("a2", Value::Int(1)),
+            ("b1", Value::Int(-15)),
+        ]);
         assert_eq!(eval_pred(&p, &t), Some(true));
         // A genuine unsatisfaction tuple: (a1, a2) = (50, 0) forces the
         // empty b1 range (-20, -40). (Note: the paper's illustrative FALSE
         // sample (-40, -2) is actually satisfiable, e.g. with b1 = -10 —
         // the exact region is a1 - a2 <= 28 AND a2 <= 18.)
-        let t2 = tup(&[("a1", Value::Int(50)), ("a2", Value::Int(0)), ("b1", Value::Int(-25))]);
+        let t2 = tup(&[
+            ("a1", Value::Int(50)),
+            ("a2", Value::Int(0)),
+            ("b1", Value::Int(-25)),
+        ]);
         assert_eq!(eval_pred(&p, &t2), Some(false));
-        let t3 = tup(&[("a1", Value::Int(-40)), ("a2", Value::Int(-2)), ("b1", Value::Int(-10))]);
+        let t3 = tup(&[
+            ("a1", Value::Int(-40)),
+            ("a2", Value::Int(-2)),
+            ("b1", Value::Int(-10)),
+        ]);
         assert_eq!(eval_pred(&p, &t3), Some(true));
     }
 

@@ -155,32 +155,32 @@ impl Expr {
     }
 
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::bin(ArithOp::Add, self, rhs)
     }
 
     /// `self - rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::bin(ArithOp::Sub, self, rhs)
     }
 
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::bin(ArithOp::Mul, self, rhs)
     }
 
     /// `self / rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::bin(ArithOp::Div, self, rhs)
     }
 
     /// `self CP rhs` as a predicate.
     pub fn cmp(self, op: CmpOp, rhs: Expr) -> Pred {
-        Pred::Cmp {
-            op,
-            lhs: self,
-            rhs,
-        }
+        Pred::Cmp { op, lhs: self, rhs }
     }
 
     /// `self < rhs`
@@ -272,8 +272,14 @@ impl Expr {
 
     fn precedence(&self) -> u8 {
         match self {
-            Expr::Binary { op: ArithOp::Add | ArithOp::Sub, .. } => 1,
-            Expr::Binary { op: ArithOp::Mul | ArithOp::Div, .. } => 2,
+            Expr::Binary {
+                op: ArithOp::Add | ArithOp::Sub,
+                ..
+            } => 1,
+            Expr::Binary {
+                op: ArithOp::Mul | ArithOp::Div,
+                ..
+            } => 2,
             _ => 3,
         }
     }
@@ -392,6 +398,7 @@ impl Pred {
     }
 
     /// Negation (collapses double negation).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Pred {
         match self {
             Pred::Lit(b) => Pred::Lit(!b),
@@ -402,16 +409,12 @@ impl Pred {
 
     /// Conjunction of an iterator of predicates.
     pub fn and_all(preds: impl IntoIterator<Item = Pred>) -> Pred {
-        preds
-            .into_iter()
-            .fold(Pred::true_(), |acc, p| acc.and(p))
+        preds.into_iter().fold(Pred::true_(), |acc, p| acc.and(p))
     }
 
     /// Disjunction of an iterator of predicates.
     pub fn or_all(preds: impl IntoIterator<Item = Pred>) -> Pred {
-        preds
-            .into_iter()
-            .fold(Pred::false_(), |acc, p| acc.or(p))
+        preds.into_iter().fold(Pred::false_(), |acc, p| acc.or(p))
     }
 
     /// Collect referenced column names into `out`.
@@ -587,9 +590,15 @@ mod tests {
 
     #[test]
     fn display_logical_parens() {
-        let p = col("a").lt(lit(1)).or(col("b").lt(lit(2))).and(col("c").lt(lit(3)));
+        let p = col("a")
+            .lt(lit(1))
+            .or(col("b").lt(lit(2)))
+            .and(col("c").lt(lit(3)));
         assert_eq!(p.to_string(), "(a < 1 OR b < 2) AND c < 3");
-        let q = col("a").lt(lit(1)).and(col("b").lt(lit(2))).or(col("c").lt(lit(3)));
+        let q = col("a")
+            .lt(lit(1))
+            .and(col("b").lt(lit(2)))
+            .or(col("c").lt(lit(3)));
         assert_eq!(q.to_string(), "a < 1 AND b < 2 OR c < 3");
         let n = col("a").lt(lit(1)).not();
         assert_eq!(n.to_string(), "NOT (a < 1)");
@@ -605,7 +614,10 @@ mod tests {
 
     #[test]
     fn flattening() {
-        let p = col("a").lt(lit(1)).and(col("b").lt(lit(2))).and(col("c").lt(lit(3)));
+        let p = col("a")
+            .lt(lit(1))
+            .and(col("b").lt(lit(2)))
+            .and(col("c").lt(lit(3)));
         match &p {
             Pred::And(ps) => assert_eq!(ps.len(), 3),
             other => panic!("expected flat And, got {other:?}"),
@@ -615,7 +627,10 @@ mod tests {
 
     #[test]
     fn columns_collection() {
-        let p = col("b.x").add(lit(1)).lt(col("a.y")).and(col("a.y").gt(lit(0)));
+        let p = col("b.x")
+            .add(lit(1))
+            .lt(col("a.y"))
+            .and(col("a.y").gt(lit(0)));
         assert_eq!(p.columns(), vec!["a.y".to_string(), "b.x".to_string()]);
         assert!(p.over_columns(&["a.y".into(), "b.x".into(), "z".into()]));
         assert!(!p.over_columns(&["a.y".into()]));
@@ -670,9 +685,18 @@ mod tests {
                 _ => None,
             }
         };
-        assert_eq!(col("i").add(lit(1)).result_type(&ty), Some(DataType::Integer));
-        assert_eq!(col("d").add(lit(1)).result_type(&ty), Some(DataType::Double));
-        assert_eq!(col("dt").sub(col("dt")).result_type(&ty), Some(DataType::Integer));
+        assert_eq!(
+            col("i").add(lit(1)).result_type(&ty),
+            Some(DataType::Integer)
+        );
+        assert_eq!(
+            col("d").add(lit(1)).result_type(&ty),
+            Some(DataType::Double)
+        );
+        assert_eq!(
+            col("dt").sub(col("dt")).result_type(&ty),
+            Some(DataType::Integer)
+        );
         assert_eq!(col("missing").result_type(&ty), None);
     }
 

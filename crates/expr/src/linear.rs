@@ -60,10 +60,7 @@ impl LinExpr {
     }
 
     /// Build from explicit terms, dropping zero coefficients.
-    pub fn from_terms(
-        terms: impl IntoIterator<Item = (String, BigRat)>,
-        constant: BigRat,
-    ) -> Self {
+    pub fn from_terms(terms: impl IntoIterator<Item = (String, BigRat)>, constant: BigRat) -> Self {
         let mut out = LinExpr::constant(constant);
         for (c, k) in terms {
             out.add_term(&c, &k);
@@ -139,11 +136,7 @@ impl LinExpr {
             return LinExpr::zero();
         }
         LinExpr {
-            terms: self
-                .terms
-                .iter()
-                .map(|(c, v)| (c.clone(), v * k))
-                .collect(),
+            terms: self.terms.iter().map(|(c, v)| (c.clone(), v * k)).collect(),
             constant: &self.constant * k,
         }
     }
@@ -443,7 +436,10 @@ mod tests {
     #[test]
     fn to_expr_roundtrip_via_eval() {
         let l = LinExpr::from_terms(
-            vec![("a".to_string(), BigRat::from(2)), ("b".to_string(), BigRat::from(-1))],
+            vec![
+                ("a".to_string(), BigRat::from(2)),
+                ("b".to_string(), BigRat::from(-1)),
+            ],
             BigRat::from(7),
         );
         let e = l.to_expr();
@@ -455,11 +451,12 @@ mod tests {
     #[test]
     fn to_expr_edge_cases() {
         assert_eq!(LinExpr::zero().to_expr().to_string(), "0");
-        assert_eq!(LinExpr::constant(BigRat::from(-3)).to_expr().to_string(), "-3");
-        let neg_first = LinExpr::from_terms(
-            vec![("a".to_string(), BigRat::from(-1))],
-            BigRat::zero(),
+        assert_eq!(
+            LinExpr::constant(BigRat::from(-3)).to_expr().to_string(),
+            "-3"
         );
+        let neg_first =
+            LinExpr::from_terms(vec![("a".to_string(), BigRat::from(-1))], BigRat::zero());
         assert_eq!(neg_first.to_expr().to_string(), "0 - a");
     }
 
@@ -468,7 +465,10 @@ mod tests {
         let a = LinAtom {
             op: CmpOp::Gt,
             expr: LinExpr::from_terms(
-                vec![("a1".to_string(), BigRat::from(2)), ("a2".to_string(), BigRat::one())],
+                vec![
+                    ("a1".to_string(), BigRat::from(2)),
+                    ("a2".to_string(), BigRat::one()),
+                ],
                 BigRat::from(50),
             ),
         };
@@ -478,10 +478,7 @@ mod tests {
 
     #[test]
     fn eval_int() {
-        let l = LinExpr::from_terms(
-            vec![("a".to_string(), q(1, 2))],
-            BigRat::from(1),
-        );
+        let l = LinExpr::from_terms(vec![("a".to_string(), q(1, 2))], BigRat::from(1));
         let v = l.eval_int(&|_| BigInt::from(5i64));
         assert_eq!(v, q(7, 2));
     }
@@ -489,7 +486,10 @@ mod tests {
     #[test]
     fn display() {
         let l = LinExpr::from_terms(
-            vec![("a".to_string(), BigRat::from(2)), ("b".to_string(), BigRat::from(-3))],
+            vec![
+                ("a".to_string(), BigRat::from(2)),
+                ("b".to_string(), BigRat::from(-3)),
+            ],
             BigRat::from(-7),
         );
         assert_eq!(l.to_string(), "2*a - 3*b - 7");
@@ -502,50 +502,60 @@ mod proptests {
     use crate::eval::eval_expr;
     use crate::expr::{col, lit, Expr};
     use crate::types::Value;
-    use proptest::prelude::*;
+    use sia_rand::{Rng, SeedableRng};
     use std::collections::HashMap;
 
-    fn arb_linear_expr() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            Just(col("x")),
-            Just(col("y")),
-            (-30i64..30).prop_map(lit),
-        ];
-        leaf.prop_recursive(3, 16, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
-                // multiplication by constants only keeps it linear
-                (inner, -5i64..5).prop_map(|(a, k)| a.mul(lit(k))),
-            ]
-        })
+    /// Random linear expression over columns `x`/`y` with bounded depth,
+    /// built from addition, subtraction, and multiplication by constants.
+    fn rand_linear_expr(g: &mut sia_rand::rngs::StdRng, depth: u32) -> Expr {
+        if depth == 0 || g.gen_bool(0.3) {
+            return match g.gen_range(0u32..3) {
+                0 => col("x"),
+                1 => col("y"),
+                _ => lit(g.gen_range(-30i64..30)),
+            };
+        }
+        match g.gen_range(0u32..3) {
+            0 => rand_linear_expr(g, depth - 1).add(rand_linear_expr(g, depth - 1)),
+            1 => rand_linear_expr(g, depth - 1).sub(rand_linear_expr(g, depth - 1)),
+            // multiplication by constants only keeps it linear
+            _ => rand_linear_expr(g, depth - 1).mul(lit(g.gen_range(-5i64..5))),
+        }
     }
 
-    proptest! {
-        /// Linearization is semantics-preserving: evaluating the linear
-        /// form at integer points matches the tree evaluator.
-        #[test]
-        fn linearize_agrees_with_eval(e in arb_linear_expr(), x in -9i64..9, y in -9i64..9) {
+    /// Linearization is semantics-preserving: evaluating the linear
+    /// form at integer points matches the tree evaluator.
+    #[test]
+    fn linearize_agrees_with_eval() {
+        let mut g = sia_rand::rngs::StdRng::seed_from_u64(0x11ea4);
+        for _ in 0..256 {
+            let e = rand_linear_expr(&mut g, 3);
+            let x = g.gen_range(-9i64..9);
+            let y = g.gen_range(-9i64..9);
             let lin = linearize(&e, NonLinearPolicy::Reject).unwrap();
-            let from_lin = lin.eval_int(&|c| {
-                sia_num::BigInt::from(if c == "x" { x } else { y })
-            });
+            let from_lin = lin.eval_int(&|c| sia_num::BigInt::from(if c == "x" { x } else { y }));
             let tuple: HashMap<String, Value> = [
                 ("x".to_string(), Value::Int(x)),
                 ("y".to_string(), Value::Int(y)),
-            ].into_iter().collect();
+            ]
+            .into_iter()
+            .collect();
             match eval_expr(&e, &tuple) {
-                Value::Int(v) => prop_assert_eq!(from_lin, BigRat::from(v)),
-                other => prop_assert!(false, "unexpected eval result {:?}", other),
+                Value::Int(v) => assert_eq!(from_lin, BigRat::from(v)),
+                other => panic!("unexpected eval result {other:?}"),
             }
         }
+    }
 
-        /// `to_expr` round-trips through `linearize`.
-        #[test]
-        fn to_expr_roundtrip(e in arb_linear_expr()) {
+    /// `to_expr` round-trips through `linearize`.
+    #[test]
+    fn to_expr_roundtrip() {
+        let mut g = sia_rand::rngs::StdRng::seed_from_u64(0x11ea5);
+        for _ in 0..256 {
+            let e = rand_linear_expr(&mut g, 3);
             let lin = linearize(&e, NonLinearPolicy::Reject).unwrap();
             let back = linearize(&lin.to_expr(), NonLinearPolicy::Reject).unwrap();
-            prop_assert_eq!(back, lin);
+            assert_eq!(back, lin);
         }
     }
 }

@@ -111,10 +111,7 @@ impl Catalog {
     /// Panics if a table with the same name already exists.
     pub fn add_table(&mut self, name: impl Into<String>, schema: Schema) {
         let name = name.into();
-        assert!(
-            self.table(&name).is_none(),
-            "duplicate table {name:?}"
-        );
+        assert!(self.table(&name).is_none(), "duplicate table {name:?}");
         self.tables.push(TableSchema { name, schema });
     }
 

@@ -25,7 +25,10 @@ pub enum DataType {
 impl DataType {
     /// True if the type is represented as an integer internally.
     pub fn is_integral(self) -> bool {
-        matches!(self, DataType::Integer | DataType::Date | DataType::Timestamp)
+        matches!(
+            self,
+            DataType::Integer | DataType::Date | DataType::Timestamp
+        )
     }
 }
 
@@ -116,16 +119,26 @@ impl Date {
         if parts.len() != 3 {
             return Err(format!("invalid date literal {s:?}"));
         }
-        let year: i32 = parts[0].parse().map_err(|_| format!("invalid year in {s:?}"))?;
-        let month: u8 = parts[1].parse().map_err(|_| format!("invalid month in {s:?}"))?;
-        let day: u8 = parts[2].parse().map_err(|_| format!("invalid day in {s:?}"))?;
+        let year: i32 = parts[0]
+            .parse()
+            .map_err(|_| format!("invalid year in {s:?}"))?;
+        let month: u8 = parts[1]
+            .parse()
+            .map_err(|_| format!("invalid month in {s:?}"))?;
+        let day: u8 = parts[2]
+            .parse()
+            .map_err(|_| format!("invalid day in {s:?}"))?;
         Date::new(year, month, day)
     }
 
     /// Days since the Unix epoch (1970-01-01 is day 0). Uses the
     /// days-from-civil algorithm (Howard Hinnant).
     pub fn to_days(self) -> i64 {
-        let y = if self.month <= 2 { self.year as i64 - 1 } else { self.year as i64 };
+        let y = if self.month <= 2 {
+            self.year as i64 - 1
+        } else {
+            self.year as i64
+        };
         let era = if y >= 0 { y } else { y - 399 } / 400;
         let yoe = y - era * 400; // [0, 399]
         let m = self.month as i64;
@@ -147,7 +160,11 @@ impl Date {
         let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
         let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
         let year = (if m <= 2 { y + 1 } else { y }) as i32;
-        Date { year, month: m, day: d }
+        Date {
+            year,
+            month: m,
+            day: d,
+        }
     }
 
     /// Year component.
@@ -194,7 +211,7 @@ fn days_in_month(year: i32, month: u8) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sia_rand::{Rng, SeedableRng};
 
     #[test]
     fn date_epoch() {
@@ -253,24 +270,35 @@ mod tests {
         assert_eq!(DataType::Date.to_string(), "DATE");
     }
 
-    proptest! {
-        #[test]
-        fn prop_date_roundtrip(days in -1_000_000i64..1_000_000i64) {
+    #[test]
+    fn randomized_date_roundtrip() {
+        let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xda7e_0001);
+        for _ in 0..1024 {
+            let days = g.gen_range(-1_000_000i64..1_000_000);
             let d = Date::from_days(days);
-            prop_assert_eq!(d.to_days(), days);
+            assert_eq!(d.to_days(), days);
         }
+    }
 
-        #[test]
-        fn prop_date_ordering_matches_days(a in -500_000i64..500_000, b in -500_000i64..500_000) {
+    #[test]
+    fn randomized_date_ordering_matches_days() {
+        let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xda7e_0002);
+        for _ in 0..1024 {
+            let a = g.gen_range(-500_000i64..500_000);
+            let b = g.gen_range(-500_000i64..500_000);
             let (da, db) = (Date::from_days(a), Date::from_days(b));
-            prop_assert_eq!(da < db, a < b);
+            assert_eq!(da < db, a < b);
         }
+    }
 
-        #[test]
-        fn prop_date_parse_roundtrip(days in -500_000i64..500_000) {
+    #[test]
+    fn randomized_date_parse_roundtrip() {
+        let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xda7e_0003);
+        for _ in 0..1024 {
+            let days = g.gen_range(-500_000i64..500_000);
             let d = Date::from_days(days);
             if d.year() > 0 {
-                prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+                assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
             }
         }
     }

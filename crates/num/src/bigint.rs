@@ -62,7 +62,7 @@ impl BigInt {
 
     /// True iff the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l % 2 == 0)
+        self.limbs.first().is_none_or(|l| l % 2 == 0)
     }
 
     fn from_limbs(sign: i8, mut limbs: Vec<u32>) -> Self {
@@ -91,8 +91,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push(s as u32);
             carry = s >> 32;
         }
@@ -107,8 +107,8 @@ impl BigInt {
         debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
-        for i in 0..a.len() {
-            let d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        for (i, &x) in a.iter().enumerate() {
+            let d = x as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
             if d < 0 {
                 out.push((d + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -186,9 +186,7 @@ impl BigInt {
             let top = ((an[j + n] as u64) << 32) | an[j + n - 1] as u64;
             let mut qhat = top / btop;
             let mut rhat = top % btop;
-            while qhat >= 1u64 << 32
-                || qhat * bsec > ((rhat << 32) | an[j + n - 2] as u64)
-            {
+            while qhat >= 1u64 << 32 || qhat * bsec > ((rhat << 32) | an[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += btop;
                 if rhat >= 1u64 << 32 {
@@ -273,10 +271,7 @@ impl BigInt {
         assert!(!other.is_zero(), "division by zero BigInt");
         let (q, r) = Self::divmod_mag(&self.limbs, &other.limbs);
         let qs = self.sign * other.sign;
-        (
-            BigInt::from_limbs(qs, q),
-            BigInt::from_limbs(self.sign, r),
-        )
+        (BigInt::from_limbs(qs, q), BigInt::from_limbs(self.sign, r))
     }
 
     /// Floor division: rounds toward negative infinity.
@@ -617,10 +612,34 @@ impl MulAssign<&BigInt> for BigInt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sia_rand::{Rng, RngCore, SeedableRng};
 
     fn bi(v: i128) -> BigInt {
         BigInt::from(v)
+    }
+
+    /// Deterministic generator for the randomized tests below.
+    fn rng() -> sia_rand::rngs::StdRng {
+        sia_rand::rngs::StdRng::seed_from_u64(0xb161_0000)
+    }
+
+    /// Uniform `i128` in `[-2^bits, 2^bits)`.
+    fn rand_i128(r: &mut impl RngCore, bits: u32) -> i128 {
+        let span = 1i128 << bits;
+        let hi = i128::from(r.next_u64()) << 64;
+        let raw = hi | i128::from(r.next_u64());
+        raw.rem_euclid(2 * span) - span
+    }
+
+    /// Random decimal digit string with `1..=len` digits (no leading zero).
+    fn rand_digits(r: &mut impl RngCore, len: usize) -> String {
+        let n = r.gen_range(1usize..=len);
+        let mut s = String::new();
+        s.push(char::from(b'1' + (r.gen_range(0u32..9)) as u8));
+        for _ in 1..n {
+            s.push(char::from(b'0' + (r.gen_range(0u32..10)) as u8));
+        }
+        s
     }
 
     #[test]
@@ -730,70 +749,113 @@ mod tests {
         assert!((bi(1i128 << 80).to_f64() - (1i128 << 80) as f64).abs() < 1e60);
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
-            prop_assert_eq!(bi(a) + bi(b), bi(a + b));
+    #[test]
+    fn randomized_add_sub_match_i128() {
+        let mut r = rng();
+        for _ in 0..512 {
+            let (a, b) = (rand_i128(&mut r, 100), rand_i128(&mut r, 100));
+            assert_eq!(bi(a) + bi(b), bi(a + b));
+            assert_eq!(bi(a) - bi(b), bi(a - b));
         }
+    }
 
-        #[test]
-        fn prop_sub_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
-            prop_assert_eq!(bi(a) - bi(b), bi(a - b));
+    #[test]
+    fn randomized_mul_matches_i128() {
+        let mut r = rng();
+        for _ in 0..512 {
+            let (a, b) = (rand_i128(&mut r, 60), rand_i128(&mut r, 60));
+            assert_eq!(bi(a) * bi(b), bi(a * b));
         }
+    }
 
-        #[test]
-        fn prop_mul_matches_i128(a in -(1i128<<60)..(1i128<<60), b in -(1i128<<60)..(1i128<<60)) {
-            prop_assert_eq!(bi(a) * bi(b), bi(a * b));
+    #[test]
+    fn randomized_divrem_matches_i64() {
+        let mut r = rng();
+        for _ in 0..512 {
+            let a = r.next_u64() as i64;
+            let mut b = r.next_u64() as i64;
+            if b == 0 {
+                b = 1;
+            }
+            let (q, m) = bi(i128::from(a)).div_rem(&bi(i128::from(b)));
+            assert_eq!(q, bi(i128::from(a) / i128::from(b)));
+            assert_eq!(m, bi(i128::from(a) % i128::from(b)));
         }
+    }
 
-        #[test]
-        fn prop_divrem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
-            let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
-            prop_assert_eq!(q, bi((a / b) as i128));
-            prop_assert_eq!(r, bi((a % b) as i128));
-        }
-
-        #[test]
-        fn prop_divrem_reconstructs(a_str in "-?[0-9]{1,40}", b_str in "[1-9][0-9]{0,20}") {
+    #[test]
+    fn randomized_divrem_reconstructs() {
+        let mut r = rng();
+        for _ in 0..256 {
+            let mut a_str = rand_digits(&mut r, 40);
+            if r.gen_bool_fair() {
+                a_str.insert(0, '-');
+            }
+            let b_str = rand_digits(&mut r, 21);
             let a: BigInt = a_str.parse().unwrap();
             let b: BigInt = b_str.parse().unwrap();
-            let (q, r) = a.div_rem(&b);
-            prop_assert_eq!(&q * &b + &r, a.clone());
-            prop_assert!(r.abs() < b.abs());
+            let (q, m) = a.div_rem(&b);
+            assert_eq!(&q * &b + &m, a.clone());
+            assert!(m.abs() < b.abs());
             // remainder sign matches dividend (truncated semantics)
-            prop_assert!(r.is_zero() || r.signum() == a.signum());
+            assert!(m.is_zero() || m.signum() == a.signum());
         }
+    }
 
-        #[test]
-        fn prop_floor_div_reconstructs(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
-            let (a_big, b_big) = (bi(a as i128), bi(b as i128));
+    #[test]
+    fn randomized_floor_div_reconstructs() {
+        let mut r = rng();
+        for _ in 0..512 {
+            let a = r.next_u64() as i64;
+            let mut b = r.next_u64() as i64;
+            if b == 0 {
+                b = 1;
+            }
+            let (a_big, b_big) = (bi(i128::from(a)), bi(i128::from(b)));
             let q = a_big.div_floor(&b_big);
             let m = a_big.mod_floor(&b_big);
-            prop_assert_eq!(&q * &b_big + &m, a_big);
-            prop_assert!(m.is_zero() || m.signum() == b_big.signum());
+            assert_eq!(&q * &b_big + &m, a_big);
+            assert!(m.is_zero() || m.signum() == b_big.signum());
         }
+    }
 
-        #[test]
-        fn prop_gcd_divides(a in any::<i64>(), b in any::<i64>()) {
-            let g = bi(a as i128).gcd(&bi(b as i128));
+    #[test]
+    fn randomized_gcd_divides() {
+        let mut r = rng();
+        for _ in 0..512 {
+            let a = r.next_u64() as i64;
+            let b = r.next_u64() as i64;
+            let g = bi(i128::from(a)).gcd(&bi(i128::from(b)));
             if a != 0 || b != 0 {
-                prop_assert!((bi(a as i128) % &g).is_zero());
-                prop_assert!((bi(b as i128) % &g).is_zero());
-                prop_assert!(g.is_positive());
+                assert!((bi(i128::from(a)) % &g).is_zero());
+                assert!((bi(i128::from(b)) % &g).is_zero());
+                assert!(g.is_positive());
             } else {
-                prop_assert!(g.is_zero());
+                assert!(g.is_zero());
             }
         }
+    }
 
-        #[test]
-        fn prop_cmp_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-            prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+    #[test]
+    fn randomized_cmp_matches_i128() {
+        let mut r = rng();
+        for _ in 0..512 {
+            let a = (i128::from(r.next_u64()) << 64) | i128::from(r.next_u64());
+            let b = (i128::from(r.next_u64()) << 64) | i128::from(r.next_u64());
+            assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
         }
+    }
 
-        #[test]
-        fn prop_display_parse_roundtrip(a in "-?[1-9][0-9]{0,60}") {
-            let v: BigInt = a.parse().unwrap();
-            prop_assert_eq!(v.to_string(), a);
+    #[test]
+    fn randomized_display_parse_roundtrip() {
+        let mut r = rng();
+        for _ in 0..256 {
+            let mut s = rand_digits(&mut r, 61);
+            if r.gen_bool_fair() {
+                s.insert(0, '-');
+            }
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
         }
     }
 }

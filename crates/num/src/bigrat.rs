@@ -342,7 +342,7 @@ impl MulAssign<&BigRat> for BigRat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sia_rand::{Rng, SeedableRng};
 
     fn r(n: i64, d: i64) -> BigRat {
         BigRat::new(BigInt::from(n), BigInt::from(d))
@@ -423,37 +423,61 @@ mod tests {
         assert_eq!(r(-3, 4).recip(), r(-4, 3));
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_commutes(a in -1000i64..1000, b in 1i64..100, c in -1000i64..1000, d in 1i64..100) {
-            prop_assert_eq!(r(a, b) + r(c, d), r(c, d) + r(a, b));
-        }
+    fn rng() -> sia_rand::rngs::StdRng {
+        sia_rand::rngs::StdRng::seed_from_u64(0xb16_9a70)
+    }
 
-        #[test]
-        fn prop_mul_inverse(a in 1i64..10000, b in 1i64..10000) {
-            prop_assert_eq!(r(a, b) * r(a, b).recip(), BigRat::one());
+    #[test]
+    fn randomized_add_commutes() {
+        let mut g = rng();
+        for _ in 0..512 {
+            let (a, b) = (g.gen_range(-1000i64..1000), g.gen_range(1i64..100));
+            let (c, d) = (g.gen_range(-1000i64..1000), g.gen_range(1i64..100));
+            assert_eq!(r(a, b) + r(c, d), r(c, d) + r(a, b));
         }
+    }
 
-        #[test]
-        fn prop_floor_le_val_lt_floor_plus_one(a in -100000i64..100000, b in 1i64..1000) {
+    #[test]
+    fn randomized_mul_inverse() {
+        let mut g = rng();
+        for _ in 0..512 {
+            let (a, b) = (g.gen_range(1i64..10000), g.gen_range(1i64..10000));
+            assert_eq!(r(a, b) * r(a, b).recip(), BigRat::one());
+        }
+    }
+
+    #[test]
+    fn randomized_floor_le_val_lt_floor_plus_one() {
+        let mut g = rng();
+        for _ in 0..512 {
+            let (a, b) = (g.gen_range(-100_000i64..100_000), g.gen_range(1i64..1000));
             let v = r(a, b);
             let fl = BigRat::from(v.floor());
-            prop_assert!(fl <= v);
-            prop_assert!(v < &fl + &BigRat::one());
+            assert!(fl <= v);
+            assert!(v < &fl + &BigRat::one());
         }
+    }
 
-        #[test]
-        fn prop_from_f64_roundtrip(v in -1e12f64..1e12f64) {
+    #[test]
+    fn randomized_from_f64_roundtrip() {
+        let mut g = rng();
+        for _ in 0..512 {
+            let v = g.gen_range(-1e12f64..1e12f64);
             let q = BigRat::from_f64(v).unwrap();
-            prop_assert_eq!(q.to_f64(), v);
+            assert_eq!(q.to_f64(), v);
         }
+    }
 
-        #[test]
-        fn prop_cmp_consistent_with_f64(a in -1000i64..1000, b in 1i64..100, c in -1000i64..1000, d in 1i64..100) {
+    #[test]
+    fn randomized_cmp_consistent_with_f64() {
+        let mut g = rng();
+        for _ in 0..512 {
+            let (a, b) = (g.gen_range(-1000i64..1000), g.gen_range(1i64..100));
+            let (c, d) = (g.gen_range(-1000i64..1000), g.gen_range(1i64..100));
             let (x, y) = (r(a, b), r(c, d));
             let (fx, fy) = (a as f64 / b as f64, c as f64 / d as f64);
             if (fx - fy).abs() > 1e-9 {
-                prop_assert_eq!(x < y, fx < fy);
+                assert_eq!(x < y, fx < fy);
             }
         }
     }

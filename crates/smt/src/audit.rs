@@ -1,0 +1,297 @@
+//! Spot-check auditor for quantifier elimination.
+//!
+//! Cooper's procedure ([`crate::qe`]) claims `ψ(ȳ) ⟺ ∃x̄. φ(ȳ, x̄)`.
+//! The auditor samples integer points for the free variables `ȳ` and, for
+//! each, grid-searches a bounded window of witness values for the
+//! eliminated variables `x̄`:
+//!
+//! * a witness exists but `ψ` is false — **definite unsoundness** (the
+//!   projection is too strong); reported as [`QeAuditError::Unsound`]
+//!   with the concrete point and witness;
+//! * `ψ` is true but no witness lies in the window — inconclusive (the
+//!   witness may be outside the window); counted as `unconfirmed`;
+//! * both agree — counted as `witnessed` / `refuted`.
+//!
+//! Everything is evaluated through [`Formula::eval`], the same 3-valued-
+//! free ground evaluator used for model validation, so the auditor shares
+//! no code with the elimination procedure it checks. Under the `checked`
+//! cargo feature, [`crate::qe::eliminate_exists`] runs this audit on every
+//! successful elimination and panics on a definite unsoundness.
+
+use crate::formula::Formula;
+use crate::var::VarId;
+use sia_num::BigRat;
+use sia_rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+
+/// Auditor parameters; all sampling is deterministic in `seed`.
+#[derive(Debug, Clone)]
+pub struct QeAuditConfig {
+    /// Free-variable points sampled.
+    pub samples: u32,
+    /// Free variables are drawn uniformly from `[-free_range, free_range]`.
+    pub free_range: i64,
+    /// Witness window half-width for each eliminated variable.
+    pub witness_range: i64,
+    /// Maximum witness grid points per sample; the window shrinks to fit.
+    pub max_witness_points: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QeAuditConfig {
+    fn default() -> Self {
+        QeAuditConfig {
+            samples: 12,
+            free_range: 8,
+            witness_range: 6,
+            max_witness_points: 4_096,
+            seed: 0xa0d1_7000,
+        }
+    }
+}
+
+/// What a completed audit observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QeAuditReport {
+    /// Free-variable points sampled.
+    pub samples: u32,
+    /// Points where the projection held and a witness was found.
+    pub witnessed: u32,
+    /// Points where the projection was false and no witness exists in the
+    /// window (consistent, though not conclusive in itself).
+    pub refuted: u32,
+    /// Points where the projection held but no witness lay in the window.
+    pub unconfirmed: u32,
+}
+
+/// A definite unsoundness: the original formula has a witness at a point
+/// the projection rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QeAuditError {
+    /// Projection too strong: rejects a point with a concrete witness.
+    Unsound {
+        /// The free-variable assignment.
+        point: Vec<(VarId, i64)>,
+        /// Witness values for the eliminated variables, in input order.
+        witness: Vec<(VarId, i64)>,
+    },
+}
+
+impl std::fmt::Display for QeAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QeAuditError::Unsound { point, witness } => {
+                write!(
+                    f,
+                    "projection rejects a witnessed point: point {point:?}, witness {witness:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QeAuditError {}
+
+fn collect_bool_vars(f: &Formula, out: &mut BTreeSet<VarId>) {
+    match f {
+        Formula::BoolVar(v) => {
+            out.insert(*v);
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                collect_bool_vars(g, out);
+            }
+        }
+        Formula::Not(g) => collect_bool_vars(g, out),
+        _ => {}
+    }
+}
+
+fn eval_at(f: &Formula, arith: &HashMap<VarId, i64>, bools: &HashMap<VarId, bool>) -> bool {
+    f.eval(
+        &|v| BigRat::from(arith.get(&v).copied().unwrap_or(0)),
+        &|v| bools.get(&v).copied().unwrap_or(false),
+    )
+}
+
+/// Largest window half-width `w ≤ want` with `(2w+1)^k ≤ cap`.
+fn fit_window(want: i64, k: usize, cap: u64) -> i64 {
+    let mut w = want.max(0);
+    loop {
+        let span = 2 * w as u64 + 1;
+        let points = (0..k).try_fold(1u64, |acc, _| acc.checked_mul(span));
+        match points {
+            Some(p) if p <= cap => return w,
+            _ if w == 0 => return 0,
+            _ => w -= 1,
+        }
+    }
+}
+
+/// Search the witness window for values of `elim` making `f` true at the
+/// fixed `arith`/`bools` point. Odometer enumeration, smallest-norm-last.
+fn find_witness(
+    f: &Formula,
+    elim: &[VarId],
+    arith: &mut HashMap<VarId, i64>,
+    bools: &HashMap<VarId, bool>,
+    w: i64,
+) -> Option<Vec<(VarId, i64)>> {
+    let span = 2 * w + 1;
+    let mut odo = vec![0i64; elim.len()];
+    loop {
+        for (x, o) in elim.iter().zip(&odo) {
+            arith.insert(*x, o - w);
+        }
+        if eval_at(f, arith, bools) {
+            return Some(elim.iter().map(|x| (*x, arith[x])).collect());
+        }
+        let mut i = 0;
+        loop {
+            if i == odo.len() {
+                for x in elim {
+                    arith.remove(x);
+                }
+                return None;
+            }
+            odo[i] += 1;
+            if odo[i] < span {
+                break;
+            }
+            odo[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Audit `projected` as the claimed elimination of `∃ eliminated .
+/// original`. Returns counters, or the first definite unsoundness found.
+pub fn audit_elimination(
+    original: &Formula,
+    eliminated: &[VarId],
+    projected: &Formula,
+    cfg: &QeAuditConfig,
+) -> Result<QeAuditReport, QeAuditError> {
+    let mut bool_vars = BTreeSet::new();
+    collect_bool_vars(original, &mut bool_vars);
+    collect_bool_vars(projected, &mut bool_vars);
+    let elim_set: BTreeSet<VarId> = eliminated.iter().copied().collect();
+    let free: Vec<VarId> = original
+        .vars()
+        .into_iter()
+        .chain(projected.vars())
+        .filter(|v| !elim_set.contains(v) && !bool_vars.contains(v))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let w = fit_window(cfg.witness_range, eliminated.len(), cfg.max_witness_points);
+    let mut rng = sia_rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut report = QeAuditReport::default();
+    for _ in 0..cfg.samples {
+        report.samples += 1;
+        let mut arith: HashMap<VarId, i64> = free
+            .iter()
+            .map(|v| (*v, rng.gen_range(-cfg.free_range..=cfg.free_range)))
+            .collect();
+        let bools: HashMap<VarId, bool> = bool_vars
+            .iter()
+            .map(|v| (*v, rng.gen_bool_fair()))
+            .collect();
+        let projected_truth = eval_at(projected, &arith, &bools);
+        let point: Vec<(VarId, i64)> = free.iter().map(|v| (*v, arith[v])).collect();
+        match find_witness(original, eliminated, &mut arith, &bools, w) {
+            Some(witness) => {
+                if !projected_truth {
+                    return Err(QeAuditError::Unsound { point, witness });
+                }
+                report.witnessed += 1;
+            }
+            None => {
+                if projected_truth {
+                    report.unconfirmed += 1;
+                } else {
+                    report.refuted += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LinTerm;
+
+    fn t1(v: VarId) -> LinTerm {
+        LinTerm::var(v)
+    }
+
+    fn c(n: i64) -> LinTerm {
+        LinTerm::constant(BigRat::from(n))
+    }
+
+    fn small_cfg() -> QeAuditConfig {
+        QeAuditConfig {
+            samples: 24,
+            free_range: 4,
+            witness_range: 6,
+            ..QeAuditConfig::default()
+        }
+    }
+
+    #[test]
+    fn accepts_correct_projection() {
+        // ∃x. y ≤ x ∧ x ≤ y + 1 is always true; projection True.
+        let (x, y) = (VarId(0), VarId(1));
+        let f = Formula::le0(t1(y).sub(&t1(x))).and(Formula::le0(t1(x).sub(&t1(y)).sub(&c(1))));
+        let report = audit_elimination(&f, &[x], &Formula::True, &small_cfg()).unwrap();
+        assert_eq!(report.witnessed, report.samples);
+    }
+
+    #[test]
+    fn rejects_too_strong_projection() {
+        // ∃x. x = y is always true, but the projection claims y ≥ 100.
+        let (x, y) = (VarId(0), VarId(1));
+        let f = Formula::eq0(t1(x).sub(&t1(y)));
+        let bogus = Formula::le0(c(100).sub(&t1(y)));
+        let err = audit_elimination(&f, &[x], &bogus, &small_cfg()).unwrap_err();
+        let QeAuditError::Unsound { point, witness } = err;
+        // The witness really does satisfy the original at the point.
+        assert_eq!(point.len(), 1);
+        assert_eq!(witness.len(), 1);
+        assert_eq!(point[0].1, witness[0].1, "witness must equal y for x = y");
+    }
+
+    #[test]
+    fn too_weak_projection_is_unconfirmed_not_unsound() {
+        // ∃x. x = 2y ∧ x = 2y + 1 is always false; a projection of True is
+        // wrong in the weak direction, which a bounded search cannot prove.
+        let (x, y) = (VarId(0), VarId(1));
+        let f = Formula::eq0(t1(x).sub(&t1(y).scale(&BigRat::from(2)))).and(Formula::eq0(
+            t1(x).sub(&t1(y).scale(&BigRat::from(2))).sub(&c(1)),
+        ));
+        let report = audit_elimination(&f, &[x], &Formula::True, &small_cfg()).unwrap();
+        assert_eq!(report.unconfirmed, report.samples);
+    }
+
+    #[test]
+    fn window_shrinks_to_budget() {
+        assert_eq!(fit_window(6, 1, 4096), 6);
+        assert_eq!(fit_window(6, 4, 4096), 3); // 7^4 = 2401 ≤ 4096 < 9^4
+        assert_eq!(fit_window(6, 12, 4096), 0); // even 3^12 = 531441 > 4096
+        assert_eq!(fit_window(6, 20, 4096), 0);
+    }
+
+    #[test]
+    fn divisibility_atoms_are_respected() {
+        // ∃x. x ≡ 0 (mod 2) ∧ x = y  ⟺  2 | y.
+        let (x, y) = (VarId(0), VarId(1));
+        let f = Formula::divides(2i64.into(), t1(x)).and(Formula::eq0(t1(x).sub(&t1(y))));
+        let proj = Formula::divides(2i64.into(), t1(y));
+        let report = audit_elimination(&f, &[x], &proj, &small_cfg()).unwrap();
+        assert_eq!(report.unconfirmed, 0);
+        assert!(report.witnessed > 0 && report.refuted > 0);
+    }
+}

@@ -68,7 +68,10 @@ impl Formula {
 
     /// `modulus | term`, constant-folded when possible.
     pub fn divides(modulus: BigInt, term: LinTerm) -> Formula {
-        assert!(modulus.is_positive(), "divisibility modulus must be positive");
+        assert!(
+            modulus.is_positive(),
+            "divisibility modulus must be positive"
+        );
         if modulus.is_one() {
             return Formula::True;
         }
@@ -127,6 +130,7 @@ impl Formula {
     }
 
     /// Negation (double negation collapses; literals negate in place).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         match self {
             Formula::True => Formula::False,
@@ -259,13 +263,9 @@ impl Formula {
                 term: a.term.subst(v, replacement),
             }),
             Formula::Divides(m, t) => Formula::divides(m.clone(), t.subst(v, replacement)),
-            Formula::NotDivides(m, t) => {
-                Formula::divides(m.clone(), t.subst(v, replacement)).not()
-            }
+            Formula::NotDivides(m, t) => Formula::divides(m.clone(), t.subst(v, replacement)).not(),
             Formula::BoolVar(b) => Formula::BoolVar(*b),
-            Formula::And(fs) => {
-                Formula::and_all(fs.iter().map(|f| f.subst(v, replacement)))
-            }
+            Formula::And(fs) => Formula::and_all(fs.iter().map(|f| f.subst(v, replacement))),
             Formula::Or(fs) => Formula::or_all(fs.iter().map(|f| f.subst(v, replacement))),
             Formula::Not(f) => f.subst(v, replacement).not(),
         }
@@ -274,11 +274,7 @@ impl Formula {
     /// Evaluate under a full assignment (`arith` for numeric variables,
     /// `boolv` for boolean variables). Total — used as a model checker in
     /// tests and debug assertions.
-    pub fn eval(
-        &self,
-        arith: &impl Fn(VarId) -> BigRat,
-        boolv: &impl Fn(VarId) -> bool,
-    ) -> bool {
+    pub fn eval(&self, arith: &impl Fn(VarId) -> BigRat, boolv: &impl Fn(VarId) -> bool) -> bool {
         match self {
             Formula::True => true,
             Formula::False => false,
@@ -301,9 +297,7 @@ impl Formula {
     /// Number of AST nodes.
     pub fn size(&self) -> usize {
         match self {
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(|f| f.size()).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(|f| f.size()).sum::<usize>(),
             Formula::Not(f) => 1 + f.size(),
             _ => 1,
         }
@@ -360,10 +354,7 @@ mod tests {
 
     #[test]
     fn divides_folding() {
-        assert_eq!(
-            Formula::divides(BigInt::one(), x()),
-            Formula::True
-        );
+        assert_eq!(Formula::divides(BigInt::one(), x()), Formula::True);
         assert_eq!(
             Formula::divides(BigInt::from(3i64), LinTerm::constant(q(6))),
             Formula::True
@@ -411,9 +402,7 @@ mod tests {
 
     #[test]
     fn nnf() {
-        let f = Formula::le0(x())
-            .and(Formula::BoolVar(VarId(9)))
-            .not();
+        let f = Formula::le0(x()).and(Formula::BoolVar(VarId(9))).not();
         let n = f.nnf();
         assert_eq!(n.to_string(), "(or -1*v0 < 0 (not v9))");
     }

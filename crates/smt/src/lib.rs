@@ -13,13 +13,16 @@
 //! * [`qe`] — Cooper's quantifier-elimination procedure for the
 //!   `∃cols′. … ∧ ∀others. ¬p` formulas Sia uses to generate FALSE
 //!   samples and decide optimality (§4.2, §5.3, §5.5), and a model-based
-//!   CEGQI alternative used for ablation.
+//!   CEGQI alternative used for ablation;
+//! * [`audit`] — a sampling soundness auditor for quantifier elimination,
+//!   run on every elimination under the `checked` cargo feature.
 //!
 //! Formulas ([`Formula`]) are built over linear terms ([`LinTerm`]) with
 //! variables declared on the solver.
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod formula;
 pub mod qe;
 pub mod sat;

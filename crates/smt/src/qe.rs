@@ -64,11 +64,7 @@ impl std::error::Error for QeError {}
 /// `f` is integer-valued. Variables are eliminated innermost-first in the
 /// order that currently occurs in the fewest atoms (a standard
 /// cheapest-first heuristic).
-pub fn eliminate_exists(
-    f: &Formula,
-    vars: &[VarId],
-    cfg: &QeConfig,
-) -> Result<Formula, QeError> {
+pub fn eliminate_exists(f: &Formula, vars: &[VarId], cfg: &QeConfig) -> Result<Formula, QeError> {
     let mut g = f.nnf();
     let mut remaining: Vec<VarId> = vars.to_vec();
     while !remaining.is_empty() {
@@ -88,6 +84,13 @@ pub fn eliminate_exists(
             )));
         }
     }
+    #[cfg(feature = "checked")]
+    {
+        let audit_cfg = crate::audit::QeAuditConfig::default();
+        if let Err(e) = crate::audit::audit_elimination(f, vars, &g, &audit_cfg) {
+            panic!("unsound quantifier elimination: {e}");
+        }
+    }
     Ok(g)
 }
 
@@ -95,9 +98,7 @@ fn count_atom_occurrences(f: &Formula, x: VarId) -> usize {
     match f {
         Formula::Atom(a) => usize::from(a.term.mentions(x)),
         Formula::Divides(_, t) | Formula::NotDivides(_, t) => usize::from(t.mentions(x)),
-        Formula::And(fs) | Formula::Or(fs) => {
-            fs.iter().map(|g| count_atom_occurrences(g, x)).sum()
-        }
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().map(|g| count_atom_occurrences(g, x)).sum(),
         Formula::Not(g) => count_atom_occurrences(g, x),
         _ => 0,
     }
@@ -182,11 +183,13 @@ fn collect_coeff_lcm(f: &Formula, x: VarId, acc: &mut BigInt) {
         Formula::Divides(_, t) | Formula::NotDivides(_, t) => {
             let c = t.coeff(x);
             if !c.is_zero() {
-                // Divisibility terms may carry rational coefficients only if
-                // the caller built them that way; Sia never does, but scale
-                // up defensively via the numerator after clearing.
-                let n = t.normalize_integer().coeff(x);
-                *acc = acc.lcm(n.numer());
+                // `scale_to_unit` multiplies this term by δ₁/|c|, which must
+                // be a positive integer, so δ₁ needs the RAW numerator of c
+                // — not the content-normalized one. Divisibility terms are
+                // not rewritten by `normalize_atoms` (that would change the
+                // modulus semantics), so `d | 2x + 2y` contributes 2 here
+                // even though its normalized coefficient is 1.
+                *acc = acc.lcm(c.numer());
             }
         }
         Formula::And(fs) | Formula::Or(fs) => {
@@ -241,9 +244,7 @@ fn scale_to_unit(f: &Formula, x: VarId, delta1: &BigInt) -> Formula {
         Formula::NotDivides(d, t) => {
             scale_to_unit(&Formula::Divides(d.clone(), t.clone()), x, delta1).not()
         }
-        Formula::And(fs) => {
-            Formula::and_all(fs.iter().map(|g| scale_to_unit(g, x, delta1)))
-        }
+        Formula::And(fs) => Formula::and_all(fs.iter().map(|g| scale_to_unit(g, x, delta1))),
         Formula::Or(fs) => Formula::or_all(fs.iter().map(|g| scale_to_unit(g, x, delta1))),
         Formula::Not(g) => scale_to_unit(g, x, delta1).not(),
         other => other.clone(),
@@ -256,12 +257,7 @@ fn abs_numer_over_denom(c: &BigRat) -> BigRat {
 
 /// Collect the B set (terms `b` from atoms `b < x'`) and the lcm of
 /// divisibility moduli involving `x'`. Assumes unit coefficients.
-fn collect_bounds_and_moduli(
-    f: &Formula,
-    x: VarId,
-    lower: &mut Vec<LinTerm>,
-    delta: &mut BigInt,
-) {
+fn collect_bounds_and_moduli(f: &Formula, x: VarId, lower: &mut Vec<LinTerm>, delta: &mut BigInt) {
     match f {
         Formula::Atom(a) => {
             let c = a.term.coeff(x);
@@ -275,10 +271,8 @@ fn collect_bounds_and_moduli(
                 lower.push(b);
             }
         }
-        Formula::Divides(d, t) | Formula::NotDivides(d, t) => {
-            if t.mentions(x) {
-                *delta = delta.lcm(d);
-            }
+        Formula::Divides(d, t) | Formula::NotDivides(d, t) if t.mentions(x) => {
+            *delta = delta.lcm(d);
         }
         Formula::And(fs) | Formula::Or(fs) => {
             for g in fs {
@@ -338,7 +332,7 @@ fn map_atoms(f: &Formula, m: &impl Fn(&Atom) -> Formula) -> Formula {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::{Solver, SmtResult};
+    use crate::solver::{SmtResult, Solver};
     use crate::var::Sort;
 
     fn t1(v: VarId) -> LinTerm {
@@ -351,12 +345,7 @@ mod tests {
 
     /// Reference check: `∃x. f` decided by the solver directly, vs the
     /// QE result with the remaining variables fixed to `vals`.
-    fn check_equiv_at(
-        f: &Formula,
-        x: VarId,
-        others: &[(VarId, i64)],
-        solver_vars: usize,
-    ) {
+    fn check_equiv_at(f: &Formula, x: VarId, others: &[(VarId, i64)], solver_vars: usize) {
         let qe = eliminate_exists(f, &[x], &QeConfig::default()).unwrap();
         assert!(!qe.mentions(x), "QE result still mentions {x}: {qe}");
         for &(v, val) in others {
@@ -545,9 +534,6 @@ mod tests {
     fn no_occurrence_is_identity() {
         let (x, y) = (VarId(0), VarId(1));
         let f = Formula::lt0(t1(y));
-        assert_eq!(
-            eliminate_exists(&f, &[x], &QeConfig::default()).unwrap(),
-            f
-        );
+        assert_eq!(eliminate_exists(&f, &[x], &QeConfig::default()).unwrap(), f);
     }
 }

@@ -2,6 +2,17 @@
 //! analysis, VSIDS-style decision heuristic, phase saving, and Luby
 //! restarts. Small and dependency-free; the DPLL(T) layer
 //! ([`crate::solver`]) lazily adds theory lemmas as ordinary clauses.
+//!
+//! When proof logging is enabled ([`SatSolver::enable_proof`]), every
+//! clause entering the database is recorded as a [`ProofStep`] in
+//! chronological order — callers log their input clauses and theory
+//! lemmas, while the solver itself logs each learned clause (and the
+//! empty clause on refutation) as [`ProofStep::Derived`]. First-UIP
+//! learned clauses are derivable by reverse unit propagation from the
+//! clauses logged before them, so `sia-check` can replay the log
+//! independently.
+
+use sia_check::{Justification, ProofStep};
 
 /// A literal: variable index with polarity. `code = var << 1 | neg`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,6 +55,18 @@ impl Lit {
 
     fn code(self) -> usize {
         self.0 as usize
+    }
+}
+
+/// DIMACS encoding of a literal: variable `v` (0-based) becomes `±(v+1)`,
+/// negative when the literal is negated. This is the convention of the
+/// `sia-check` proof checker.
+pub fn dimacs(l: Lit) -> i64 {
+    let v = (l.var() as i64) + 1;
+    if l.is_neg() {
+        -v
+    } else {
+        v
     }
 }
 
@@ -101,6 +124,9 @@ pub struct SatSolver {
     var_inc: f64,
     phase: Vec<bool>,
     unsat: bool,
+    /// Chronological clause-proof log; `None` until
+    /// [`SatSolver::enable_proof`] is called.
+    proof: Option<Vec<ProofStep>>,
     /// Statistics for the current lifetime of the solver.
     pub stats: SatStats,
 }
@@ -136,6 +162,47 @@ impl SatSolver {
         self.assign[l.var()].map(|b| b != l.is_neg())
     }
 
+    /// Start recording a clause-proof log. Call before any clause is
+    /// added; otherwise earlier clauses are missing from the log and
+    /// later derivations may not check.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_none() {
+            self.proof = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded proof log (empty if logging was never enabled).
+    pub fn take_proof(&mut self) -> Vec<ProofStep> {
+        self.proof.take().unwrap_or_default()
+    }
+
+    /// Record an axiomatic input clause (no-op unless proof logging is
+    /// enabled). Callers log the clause **before** adding it.
+    pub fn log_input(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Input(lits.iter().copied().map(dimacs).collect()));
+        }
+    }
+
+    /// Record a theory lemma with its justification (no-op unless proof
+    /// logging is enabled). Callers log the lemma **before** adding it.
+    pub fn log_lemma(&mut self, lits: &[Lit], just: Justification) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Lemma(
+                lits.iter().copied().map(dimacs).collect(),
+                just,
+            ));
+        }
+    }
+
+    fn log_derived(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Derived(
+                lits.iter().copied().map(dimacs).collect(),
+            ));
+        }
+    }
+
     /// Add a clause. Returns `false` if the solver is already known UNSAT.
     /// Clauses may be added between `solve` calls (incremental use); the
     /// trail is rewound to level 0 first.
@@ -161,15 +228,22 @@ impl SatSolver {
         }
         match filtered.len() {
             0 => {
+                // Every literal of the clause is false at the root, so the
+                // empty clause follows by unit propagation over the logged
+                // database (which contains this clause).
                 self.unsat = true;
+                self.log_derived(&[]);
                 false
             }
             1 => {
                 self.enqueue(filtered[0], None);
                 if self.propagate().is_some() {
                     self.unsat = true;
+                    self.log_derived(&[]);
                     false
                 } else {
+                    #[cfg(feature = "checked")]
+                    self.check_invariants();
                     true
                 }
             }
@@ -241,13 +315,13 @@ impl SatSolver {
                 // Clause is unit or conflicting.
                 if self.value(first) == Some(false) {
                     // Conflict: restore remaining watches and report.
-                    self.watches[p.code()].extend(ws.drain(..));
+                    self.watches[p.code()].append(&mut ws);
                     return Some(cref);
                 }
                 self.enqueue(first, Some(cref));
                 i += 1;
             }
-            self.watches[p.code()].extend(ws.drain(..));
+            self.watches[p.code()].append(&mut ws);
         }
         None
     }
@@ -336,8 +410,7 @@ impl SatSolver {
     fn decide(&mut self) -> Option<Lit> {
         let mut best: Option<usize> = None;
         for v in 0..self.num_vars() {
-            if self.assign[v].is_none()
-                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            if self.assign[v].is_none() && best.is_none_or(|b| self.activity[v] > self.activity[b])
             {
                 best = Some(v);
             }
@@ -353,25 +426,50 @@ impl SatSolver {
         self.backtrack_to(0);
         if self.propagate().is_some() {
             self.unsat = true;
+            self.log_derived(&[]);
             return SatResult::Unsat;
         }
+        #[cfg(feature = "checked")]
+        self.check_invariants();
         let mut conflicts_since_restart = 0u64;
         let mut restart_idx = 1u64;
         let mut restart_limit = 64 * luby(restart_idx);
         loop {
-            if let Some(conflict) = self.propagate() {
+            let conflicting = self.propagate();
+            #[cfg(feature = "checked")]
+            if conflicting.is_none() {
+                self.check_invariants();
+            }
+            if let Some(conflict) = conflicting {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 if self.trail_lim.is_empty() {
                     self.unsat = true;
+                    self.log_derived(&[]);
                     return SatResult::Unsat;
                 }
-                let (learned, backjump) = self.analyze(conflict);
+                let (mut learned, backjump) = self.analyze(conflict);
+                self.log_derived(&learned);
                 self.backtrack_to(backjump);
                 self.decay_activity();
                 if learned.len() == 1 {
                     self.enqueue(learned[0], None);
                 } else {
+                    // Watch the asserting literal and a literal at the
+                    // backjump level. The rest of the clause is false, and
+                    // only a backjump-level watch is unassigned by exactly
+                    // the backtracks that unassign the asserting literal —
+                    // watching an arbitrary (lower-level) literal instead
+                    // leaves the clause silently unit after backtracking,
+                    // with no falsification event to re-trigger it.
+                    let w = (2..learned.len()).fold(1, |w: usize, k| {
+                        if self.level[learned[k].var()] > self.level[learned[w].var()] {
+                            k
+                        } else {
+                            w
+                        }
+                    });
+                    learned.swap(1, w);
                     let cref = self.clauses.len();
                     self.watches[learned[0].negated().code()].push(cref);
                     self.watches[learned[1].negated().code()].push(cref);
@@ -402,6 +500,82 @@ impl SatSolver {
     /// `solve() == Sat`).
     pub fn model_value(&self, v: usize) -> bool {
         self.assign[v].unwrap_or(false)
+    }
+
+    /// Exhaustive watched-literal and trail invariant checks, run after
+    /// every conflict-free propagation fixpoint under the `checked`
+    /// feature. O(total literals) per call — paranoia, not production.
+    #[cfg(feature = "checked")]
+    fn check_invariants(&self) {
+        // Trail: fully propagated, every entry true, one entry per
+        // assigned variable, levels within range.
+        assert_eq!(
+            self.qhead,
+            self.trail.len(),
+            "propagation queue not drained"
+        );
+        let mut on_trail = vec![false; self.num_vars()];
+        for &l in &self.trail {
+            assert_eq!(self.value(l), Some(true), "trail literal {l} not true");
+            assert!(!on_trail[l.var()], "variable of {l} on trail twice");
+            on_trail[l.var()] = true;
+            assert!(
+                self.level[l.var()] as usize <= self.trail_lim.len(),
+                "literal {l} above current decision level"
+            );
+        }
+        let assigned = self.assign.iter().filter(|a| a.is_some()).count();
+        assert_eq!(assigned, self.trail.len(), "assignment off the trail");
+        // Implied literals: reason clause propagates exactly them.
+        for &l in &self.trail {
+            if let Some(cref) = self.reason[l.var()] {
+                let lits = &self.clauses[cref].lits;
+                assert_eq!(lits[0], l, "reason clause head is not the implied literal");
+                for &q in &lits[1..] {
+                    assert_eq!(
+                        self.value(q),
+                        Some(false),
+                        "reason tail literal {q} not false"
+                    );
+                }
+            }
+        }
+        // Watches: every stored clause is watched by exactly its first two
+        // literals, each appearing in the watch list of its negation.
+        let mut watch_count = vec![0usize; self.clauses.len()];
+        for (code, list) in self.watches.iter().enumerate() {
+            let watched = Lit(code as u32).negated();
+            for &cref in list {
+                watch_count[cref] += 1;
+                let lits = &self.clauses[cref].lits;
+                assert!(
+                    lits[0] == watched || lits[1] == watched,
+                    "clause {cref} in watch list of non-watched literal {watched}"
+                );
+            }
+        }
+        for (cref, &n) in watch_count.iter().enumerate() {
+            assert_eq!(n, 2, "clause {cref} has {n} watch entries, expected 2");
+        }
+        // No clause is falsified or unit-unpropagated at a fixpoint.
+        for (cref, c) in self.clauses.iter().enumerate() {
+            if c.lits.iter().any(|&l| self.value(l) == Some(true)) {
+                continue;
+            }
+            let open = c.lits.iter().filter(|&&l| self.value(l).is_none()).count();
+            if open < 2 {
+                let detail: Vec<String> = c
+                    .lits
+                    .iter()
+                    .map(|&l| format!("{l}={:?}@{}", self.value(l), self.level[l.var()]))
+                    .collect();
+                panic!(
+                    "clause {cref} is {} at a propagation fixpoint: {detail:?}, cur_level={}",
+                    if open == 0 { "falsified" } else { "unit" },
+                    self.trail_lim.len()
+                );
+            }
+        }
     }
 }
 
@@ -492,14 +666,15 @@ mod tests {
         // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
         let mut s = SatSolver::new();
         let mut p = [[0usize; 2]; 3];
-        for i in 0..3 {
-            for j in 0..2 {
-                p[i][j] = s.new_var();
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
             }
         }
-        for i in 0..3 {
-            assert!(s.add_clause(vec![Lit::pos(p[i][0]), Lit::pos(p[i][1])]));
+        for row in &p {
+            assert!(s.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]));
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {

@@ -96,7 +96,13 @@ impl fmt::Display for QDelta {
         if self.k.is_zero() {
             write!(f, "{}", self.r)
         } else {
-            write!(f, "{}{}{}δ", self.r, if self.k.is_negative() { "-" } else { "+" }, self.k.abs())
+            write!(
+                f,
+                "{}{}{}δ",
+                self.r,
+                if self.k.is_negative() { "-" } else { "+" },
+                self.k.abs()
+            )
         }
     }
 }
@@ -117,6 +123,11 @@ impl Expl {
 pub struct Conflict {
     /// Tags of every bound participating in the conflict.
     pub tags: Vec<Expl>,
+    /// Farkas multipliers: for each participating bound (by tag), the
+    /// strictly positive rational weight under which the bounds' `≤`-form
+    /// inequalities sum to a constant contradiction. Meaningless when the
+    /// conflict involves an [`Expl::INTERNAL`] bound.
+    pub premises: Vec<(Expl, BigRat)>,
 }
 
 impl Conflict {
@@ -235,8 +246,10 @@ impl Simplex {
         }
         if let Some(l) = &self.lower[x] {
             if bound < l.value {
+                // x ≤ b and x ≥ l with b < l: weights 1 and 1.
                 return Err(Conflict {
                     tags: vec![expl, l.expl],
+                    premises: vec![(expl, BigRat::one()), (l.expl, BigRat::one())],
                 });
             }
         }
@@ -262,6 +275,7 @@ impl Simplex {
             if bound > u.value {
                 return Err(Conflict {
                     tags: vec![expl, u.expl],
+                    premises: vec![(expl, BigRat::one()), (u.expl, BigRat::one())],
                 });
             }
         }
@@ -404,24 +418,37 @@ impl Simplex {
                 Some(xj) => self.pivot_and_update(xi, xj, target),
                 None => {
                     // Conflict: xi's violated bound plus the binding bound
-                    // of every nonbasic variable in its row.
+                    // of every nonbasic variable in its row. The Farkas
+                    // weights come straight from the row identity
+                    // xi = Σ a·xj: weight 1 on the violated bound, |a| on
+                    // each blocking bound, so the ≤-form inequalities sum
+                    // to a constant contradiction.
                     let mut tags = Vec::with_capacity(row.len() + 1);
-                    tags.push(if below {
+                    let mut premises: Vec<(Expl, BigRat)> = Vec::with_capacity(row.len() + 1);
+                    let violated_expl = if below {
                         self.lower[xi].as_ref().unwrap().expl
                     } else {
                         self.upper[xi].as_ref().unwrap().expl
-                    });
+                    };
+                    tags.push(violated_expl);
+                    premises.push((violated_expl, BigRat::one()));
                     for (xj, a) in &row {
                         let bound = if below == a.is_positive() {
                             self.upper[*xj].as_ref()
                         } else {
                             self.lower[*xj].as_ref()
                         };
-                        tags.push(bound.expect("blocked var must be bounded").expl);
+                        let expl = bound.expect("blocked var must be bounded").expl;
+                        tags.push(expl);
+                        if let Some(e) = premises.iter_mut().find(|(t, _)| *t == expl) {
+                            e.1 = &e.1 + &a.abs();
+                        } else {
+                            premises.push((expl, a.abs()));
+                        }
                     }
                     tags.sort_by_key(|e| e.0);
                     tags.dedup();
-                    return Err(Conflict { tags });
+                    return Err(Conflict { tags, premises });
                 }
             }
         }
@@ -508,8 +535,10 @@ mod tests {
         assert!(qd(5) < QDelta::plus_delta(q(5)));
         assert!(QDelta::plus_delta(q(4)) < QDelta::minus_delta(q(5)));
         assert_eq!(qd(3).materialize(&q(1)), q(3));
-        assert_eq!(QDelta::plus_delta(q(3)).materialize(&BigRat::new(1.into(), 2.into())),
-                   BigRat::new(7.into(), 2.into()));
+        assert_eq!(
+            QDelta::plus_delta(q(3)).materialize(&BigRat::new(1.into(), 2.into())),
+            BigRat::new(7.into(), 2.into())
+        );
     }
 
     #[test]
@@ -580,9 +609,12 @@ mod tests {
         let y = s.new_var();
         let sv = s.new_var();
         s.define(sv, vec![(x, q(1)), (y, q(1))]);
-        s.assert_lower(x, QDelta::plus_delta(q(1)), Expl(0)).unwrap();
-        s.assert_lower(y, QDelta::plus_delta(q(1)), Expl(1)).unwrap();
-        s.assert_upper(sv, QDelta::minus_delta(q(2)), Expl(2)).unwrap();
+        s.assert_lower(x, QDelta::plus_delta(q(1)), Expl(0))
+            .unwrap();
+        s.assert_lower(y, QDelta::plus_delta(q(1)), Expl(1))
+            .unwrap();
+        s.assert_upper(sv, QDelta::minus_delta(q(2)), Expl(2))
+            .unwrap();
         assert!(s.check().is_err());
     }
 
@@ -591,8 +623,10 @@ mod tests {
         // x > 0 and x < 1: feasible; materialized value strictly inside.
         let mut s = Simplex::new();
         let x = s.new_var();
-        s.assert_lower(x, QDelta::plus_delta(q(0)), Expl(0)).unwrap();
-        s.assert_upper(x, QDelta::minus_delta(q(1)), Expl(1)).unwrap();
+        s.assert_lower(x, QDelta::plus_delta(q(0)), Expl(0))
+            .unwrap();
+        s.assert_upper(x, QDelta::minus_delta(q(1)), Expl(1))
+            .unwrap();
         assert!(s.check().is_ok());
         let d = s.concrete_delta();
         let v = s.value(x).materialize(&d);

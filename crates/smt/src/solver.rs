@@ -8,10 +8,11 @@
 //! blocking clause (theory lemma) built from the simplex explanation.
 
 use crate::formula::Formula;
-use crate::sat::{Lit, SatResult, SatSolver};
+use crate::sat::{dimacs, Lit, SatResult, SatSolver};
 use crate::simplex::{Conflict, Expl, QDelta, Simplex};
 use crate::term::{LinTerm, Rel};
 use crate::var::{Sort, VarId, VarTable};
+use sia_check::{AtomTable, CertifiedUnsat, FarkasCertificate, Justification, LinearIneq};
 use sia_num::{BigInt, BigRat};
 use std::collections::HashMap;
 
@@ -152,14 +153,49 @@ impl Solver {
     }
 
     /// Decide satisfiability of `f` and produce a model if satisfiable.
+    ///
+    /// Every `Sat` verdict is validated by replaying the model through the
+    /// formula evaluator before it is returned. Under the `checked` cargo
+    /// feature, every `Unsat` verdict additionally carries a certificate
+    /// that is verified by the independent `sia-check` crate; a rejected
+    /// certificate panics rather than returning an unsound verdict.
+    #[cfg(not(feature = "checked"))]
     pub fn check(&mut self, f: &Formula) -> SmtResult {
         self.stats.checks += 1;
-        let mut ctx = CheckCtx::new(&self.vars, &self.config);
+        let mut ctx = CheckCtx::new(&self.vars, &self.config, false);
         let result = ctx.run(f);
         self.stats.rounds += ctx.rounds;
         self.stats.theory_lemmas += ctx.lemmas;
         self.stats.bb_nodes += ctx.bb_nodes;
         result
+    }
+
+    /// Decide satisfiability of `f`, self-verifying every verdict (the
+    /// `checked` build): `Sat` models replay through the evaluator, and
+    /// `Unsat` certificates must pass [`sia_check::check_refutation`].
+    #[cfg(feature = "checked")]
+    pub fn check(&mut self, f: &Formula) -> SmtResult {
+        let (result, cert) = self.check_with_certificate(f);
+        if let Some(cert) = cert {
+            if let Err(e) = sia_check::check_refutation(&cert) {
+                panic!("unsound Unsat verdict: certificate rejected: {e}");
+            }
+        }
+        result
+    }
+
+    /// Like `check`, but when the verdict is `Unsat` also return the
+    /// certificate (atom table plus clause-proof log) for independent
+    /// verification with [`sia_check::check_refutation`].
+    pub fn check_with_certificate(&mut self, f: &Formula) -> (SmtResult, Option<CertifiedUnsat>) {
+        self.stats.checks += 1;
+        let mut ctx = CheckCtx::new(&self.vars, &self.config, true);
+        let result = ctx.run(f);
+        self.stats.rounds += ctx.rounds;
+        self.stats.theory_lemmas += ctx.lemmas;
+        self.stats.bb_nodes += ctx.bb_nodes;
+        let cert = result.is_unsat().then(|| ctx.into_certificate());
+        (result, cert)
     }
 }
 
@@ -174,12 +210,51 @@ struct AtomInfo {
     on_true: BoundSpec,
     /// Bound asserted when the atom literal is FALSE (the negation).
     on_false: BoundSpec,
+    /// `≤`-form inequality over original variables for the TRUE literal,
+    /// as the certificate checker sees it.
+    true_ineq: LinearIneq,
+    /// Same for the FALSE (negated) literal.
+    false_ineq: LinearIneq,
 }
 
 #[derive(Debug, Clone)]
 enum BoundSpec {
     Upper(QDelta),
     Lower(QDelta),
+}
+
+/// Write a bound on the canonical combination as `Σ c·x ≤ b` (`<` when
+/// strict): upper bounds directly, lower bounds with both sides negated.
+fn le_form(key: &ComboKey, spec: &BoundSpec) -> (Vec<(u32, BigRat)>, BigRat, bool) {
+    match spec {
+        BoundSpec::Upper(q) => (
+            key.iter()
+                .map(|(v, c)| (v.index() as u32, c.clone()))
+                .collect(),
+            q.r.clone(),
+            q.k.is_negative(),
+        ),
+        BoundSpec::Lower(q) => (
+            key.iter()
+                .map(|(v, c)| (v.index() as u32, -c.clone()))
+                .collect(),
+            -q.r.clone(),
+            q.k.is_positive(),
+        ),
+    }
+}
+
+/// The checker-facing inequality for a (possibly integer-tightened) bound;
+/// when tightening changed the bound, records the original for the checker
+/// to re-validate the rounding.
+fn ineq_of(key: &ComboKey, spec: &BoundSpec, raw: &BoundSpec) -> LinearIneq {
+    let (coeffs, bound, strict) = le_form(key, spec);
+    let (_, raw_bound, raw_strict) = le_form(key, raw);
+    let mut ineq = LinearIneq::new(coeffs, bound, strict);
+    if ineq.bound != raw_bound || ineq.strict != raw_strict {
+        ineq.tightened_from = Some((raw_bound, raw_strict));
+    }
+    ineq
 }
 
 struct CheckCtx<'a> {
@@ -203,16 +278,19 @@ struct CheckCtx<'a> {
     int_simplex_vars: Vec<usize>,
     /// next fresh VarId (beyond the declared table).
     next_fresh: u32,
+    /// record a proof log and atom table for an Unsat certificate.
+    certify: bool,
     rounds: u64,
     lemmas: u64,
     bb_nodes: u64,
 }
 
 impl<'a> CheckCtx<'a> {
-    fn new(vars: &'a VarTable, config: &'a SolverConfig) -> Self {
+    fn new(vars: &'a VarTable, config: &'a SolverConfig, certify: bool) -> Self {
         CheckCtx {
             vars,
             config,
+            certify,
             sat: SatSolver::new(),
             simplex: Simplex::new(),
             arith_map: HashMap::new(),
@@ -279,9 +357,7 @@ impl<'a> CheckCtx<'a> {
                 ))));
                 def.and(low).and(hi)
             }
-            Formula::And(fs) => {
-                Formula::and_all(fs.iter().map(|g| self.lower_divisibility(g)))
-            }
+            Formula::And(fs) => Formula::and_all(fs.iter().map(|g| self.lower_divisibility(g))),
             Formula::Or(fs) => Formula::or_all(fs.iter().map(|g| self.lower_divisibility(g))),
             Formula::Not(g) => {
                 // NNF guarantees Not only wraps BoolVar.
@@ -299,11 +375,7 @@ impl<'a> CheckCtx<'a> {
         // normalize_integer on just the var part: compute the positive
         // scale factor f such that combo = f · var_part; then the bound is
         // -c · f ... easier: find factor by comparing a leading coeff.
-        let lead = term
-            .iter()
-            .next()
-            .expect("atom with variables")
-            .0;
+        let lead = term.iter().next().expect("atom with variables").0;
         let orig_lead = term.coeff(lead);
         let norm_lead = combo_term.coeff(lead);
         // factor = norm/orig (may be negative if normalize flipped sign —
@@ -341,9 +413,9 @@ impl<'a> CheckCtx<'a> {
                     // (e.g. 2x - 2y = 1 refutes by branching on x - y at
                     // value 1/2) — without it, unbounded diophantine
                     // conflicts diverge.
-                    let integral = key.iter().all(|(v, k)| {
-                        self.sort_of(*v) == Sort::Int && k.is_integer()
-                    });
+                    let integral = key
+                        .iter()
+                        .all(|(v, k)| self.sort_of(*v) == Sort::Int && k.is_integer());
                     if integral {
                         self.int_simplex_vars.push(s);
                     }
@@ -386,23 +458,38 @@ impl<'a> CheckCtx<'a> {
         // strict-window infeasibilities (e.g. 18 < s < 20 ∧ s = 19 is the
         // only slot but excluded elsewhere) into direct simplex conflicts,
         // and makes branch-and-bound unnecessary for most queries.
-        let combo_integral = key.iter().all(|(v, k)| {
-            self.sort_of(*v) == Sort::Int && k.is_integer()
-        });
+        let combo_integral = key
+            .iter()
+            .all(|(v, k)| self.sort_of(*v) == Sort::Int && k.is_integer());
+        let (raw_true, raw_false) = (on_true, on_false);
         let (on_true, on_false) = if combo_integral {
-            (tighten_int(on_true), tighten_int(on_false))
+            (
+                tighten_int(raw_true.clone()),
+                tighten_int(raw_false.clone()),
+            )
         } else {
-            (on_true, on_false)
+            (raw_true.clone(), raw_false.clone())
         };
+        let true_ineq = ineq_of(&key, &on_true, &raw_true);
+        let false_ineq = ineq_of(&key, &on_false, &raw_false);
         let sv = self.sat.new_var();
         debug_assert_eq!(sv, self.atoms.len());
         self.atoms.push(Some(AtomInfo {
             simplex_var,
             on_true,
             on_false,
+            true_ineq,
+            false_ineq,
         }));
         self.atom_memo.insert(memo_key, sv);
         Lit::pos(sv)
+    }
+
+    /// Add an encoding clause, logging it as a proof [`sia_check::ProofStep::Input`]
+    /// first (the log call is a no-op unless proof logging is enabled).
+    fn add_input_clause(&mut self, clause: Vec<Lit>) -> bool {
+        self.sat.log_input(&clause);
+        self.sat.add_clause(clause)
     }
 
     fn bool_sat_var(&mut self, v: VarId) -> usize {
@@ -451,7 +538,7 @@ impl<'a> CheckCtx<'a> {
                 // y → lᵢ for each i (Plaisted–Greenbaum, positive polarity
                 // suffices for NNF input).
                 for l in &lits {
-                    self.sat.add_clause(vec![Lit::neg(y), *l]);
+                    self.add_input_clause(vec![Lit::neg(y), *l]);
                 }
                 Ok(Lit::pos(y))
             }
@@ -475,22 +562,31 @@ impl<'a> CheckCtx<'a> {
                 // y → (l₁ ∨ … ∨ lₙ)
                 let mut clause = vec![Lit::neg(y)];
                 clause.extend(lits.iter().copied());
-                self.sat.add_clause(clause);
+                self.add_input_clause(clause);
                 Ok(Lit::pos(y))
             }
         }
     }
 
     fn run(&mut self, f: &Formula) -> SmtResult {
+        if self.certify {
+            self.sat.enable_proof();
+        }
         let nnf = f.nnf();
         let lowered = self.lower_divisibility(&nnf);
         // lower_divisibility introduces Eq0 (And of atoms) inside; it is
         // still NNF. Re-normalize in case constant folding exposed literals.
         match self.tseitin(&lowered) {
-            Err(false) => return SmtResult::Unsat,
+            Err(false) => {
+                // The encoding collapsed to ⊥ by constant folding: log an
+                // axiomatic empty clause so the certificate closes.
+                self.sat.log_input(&[]);
+                let _ = self.sat.add_clause(vec![]);
+                return SmtResult::Unsat;
+            }
             Err(true) => return SmtResult::Sat(Model::default()),
             Ok(root) => {
-                self.sat.add_clause(vec![root]);
+                self.add_input_clause(vec![root]);
             }
         }
         loop {
@@ -543,16 +639,25 @@ impl<'a> CheckCtx<'a> {
                         BbResult::Sat => {
                             let model = self.extract_model();
                             self.simplex.pop();
-                            debug_assert!(model.eval(f), "model check failed for {f}");
+                            // Every Sat verdict is replayed through the
+                            // formula evaluator before being returned; a
+                            // failure here is a solver soundness bug.
+                            if !model.eval(f) {
+                                if cfg!(any(debug_assertions, feature = "checked")) {
+                                    panic!("unsound Sat verdict: model does not satisfy {f}");
+                                }
+                                return SmtResult::Unknown;
+                            }
                             return SmtResult::Sat(model);
                         }
                         BbResult::Infeasible => {
                             self.simplex.pop();
                             // Weak lemma: not this exact combination of
-                            // theory literals.
-                            let clause: Vec<Lit> =
-                                asserted.iter().map(|l| l.negated()).collect();
+                            // theory literals. Rests on branch-and-bound's
+                            // integer search, so it has no Farkas witness.
+                            let clause: Vec<Lit> = asserted.iter().map(|l| l.negated()).collect();
                             self.lemmas += 1;
+                            self.sat.log_lemma(&clause, Justification::IntegerBranch);
                             if !self.sat.add_clause(clause) {
                                 return SmtResult::Unsat;
                             }
@@ -569,15 +674,27 @@ impl<'a> CheckCtx<'a> {
 
     fn learn_conflict(&mut self, c: &Conflict, asserted: &[Lit]) {
         self.lemmas += 1;
-        let clause: Vec<Lit> = if c.has_internal() {
-            asserted.iter().map(|l| l.negated()).collect()
+        if c.has_internal() {
+            // A branch-and-bound bound participates: no rational witness,
+            // fall back to blocking the whole assignment.
+            let clause: Vec<Lit> = asserted.iter().map(|l| l.negated()).collect();
+            self.sat.log_lemma(&clause, Justification::IntegerBranch);
+            let _ = self.sat.add_clause(clause);
         } else {
-            c.tags
+            let clause: Vec<Lit> = c
+                .tags
                 .iter()
                 .map(|t| lit_from_code(t.0).negated())
-                .collect()
-        };
-        let _ = self.sat.add_clause(clause);
+                .collect();
+            let terms = c
+                .premises
+                .iter()
+                .map(|(e, m)| (dimacs(lit_from_code(e.0)), m.clone()))
+                .collect();
+            self.sat
+                .log_lemma(&clause, Justification::Farkas(FarkasCertificate { terms }));
+            let _ = self.sat.add_clause(clause);
+        }
     }
 
     /// Branch and bound over the integer simplex variables. On `Sat` the
@@ -604,8 +721,8 @@ impl<'a> CheckCtx<'a> {
         for &x in &self.int_simplex_vars {
             let v = self.simplex.value(x).materialize(&delta);
             if !v.is_integer() {
-                let boxed = self.simplex.lower_bound(x).is_some()
-                    && self.simplex.upper_bound(x).is_some();
+                let boxed =
+                    self.simplex.lower_bound(x).is_some() && self.simplex.upper_bound(x).is_some();
                 if boxed {
                     branch_var = Some((x, v));
                     break;
@@ -623,7 +740,11 @@ impl<'a> CheckCtx<'a> {
         self.simplex.push();
         if self
             .simplex
-            .assert_upper(x, QDelta::rational(BigRat::from_int(fl.clone())), Expl::INTERNAL)
+            .assert_upper(
+                x,
+                QDelta::rational(BigRat::from_int(fl.clone())),
+                Expl::INTERNAL,
+            )
             .is_ok()
         {
             match self.branch_and_bound(budget, depth + 1) {
@@ -658,6 +779,36 @@ impl<'a> CheckCtx<'a> {
         }
         self.simplex.pop();
         BbResult::Infeasible
+    }
+
+    /// The literal → inequality table for the certificate checker: each
+    /// theory atom contributes one entry per polarity, plus the set of
+    /// integer-sorted variables (declared and fresh witnesses) needed to
+    /// validate integer bound tightenings.
+    fn build_atom_table(&self) -> AtomTable {
+        let mut table = AtomTable::default();
+        for (sv, info) in self.atoms.iter().enumerate() {
+            let Some(info) = info else {
+                continue;
+            };
+            let lit = sv as i64 + 1;
+            table.entries.insert(lit, info.true_ineq.clone());
+            table.entries.insert(-lit, info.false_ineq.clone());
+        }
+        for v in self.arith_map.keys() {
+            if self.sort_of(*v) == Sort::Int {
+                table.int_vars.insert(v.index() as u32);
+            }
+        }
+        table
+    }
+
+    /// Package the proof log and atom table recorded during an Unsat run.
+    fn into_certificate(mut self) -> CertifiedUnsat {
+        CertifiedUnsat {
+            atoms: self.build_atom_table(),
+            steps: self.sat.take_proof(),
+        }
     }
 
     fn extract_model(&self) -> Model {
@@ -852,9 +1003,7 @@ mod tests {
         let (mut s, vs) = int_solver(&["x"]);
         let x = vs[0];
         // 10 <= x <= 12 and 7 | x  →  unsat; 7 | x with 13 <= x <= 15 → x = 14
-        let dom = |lo: i64, hi: i64| {
-            F::le0(c(lo).sub(&t1(x))).and(F::le0(t1(x).sub(&c(hi))))
-        };
+        let dom = |lo: i64, hi: i64| F::le0(c(lo).sub(&t1(x))).and(F::le0(t1(x).sub(&c(hi))));
         let f = dom(10, 12).and(F::divides(BigInt::from(7i64), t1(x)));
         assert!(s.check(&f).is_unsat());
         let g = dom(13, 15).and(F::divides(BigInt::from(7i64), t1(x)));
@@ -915,7 +1064,7 @@ mod tests {
         // produce a model that evaluates to true.
         let (mut s, vs) = int_solver(&["x", "y", "z"]);
         let (x, y, z) = (vs[0], vs[1], vs[2]);
-        let cases = vec![
+        let cases = [
             F::le0(t1(x).add(&t1(y)).sub(&c(3))).and(F::lt0(c(1).sub(&t1(x)))),
             F::eq0(t1(x).scale(&BigRat::from(3)).sub(&t1(y)).sub(&c(7)))
                 .and(F::le0(t1(y).sub(&c(100))))

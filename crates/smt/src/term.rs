@@ -44,10 +44,7 @@ impl LinTerm {
     }
 
     /// Build from raw parts, dropping zero coefficients.
-    pub fn from_parts(
-        coeffs: impl IntoIterator<Item = (VarId, BigRat)>,
-        constant: BigRat,
-    ) -> Self {
+    pub fn from_parts(coeffs: impl IntoIterator<Item = (VarId, BigRat)>, constant: BigRat) -> Self {
         let mut t = LinTerm::constant(constant);
         for (v, k) in coeffs {
             t.add_coeff(v, &k);

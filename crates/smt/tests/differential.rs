@@ -1,8 +1,9 @@
 //! Differential testing of the full SMT stack against brute-force grid
-//! enumeration on small integer domains.
+//! enumeration on small integer domains, driven by a seeded deterministic
+//! generator.
 
-use proptest::prelude::*;
 use sia_num::BigRat;
+use sia_rand::{Rng, SeedableRng};
 use sia_smt::{eliminate_exists, Formula, LinTerm, QeConfig, SmtResult, Solver, Sort, VarId};
 
 /// A random atom over two variables with small coefficients, bounded so
@@ -15,13 +16,18 @@ struct RawAtom {
     strict: bool,
 }
 
-fn atom_strategy() -> impl Strategy<Value = RawAtom> {
-    (-3i64..=3, -3i64..=3, -12i64..=12, any::<bool>()).prop_map(|(ax, ay, c, strict)| RawAtom {
-        ax,
-        ay,
-        c,
-        strict,
-    })
+fn rand_atom(g: &mut sia_rand::rngs::StdRng) -> RawAtom {
+    RawAtom {
+        ax: g.gen_range(-3i64..=3),
+        ay: g.gen_range(-3i64..=3),
+        c: g.gen_range(-12i64..=12),
+        strict: g.gen_bool_fair(),
+    }
+}
+
+fn rand_atoms(g: &mut sia_rand::rngs::StdRng, lo: usize, hi: usize) -> Vec<RawAtom> {
+    let n = g.gen_range(lo..hi);
+    (0..n).map(|_| rand_atom(g)).collect()
 }
 
 fn to_formula(a: &RawAtom, x: VarId, y: VarId) -> Formula {
@@ -48,10 +54,7 @@ fn holds(a: &RawAtom, x: i64, y: i64) -> bool {
 /// Box both variables so the problem is finite and grid-checkable.
 fn boxed(x: VarId, y: VarId, r: i64) -> Formula {
     let bound = |v: VarId| {
-        Formula::le0(
-            LinTerm::var(v).sub(&LinTerm::constant(BigRat::from(r))),
-        )
-        .and(Formula::le0(
+        Formula::le0(LinTerm::var(v).sub(&LinTerm::constant(BigRat::from(r)))).and(Formula::le0(
             LinTerm::constant(BigRat::from(-r)).sub(&LinTerm::var(v)),
         ))
     };
@@ -60,39 +63,41 @@ fn boxed(x: VarId, y: VarId, r: i64) -> Formula {
 
 const R: i64 = 10;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Solver verdicts on random conjunctions match grid enumeration.
-    #[test]
-    fn conjunction_matches_grid(atoms in proptest::collection::vec(atom_strategy(), 1..5)) {
+/// Solver verdicts on random conjunctions match grid enumeration.
+#[test]
+fn conjunction_matches_grid() {
+    let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xd1ff_0001);
+    for _ in 0..64 {
+        let atoms = rand_atoms(&mut g, 1, 5);
         let mut s = Solver::new();
         let x = s.declare("x", Sort::Int);
         let y = s.declare("y", Sort::Int);
         let f = atoms
             .iter()
             .fold(boxed(x, y, R), |acc, a| acc.and(to_formula(a, x, y)));
-        let grid_sat = (-R..=R).any(|gx| {
-            (-R..=R).any(|gy| atoms.iter().all(|a| holds(a, gx, gy)))
-        });
+        let grid_sat = (-R..=R).any(|gx| (-R..=R).any(|gy| atoms.iter().all(|a| holds(a, gx, gy))));
         match s.check(&f) {
             SmtResult::Sat(m) => {
                 let (mx, my) = (m.int(x).to_i64().unwrap(), m.int(y).to_i64().unwrap());
-                prop_assert!(grid_sat, "solver sat at ({mx},{my}) but grid unsat");
-                prop_assert!(
+                assert!(grid_sat, "solver sat at ({mx},{my}) but grid unsat");
+                assert!(
                     atoms.iter().all(|a| holds(a, mx, my)),
                     "model ({mx},{my}) violates an atom"
                 );
-                prop_assert!((-R..=R).contains(&mx) && (-R..=R).contains(&my));
+                assert!((-R..=R).contains(&mx) && (-R..=R).contains(&my));
             }
-            SmtResult::Unsat => prop_assert!(!grid_sat, "solver unsat but grid sat"),
+            SmtResult::Unsat => assert!(!grid_sat, "solver unsat but grid sat"),
             SmtResult::Unknown => {}
         }
     }
+}
 
-    /// QE of one variable agrees with per-point grid satisfiability.
-    #[test]
-    fn elimination_matches_grid(atoms in proptest::collection::vec(atom_strategy(), 1..4)) {
+/// QE of one variable agrees with per-point grid satisfiability.
+#[test]
+fn elimination_matches_grid() {
+    let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xd1ff_0002);
+    for _ in 0..64 {
+        let atoms = rand_atoms(&mut g, 1, 4);
         let mut s = Solver::new();
         let x = s.declare("x", Sort::Int);
         let y = s.declare("y", Sort::Int);
@@ -100,42 +105,49 @@ proptest! {
             .iter()
             .fold(boxed(x, y, R), |acc, a| acc.and(to_formula(a, x, y)));
         let Ok(projected) = eliminate_exists(&f, &[y], &QeConfig::default()) else {
-            return Ok(()); // budget: fine
+            continue; // budget: fine
         };
         for gx in -R..=R {
             let expect = (-R..=R).any(|gy| atoms.iter().all(|a| holds(a, gx, gy)));
-            let g = projected.subst(x, &LinTerm::constant(BigRat::from(gx)));
-            let actual = match &g {
+            let pt = projected.subst(x, &LinTerm::constant(BigRat::from(gx)));
+            let actual = match &pt {
                 Formula::True => true,
                 Formula::False => false,
-                g if g.vars().is_empty() => g.eval(&|_| BigRat::zero(), &|_| false),
+                pt if pt.vars().is_empty() => pt.eval(&|_| BigRat::zero(), &|_| false),
                 _ => {
                     // Residual divisibility witnesses: decide with the solver.
-                    matches!(s.check(&g), SmtResult::Sat(_))
+                    matches!(s.check(&pt), SmtResult::Sat(_))
                 }
             };
-            prop_assert_eq!(actual, expect, "projection wrong at x = {}", gx);
+            assert_eq!(actual, expect, "projection wrong at x = {gx}");
         }
     }
+}
 
-    /// Disjunctions exercise the boolean layer: (A ∧ box) ∨ (B ∧ box).
-    #[test]
-    fn disjunction_matches_grid(
-        a in proptest::collection::vec(atom_strategy(), 1..3),
-        b in proptest::collection::vec(atom_strategy(), 1..3),
-    ) {
+/// Disjunctions exercise the boolean layer: (A ∧ box) ∨ (B ∧ box).
+#[test]
+fn disjunction_matches_grid() {
+    let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xd1ff_0003);
+    for _ in 0..64 {
+        let a = rand_atoms(&mut g, 1, 3);
+        let b = rand_atoms(&mut g, 1, 3);
         let mut s = Solver::new();
         let x = s.declare("x", Sort::Int);
         let y = s.declare("y", Sort::Int);
-        let fa = a.iter().fold(Formula::True, |acc, t| acc.and(to_formula(t, x, y)));
-        let fb = b.iter().fold(Formula::True, |acc, t| acc.and(to_formula(t, x, y)));
+        let fa = a
+            .iter()
+            .fold(Formula::True, |acc, t| acc.and(to_formula(t, x, y)));
+        let fb = b
+            .iter()
+            .fold(Formula::True, |acc, t| acc.and(to_formula(t, x, y)));
         let f = boxed(x, y, R).and(fa.or(fb));
-        let grid_sat = (-R..=R).any(|gx| (-R..=R).any(|gy| {
-            a.iter().all(|t| holds(t, gx, gy)) || b.iter().all(|t| holds(t, gx, gy))
-        }));
+        let grid_sat = (-R..=R).any(|gx| {
+            (-R..=R)
+                .any(|gy| a.iter().all(|t| holds(t, gx, gy)) || b.iter().all(|t| holds(t, gx, gy)))
+        });
         match s.check(&f) {
-            SmtResult::Sat(_) => prop_assert!(grid_sat),
-            SmtResult::Unsat => prop_assert!(!grid_sat),
+            SmtResult::Sat(_) => assert!(grid_sat),
+            SmtResult::Unsat => assert!(!grid_sat),
             SmtResult::Unknown => {}
         }
     }

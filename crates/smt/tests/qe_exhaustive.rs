@@ -1,0 +1,172 @@
+//! Brute-force cross-check of Cooper's quantifier elimination on small
+//! bounded integer domains, including divisibility atoms, which exercise
+//! the modulus (periodicity) machinery that plain inequalities never
+//! touch. Boxing both variables keeps grid enumeration exhaustive, so the
+//! check is conclusive in both directions.
+
+use sia_num::{BigInt, BigRat};
+use sia_rand::{Rng, SeedableRng};
+use sia_smt::{eliminate_exists, Formula, LinTerm, QeConfig, SmtResult, Solver, Sort, VarId};
+
+#[derive(Debug, Clone)]
+enum RawAtom {
+    Ineq {
+        ax: i64,
+        ay: i64,
+        c: i64,
+        strict: bool,
+    },
+    Div {
+        m: i64,
+        ax: i64,
+        ay: i64,
+        c: i64,
+        neg: bool,
+    },
+}
+
+fn rand_atom(g: &mut sia_rand::rngs::StdRng) -> RawAtom {
+    if g.gen_bool(0.4) {
+        RawAtom::Div {
+            m: g.gen_range(2i64..=4),
+            ax: g.gen_range(-2i64..=2),
+            ay: g.gen_range(-2i64..=2),
+            c: g.gen_range(-3i64..=3),
+            neg: g.gen_bool_fair(),
+        }
+    } else {
+        RawAtom::Ineq {
+            ax: g.gen_range(-3i64..=3),
+            ay: g.gen_range(-3i64..=3),
+            c: g.gen_range(-10i64..=10),
+            strict: g.gen_bool_fair(),
+        }
+    }
+}
+
+fn lin(ax: i64, ay: i64, c: i64, x: VarId, y: VarId) -> LinTerm {
+    LinTerm::var(x)
+        .scale(&BigRat::from(ax))
+        .add(&LinTerm::var(y).scale(&BigRat::from(ay)))
+        .add(&LinTerm::constant(BigRat::from(c)))
+}
+
+fn to_formula(a: &RawAtom, x: VarId, y: VarId) -> Formula {
+    match a {
+        RawAtom::Ineq { ax, ay, c, strict } => {
+            let t = lin(*ax, *ay, *c, x, y);
+            if *strict {
+                Formula::lt0(t)
+            } else {
+                Formula::le0(t)
+            }
+        }
+        RawAtom::Div { m, ax, ay, c, neg } => {
+            let d = Formula::divides(BigInt::from(*m), lin(*ax, *ay, *c, x, y));
+            if *neg {
+                d.not()
+            } else {
+                d
+            }
+        }
+    }
+}
+
+fn holds(a: &RawAtom, x: i64, y: i64) -> bool {
+    match a {
+        RawAtom::Ineq { ax, ay, c, strict } => {
+            let v = ax * x + ay * y + c;
+            if *strict {
+                v < 0
+            } else {
+                v <= 0
+            }
+        }
+        RawAtom::Div { m, ax, ay, c, neg } => {
+            let v = ax * x + ay * y + c;
+            (v.rem_euclid(*m) == 0) != *neg
+        }
+    }
+}
+
+fn boxed(x: VarId, y: VarId, r: i64) -> Formula {
+    let bound = |v: VarId| {
+        Formula::le0(LinTerm::var(v).sub(&LinTerm::constant(BigRat::from(r)))).and(Formula::le0(
+            LinTerm::constant(BigRat::from(-r)).sub(&LinTerm::var(v)),
+        ))
+    };
+    bound(x).and(bound(y))
+}
+
+const R: i64 = 8;
+
+/// Decide a projected formula at a concrete point for `x`, falling back
+/// to the solver when residual divisibility witnesses remain.
+fn projected_at(s: &mut Solver, projected: &Formula, x: VarId, gx: i64) -> bool {
+    let pt = projected.subst(x, &LinTerm::constant(BigRat::from(gx)));
+    match &pt {
+        Formula::True => true,
+        Formula::False => false,
+        pt if pt.vars().is_empty() => pt.eval(&|_| BigRat::zero(), &|_| false),
+        _ => matches!(s.check(&pt), SmtResult::Sat(_)),
+    }
+}
+
+/// Eliminating one variable from random mixtures of inequalities and
+/// (negated) divisibility atoms matches exhaustive grid enumeration.
+#[test]
+fn divisibility_elimination_matches_grid() {
+    let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xc00b_e001);
+    for round in 0..48 {
+        let n = g.gen_range(1usize..4);
+        let atoms: Vec<RawAtom> = (0..n).map(|_| rand_atom(&mut g)).collect();
+        let mut s = Solver::new();
+        let x = s.declare("x", Sort::Int);
+        let y = s.declare("y", Sort::Int);
+        let f = atoms
+            .iter()
+            .fold(boxed(x, y, R), |acc, a| acc.and(to_formula(a, x, y)));
+        let Ok(projected) = eliminate_exists(&f, &[y], &QeConfig::default()) else {
+            continue; // budget exhausted: acceptable, not a soundness issue
+        };
+        for gx in -R..=R {
+            let expect = (-R..=R).any(|gy| atoms.iter().all(|a| holds(a, gx, gy)));
+            let actual = projected_at(&mut s, &projected, x, gx);
+            assert_eq!(
+                actual, expect,
+                "round {round}: projection of {atoms:?} wrong at x = {gx}"
+            );
+        }
+    }
+}
+
+/// Eliminating both variables yields a ground truth value that matches
+/// whole-grid satisfiability.
+#[test]
+fn full_elimination_matches_grid() {
+    let mut g = sia_rand::rngs::StdRng::seed_from_u64(0xc00b_e002);
+    for round in 0..48 {
+        let n = g.gen_range(1usize..4);
+        let atoms: Vec<RawAtom> = (0..n).map(|_| rand_atom(&mut g)).collect();
+        let mut s = Solver::new();
+        let x = s.declare("x", Sort::Int);
+        let y = s.declare("y", Sort::Int);
+        let f = atoms
+            .iter()
+            .fold(boxed(x, y, R), |acc, a| acc.and(to_formula(a, x, y)));
+        let Ok(projected) = eliminate_exists(&f, &[x, y], &QeConfig::default()) else {
+            continue;
+        };
+        let expect = (-R..=R).any(|gx| (-R..=R).any(|gy| atoms.iter().all(|a| holds(a, gx, gy))));
+        let actual = match &projected {
+            Formula::True => true,
+            Formula::False => false,
+            pt if pt.vars().is_empty() => pt.eval(&|_| BigRat::zero(), &|_| false),
+            pt => matches!(s.check(pt), SmtResult::Sat(_)),
+        };
+        assert_eq!(
+            actual, expect,
+            "round {round}: ground projection of {atoms:?} wrong"
+        );
+    }
+}

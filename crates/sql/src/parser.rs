@@ -349,14 +349,11 @@ mod tests {
 
     #[test]
     fn parse_simple_query() {
-        let q = parse_query("SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey;")
-            .unwrap();
+        let q =
+            parse_query("SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey;").unwrap();
         assert_eq!(q.tables, vec!["lineitem", "orders"]);
         assert_eq!(q.select, SelectList::Star);
-        assert_eq!(
-            q.predicate.unwrap().to_string(),
-            "o_orderkey = l_orderkey"
-        );
+        assert_eq!(q.predicate.unwrap().to_string(), "o_orderkey = l_orderkey");
     }
 
     #[test]

@@ -79,12 +79,7 @@ impl Hyperplane {
     /// The signed decision value `w·x + b`.
     pub fn decision(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.weights.len());
-        self.weights
-            .iter()
-            .zip(x)
-            .map(|(w, v)| w * v)
-            .sum::<f64>()
-            + self.bias
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.bias
     }
 
     /// Classify a point (`true` = positive side).

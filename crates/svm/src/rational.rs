@@ -66,10 +66,7 @@ pub fn rationalize_value(v: f64, max_den: u64) -> BigRat {
 /// "use all the given columns" check detects that the learner effectively
 /// dropped a column (§6.4).
 pub fn rationalize(h: &Hyperplane, max_den: u64) -> IntHyperplane {
-    let max_w = h
-        .weights
-        .iter()
-        .fold(0.0f64, |m, w| m.max(w.abs()));
+    let max_w = h.weights.iter().fold(0.0f64, |m, w| m.max(w.abs()));
     if max_w == 0.0 {
         return IntHyperplane {
             weights: vec![BigInt::zero(); h.weights.len()],
@@ -87,10 +84,7 @@ pub fn rationalize(h: &Hyperplane, max_den: u64) -> IntHyperplane {
         lcm = lcm.lcm(r.denom());
     }
     let scale = BigRat::from_int(lcm.clone());
-    let weights: Vec<BigInt> = rel
-        .iter()
-        .map(|r| (r * &scale).numer().clone())
-        .collect();
+    let weights: Vec<BigInt> = rel.iter().map(|r| (r * &scale).numer().clone()).collect();
     // Integer points satisfy w·x + b > 0 iff w·x ≥ 1 - ⌈b⌉, so the
     // ceiling of the scaled bias is the exact integer bias: the integer
     // plane accepts precisely the integer points the float plane accepts.
@@ -151,10 +145,7 @@ mod tests {
             bias: 10.0,
         };
         let ih = rationalize(&h, 64);
-        assert_eq!(
-            ih.weights,
-            vec![BigInt::from(2i64), BigInt::from(1i64)]
-        );
+        assert_eq!(ih.weights, vec![BigInt::from(2i64), BigInt::from(1i64)]);
         assert_eq!(ih.bias, BigInt::from(50i64));
     }
 

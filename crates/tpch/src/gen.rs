@@ -10,10 +10,10 @@
 //! is unchanged because every experiment compares two plans on the same
 //! data).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sia_engine::{Column, Database, Table};
 use sia_expr::{ColumnDef, DataType, Date, Schema};
+use sia_rand::rngs::StdRng;
+use sia_rand::{Rng, SeedableRng};
 
 /// Generator parameters.
 #[derive(Debug, Clone)]
@@ -86,9 +86,9 @@ pub fn generate(config: &TpchConfig) -> Database {
         o_totalprice.push(rng.gen_range(850.0..555_000.0));
         let items = rng.gen_range(1..=7);
         for line in 1..=items {
-            let ship = orderdate + rng.gen_range(1..=121);
-            let commit = orderdate + rng.gen_range(30..=90);
-            let receipt = ship + rng.gen_range(1..=30);
+            let ship = orderdate + rng.gen_range(1i64..=121);
+            let commit = orderdate + rng.gen_range(30i64..=90);
+            let receipt = ship + rng.gen_range(1i64..=30);
             l_orderkey.push(key);
             l_linenumber.push(line);
             l_quantity.push(rng.gen_range(1..=50));

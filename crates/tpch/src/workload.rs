@@ -15,10 +15,10 @@
 //! rejected (checked with the workspace SMT solver) and regenerated,
 //! exactly as the paper does.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sia_core::PredEncoder;
 use sia_expr::{col, CmpOp, Date, Expr, Pred};
+use sia_rand::rngs::StdRng;
+use sia_rand::{Rng, SeedableRng};
 use sia_sql::{Query, SelectList};
 
 /// The lineitem date columns the benchmark constrains.
@@ -236,7 +236,10 @@ mod tests {
 
     #[test]
     fn unsatisfiable_filter_works() {
-        let p = sia_sql::parse_predicate("o_orderdate < DATE '1993-01-01' AND o_orderdate > DATE '1994-01-01'").unwrap();
+        let p = sia_sql::parse_predicate(
+            "o_orderdate < DATE '1993-01-01' AND o_orderdate > DATE '1994-01-01'",
+        )
+        .unwrap();
         assert!(!is_satisfiable(&p));
     }
 }

@@ -41,9 +41,7 @@ fn main() {
         vec!["r_latency".to_string()],
         targets.to_vec(),
     ] {
-        let r = synthesizer
-            .synthesize(&p, &cols)
-            .expect("synthesis runs");
+        let r = synthesizer.synthesize(&p, &cols).expect("synthesis runs");
         println!(
             "Sia over {cols:?}: {} (optimal: {}, {} iterations)",
             r.predicate

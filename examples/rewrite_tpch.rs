@@ -27,8 +27,8 @@ fn main() {
     catalog.add_table("lineitem", lineitem_schema());
 
     let mut synthesizer = Synthesizer::default();
-    let outcome = rewrite_query(&mut synthesizer, &q1, &catalog, "lineitem")
-        .expect("rewrite succeeds");
+    let outcome =
+        rewrite_query(&mut synthesizer, &q1, &catalog, "lineitem").expect("rewrite succeeds");
     let rewritten = outcome.rewritten.expect("Q1 admits a lineitem predicate");
     println!("synthesized predicate: {}", outcome.synthesized.unwrap());
     println!("rewritten query: {rewritten}\n");

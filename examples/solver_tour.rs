@@ -21,7 +21,11 @@ fn main() {
     let f = Formula::eq0(tx.add(&ty).sub(&c(10))).and(Formula::eq0(tx.sub(&ty).sub(&c(4))));
     match solver.check(&f) {
         SmtResult::Sat(m) => {
-            println!("x + y = 10 ∧ x - y = 4  ⇒  x = {}, y = {}", m.int(x), m.int(y))
+            println!(
+                "x + y = 10 ∧ x - y = 4  ⇒  x = {}, y = {}",
+                m.int(x),
+                m.int(y)
+            );
         }
         other => println!("unexpected: {other:?}"),
     }
@@ -56,9 +60,7 @@ fn main() {
     let projected = eliminate_exists(&p, &[b1], &QeConfig::default()).expect("within budget");
     // Spot-check two points against the known region.
     for (a1v, a2v, expect) in [(0i64, 0i64, true), (50, 0, false)] {
-        let g = projected
-            .subst(a1, &c(a1v))
-            .subst(a2, &c(a2v));
+        let g = projected.subst(a1, &c(a1v)).subst(a2, &c(a2v));
         let truth = matches!(g, Formula::True)
             || (!matches!(g, Formula::False) && g.eval(&|_| BigRat::zero(), &|_| false));
         println!("∃b1.p at (a1={a1v}, a2={a2v}): {truth} (expected {expect})");

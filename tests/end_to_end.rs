@@ -115,11 +115,7 @@ fn workload_queries_execute() {
         let r = db.run(&reparsed, OptimizerConfig::default()).unwrap();
         // The predicate references o_orderdate in every term, so the
         // optimizer cannot push anything into lineitem…
-        let li_filters = r
-            .plan
-            .to_string()
-            .matches("SeqScan on lineitem")
-            .count();
+        let li_filters = r.plan.to_string().matches("SeqScan on lineitem").count();
         assert_eq!(li_filters, 1);
     }
 }
@@ -146,7 +142,9 @@ fn rewrites_preserve_semantics_on_data() {
         let Ok(outcome) = rewrite_query(&mut syn, &q.query, &cat, "lineitem") else {
             continue;
         };
-        let Some(rew) = outcome.rewritten else { continue };
+        let Some(rew) = outcome.rewritten else {
+            continue;
+        };
         rewritten_any = true;
         let cfg = OptimizerConfig::default();
         let a = db.run(&q.query, cfg).unwrap();

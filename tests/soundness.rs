@@ -1,86 +1,94 @@
-//! Property-based cross-crate soundness: random predicates through the
-//! whole stack, with the three-valued evaluator as ground truth.
+//! Randomized cross-crate soundness: random predicates through the whole
+//! stack, with the three-valued evaluator as ground truth. Deterministic:
+//! every test seeds its own `sia-rand` generator.
 
-use proptest::prelude::*;
 use sia::core::{verify_implies, PredEncoder, Validity};
 use sia::expr::{col, eval_pred, lit, CmpOp, Expr, Pred, Value};
 use sia::smt::{SmtResult, Solver, Sort};
+use sia_rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 const VARS: [&str; 3] = ["x", "y", "z"];
 
-/// Strategy for a random linear expression over x, y, z.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(|i| col(VARS[i])),
-        (-20i64..20).prop_map(lit),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![Just(0u8), Just(1u8)]).prop_map(|(a, b, op)| {
-            match op {
-                0 => a.add(b),
-                _ => a.sub(b),
-            }
-        })
-    })
+type Gen = sia_rand::rngs::StdRng;
+
+/// Random linear expression over x, y, z with bounded depth.
+fn rand_expr(g: &mut Gen, depth: u32) -> Expr {
+    if depth == 0 || g.gen_bool(0.4) {
+        return if g.gen_bool_fair() {
+            col(VARS[g.gen_range(0usize..3)])
+        } else {
+            lit(g.gen_range(-20i64..20))
+        };
+    }
+    let a = rand_expr(g, depth - 1);
+    let b = rand_expr(g, depth - 1);
+    if g.gen_bool_fair() {
+        a.add(b)
+    } else {
+        a.sub(b)
+    }
 }
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-    ]
+fn rand_cmp(g: &mut Gen) -> CmpOp {
+    match g.gen_range(0u32..6) {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        _ => CmpOp::Ne,
+    }
 }
 
-/// Random predicate: conjunction/disjunction of up to 4 comparisons.
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    let atom = (arb_expr(), arb_cmp(), arb_expr()).prop_map(|(l, op, r)| l.cmp(op, r));
-    proptest::collection::vec((atom, any::<bool>()), 1..4).prop_map(|parts| {
-        let mut acc: Option<Pred> = None;
-        for (p, conj) in parts {
-            acc = Some(match acc {
-                None => p,
-                Some(a) => {
-                    if conj {
-                        a.and(p)
-                    } else {
-                        a.or(p)
-                    }
+/// Random predicate: conjunction/disjunction of up to 3 comparisons.
+fn rand_pred(g: &mut Gen) -> Pred {
+    let n = g.gen_range(1usize..4);
+    let mut acc: Option<Pred> = None;
+    for _ in 0..n {
+        let atom = rand_expr(g, 2).cmp(rand_cmp(g), rand_expr(g, 2));
+        acc = Some(match acc {
+            None => atom,
+            Some(a) => {
+                if g.gen_bool_fair() {
+                    a.and(atom)
+                } else {
+                    a.or(atom)
                 }
-            });
-        }
-        acc.unwrap()
-    })
+            }
+        });
+    }
+    acc.unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The SMT encoding agrees with the three-valued evaluator on
-    /// concrete non-NULL tuples: a model of encode(p) satisfies p, and
-    /// grounding p at a non-model point matches eval.
-    #[test]
-    fn smt_models_satisfy_the_evaluator(p in arb_pred()) {
+/// The SMT encoding agrees with the three-valued evaluator on concrete
+/// non-NULL tuples: a model of encode(p) satisfies p, and an unsat
+/// verdict means no small grid point satisfies p.
+#[test]
+fn smt_models_satisfy_the_evaluator() {
+    let mut g = Gen::seed_from_u64(0x50f7_0001);
+    for _ in 0..48 {
+        let p = rand_pred(&mut g);
         let mut enc = PredEncoder::new();
-        let Ok(f) = enc.encode(&p) else { return Ok(()); };
+        let Ok(f) = enc.encode(&p) else { continue };
         match enc.solver().check(&f) {
             SmtResult::Sat(m) => {
                 let tuple: HashMap<String, Value> = VARS
                     .iter()
                     .map(|v| {
                         let var = enc.value_var(v);
-                        (v.to_string(), Value::Int(m.rat(var).floor().to_i64().unwrap_or(0)))
+                        (
+                            v.to_string(),
+                            Value::Int(m.rat(var).floor().to_i64().unwrap_or(0)),
+                        )
                     })
                     .collect();
                 // Columns absent from p default to 0 in the model; the
                 // evaluator must agree the tuple satisfies p.
-                prop_assert_eq!(
-                    eval_pred(&p, &tuple), Some(true),
-                    "model {:?} does not satisfy {}", tuple, p
+                assert_eq!(
+                    eval_pred(&p, &tuple),
+                    Some(true),
+                    "model {tuple:?} does not satisfy {p}"
                 );
             }
             SmtResult::Unsat => {
@@ -93,9 +101,10 @@ proptest! {
                                 .zip([x, y, z])
                                 .map(|(n, v)| (n.to_string(), Value::Int(v)))
                                 .collect();
-                            prop_assert_ne!(
-                                eval_pred(&p, &t), Some(true),
-                                "unsat verdict but ({},{},{}) satisfies {}", x, y, z, p
+                            assert_ne!(
+                                eval_pred(&p, &t),
+                                Some(true),
+                                "unsat verdict but ({x},{y},{z}) satisfies {p}"
                             );
                         }
                     }
@@ -104,16 +113,24 @@ proptest! {
             SmtResult::Unknown => {}
         }
     }
+}
 
-    /// verify_implies agrees with grid-truth for random predicate pairs.
-    #[test]
-    fn verifier_agrees_with_grid(p in arb_pred(), q in arb_pred()) {
+/// verify_implies agrees with grid-truth for random predicate pairs.
+#[test]
+fn verifier_agrees_with_grid() {
+    let mut g = Gen::seed_from_u64(0x50f7_0002);
+    for _ in 0..32 {
+        let p = rand_pred(&mut g);
+        let q = rand_pred(&mut g);
         let mut enc = PredEncoder::new();
-        let Ok(verdict) = verify_implies(&mut enc, &p, &q) else { return Ok(()); };
-        if verdict == Validity::Unknown {
-            return Ok(());
+        let Ok(verdict) = verify_implies(&mut enc, &p, &q) else {
+            continue;
+        };
+        if verdict != Validity::Valid {
+            // Invalid verdicts may have counter-examples outside the grid,
+            // so nothing to check in that direction.
+            continue;
         }
-        let mut counterexample = None;
         for x in -8i64..=8 {
             for y in -8i64..=8 {
                 for z in -8i64..=8 {
@@ -122,30 +139,27 @@ proptest! {
                         .zip([x, y, z])
                         .map(|(n, v)| (n.to_string(), Value::Int(v)))
                         .collect();
-                    if eval_pred(&p, &t) == Some(true) && eval_pred(&q, &t) != Some(true) {
-                        counterexample = Some((x, y, z));
-                    }
+                    assert!(
+                        !(eval_pred(&p, &t) == Some(true) && eval_pred(&q, &t) != Some(true)),
+                        "verifier says {p} implies {q} but ({x},{y},{z}) disagrees"
+                    );
                 }
             }
         }
-        match verdict {
-            Validity::Valid => prop_assert_eq!(
-                counterexample, None,
-                "verifier says {} implies {} but grid disagrees", p, q
-            ),
-            // Invalid verdicts may have counter-examples outside the grid,
-            // so nothing to check in that direction.
-            _ => {}
-        }
     }
+}
 
-    /// The parser/display round-trip holds for arbitrary predicates.
-    #[test]
-    fn sql_roundtrip(p in arb_pred()) {
+/// The parser/display round-trip holds for arbitrary predicates.
+#[test]
+fn sql_roundtrip() {
+    let mut g = Gen::seed_from_u64(0x50f7_0003);
+    for _ in 0..64 {
+        let p = rand_pred(&mut g);
         let rendered = p.to_string();
         let reparsed = sia::sql::parse_predicate(&rendered).unwrap();
-        prop_assert_eq!(
-            reparsed.to_string(), rendered,
+        assert_eq!(
+            reparsed.to_string(),
+            rendered,
             "display/parse not idempotent"
         );
     }

@@ -6,6 +6,9 @@ fn main() {
     let sf_small = util::env_f64("SIA_BENCH_SF_SMALL", 0.02);
     let sf_large = util::env_f64("SIA_BENCH_SF_LARGE", 0.2);
 
+    sia_obs::reset();
+    sia_obs::enable();
+
     println!("== §2 Motivating example ==");
     let m = motivating::run(sf_large);
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
@@ -57,4 +60,8 @@ fn main() {
             )
         );
     }
+
+    sia_obs::disable();
+    let json_path = std::env::var("SIA_BENCH_JSON").unwrap_or_else(|_| "BENCH_all.json".into());
+    report::write_metrics_json(&json_path, "all");
 }

@@ -5,14 +5,19 @@ fn main() {
     let queries = util::env_usize("SIA_BENCH_QUERIES", 200);
     eprintln!("running synthesis sweep over {queries} queries…");
     let baselines = util::env_usize("SIA_BENCH_BASELINES", 1) != 0;
+    sia_obs::reset();
+    sia_obs::enable();
     let r = suite::run_sweep(&suite::SweepConfig {
         queries,
         run_baselines: baselines,
         ..suite::SweepConfig::default()
     });
+    sia_obs::disable();
     println!(
         "Table 3: efficiency ({} queries)\n{}",
         r.queries,
         report::table3(&r)
     );
+    let json_path = std::env::var("SIA_BENCH_JSON").unwrap_or_else(|_| "BENCH_table3.json".into());
+    report::write_metrics_json(&json_path, "table3");
 }

@@ -1,0 +1,91 @@
+//! Microbench guarding the sia-obs overhead budget: runs a fixed synthesis
+//! workload with the collector disabled and with it enabled behind a no-op
+//! sink, in alternating rounds, and fails if the enabled best-of time
+//! exceeds the disabled best-of by more than the budget (default 3%).
+//!
+//! Environment knobs:
+//! - `SIA_OBS_MAX_OVERHEAD_PCT` — allowed overhead percentage (default 3.0)
+//! - `SIA_OBS_ROUNDS` — measured rounds per configuration (default 7)
+
+use std::time::{Duration, Instant};
+
+use sia_core::{SiaConfig, Synthesizer};
+use sia_sql::parse_predicate;
+
+fn workload() -> Duration {
+    let p = parse_predicate(
+        "l_shipdate - o_orderdate < 20 \
+         AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10 \
+         AND o_orderdate < DATE '1993-06-01'",
+    )
+    .expect("fixed predicate parses");
+    let cols = vec!["l_shipdate".to_string(), "l_commitdate".to_string()];
+    let start = Instant::now();
+    let mut syn = Synthesizer::new(SiaConfig {
+        max_iterations: 15,
+        ..SiaConfig::default()
+    });
+    let r = syn
+        .synthesize(&p, &cols)
+        .expect("fixed workload synthesizes");
+    std::hint::black_box(r);
+    start.elapsed()
+}
+
+fn main() {
+    let max_pct = sia_bench::util::env_f64("SIA_OBS_MAX_OVERHEAD_PCT", 3.0);
+    let rounds = sia_bench::util::env_usize("SIA_OBS_ROUNDS", 7);
+
+    // Warm up both configurations once (page cache, allocator, branch
+    // predictors) before anything is timed.
+    sia_obs::disable();
+    workload();
+    sia_obs::reset();
+    sia_obs::enable();
+    sia_obs::set_sink(Box::new(sia_obs::NoopSink));
+    workload();
+    drop(sia_obs::take_sink());
+    sia_obs::disable();
+
+    // Alternate disabled/enabled rounds so drift (thermal, scheduler)
+    // hits both configurations equally; compare best-of to cut noise.
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for round in 0..rounds {
+        sia_obs::disable();
+        let off = workload();
+        best_off = best_off.min(off);
+
+        sia_obs::reset();
+        sia_obs::enable();
+        sia_obs::set_sink(Box::new(sia_obs::NoopSink));
+        let on = workload();
+        drop(sia_obs::take_sink());
+        sia_obs::disable();
+        best_on = best_on.min(on);
+
+        eprintln!(
+            "round {round}: disabled {:.2} ms, enabled+noop {:.2} ms",
+            off.as_secs_f64() * 1e3,
+            on.as_secs_f64() * 1e3
+        );
+    }
+
+    let off_s = best_off.as_secs_f64();
+    let on_s = best_on.as_secs_f64();
+    let overhead_pct = if off_s > 0.0 {
+        (on_s / off_s - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "obs overhead: disabled best {:.3} ms, enabled+noop best {:.3} ms, overhead {overhead_pct:+.2}% (budget {max_pct}%)",
+        off_s * 1e3,
+        on_s * 1e3
+    );
+    if overhead_pct > max_pct {
+        eprintln!("FAIL: observability overhead {overhead_pct:.2}% exceeds {max_pct}% budget");
+        std::process::exit(1);
+    }
+    println!("PASS: within budget");
+}

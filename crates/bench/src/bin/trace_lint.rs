@@ -1,0 +1,65 @@
+//! Lint a `--trace` JSONL stream: every line must parse as a flat JSON
+//! object with a known `type`, the stream must be non-empty, and span
+//! enter/exit events must balance. Exits nonzero on any violation so CI
+//! can gate on trace well-formedness.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_lint <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut enters = 0usize;
+    let mut exits = 0usize;
+    let mut counters = 0usize;
+    let mut hists = 0usize;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        lines += 1;
+        let fields = match sia_obs::parse_object(line) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("trace_lint: {path}:{}: malformed JSON: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let ty = fields
+            .iter()
+            .find(|(k, _)| k == "type")
+            .and_then(|(_, v)| v.as_str());
+        match ty {
+            Some("span_enter") => enters += 1,
+            Some("span_exit") => exits += 1,
+            Some("counter") => counters += 1,
+            Some("hist") => hists += 1,
+            Some(other) => {
+                eprintln!("trace_lint: {path}:{}: unknown event type {other:?}", i + 1);
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("trace_lint: {path}:{}: missing \"type\" field", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if lines == 0 {
+        eprintln!("trace_lint: {path} is empty");
+        return ExitCode::FAILURE;
+    }
+    if enters != exits {
+        eprintln!("trace_lint: {path}: unbalanced spans ({enters} enters, {exits} exits)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace_lint: {path} OK — {lines} events ({enters} span pairs, {counters} counters, {hists} hist samples)"
+    );
+    ExitCode::SUCCESS
+}

@@ -175,6 +175,26 @@ pub fn fig8(r: &SweepResult) -> String {
     out
 }
 
+/// Wrap the current [`sia_obs`] snapshot in a benchmark-JSON envelope so
+/// `BENCH_*.json` trajectories carry per-phase solver breakdowns alongside
+/// the rendered tables.
+pub fn metrics_json(experiment: &str) -> String {
+    format!(
+        "{{\"experiment\":{},\"metrics\":{}}}",
+        sia_obs::json_string(experiment),
+        sia_obs::snapshot().to_json()
+    )
+}
+
+/// Write [`metrics_json`] to `path`, logging (not failing) on IO errors so
+/// a read-only working directory never aborts an experiment run.
+pub fn write_metrics_json(path: &str, experiment: &str) {
+    match std::fs::write(path, metrics_json(experiment) + "\n") {
+        Ok(()) => eprintln!("metrics snapshot written to {path}"),
+        Err(e) => eprintln!("warning: cannot write metrics snapshot {path}: {e}"),
+    }
+}
+
 fn bucketize(values: &[u32], ranges: &[(u32, u32)]) -> Vec<(String, usize)> {
     ranges
         .iter()
@@ -311,5 +331,14 @@ mod tests {
         let out = fig9("sf 0.05", &[], 0, 10);
         assert!(out.contains("0 of 10"));
         assert!(out.contains("Table 4"));
+    }
+
+    #[test]
+    fn metrics_json_is_parseable_envelope() {
+        let json = metrics_json("table3");
+        assert!(json.starts_with("{\"experiment\":\"table3\",\"metrics\":{"));
+        assert!(json.ends_with("}}"));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"spans\""));
     }
 }

@@ -13,13 +13,16 @@ use sia_sql::{parse_predicate, parse_query};
 pub const USAGE: &str = "\
 usage:
   sia synth   <predicate> --cols <c1,c2,…> [--v1|--v2] [--max-iter N]
+              [--metrics] [--trace FILE]
   sia solve   <predicate>
   sia project <predicate> --keep <c1,c2,…>
   sia rewrite <query-sql> --table <name>        (TPC-H benchmark schema)
   sia baseline <predicate> --cols <c1,c2,…>
 
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
-dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.";
+dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
+--metrics prints a per-phase wall-time and solver-counter breakdown;
+--trace streams every span/counter event as JSONL to FILE.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +37,10 @@ pub enum Command {
         variant: String,
         /// Optional iteration override.
         max_iter: Option<u32>,
+        /// Print the per-phase metrics summary after synthesis.
+        metrics: bool,
+        /// Stream a JSONL span/event trace to this file.
+        trace: Option<String>,
     },
     /// Check satisfiability and print a model.
     Solve {
@@ -74,6 +81,8 @@ impl Command {
         let mut table = None;
         let mut variant = "sia".to_string();
         let mut max_iter = None;
+        let mut metrics = false;
+        let mut trace = None;
         let rest: Vec<String> = it.cloned().collect();
         let mut i = 0;
         while i < rest.len() {
@@ -101,9 +110,17 @@ impl Command {
                 }
                 "--v1" => variant = "v1".to_string(),
                 "--v2" => variant = "v2".to_string(),
+                "--metrics" => metrics = true,
+                "--trace" => {
+                    i += 1;
+                    trace = Some(rest.get(i).ok_or("--trace needs a file path")?.clone());
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
             i += 1;
+        }
+        if (metrics || trace.is_some()) && sub != "synth" {
+            return Err("--metrics/--trace only apply to synth".into());
         }
         match sub.as_str() {
             "synth" => {
@@ -115,6 +132,8 @@ impl Command {
                     cols,
                     variant,
                     max_iter,
+                    metrics,
+                    trace,
                 })
             }
             "solve" => Ok(Command::Solve {
@@ -162,6 +181,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
             cols,
             variant,
             max_iter,
+            metrics,
+            trace,
         } => {
             let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
             let mut config = match variant.as_str() {
@@ -172,8 +193,30 @@ pub fn run(cmd: Command) -> Result<String, String> {
             if let Some(m) = max_iter {
                 config.max_iterations = m;
             }
+            let observe = metrics || trace.is_some();
+            if observe {
+                sia_obs::reset();
+                sia_obs::enable();
+                if let Some(path) = &trace {
+                    let sink = sia_obs::JsonlSink::create(path)
+                        .map_err(|e| format!("cannot open trace file {path}: {e}"))?;
+                    sia_obs::set_sink(Box::new(sink));
+                }
+            }
             let mut syn = Synthesizer::new(config);
-            let r = syn.synthesize(&p, &cols).map_err(|e| e.to_string())?;
+            let result = syn.synthesize(&p, &cols).map_err(|e| e.to_string());
+            // Tear observability down before propagating any error so a
+            // failed run still flushes its trace file.
+            let summary = if observe {
+                if trace.is_some() {
+                    drop(sia_obs::take_sink());
+                }
+                sia_obs::disable();
+                metrics.then(sia_obs::summary)
+            } else {
+                None
+            };
+            let r = result?;
             let mut out = String::new();
             match &r.predicate {
                 Some(q) => out.push_str(&format!("predicate: {q}\n")),
@@ -183,6 +226,16 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 "optimal: {}\niterations: {}\nsamples: {} TRUE / {} FALSE",
                 r.optimal, r.stats.iterations, r.stats.true_samples, r.stats.false_samples
             ));
+            if let Some(summary) = summary {
+                out.push_str("\n\n== metrics ==\n");
+                out.push_str(&summary.to_string());
+                if let Some(cov) = summary.snapshot.coverage("synth") {
+                    out.push_str(&format!(
+                        "phase coverage: {:.1}% of synthesis wall time attributed",
+                        100.0 * cov
+                    ));
+                }
+            }
             Ok(out)
         }
         Command::Solve { predicate } => {
@@ -271,8 +324,31 @@ mod tests {
                 cols: strs(&["a", "b"]),
                 variant: "v2".into(),
                 max_iter: Some(5),
+                metrics: false,
+                trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let cmd = Command::parse(&strs(&[
+            "synth",
+            "a < b",
+            "--cols",
+            "a",
+            "--metrics",
+            "--trace",
+            "t.jsonl",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Synth { metrics: true, ref trace, .. } if trace.as_deref() == Some("t.jsonl")
+        ));
+        // --trace needs a value; the flags are synth-only.
+        assert!(Command::parse(&strs(&["synth", "a < b", "--cols", "a", "--trace"])).is_err());
+        assert!(Command::parse(&strs(&["solve", "a < b", "--metrics"])).is_err());
     }
 
     #[test]
@@ -310,6 +386,10 @@ mod tests {
         assert!(out.contains("y2 - y1 < 0"), "{out}");
     }
 
+    /// `--metrics`/`--trace` toggle the process-global collector, so the
+    /// tests that use them serialize on this lock.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn run_synth_small() {
         let out = run(Command::Synth {
@@ -317,9 +397,88 @@ mod tests {
             cols: strs(&["a"]),
             variant: "sia".into(),
             max_iter: Some(6),
+            metrics: false,
+            trace: None,
         })
         .unwrap();
         assert!(out.contains("a >= 22"), "{out}");
+    }
+
+    #[test]
+    fn run_synth_metrics_breakdown() {
+        let _guard = OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out = run(Command::Synth {
+            predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+            cols: strs(&["a"]),
+            variant: "sia".into(),
+            max_iter: Some(8),
+            metrics: true,
+            trace: None,
+        })
+        .unwrap();
+        assert!(out.contains("== metrics =="), "{out}");
+        // Hierarchical phase table with solver sub-phases.
+        for phase in ["synth", "generate", "learn", "verify", "smt.check"] {
+            assert!(out.contains(phase), "missing phase {phase}: {out}");
+        }
+        assert!(out.contains("sat.decisions"), "{out}");
+        // The attributed share is printed and meets the ≥95% bar.
+        let cov_line = out
+            .lines()
+            .find(|l| l.starts_with("phase coverage:"))
+            .expect("coverage line");
+        let pct: f64 = cov_line
+            .trim_start_matches("phase coverage:")
+            .trim()
+            .trim_end_matches("% of synthesis wall time attributed")
+            .trim()
+            .parse()
+            .expect("numeric coverage");
+        assert!(pct >= 95.0, "attributed {pct}% < 95%: {out}");
+    }
+
+    #[test]
+    fn run_synth_trace_is_wellformed_jsonl() {
+        let _guard = OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let path = std::env::temp_dir().join(format!("sia_cli_trace_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path").to_string();
+        run(Command::Synth {
+            predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+            cols: strs(&["a"]),
+            variant: "sia".into(),
+            max_iter: Some(6),
+            metrics: false,
+            trace: Some(path_str.clone()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "trace is empty");
+        let mut enters = 0usize;
+        let mut exits = 0usize;
+        for line in &lines {
+            let fields = sia_obs::parse_object(line).expect("well-formed JSONL line");
+            let ty = fields
+                .iter()
+                .find(|(k, _)| k == "type")
+                .and_then(|(_, v)| v.as_str())
+                .expect("type field");
+            match ty {
+                "span_enter" => enters += 1,
+                "span_exit" => exits += 1,
+                "counter" | "hist" => {}
+                other => panic!("unexpected event type {other}"),
+            }
+        }
+        assert!(
+            enters > 0 && enters == exits,
+            "{enters} enters, {exits} exits"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -199,12 +199,18 @@ impl Synthesizer {
             }
         }
         let mut stats = SynthStats::default();
+        // Phase spans: `synth` is the root; `generate` / `learn` /
+        // `verify` / `optimality` are its children, with `smt.check`,
+        // `qe.eliminate`, and `svm.train` nesting below (the `--metrics`
+        // breakdown). Guards close on every early return.
+        let _synth_span = sia_obs::span("synth");
+        let gen_span = sia_obs::span("generate");
         let gen_start = Instant::now();
         let p_f = enc.encode(p)?;
         // Degenerate: p unsatisfiable ⇒ FALSE is a valid, optimal
         // reduction (it is implied by p and rejects everything).
         if enc.solver().check(&p_f).is_unsat() {
-            stats.generation_time = gen_start.elapsed();
+            stats.generation_time += gen_start.elapsed();
             return Ok(SynthesisResult {
                 predicate: Some(Pred::false_()),
                 optimal: true,
@@ -282,7 +288,7 @@ impl Synthesizer {
             }
         }
         if exhausted_true {
-            stats.generation_time = gen_start.elapsed();
+            stats.generation_time += gen_start.elapsed();
             stats.true_samples = ts.len();
             let pred = exact_disjunction(cols, &ts);
             return Ok(SynthesisResult {
@@ -307,7 +313,12 @@ impl Synthesizer {
                 SampleOutcome::Unknown => break,
             }
         }
-        stats.generation_time = gen_start.elapsed();
+        // Accumulate (never overwrite) so the initial segment and every
+        // later counter-example round all contribute to the total.
+        stats.generation_time += gen_start.elapsed();
+        drop(gen_span);
+        sia_obs::add(sia_obs::Counter::CegisTrueSamples, ts.len() as u64);
+        sia_obs::add(sia_obs::Counter::CegisFalseSamples, fs.len() as u64);
         if exhausted_false {
             if fs.is_empty() {
                 return Ok(SynthesisResult {
@@ -331,25 +342,41 @@ impl Synthesizer {
         let mut optimal = false;
         while stats.iterations < self.config.max_iterations {
             stats.iterations += 1;
+            sia_obs::add(sia_obs::Counter::CegisRounds, 1);
+            if sia_obs::enabled() {
+                #[allow(clippy::cast_precision_loss)]
+                sia_obs::record(sia_obs::Hist::CegisRoundTrue, ts.len() as f64);
+                #[allow(clippy::cast_precision_loss)]
+                sia_obs::record(sia_obs::Hist::CegisRoundFalse, fs.len() as f64);
+            }
             // Learn (Alg 2).
             let learn_start = Instant::now();
-            let learned = learn(cols, &ts, &fs, &self.config.learn);
+            let learned = {
+                let _learn_span = sia_obs::span("learn");
+                learn(cols, &ts, &fs, &self.config.learn)
+            };
             stats.learning_time += learn_start.elapsed();
             let Some(learned) = learned else { break };
-            // Alg 2 routinely emits planes subsumed by later ones; strip
-            // them so p₃ and the final output stay readable.
-            let learned_pred = crate::verify::remove_redundant_disjuncts(enc, &learned.pred);
-            // Verify (§5.5).
+            // Verify (§5.5). Alg 2 routinely emits planes subsumed by
+            // later ones; strip them first so p₃ and the final output
+            // stay readable.
             let val_start = Instant::now();
-            let validity = verify_implies(enc, p, &learned_pred)?;
+            let (learned_pred, validity) = {
+                let _verify_span = sia_obs::span("verify");
+                let lp = crate::verify::remove_redundant_disjuncts(enc, &learned.pred);
+                let v = verify_implies(enc, p, &lp)?;
+                (lp, v)
+            };
             stats.validation_time += val_start.elapsed();
             match validity {
                 Validity::Valid => {
+                    // CounterF (optimality probe): unsatisfaction tuples
+                    // accepted by p3.
+                    let _opt_span = sia_obs::span("optimality");
                     let p3 = match &valid_pred {
                         None => learned_pred.clone(),
                         Some(p1) => p1.clone().and(learned_pred.clone()),
                     };
-                    // CounterF: unsatisfaction tuples accepted by p3.
                     let gen_start = Instant::now();
                     let p3_f = enc.encode(&p3)?;
                     let mut new_false = Vec::new();
@@ -386,11 +413,13 @@ impl Synthesizer {
                     if new_false.is_empty() {
                         break;
                     }
+                    sia_obs::add(sia_obs::Counter::CegisFalseSamples, new_false.len() as u64);
                     fs.extend(new_false);
                 }
                 Validity::Invalid => {
                     // CounterT: tuples satisfying p but rejected by the
                     // learned predicate.
+                    let _gen_span = sia_obs::span("generate");
                     let gen_start = Instant::now();
                     let not_learned = enc.encode(&learned_pred)?.not();
                     let mut new_true = Vec::new();
@@ -404,6 +433,7 @@ impl Synthesizer {
                     if new_true.is_empty() {
                         break;
                     }
+                    sia_obs::add(sia_obs::Counter::CegisTrueSamples, new_true.len() as u64);
                     ts.extend(new_true);
                 }
                 Validity::Unknown => break,
@@ -415,6 +445,7 @@ impl Synthesizer {
         // superseded ones for readable SQL output.
         let predicate = valid_pred.map(|p| {
             let val_start = Instant::now();
+            let _verify_span = sia_obs::span("verify");
             let simplified = crate::verify::remove_redundant_conjuncts(enc, &p);
             stats.validation_time += val_start.elapsed();
             simplified
@@ -642,5 +673,46 @@ mod tests {
         let r = syn.synthesize(&p, &strs(&["a2"])).unwrap();
         assert!(r.stats.true_samples > 0);
         assert!(r.stats.generation_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn phases_cover_the_synthesis_run() {
+        sia_obs::reset();
+        sia_obs::enable();
+        let p = parse_predicate("a + 10 > b + 20 AND b + 10 > 20").unwrap();
+        let mut syn = Synthesizer::new(SiaConfig {
+            max_iterations: 8,
+            ..SiaConfig::default()
+        });
+        let r = syn.synthesize(&p, &strs(&["a"])).unwrap();
+        sia_obs::disable();
+        assert!(r.predicate.is_some());
+        let snap = sia_obs::snapshot();
+        // The CEGIS phases are all present and nested under the root.
+        for phase in ["synth", "synth/generate", "synth/learn", "synth/verify"] {
+            assert!(snap.span(phase).is_some(), "missing span {phase}");
+        }
+        // Solver sub-phases hang below the driver phases.
+        assert!(
+            snap.spans
+                .iter()
+                .any(|(p, _)| p.ends_with("/smt.check") && p.starts_with("synth/")),
+            "smt.check not nested under a synth phase: {:?}",
+            snap.spans.iter().map(|(p, _)| p).collect::<Vec<_>>()
+        );
+        // Per-phase attribution covers ≳95% of the run (the loop's own
+        // bookkeeping is the only unattributed time).
+        let cov = snap.coverage("synth").expect("root span recorded");
+        assert!(cov >= 0.90, "phase coverage too low: {cov}");
+        // Counters flowed up from every layer.
+        let have: Vec<&str> = snap.counters.iter().map(|(c, _)| c.name()).collect();
+        for key in [
+            "smt.checks",
+            "sat.decisions",
+            "cegis.rounds",
+            "cegis.true_samples",
+        ] {
+            assert!(have.contains(&key), "missing counter {key}: {have:?}");
+        }
     }
 }

@@ -1,0 +1,220 @@
+//! A minimal hand-rolled JSON object parser for trace lines.
+//!
+//! The workspace bans serde, so the JSONL emitted by
+//! [`crate::JsonlSink`] is validated and round-tripped with this parser
+//! instead. It covers exactly the subset the sink produces — one flat
+//! object per line with string and number values — and rejects everything
+//! else, which doubles as a well-formedness lint for trace files.
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string literal (escapes decoded).
+    Str(String),
+    /// A number.
+    Num(f64),
+}
+
+impl JsonValue {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Num(_) => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            JsonValue::Str(_) => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object (`{"k": "v", "n": 3}`) into its key/value
+/// pairs, preserving order. Nested objects/arrays, booleans, and `null`
+/// are rejected — the trace format never emits them.
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                _ => return Err(format!("expected ',' or '}}' at byte {}", p.pos)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.next() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(format!(
+                "expected string or number at byte {} (nested values are unsupported)",
+                self.pos
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let start = self.pos;
+                        if start + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".to_string());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[start..start + 4])
+                            .map_err(|_| "non-ascii \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        self.pos += 4;
+                        // Surrogate pairs never occur in our traces; map
+                        // lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(format!("bad escape {:?}", other.map(|b| b as char)));
+                    }
+                },
+                Some(b) if b < 0x20 => {
+                    return Err("raw control character in string".to_string());
+                }
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences: back up and
+                    // take the whole char from the source slice.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let s = std::str::from_utf8(&self.bytes[start..])
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        let c = s.chars().next().ok_or("empty char")?;
+                        out.push(c);
+                        self.pos = start + c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        s.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let fields =
+            parse_object("{\"type\":\"counter\",\"key\":\"sat.decisions\",\"add\":42}").unwrap();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].1.as_str(), Some("counter"));
+        assert_eq!(fields[2].1.as_num(), Some(42.0));
+    }
+
+    #[test]
+    fn parses_escapes_and_floats() {
+        let fields = parse_object("{\"p\":\"a\\\"b\\\\c\\n\",\"v\":-2.5e1}").unwrap();
+        assert_eq!(fields[0].1.as_str(), Some("a\"b\\c\n"));
+        assert_eq!(fields[1].1.as_num(), Some(-25.0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object("{\"a\":1} trailing").is_err());
+        assert!(parse_object("{\"a\":[1]}").is_err());
+        assert!(parse_object("{\"a\":true}").is_err());
+        assert!(parse_object("{\"a\"1}").is_err());
+    }
+
+    #[test]
+    fn empty_object_is_fine() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        assert!(parse_object("  { }  ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! The metric key taxonomy: every counter and histogram the stack emits.
+//!
+//! Keys are closed enums rather than strings so call sites cannot typo a
+//! name, the collector can back each key with a fixed slot (no hashing on
+//! the hot path), and the full inventory is visible in one place. Names
+//! follow a `layer.metric` convention matching the crate that emits them.
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// CDCL decisions (`sat.decisions`).
+    SatDecisions,
+    /// CDCL conflicts analyzed (`sat.conflicts`).
+    SatConflicts,
+    /// CDCL unit propagations (`sat.propagations`).
+    SatPropagations,
+    /// CDCL restarts (`sat.restarts`).
+    SatRestarts,
+    /// Top-level SMT `check` calls (`smt.checks`).
+    SmtChecks,
+    /// Lazy DPLL(T) rounds (`smt.rounds`).
+    SmtRounds,
+    /// Theory lemmas learned (`smt.theory_lemmas`).
+    SmtTheoryLemmas,
+    /// Integer branch-and-bound nodes (`smt.bb_nodes`).
+    SmtBbNodes,
+    /// Simplex pivots (`simplex.pivots`).
+    SimplexPivots,
+    /// Simplex bound tightenings — asserts that narrowed a bound
+    /// (`simplex.tightenings`).
+    SimplexTightenings,
+    /// Cooper variable eliminations performed (`qe.eliminations`).
+    QeEliminations,
+    /// SVM training runs (`svm.trainings`).
+    SvmTrainings,
+    /// CEGIS loop iterations (`cegis.rounds`).
+    CegisRounds,
+    /// TRUE samples drawn across the run (`cegis.true_samples`).
+    CegisTrueSamples,
+    /// FALSE samples drawn across the run (`cegis.false_samples`).
+    CegisFalseSamples,
+    /// Unsat certificates verified by the checker (`check.certificates`).
+    CheckCertificates,
+    /// RUP steps replayed during certificate checking (`check.rup_steps`).
+    CheckRupSteps,
+    /// Farkas multiplier sets validated (`check.farkas_lemmas`).
+    CheckFarkasLemmas,
+    /// Branch lemmas accepted during checking (`check.branch_lemmas`).
+    CheckBranchLemmas,
+}
+
+impl Counter {
+    /// Every counter, in display order.
+    pub const ALL: [Counter; 19] = [
+        Counter::SatDecisions,
+        Counter::SatConflicts,
+        Counter::SatPropagations,
+        Counter::SatRestarts,
+        Counter::SmtChecks,
+        Counter::SmtRounds,
+        Counter::SmtTheoryLemmas,
+        Counter::SmtBbNodes,
+        Counter::SimplexPivots,
+        Counter::SimplexTightenings,
+        Counter::QeEliminations,
+        Counter::SvmTrainings,
+        Counter::CegisRounds,
+        Counter::CegisTrueSamples,
+        Counter::CegisFalseSamples,
+        Counter::CheckCertificates,
+        Counter::CheckRupSteps,
+        Counter::CheckFarkasLemmas,
+        Counter::CheckBranchLemmas,
+    ];
+
+    /// The key's canonical `layer.metric` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SatDecisions => "sat.decisions",
+            Counter::SatConflicts => "sat.conflicts",
+            Counter::SatPropagations => "sat.propagations",
+            Counter::SatRestarts => "sat.restarts",
+            Counter::SmtChecks => "smt.checks",
+            Counter::SmtRounds => "smt.rounds",
+            Counter::SmtTheoryLemmas => "smt.theory_lemmas",
+            Counter::SmtBbNodes => "smt.bb_nodes",
+            Counter::SimplexPivots => "simplex.pivots",
+            Counter::SimplexTightenings => "simplex.tightenings",
+            Counter::QeEliminations => "qe.eliminations",
+            Counter::SvmTrainings => "svm.trainings",
+            Counter::CegisRounds => "cegis.rounds",
+            Counter::CegisTrueSamples => "cegis.true_samples",
+            Counter::CegisFalseSamples => "cegis.false_samples",
+            Counter::CheckCertificates => "check.certificates",
+            Counter::CheckRupSteps => "check.rup_steps",
+            Counter::CheckFarkasLemmas => "check.farkas_lemmas",
+            Counter::CheckBranchLemmas => "check.branch_lemmas",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A distribution of observed values (count / min / mean / max).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Length of each learned CDCL clause (`sat.learned_len`).
+    SatLearnedLen,
+    /// Formula size ratio after/before each Cooper elimination
+    /// (`qe.blowup`).
+    QeBlowup,
+    /// Coordinate-descent epochs per SVM training (`svm.iterations`).
+    SvmIterations,
+    /// Geometric margin at convergence, in the scaled feature space
+    /// (`svm.margin`).
+    SvmMargin,
+    /// TRUE-sample pool size entering each CEGIS round
+    /// (`cegis.round_true`).
+    CegisRoundTrue,
+    /// FALSE-sample pool size entering each CEGIS round
+    /// (`cegis.round_false`).
+    CegisRoundFalse,
+}
+
+impl Hist {
+    /// Every histogram, in display order.
+    pub const ALL: [Hist; 6] = [
+        Hist::SatLearnedLen,
+        Hist::QeBlowup,
+        Hist::SvmIterations,
+        Hist::SvmMargin,
+        Hist::CegisRoundTrue,
+        Hist::CegisRoundFalse,
+    ];
+
+    /// The key's canonical `layer.metric` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SatLearnedLen => "sat.learned_len",
+            Hist::QeBlowup => "qe.blowup",
+            Hist::SvmIterations => "svm.iterations",
+            Hist::SvmMargin => "svm.margin",
+            Hist::CegisRoundTrue => "cegis.round_true",
+            Hist::CegisRoundFalse => "cegis.round_false",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Hist::ALL.iter().map(|h| h.name()));
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert!(names.iter().all(|n| n.contains('.')));
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+    }
+}

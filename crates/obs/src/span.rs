@@ -1,0 +1,79 @@
+//! Structured spans: a thread-local stack of timed scopes.
+//!
+//! [`span`] pushes a frame onto the current thread's stack and returns a
+//! RAII guard; dropping the guard (including during unwinding, so a panic
+//! inside a span cannot corrupt the stack) pops the frame, attributes the
+//! elapsed time to the `/`-joined span path in the global collector, and
+//! credits the duration to the parent frame's child time so self-time can
+//! be derived.
+
+use crate::sink::Event;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+struct Frame {
+    path: String,
+    start: Instant,
+    child: Duration,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Enter a span named `name`, nested under the innermost open span on
+/// this thread. When the collector is disabled this is a no-op costing
+/// one atomic load.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { active: false };
+    }
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_string(),
+        };
+        crate::emit(&Event::SpanEnter {
+            path: &path,
+            t_us: crate::now_us(),
+        });
+        stack.push(Frame {
+            path,
+            start: Instant::now(),
+            child: Duration::ZERO,
+        });
+    });
+    SpanGuard { active: true }
+}
+
+/// Closes its span on drop. Guards nest strictly (drop order mirrors
+/// declaration order in a scope), and drop runs during unwinding, so a
+/// panicking span still closes before its parent.
+#[must_use = "a span guard closes its span when dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let Some(frame) = stack.pop() else { return };
+            let dur = frame.start.elapsed();
+            if let Some(parent) = stack.last_mut() {
+                parent.child += dur;
+            }
+            crate::record_span(&frame.path, dur, frame.child);
+            crate::emit(&Event::SpanExit {
+                path: &frame.path,
+                t_us: crate::now_us(),
+                dur_us: dur.as_micros().try_into().unwrap_or(u64::MAX),
+            });
+        });
+    }
+}

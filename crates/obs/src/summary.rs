@@ -1,0 +1,355 @@
+//! Snapshots of the collector and the human-readable summary table.
+
+use crate::key::{Counter, Hist};
+use crate::sink::{json_number, json_string};
+use std::fmt;
+use std::time::Duration;
+
+/// Aggregate of one histogram key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistData {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+∞` when empty).
+    pub min: f64,
+    /// Largest observed value (`-∞` when empty).
+    pub max: f64,
+}
+
+impl HistData {
+    pub(crate) const EMPTY: HistData = HistData {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    pub(crate) fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let n = self.count as f64;
+            self.sum / n
+        }
+    }
+}
+
+/// Aggregate of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall time inside the span.
+    pub total: Duration,
+    /// Wall time attributed to direct child spans.
+    pub child: Duration,
+}
+
+impl SpanStat {
+    /// Wall time spent in the span itself, excluding child spans.
+    pub fn self_time(&self) -> Duration {
+        self.total.saturating_sub(self.child)
+    }
+}
+
+/// A point-in-time copy of the collector: non-zero counters, non-empty
+/// histograms, and every span path seen so far (sorted by path).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(key, value)` for every counter with a non-zero value.
+    pub counters: Vec<(Counter, u64)>,
+    /// `(key, aggregate)` for every histogram with observations.
+    pub hists: Vec<(Hist, HistData)>,
+    /// `(path, aggregate)` per span path, lexicographically sorted so a
+    /// parent precedes its children.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+impl Snapshot {
+    /// The aggregate for an exact span path, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans
+            .iter()
+            .find(|(p, _)| p.as_str() == path)
+            .map(|(_, s)| s)
+    }
+
+    /// Fraction of `root`'s wall time attributed to its direct children
+    /// (the per-phase coverage the CLI reports). `None` if the root span
+    /// was never recorded or has zero duration.
+    pub fn coverage(&self, root: &str) -> Option<f64> {
+        let s = self.span(root)?;
+        if s.total.is_zero() {
+            return None;
+        }
+        Some(s.child.as_secs_f64() / s.total.as_secs_f64())
+    }
+
+    /// Render the snapshot as one JSON object (hand-rolled; the workspace
+    /// has no serde). Shape:
+    /// `{"counters":{..},"histograms":{..},"spans":{..}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_string(k.name())));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"min\":{},\"mean\":{},\"max\":{},\"sum\":{}}}",
+                json_string(k.name()),
+                h.count,
+                json_number(h.min),
+                json_number(h.mean()),
+                json_number(h.max),
+                json_number(h.sum)
+            ));
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (path, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"total_us\":{},\"self_us\":{}}}",
+                json_string(path),
+                s.count,
+                s.total.as_micros(),
+                s.self_time().as_micros()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Humanize a duration: `123.4µs`, `12.34ms`, or `1.234s`.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1_000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+/// The hierarchical per-phase summary printed by `sia … --metrics`.
+///
+/// Wraps a [`Snapshot`]; [`fmt::Display`] renders an aligned table of the
+/// span tree (count / total / self / percent of run), followed by the
+/// counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// The underlying snapshot.
+    pub snapshot: Snapshot,
+}
+
+impl MetricsSummary {
+    /// Wrap a snapshot.
+    pub fn new(snapshot: Snapshot) -> Self {
+        MetricsSummary { snapshot }
+    }
+
+    /// True when nothing was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.counters.is_empty()
+            && self.snapshot.hists.is_empty()
+            && self.snapshot.spans.is_empty()
+    }
+}
+
+impl fmt::Display for MetricsSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        let snap = &self.snapshot;
+        if !snap.spans.is_empty() {
+            // Grand total = sum over root spans (paths without '/'), the
+            // denominator for every percentage in the table.
+            let grand: f64 = snap
+                .spans
+                .iter()
+                .filter(|(p, _)| !p.contains('/'))
+                .map(|(_, s)| s.total.as_secs_f64())
+                .sum();
+            let rows: Vec<(String, &SpanStat)> = snap
+                .spans
+                .iter()
+                .map(|(p, s)| {
+                    let depth = p.matches('/').count();
+                    let name = p.rsplit('/').next().unwrap_or(p);
+                    (format!("{}{}", "  ".repeat(depth), name), s)
+                })
+                .collect();
+            let width = rows
+                .iter()
+                .map(|(n, _)| n.len())
+                .chain(["phase".len()])
+                .max()
+                .unwrap_or(5);
+            writeln!(
+                f,
+                "{:<width$}  {:>7}  {:>10}  {:>10}  {:>6}",
+                "phase", "count", "total", "self", "%"
+            )?;
+            for (name, s) in &rows {
+                let pct = if grand > 0.0 {
+                    100.0 * s.total.as_secs_f64() / grand
+                } else {
+                    0.0
+                };
+                writeln!(
+                    f,
+                    "{name:<width$}  {:>7}  {:>10}  {:>10}  {pct:>6.1}",
+                    s.count,
+                    fmt_duration(s.total),
+                    fmt_duration(s.self_time()),
+                )?;
+            }
+        }
+        if !snap.counters.is_empty() {
+            let width = snap
+                .counters
+                .iter()
+                .map(|(k, _)| k.name().len())
+                .chain(["counter".len()])
+                .max()
+                .unwrap_or(7);
+            writeln!(f, "\n{:<width$}  {:>12}", "counter", "value")?;
+            for (k, v) in &snap.counters {
+                writeln!(f, "{:<width$}  {v:>12}", k.name())?;
+            }
+        }
+        if !snap.hists.is_empty() {
+            let width = snap
+                .hists
+                .iter()
+                .map(|(k, _)| k.name().len())
+                .chain(["histogram".len()])
+                .max()
+                .unwrap_or(9);
+            writeln!(
+                f,
+                "\n{:<width$}  {:>7}  {:>10}  {:>10}  {:>10}",
+                "histogram", "count", "min", "mean", "max"
+            )?;
+            for (k, h) in &snap.hists {
+                let (mn, mx) = if h.count == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (h.min, h.max)
+                };
+                writeln!(
+                    f,
+                    "{:<width$}  {:>7}  {mn:>10.2}  {:>10.2}  {mx:>10.2}",
+                    k.name(),
+                    h.count,
+                    h.mean(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn humanizes_durations() {
+        assert_eq!(fmt_duration(Duration::ZERO), "0.0µs");
+        assert_eq!(fmt_duration(Duration::from_micros(123)), "123.0µs");
+        assert_eq!(fmt_duration(Duration::from_micros(12_340)), "12.34ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1_234)), "1.234s");
+    }
+
+    #[test]
+    fn zero_count_summary_displays() {
+        let s = MetricsSummary::default();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "(no metrics recorded)\n");
+        // A histogram that exists but never observed anything renders a
+        // zero-count row without dividing by zero.
+        let mut h = HistData::EMPTY;
+        assert_eq!(h.mean(), 0.0);
+        h.record(5.0);
+        let snap = Snapshot {
+            counters: vec![],
+            hists: vec![(Hist::SvmIterations, HistData::EMPTY)],
+            spans: vec![],
+        };
+        let text = MetricsSummary::new(snap).to_string();
+        assert!(text.contains("svm.iterations"), "{text}");
+        assert!(text.contains("  0  "), "{text}");
+    }
+
+    #[test]
+    fn single_sample_summary_displays() {
+        let mut h = HistData::EMPTY;
+        h.record(3.0);
+        assert_eq!((h.min, h.mean(), h.max), (3.0, 3.0, 3.0));
+        let snap = Snapshot {
+            counters: vec![(Counter::SatDecisions, 7)],
+            hists: vec![(Hist::SatLearnedLen, h)],
+            spans: vec![(
+                "synth".to_string(),
+                SpanStat {
+                    count: 1,
+                    total: Duration::from_micros(500),
+                    child: Duration::from_micros(450),
+                },
+            )],
+        };
+        let text = MetricsSummary::new(snap.clone()).to_string();
+        assert!(text.contains("sat.decisions"), "{text}");
+        assert!(text.contains("500.0µs"), "{text}");
+        assert!(text.contains("50.0µs"), "{text}"); // self = total - child
+        assert!(text.contains("100.0"), "{text}"); // root is 100% of run
+        let cov = snap.coverage("synth").unwrap();
+        assert!((cov - 0.9).abs() < 1e-9, "{cov}");
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let mut h = HistData::EMPTY;
+        h.record(2.0);
+        let snap = Snapshot {
+            counters: vec![(Counter::SmtChecks, 3)],
+            hists: vec![(Hist::QeBlowup, h)],
+            spans: vec![(
+                "synth/learn".to_string(),
+                SpanStat {
+                    count: 2,
+                    total: Duration::from_micros(90),
+                    child: Duration::ZERO,
+                },
+            )],
+        };
+        let json = snap.to_json();
+        let expected = "{\"counters\":{\"smt.checks\":3},\
+             \"histograms\":{\"qe.blowup\":{\"count\":1,\"min\":2,\"mean\":2,\"max\":2,\"sum\":2}},\
+             \"spans\":{\"synth/learn\":{\"count\":2,\"total_us\":90,\"self_us\":90}}}";
+        assert_eq!(json, expected);
+    }
+}

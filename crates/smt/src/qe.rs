@@ -65,6 +65,7 @@ impl std::error::Error for QeError {}
 /// order that currently occurs in the fewest atoms (a standard
 /// cheapest-first heuristic).
 pub fn eliminate_exists(f: &Formula, vars: &[VarId], cfg: &QeConfig) -> Result<Formula, QeError> {
+    let _span = sia_obs::span("qe.eliminate");
     let mut g = f.nnf();
     let mut remaining: Vec<VarId> = vars.to_vec();
     while !remaining.is_empty() {
@@ -76,7 +77,16 @@ pub fn eliminate_exists(f: &Formula, vars: &[VarId], cfg: &QeConfig) -> Result<F
             .min_by_key(|(_, n)| *n)
             .unwrap();
         let x = remaining.swap_remove(idx);
+        let size_before = if sia_obs::enabled() { g.size() } else { 0 };
         g = eliminate_one(&g, x, cfg)?;
+        if sia_obs::enabled() {
+            sia_obs::add(sia_obs::Counter::QeEliminations, 1);
+            #[allow(clippy::cast_precision_loss)]
+            sia_obs::record(
+                sia_obs::Hist::QeBlowup,
+                g.size() as f64 / size_before.max(1) as f64,
+            );
+        }
         if g.size() > cfg.max_formula_size {
             return Err(QeError::Budget(format!(
                 "intermediate formula has {} nodes",

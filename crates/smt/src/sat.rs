@@ -449,6 +449,8 @@ impl SatSolver {
                     return SatResult::Unsat;
                 }
                 let (mut learned, backjump) = self.analyze(conflict);
+                #[allow(clippy::cast_precision_loss)]
+                sia_obs::record(sia_obs::Hist::SatLearnedLen, learned.len() as f64);
                 self.log_derived(&learned);
                 self.backtrack_to(backjump);
                 self.decay_activity();

@@ -163,6 +163,8 @@ pub struct Simplex {
     levels: Vec<usize>,
     /// Pivot count (statistics).
     pub pivots: u64,
+    /// Bound assertions that actually narrowed a bound (statistics).
+    pub tightenings: u64,
 }
 
 impl Simplex {
@@ -253,6 +255,7 @@ impl Simplex {
                 });
             }
         }
+        self.tightenings += 1;
         self.trail.push(TrailEntry::Upper(x, self.upper[x].clone()));
         self.upper[x] = Some(Bound {
             value: bound.clone(),
@@ -279,6 +282,7 @@ impl Simplex {
                 });
             }
         }
+        self.tightenings += 1;
         self.trail.push(TrailEntry::Lower(x, self.lower[x].clone()));
         self.lower[x] = Some(Bound {
             value: bound.clone(),

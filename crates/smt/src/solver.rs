@@ -162,11 +162,13 @@ impl Solver {
     #[cfg(not(feature = "checked"))]
     pub fn check(&mut self, f: &Formula) -> SmtResult {
         self.stats.checks += 1;
+        let _span = sia_obs::span("smt.check");
         let mut ctx = CheckCtx::new(&self.vars, &self.config, false);
         let result = ctx.run(f);
         self.stats.rounds += ctx.rounds;
         self.stats.theory_lemmas += ctx.lemmas;
         self.stats.bb_nodes += ctx.bb_nodes;
+        record_check_metrics(&ctx);
         result
     }
 
@@ -177,8 +179,16 @@ impl Solver {
     pub fn check(&mut self, f: &Formula) -> SmtResult {
         let (result, cert) = self.check_with_certificate(f);
         if let Some(cert) = cert {
-            if let Err(e) = sia_check::check_refutation(&cert) {
-                panic!("unsound Unsat verdict: certificate rejected: {e}");
+            let _span = sia_obs::span("check.verify");
+            match sia_check::check_refutation(&cert) {
+                Ok(report) => {
+                    use sia_obs::Counter as C;
+                    sia_obs::add(C::CheckCertificates, 1);
+                    sia_obs::add(C::CheckRupSteps, report.derived as u64);
+                    sia_obs::add(C::CheckFarkasLemmas, report.farkas_lemmas as u64);
+                    sia_obs::add(C::CheckBranchLemmas, report.branch_lemmas as u64);
+                }
+                Err(e) => panic!("unsound Unsat verdict: certificate rejected: {e}"),
             }
         }
         result
@@ -189,14 +199,40 @@ impl Solver {
     /// verification with [`sia_check::check_refutation`].
     pub fn check_with_certificate(&mut self, f: &Formula) -> (SmtResult, Option<CertifiedUnsat>) {
         self.stats.checks += 1;
+        let _span = sia_obs::span("smt.check");
         let mut ctx = CheckCtx::new(&self.vars, &self.config, true);
         let result = ctx.run(f);
         self.stats.rounds += ctx.rounds;
         self.stats.theory_lemmas += ctx.lemmas;
         self.stats.bb_nodes += ctx.bb_nodes;
+        record_check_metrics(&ctx);
         let cert = result.is_unsat().then(|| ctx.into_certificate());
         (result, cert)
     }
+}
+
+/// Flush one check's solver counters into the observability collector.
+///
+/// The CDCL and simplex hot loops keep plain local counters (`SatStats`,
+/// `Simplex::pivots`, …); batching the flush here — once per `check`
+/// rather than per decision/propagation/pivot — is what keeps the no-op
+/// instrumentation overhead inside the <3% budget.
+fn record_check_metrics(ctx: &CheckCtx<'_>) {
+    if !sia_obs::enabled() {
+        return;
+    }
+    use sia_obs::Counter as C;
+    let sat = &ctx.sat.stats;
+    sia_obs::add(C::SmtChecks, 1);
+    sia_obs::add(C::SatDecisions, sat.decisions);
+    sia_obs::add(C::SatConflicts, sat.conflicts);
+    sia_obs::add(C::SatPropagations, sat.propagations);
+    sia_obs::add(C::SatRestarts, sat.restarts);
+    sia_obs::add(C::SimplexPivots, ctx.simplex.pivots);
+    sia_obs::add(C::SimplexTightenings, ctx.simplex.tightenings);
+    sia_obs::add(C::SmtRounds, ctx.rounds);
+    sia_obs::add(C::SmtTheoryLemmas, ctx.lemmas);
+    sia_obs::add(C::SmtBbNodes, ctx.bb_nodes);
 }
 
 /// Canonical key for an arithmetic atom's variable combination.

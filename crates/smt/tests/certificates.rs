@@ -183,3 +183,38 @@ fn missing_atom_entry_is_caught() {
     }
     assert!(tampered_total >= 1, "no certificate had a Farkas lemma");
 }
+
+/// With the collector on, every certified `Unsat` verdict flows into the
+/// `check.*` metrics: certificates verified, RUP steps replayed, Farkas
+/// multipliers validated.
+#[cfg(feature = "checked")]
+#[test]
+fn checked_solving_emits_check_metrics() {
+    let mut s = Solver::new();
+    let x = s.declare("x", Sort::Real);
+    // x ≥ 2 ∧ x ≤ 1 — a rational conflict, so a Farkas lemma is certain.
+    let f = Formula::le0(LinTerm::constant(BigRat::from(2)).sub(&LinTerm::var(x))).and(
+        Formula::le0(LinTerm::var(x).sub(&LinTerm::constant(BigRat::from(1)))),
+    );
+    sia_obs::enable();
+    assert!(s.check(&f).is_unsat());
+    sia_obs::disable();
+    let counter = |name: &str| {
+        sia_obs::snapshot()
+            .counters
+            .iter()
+            .find(|(k, _)| k.name() == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert!(counter("check.certificates") >= 1, "no certificate counted");
+    assert!(counter("check.rup_steps") >= 1, "no RUP steps counted");
+    assert!(
+        counter("check.farkas_lemmas") >= 1,
+        "no Farkas lemma counted"
+    );
+    let snap = sia_obs::snapshot();
+    assert!(
+        snap.span("check.verify").is_some() || snap.span("smt.check/check.verify").is_some(),
+        "certificate verification span missing"
+    );
+}

@@ -157,11 +157,14 @@ pub fn train(samples: &[Sample], config: &SvmConfig) -> Hyperplane {
         .iter()
         .map(|x| x.iter().map(|v| v * v).sum::<f64>())
         .collect();
+    let _span = sia_obs::span("svm.train");
     let mut alpha = vec![0.0f64; n];
     let mut w = vec![0.0f64; dim + 1];
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = XorShift64::new(config.seed);
+    let mut epochs: u32 = 0;
     for _ in 0..config.max_iters {
+        epochs += 1;
         rng.shuffle(&mut order);
         let mut max_pg: f64 = 0.0;
         for &i in &order {
@@ -189,6 +192,23 @@ pub fn train(samples: &[Sample], config: &SvmConfig) -> Hyperplane {
         }
         if max_pg < config.tol {
             break;
+        }
+    }
+    if sia_obs::enabled() {
+        sia_obs::add(sia_obs::Counter::SvmTrainings, 1);
+        sia_obs::record(sia_obs::Hist::SvmIterations, f64::from(epochs));
+        // Geometric margin at convergence (in the scaled, bias-augmented
+        // feature space): min over samples of y·(w·x)/‖w‖.
+        let norm = dot(&w, &w).sqrt();
+        if norm > 0.0 {
+            let margin = xs
+                .iter()
+                .zip(&ys)
+                .map(|(x, y)| y * dot(&w, x) / norm)
+                .fold(f64::INFINITY, f64::min);
+            if margin.is_finite() {
+                sia_obs::record(sia_obs::Hist::SvmMargin, margin);
+            }
         }
     }
     let bias = w[dim] * BIAS_SCALE;

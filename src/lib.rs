@@ -17,6 +17,8 @@
 //! * [`engine`] — an in-memory columnar execution engine with a rule-based
 //!   optimizer replacing PostgreSQL,
 //! * [`tpch`] — a TPC-H-style generator and the paper's 200-query workload,
+//! * [`obs`] — zero-dependency structured tracing and metrics instrumenting
+//!   every layer above,
 //! * [`core`] — Sia itself: the counter-example guided synthesis loop.
 //!
 //! ## Quickstart
@@ -39,6 +41,7 @@ pub use sia_core as core;
 pub use sia_engine as engine;
 pub use sia_expr as expr;
 pub use sia_num as num;
+pub use sia_obs as obs;
 pub use sia_smt as smt;
 pub use sia_sql as sql;
 pub use sia_svm as svm;

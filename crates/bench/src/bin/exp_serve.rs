@@ -1,0 +1,195 @@
+//! Serving benchmark: throughput and latency of the synthesis service on
+//! a TPC-H-derived workload of repeated predicate *shapes*, with the
+//! canonicalizing cache on vs off.
+//!
+//! The workload repeats each generated predicate several times, half of
+//! the repeats alpha-renamed (uniform column prefix), so cache hits come
+//! from canonicalization rather than from byte-identical requests — the
+//! scenario `sia-cache` is built for. Results land in `BENCH_serve.json`.
+//!
+//! Environment knobs: `SIA_BENCH_SHAPES` (distinct predicates, default
+//! 12), `SIA_BENCH_REPS` (repeats per shape, default 10),
+//! `SIA_BENCH_WORKERS` (default 4), and `SIA_BENCH_ASSERT=1` to fail the
+//! run unless the cached configuration reaches 2x the uncached
+//! throughput.
+
+use std::time::Instant;
+
+use sia_bench::{casestudy::percentile, util};
+use sia_serve::{client, server, Request, ServeConfig, Status};
+use sia_tpch::{generate_workload, WorkloadConfig, LINEITEM_COLS, ORDERS_COL};
+
+struct RunStats {
+    throughput_rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    hit_rate: f64,
+    ok: usize,
+    total: usize,
+}
+
+fn build_requests(shapes: usize, reps: usize) -> Vec<Request> {
+    let queries = generate_workload(&WorkloadConfig {
+        count: shapes,
+        min_terms: 2,
+        max_terms: 4,
+        seed: 0x51A_5E4E,
+    });
+    let mut requests = Vec::new();
+    let mut skipped = 0usize;
+    for q in &queries {
+        let base_cols: Vec<String> = q
+            .predicate
+            .columns()
+            .into_iter()
+            .filter(|c| LINEITEM_COLS.contains(&c.as_str()))
+            .collect();
+        if base_cols.is_empty() {
+            // A predicate purely over o_orderdate has no lineitem columns
+            // to synthesize for; drop it rather than send a no-op.
+            skipped += 1;
+            continue;
+        }
+        for rep in 0..reps {
+            // Odd repeats are alpha-renamed with a uniform prefix: the
+            // canonical template is unchanged, so they must hit the same
+            // cache entry as the original shape.
+            let (predicate, cols) = if rep % 2 == 1 {
+                let k = rep % 7;
+                let rename = |c: &str| format!("v{k}_{c}");
+                (
+                    q.predicate.map_columns(&|c| rename(c)),
+                    base_cols.iter().map(|c| rename(c)).collect::<Vec<_>>(),
+                )
+            } else {
+                (q.predicate.clone(), base_cols.clone())
+            };
+            requests.push(Request {
+                id: format!("q{}r{rep}", q.id),
+                predicate: predicate.to_string(),
+                cols,
+                timeout_ms: Some(30_000),
+            });
+        }
+    }
+    if skipped > 0 {
+        eprintln!("note: {skipped} of {shapes} shapes skipped ({ORDERS_COL}-only predicates)");
+    }
+    requests
+}
+
+fn run_once(requests: &[Request], cache_capacity: usize, workers: usize) -> RunStats {
+    let handle = server::start(ServeConfig {
+        workers,
+        cache_capacity,
+        queue_depth: requests.len().max(64),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let start = Instant::now();
+    let responses = client::run_batch(&addr, requests, workers * 2).expect("batch completes");
+    let elapsed = start.elapsed();
+
+    let ok = responses.iter().filter(|r| r.status == Status::Ok).count();
+    #[allow(clippy::cast_precision_loss)]
+    let mut lat: Vec<f64> = responses.iter().map(|r| r.micros as f64).collect();
+    let stats = handle.cache().stats();
+    handle.shutdown().expect("clean shutdown");
+
+    #[allow(clippy::cast_precision_loss)]
+    RunStats {
+        throughput_rps: responses.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&mut lat, 50.0),
+        p95_us: percentile(&mut lat, 95.0),
+        p99_us: percentile(&mut lat, 99.0),
+        hit_rate: stats.hit_rate(),
+        ok,
+        total: responses.len(),
+    }
+}
+
+fn stats_json(label: &str, s: &RunStats) -> String {
+    format!(
+        "{}:{{\"throughput_rps\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+         \"hit_rate\":{},\"ok\":{},\"total\":{}}}",
+        sia_obs::json_string(label),
+        sia_obs::json_number(s.throughput_rps),
+        sia_obs::json_number(s.p50_us),
+        sia_obs::json_number(s.p95_us),
+        sia_obs::json_number(s.p99_us),
+        sia_obs::json_number(s.hit_rate),
+        s.ok,
+        s.total
+    )
+}
+
+fn print_stats(label: &str, s: &RunStats) {
+    println!(
+        "{label:>8}: {:.1} req/s | p50 {:.0} us | p95 {:.0} us | p99 {:.0} us | \
+         hit rate {:.1}% | {} / {} ok",
+        s.throughput_rps,
+        s.p50_us,
+        s.p95_us,
+        s.p99_us,
+        100.0 * s.hit_rate,
+        s.ok,
+        s.total
+    );
+}
+
+fn main() {
+    let shapes = util::env_usize("SIA_BENCH_SHAPES", 12);
+    let reps = util::env_usize("SIA_BENCH_REPS", 10);
+    let workers = util::env_usize("SIA_BENCH_WORKERS", 4);
+
+    sia_obs::reset();
+    sia_obs::enable();
+
+    let requests = build_requests(shapes, reps);
+    println!(
+        "== serve benchmark: {} requests ({shapes} shapes x {reps} reps, {workers} workers) ==",
+        requests.len()
+    );
+
+    let cached = run_once(&requests, 1024, workers);
+    print_stats("cached", &cached);
+    let uncached = run_once(&requests, 0, workers);
+    print_stats("uncached", &uncached);
+
+    let speedup = cached.throughput_rps / uncached.throughput_rps;
+    println!("speedup: {speedup:.2}x (cached vs uncached throughput)");
+
+    let json = format!(
+        "{{\"experiment\":\"serve\",{},{},\"speedup\":{},\"metrics\":{}}}\n",
+        stats_json("cached", &cached),
+        stats_json("uncached", &uncached),
+        sia_obs::json_number(speedup),
+        sia_obs::snapshot().to_json()
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => eprintln!("results written to BENCH_serve.json"),
+        Err(e) => eprintln!("warning: cannot write BENCH_serve.json: {e}"),
+    }
+
+    assert!(
+        cached.ok == cached.total && uncached.ok == uncached.total,
+        "requests failed: cached {}/{}, uncached {}/{}",
+        cached.ok,
+        cached.total,
+        uncached.ok,
+        uncached.total
+    );
+    if util::env_usize("SIA_BENCH_ASSERT", 0) != 0 {
+        assert!(
+            cached.hit_rate > 0.0,
+            "cache never hit on a repeated-shape workload"
+        );
+        assert!(
+            speedup >= 2.0,
+            "cached throughput only {speedup:.2}x uncached (need >= 2x)"
+        );
+    }
+}

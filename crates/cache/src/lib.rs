@@ -1,0 +1,357 @@
+//! `sia-cache`: a canonicalizing, sharded LRU cache for synthesized
+//! predicates.
+//!
+//! Synthesis is expensive (seconds of CEGIS per predicate) while query
+//! workloads repeat a small number of predicate *shapes* with varying
+//! column names and conjunct order. This crate exploits that:
+//!
+//! - [`canon`] reduces a predicate to a canonical template + parameter
+//!   vector, so alpha-renamed and reordered predicates share a cache key.
+//!   Constants stay in the key — caching on the template alone would be
+//!   unsound, because the synthesized predicate depends on them.
+//! - [`PredicateCache`] is a sharded in-memory LRU keyed on
+//!   `(canonical predicate, target column set)`, with hit/miss/eviction
+//!   statistics mirrored into `sia-obs` (`cache.*` counters).
+//! - Entries persist to a JSONL file (one entry per line, rendered
+//!   predicates re-parsed on load) so a server restart starts warm.
+//!
+//! No dependencies beyond the workspace's own crates; no unsafe code.
+
+pub mod canon;
+mod lru;
+mod persist;
+
+pub use canon::{canonicalize, Canonical};
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::{BufReader, BufWriter};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sia_expr::Pred;
+use sia_obs::Counter;
+
+/// A cached synthesis outcome, stored in canonical column space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// The synthesized predicate (`Pred::Lit(true)` for the paper's NULL
+    /// result, i.e. only the trivial reduction exists).
+    pub predicate: Pred,
+    /// Whether the predicate was certified optimal.
+    pub optimal: bool,
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// A concurrent predicate cache keyed on canonical form + target columns.
+///
+/// Thread-safe: lookups and inserts take a per-shard mutex, so disjoint
+/// keys mostly proceed in parallel. A capacity of 0 disables the cache
+/// (every lookup misses, inserts are dropped).
+#[derive(Debug)]
+pub struct PredicateCache {
+    shards: Vec<Mutex<lru::Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PredicateCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> PredicateCache {
+        let num_shards = capacity.min(8);
+        let per_shard = if num_shards == 0 {
+            0
+        } else {
+            capacity.div_ceil(num_shards)
+        };
+        PredicateCache {
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(lru::Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache can hold anything at all.
+    pub fn is_enabled(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up the synthesis result for `canon` projected onto `cols`
+    /// (original column names). On a hit the cached predicate is mapped
+    /// back into the caller's column space.
+    pub fn lookup(&self, canon: &Canonical, cols: &[String]) -> Option<CachedResult> {
+        if !self.is_enabled() {
+            self.miss();
+            return None;
+        }
+        let key = self.key(canon, cols);
+        let hit = {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            shard.get(&key)
+        };
+        match hit {
+            Some(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                sia_obs::add(Counter::CacheHits, 1);
+                Some(CachedResult {
+                    predicate: canon.to_original_space(&cached.predicate),
+                    optimal: cached.optimal,
+                })
+            }
+            None => {
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Cache the synthesis result for `canon` projected onto `cols`.
+    /// `predicate` is in the caller's (original) column space.
+    pub fn insert(&self, canon: &Canonical, cols: &[String], predicate: &Pred, optimal: bool) {
+        if !self.is_enabled() {
+            return;
+        }
+        let key = self.key(canon, cols);
+        let value = CachedResult {
+            predicate: canon.to_canonical_space(predicate),
+            optimal,
+        };
+        let evicted = {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            shard.insert(key, value)
+        };
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        sia_obs::add(Counter::CacheInserts, 1);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            sia_obs::add(Counter::CacheEvictions, evicted);
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Persist all entries to `path` as JSONL. Returns the entry count.
+    pub fn save_file(&self, path: &str) -> std::io::Result<usize> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries.extend(
+                shard
+                    .entries()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        persist::save(&mut w, entries.iter().map(|(k, v)| (k.as_str(), v)))
+    }
+
+    /// Load entries from a JSONL file written by [`Self::save_file`],
+    /// inserting them subject to the LRU capacity. Returns the number of
+    /// entries loaded. Malformed lines are skipped.
+    pub fn load_file(&self, path: &str) -> std::io::Result<usize> {
+        if !self.is_enabled() {
+            return Ok(0);
+        }
+        let entries = persist::load(BufReader::new(std::fs::File::open(path)?))?;
+        let n = entries.len();
+        for (key, value) in entries {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            shard.insert(key, value);
+        }
+        Ok(n)
+    }
+
+    fn key(&self, canon: &Canonical, cols: &[String]) -> String {
+        let mut canon_cols: Vec<String> = cols
+            .iter()
+            .map(|c| {
+                canon
+                    .canonical_col(c)
+                    .map_or_else(|| c.clone(), str::to_string)
+            })
+            .collect();
+        canon_cols.sort();
+        format!("{}|{}", canon.key_fragment(), canon_cols.join(","))
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<lru::Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = (h.finish() as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        sia_obs::add(Counter::CacheMisses, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_sql::parse_predicate;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn hit_after_insert_maps_back_to_caller_columns() {
+        let cache = PredicateCache::new(16);
+        let p = parse_predicate("x < 10 AND y > 20").unwrap();
+        let canon = canonicalize(&p);
+        let cols = strs(&["x"]);
+        assert!(cache.lookup(&canon, &cols).is_none());
+        let result = parse_predicate("x < 10").unwrap();
+        cache.insert(&canon, &cols, &result, true);
+
+        // Alpha-renamed, reordered variant of the same predicate.
+        let q = parse_predicate("b > 20 AND a < 10").unwrap();
+        let qcanon = canonicalize(&q);
+        let hit = cache.lookup(&qcanon, &strs(&["a"])).unwrap();
+        assert_eq!(hit.predicate, parse_predicate("a < 10").unwrap());
+        assert!(hit.optimal);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn different_constants_do_not_collide() {
+        let cache = PredicateCache::new(16);
+        let p = parse_predicate("x < 10").unwrap();
+        cache.insert(
+            &canonicalize(&p),
+            &strs(&["x"]),
+            &parse_predicate("x < 10").unwrap(),
+            true,
+        );
+        let q = parse_predicate("x < 99").unwrap();
+        assert!(cache.lookup(&canonicalize(&q), &strs(&["x"])).is_none());
+    }
+
+    #[test]
+    fn different_target_columns_do_not_collide() {
+        let cache = PredicateCache::new(16);
+        let p = parse_predicate("x < 10 AND y > 20").unwrap();
+        let canon = canonicalize(&p);
+        cache.insert(
+            &canon,
+            &strs(&["x"]),
+            &parse_predicate("x < 10").unwrap(),
+            true,
+        );
+        assert!(cache.lookup(&canon, &strs(&["y"])).is_none());
+        assert!(cache.lookup(&canon, &strs(&["x"])).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = PredicateCache::new(0);
+        assert!(!cache.is_enabled());
+        let p = parse_predicate("x < 10").unwrap();
+        let canon = canonicalize(&p);
+        cache.insert(&canon, &strs(&["x"]), &p, true);
+        assert!(cache.lookup(&canon, &strs(&["x"])).is_none());
+        assert_eq!(cache.stats().inserts, 0);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_evictions_counted() {
+        let cache = PredicateCache::new(4);
+        for i in 0..32 {
+            let p = parse_predicate(&format!("x < {i} AND y = {i}")).unwrap();
+            let canon = canonicalize(&p);
+            cache.insert(
+                &canon,
+                &strs(&["x"]),
+                &parse_predicate("x < 1").unwrap(),
+                false,
+            );
+        }
+        assert!(cache.len() <= 4 * 2, "len {} over capacity", cache.len());
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("sia-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let path = path.to_str().unwrap();
+
+        let cache = PredicateCache::new(16);
+        let p = parse_predicate("x < 10 AND y > DATE '1995-01-01'").unwrap();
+        let canon = canonicalize(&p);
+        cache.insert(
+            &canon,
+            &strs(&["x"]),
+            &parse_predicate("x < 10").unwrap(),
+            true,
+        );
+        assert_eq!(cache.save_file(path).unwrap(), 1);
+
+        let warm = PredicateCache::new(16);
+        assert_eq!(warm.load_file(path).unwrap(), 1);
+        let hit = warm.lookup(&canon, &strs(&["x"])).unwrap();
+        assert_eq!(hit.predicate, parse_predicate("x < 10").unwrap());
+        std::fs::remove_file(path).ok();
+    }
+}

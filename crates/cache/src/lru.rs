@@ -1,0 +1,112 @@
+//! A single LRU shard: a hash map with a logical clock for recency.
+//!
+//! Eviction scans for the minimum tick, which is O(n) in the shard size —
+//! acceptable because shards are small (capacity is split across shards)
+//! and eviction only runs when a shard is full. This buys us a plain
+//! `HashMap` with no intrusive list and no unsafe code.
+
+use std::collections::HashMap;
+
+use crate::CachedResult;
+
+#[derive(Debug)]
+pub(crate) struct Shard {
+    map: HashMap<String, Entry>,
+    capacity: usize,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CachedResult,
+    last_used: u64,
+}
+
+impl Shard {
+    pub(crate) fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look up `key`, bumping its recency on a hit.
+    pub(crate) fn get(&mut self, key: &str) -> Option<CachedResult> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(key)?;
+        e.last_used = tick;
+        Some(e.value.clone())
+    }
+
+    /// Insert `key`, evicting the least-recently-used entry when the
+    /// shard is at capacity. Returns the number of evictions (0 or 1).
+    pub(crate) fn insert(&mut self, key: String, value: CachedResult) -> u64 {
+        self.tick += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                evicted = 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+        evicted
+    }
+
+    /// All `(key, value)` pairs, in unspecified order.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (&str, &CachedResult)> {
+        self.map.iter().map(|(k, e)| (k.as_str(), &e.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_expr::{col, lit};
+
+    fn result(n: i64) -> CachedResult {
+        CachedResult {
+            predicate: col("x").lt(lit(n)),
+            optimal: true,
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut s = Shard::new(2);
+        assert_eq!(s.insert("a".into(), result(1)), 0);
+        assert_eq!(s.insert("b".into(), result(2)), 0);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(s.get("a").is_some());
+        assert_eq!(s.insert("c".into(), result(3)), 1);
+        assert!(s.get("a").is_some());
+        assert!(s.get("b").is_none());
+        assert!(s.get("c").is_some());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut s = Shard::new(1);
+        s.insert("a".into(), result(1));
+        assert_eq!(s.insert("a".into(), result(9)), 0);
+        assert_eq!(s.get("a").unwrap().predicate, col("x").lt(lit(9)));
+    }
+}

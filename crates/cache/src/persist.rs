@@ -1,0 +1,105 @@
+//! JSONL persistence for the predicate cache.
+//!
+//! One line per entry: `{"key":"…","pred":"…","optimal":1}`. The `pred`
+//! field is the cached predicate rendered in canonical column space; it
+//! round-trips through `sia_sql::parse_predicate` on load (canonical
+//! names `c0`/`p0` are ordinary SQL identifiers). Lines that fail to
+//! parse are skipped, so a cache file from an older build degrades to a
+//! partial (or empty) cache instead of an error.
+
+use std::io::{BufRead, Write};
+
+use sia_obs::{json_string, parse_object, JsonValue};
+use sia_sql::parse_predicate;
+
+use crate::CachedResult;
+
+/// Render one cache entry as a JSONL line (no trailing newline).
+pub(crate) fn entry_to_line(key: &str, value: &CachedResult) -> String {
+    format!(
+        "{{\"key\":{},\"pred\":{},\"optimal\":{}}}",
+        json_string(key),
+        json_string(&value.predicate.to_string()),
+        u8::from(value.optimal)
+    )
+}
+
+/// Parse one JSONL line back into a `(key, value)` pair.
+pub(crate) fn line_to_entry(line: &str) -> Option<(String, CachedResult)> {
+    let fields = parse_object(line).ok()?;
+    let mut key = None;
+    let mut pred = None;
+    let mut optimal = false;
+    for (name, value) in fields {
+        match (name.as_str(), value) {
+            ("key", JsonValue::Str(s)) => key = Some(s),
+            ("pred", JsonValue::Str(s)) => pred = Some(parse_predicate(&s).ok()?),
+            ("optimal", JsonValue::Num(n)) => optimal = n != 0.0,
+            _ => {}
+        }
+    }
+    Some((
+        key?,
+        CachedResult {
+            predicate: pred?,
+            optimal,
+        },
+    ))
+}
+
+/// Write entries to `w`, one JSONL line each, sorted by key so the file
+/// is deterministic for a given cache state.
+pub(crate) fn save<'a, W: Write>(
+    w: &mut W,
+    entries: impl Iterator<Item = (&'a str, &'a CachedResult)>,
+) -> std::io::Result<usize> {
+    let mut lines: Vec<String> = entries.map(|(k, v)| entry_to_line(k, v)).collect();
+    lines.sort();
+    for line in &lines {
+        writeln!(w, "{line}")?;
+    }
+    Ok(lines.len())
+}
+
+/// Read entries from `r`, skipping blank and malformed lines.
+pub(crate) fn load<R: BufRead>(r: R) -> std::io::Result<Vec<(String, CachedResult)>> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(entry) = line_to_entry(&line) {
+            out.push(entry);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trips() {
+        let value = CachedResult {
+            predicate: parse_predicate("c0 < DATE '1995-03-15' AND c1 >= 7").unwrap(),
+            optimal: true,
+        };
+        let line = entry_to_line("k1", &value);
+        let (key, back) = line_to_entry(&line).unwrap();
+        assert_eq!(key, "k1");
+        assert_eq!(back.predicate, value.predicate);
+        assert!(back.optimal);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let data =
+            "\n{\"key\":\"a\",\"pred\":\"c0 < 1\",\"optimal\":0}\nnot json\n{\"key\":\"b\"}\n";
+        let entries = load(data.as_bytes()).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "a");
+        assert!(!entries[0].1.optimal);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for predicate canonicalization: idempotence and
+//! semantics preservation under Kleene three-valued evaluation.
+//!
+//! Predicates are generated structurally at random (comparisons over
+//! small arithmetic expressions, combined with AND/OR/NOT) and evaluated
+//! on random tuples that include NULLs, so commutative reordering is
+//! exercised in all three truth values.
+
+use std::collections::HashMap;
+
+use sia_cache::canonicalize;
+use sia_expr::{eval_pred, ArithOp, CmpOp, Expr, Pred, Value};
+use sia_rand::{rngs::StdRng, Rng, SeedableRng};
+
+const COLUMNS: &[&str] = &["a", "bb", "c1", "dd2", "e", "long_name", "x.q", "p_like"];
+
+fn rand_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    match rng.gen_range(0..if depth == 0 { 3 } else { 4 }) {
+        0 => Expr::Column(COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string()),
+        1 => Expr::Int(rng.gen_range(-50..50)),
+        2 => Expr::Column(COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string()),
+        _ => {
+            let op = match rng.gen_range(0..3) {
+                0 => ArithOp::Add,
+                1 => ArithOp::Sub,
+                _ => ArithOp::Mul,
+            };
+            Expr::Binary {
+                op,
+                lhs: Box::new(rand_expr(rng, depth - 1)),
+                rhs: Box::new(rand_expr(rng, depth - 1)),
+            }
+        }
+    }
+}
+
+fn rand_cmp(rng: &mut StdRng) -> Pred {
+    let op = match rng.gen_range(0..6) {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        _ => CmpOp::Ne,
+    };
+    Pred::Cmp {
+        op,
+        lhs: rand_expr(rng, 2),
+        rhs: rand_expr(rng, 2),
+    }
+}
+
+fn rand_pred(rng: &mut StdRng, depth: u32) -> Pred {
+    if depth == 0 {
+        return rand_cmp(rng);
+    }
+    match rng.gen_range(0..4) {
+        0 => {
+            let n = rng.gen_range(2..4);
+            Pred::And((0..n).map(|_| rand_pred(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(2..4);
+            Pred::Or((0..n).map(|_| rand_pred(rng, depth - 1)).collect())
+        }
+        2 => Pred::Not(Box::new(rand_pred(rng, depth - 1))),
+        _ => rand_cmp(rng),
+    }
+}
+
+fn rand_tuple(rng: &mut StdRng) -> HashMap<String, Value> {
+    COLUMNS
+        .iter()
+        .map(|c| {
+            let v = if rng.gen_range(0..5) == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(-60..60))
+            };
+            ((*c).to_string(), v)
+        })
+        .collect()
+}
+
+#[test]
+fn canonicalization_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x51A_CA40);
+    for _ in 0..300 {
+        let p = rand_pred(&mut rng, 3);
+        let c1 = canonicalize(&p);
+        let c2 = canonicalize(&c1.reconstruct());
+        assert_eq!(c1.template, c2.template, "template changed for {p}");
+        assert_eq!(c1.params, c2.params, "params changed for {p}");
+        assert!(
+            c2.rename.iter().all(|(orig, canon)| orig == canon),
+            "canonical columns renamed again for {p}: {:?}",
+            c2.rename
+        );
+    }
+}
+
+#[test]
+fn canonicalization_preserves_three_valued_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x51A_CA41);
+    for _ in 0..300 {
+        let p = rand_pred(&mut rng, 3);
+        let canon = canonicalize(&p);
+        let back = canon.to_original_space(&canon.reconstruct());
+        for _ in 0..20 {
+            let t = rand_tuple(&mut rng);
+            assert_eq!(
+                eval_pred(&p, &t),
+                eval_pred(&back, &t),
+                "semantics changed for {p} (canonical {back}) on {t:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn alpha_variants_share_keys() {
+    let mut rng = StdRng::seed_from_u64(0x51A_CA42);
+    for _ in 0..100 {
+        let p = rand_pred(&mut rng, 2);
+        // Rename every column with a fresh prefix; shapes must still match.
+        let q = p.map_columns(&|c| format!("zz_{c}"));
+        let cp = canonicalize(&p);
+        let cq = canonicalize(&q);
+        assert_eq!(
+            cp.key_fragment(),
+            cq.key_fragment(),
+            "alpha-renamed {p} / {q} got different keys"
+        );
+    }
+}

@@ -3,26 +3,77 @@
 
 #![warn(missing_docs)]
 
+use std::time::Duration;
+
 use sia_core::baselines::transitive_closure;
-use sia_core::{rewrite_query, PredEncoder, SiaConfig, Synthesizer};
+use sia_core::{rewrite_query, PredEncoder, SiaConfig, SynthesisError, Synthesizer};
 use sia_expr::Catalog;
-use sia_smt::{QeConfig, SmtResult};
+use sia_serve::{client, protocol, server, ServeConfig};
+use sia_smt::{Budget, QeConfig, SmtResult};
 use sia_sql::{parse_predicate, parse_query};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
 usage:
   sia synth   <predicate> --cols <c1,c2,…> [--v1|--v2] [--max-iter N]
-              [--metrics] [--trace FILE]
+              [--timeout-ms N] [--metrics] [--trace FILE]
   sia solve   <predicate>
   sia project <predicate> --keep <c1,c2,…>
   sia rewrite <query-sql> --table <name>        (TPC-H benchmark schema)
   sia baseline <predicate> --cols <c1,c2,…>
+  sia serve   [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+              [--queue-depth N] [--timeout-ms N] [--cache-file FILE]
+              [--metrics]
+  sia batch   <requests.jsonl> [--addr HOST:PORT] [--concurrency N]
+              [--timeout-ms N]
 
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
 dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
 --metrics prints a per-phase wall-time and solver-counter breakdown;
---trace streams every span/counter event as JSONL to FILE.";
+--trace streams every span/counter event as JSONL to FILE.
+serve speaks line-delimited JSON over TCP (one request object per line,
+see `sia batch` input: {\"id\":…,\"predicate\":…,\"cols\":\"a,b\",\"timeout_ms\":…});
+batch sends a file of such requests and prints one response per line.
+
+exit codes: 0 success; 1 error; 2 synthesis timeout (synth) or
+failed/timed-out requests in the batch (batch).";
+
+/// Exit code for generic failures.
+pub const EXIT_ERROR: u8 = 1;
+/// Exit code for a synthesis timeout (or an all-timeout batch failure).
+pub const EXIT_TIMEOUT: u8 = 2;
+
+/// A CLI failure: a message plus the process exit code it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+    /// Process exit code (see [`EXIT_ERROR`], [`EXIT_TIMEOUT`]).
+    pub code: u8,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError {
+            message,
+            code: EXIT_ERROR,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::from(message.to_string())
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +88,8 @@ pub enum Command {
         variant: String,
         /// Optional iteration override.
         max_iter: Option<u32>,
+        /// Deadline for the whole synthesis run.
+        timeout_ms: Option<u64>,
         /// Print the per-phase metrics summary after synthesis.
         metrics: bool,
         /// Stream a JSONL span/event trace to this file.
@@ -68,6 +121,34 @@ pub enum Command {
         /// Target columns.
         cols: Vec<String>,
     },
+    /// Run the synthesis server until a client sends `shutdown`.
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// Predicate-cache capacity in entries (0 disables caching).
+        cache_capacity: usize,
+        /// Bounded request-queue depth (admission control).
+        queue_depth: usize,
+        /// Default per-request deadline.
+        timeout_ms: Option<u64>,
+        /// Cache persistence file (loaded at startup, saved on shutdown).
+        cache_file: Option<String>,
+        /// Print the metrics summary when the server stops.
+        metrics: bool,
+    },
+    /// Send a JSONL file of requests to a running server.
+    Batch {
+        /// Path to the requests file (one JSON request per line).
+        file: String,
+        /// Server address.
+        addr: String,
+        /// Client connections used in parallel.
+        concurrency: usize,
+        /// Deadline applied to requests that carry none.
+        timeout_ms: Option<u64>,
+    },
 }
 
 impl Command {
@@ -75,7 +156,15 @@ impl Command {
     pub fn parse(args: &[String]) -> Result<Command, String> {
         let mut it = args.iter();
         let sub = it.next().ok_or("missing subcommand")?;
-        let positional = it.next().cloned().ok_or("missing argument")?;
+        let mut rest: Vec<String> = it.cloned().collect();
+        // Every subcommand except `serve` takes one positional argument.
+        let positional = if sub == "serve" {
+            String::new()
+        } else if rest.is_empty() || rest[0].starts_with("--") {
+            return Err("missing argument".into());
+        } else {
+            rest.remove(0)
+        };
         let mut cols = Vec::new();
         let mut keep = Vec::new();
         let mut table = None;
@@ -83,7 +172,13 @@ impl Command {
         let mut max_iter = None;
         let mut metrics = false;
         let mut trace = None;
-        let rest: Vec<String> = it.cloned().collect();
+        let mut timeout_ms = None;
+        let mut addr = None;
+        let mut workers = 2usize;
+        let mut cache_capacity = 1024usize;
+        let mut queue_depth = 64usize;
+        let mut cache_file = None;
+        let mut concurrency = 4usize;
         let mut i = 0;
         while i < rest.len() {
             match rest[i].as_str() {
@@ -108,6 +203,34 @@ impl Command {
                             .map_err(|_| "--max-iter must be an integer")?,
                     );
                 }
+                "--timeout-ms" => {
+                    i += 1;
+                    timeout_ms = Some(parse_num(rest.get(i), "--timeout-ms")?);
+                }
+                "--addr" => {
+                    i += 1;
+                    addr = Some(rest.get(i).ok_or("--addr needs a value")?.clone());
+                }
+                "--workers" => {
+                    i += 1;
+                    workers = parse_num(rest.get(i), "--workers")?;
+                }
+                "--cache-capacity" => {
+                    i += 1;
+                    cache_capacity = parse_num(rest.get(i), "--cache-capacity")?;
+                }
+                "--queue-depth" => {
+                    i += 1;
+                    queue_depth = parse_num(rest.get(i), "--queue-depth")?;
+                }
+                "--cache-file" => {
+                    i += 1;
+                    cache_file = Some(rest.get(i).ok_or("--cache-file needs a value")?.clone());
+                }
+                "--concurrency" => {
+                    i += 1;
+                    concurrency = parse_num(rest.get(i), "--concurrency")?;
+                }
                 "--v1" => variant = "v1".to_string(),
                 "--v2" => variant = "v2".to_string(),
                 "--metrics" => metrics = true,
@@ -119,8 +242,13 @@ impl Command {
             }
             i += 1;
         }
-        if (metrics || trace.is_some()) && sub != "synth" {
-            return Err("--metrics/--trace only apply to synth".into());
+        if (metrics && !matches!(sub.as_str(), "synth" | "serve"))
+            || (trace.is_some() && sub != "synth")
+        {
+            return Err("--metrics applies to synth/serve; --trace to synth".into());
+        }
+        if timeout_ms.is_some() && !matches!(sub.as_str(), "synth" | "serve" | "batch") {
+            return Err("--timeout-ms applies to synth, serve, and batch".into());
         }
         match sub.as_str() {
             "synth" => {
@@ -132,6 +260,7 @@ impl Command {
                     cols,
                     variant,
                     max_iter,
+                    timeout_ms,
                     metrics,
                     trace,
                 })
@@ -161,6 +290,21 @@ impl Command {
                     cols,
                 })
             }
+            "serve" => Ok(Command::Serve {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+                workers,
+                cache_capacity,
+                queue_depth,
+                timeout_ms,
+                cache_file,
+                metrics,
+            }),
+            "batch" => Ok(Command::Batch {
+                file: positional,
+                addr: addr.unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+                concurrency,
+                timeout_ms,
+            }),
             other => Err(format!("unknown subcommand {other:?}")),
         }
     }
@@ -173,14 +317,22 @@ fn split_list(s: &str) -> Vec<String> {
         .collect()
 }
 
-/// Execute a command, returning its printable output.
-pub fn run(cmd: Command) -> Result<String, String> {
+fn parse_num<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> Result<T, String> {
+    arg.ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} must be an integer"))
+}
+
+/// Execute a command, returning its printable output. Failures carry the
+/// process exit code: 1 for errors, 2 for synthesis timeouts.
+pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Synth {
             predicate,
             cols,
             variant,
             max_iter,
+            timeout_ms,
             metrics,
             trace,
         } => {
@@ -193,6 +345,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
             if let Some(m) = max_iter {
                 config.max_iterations = m;
             }
+            if let Some(ms) = timeout_ms {
+                config.budget = Budget::with_deadline(Duration::from_millis(ms));
+            }
             let observe = metrics || trace.is_some();
             if observe {
                 sia_obs::reset();
@@ -204,7 +359,14 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
             }
             let mut syn = Synthesizer::new(config);
-            let result = syn.synthesize(&p, &cols).map_err(|e| e.to_string());
+            let result = syn.synthesize(&p, &cols).map_err(|e| CliError {
+                message: e.to_string(),
+                code: if e == SynthesisError::Timeout {
+                    EXIT_TIMEOUT
+                } else {
+                    EXIT_ERROR
+                },
+            });
             // Tear observability down before propagating any error so a
             // failed run still flushes its trace file.
             let summary = if observe {
@@ -294,6 +456,121 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 None => Ok("transitive closure derives: nothing".to_string()),
             }
         }
+        Command::Serve {
+            addr,
+            workers,
+            cache_capacity,
+            queue_depth,
+            timeout_ms,
+            cache_file,
+            metrics,
+        } => {
+            if metrics {
+                sia_obs::reset();
+                sia_obs::enable();
+            }
+            let handle = server::start(ServeConfig {
+                addr,
+                workers,
+                cache_capacity,
+                queue_depth,
+                default_timeout_ms: timeout_ms,
+                cache_file,
+            })
+            .map_err(|e| format!("cannot start server: {e}"))?;
+            // Announce readiness immediately; `run` only returns output
+            // after shutdown, and clients need the address to connect.
+            println!("sia-serve listening on {}", handle.addr());
+            let cache = handle.cache_arc();
+            handle
+                .wait()
+                .map_err(|e| format!("server shutdown failed: {e}"))?;
+            let stats = cache.stats();
+            let mut out = format!(
+                "server stopped\ncache: {} hits / {} misses / {} inserts / {} evictions \
+                 (hit rate {:.1}%)",
+                stats.hits,
+                stats.misses,
+                stats.inserts,
+                stats.evictions,
+                100.0 * stats.hit_rate()
+            );
+            if metrics {
+                sia_obs::disable();
+                out.push_str("\n\n== metrics ==\n");
+                out.push_str(&sia_obs::summary().to_string());
+            }
+            Ok(out)
+        }
+        Command::Batch {
+            file,
+            addr,
+            concurrency,
+            timeout_ms,
+        } => {
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let mut requests = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match protocol::parse_request(line)
+                    .map_err(|e| format!("{file}:{}: {e}", lineno + 1))?
+                {
+                    protocol::RequestLine::Synth(mut r) => {
+                        if r.timeout_ms.is_none() {
+                            r.timeout_ms = timeout_ms;
+                        }
+                        requests.push(r);
+                    }
+                    protocol::RequestLine::Shutdown => {
+                        return Err(format!(
+                            "{file}:{}: shutdown requests are not allowed in a batch",
+                            lineno + 1
+                        )
+                        .into())
+                    }
+                }
+            }
+            let responses = client::run_batch(&addr, &requests, concurrency)
+                .map_err(|e| format!("batch against {addr} failed: {e}"))?;
+            let mut out = String::new();
+            let mut ok = 0usize;
+            let mut timeouts = 0usize;
+            let mut failed = 0usize;
+            for r in &responses {
+                out.push_str(&r.to_line());
+                out.push('\n');
+                match r.status {
+                    sia_serve::Status::Ok => ok += 1,
+                    sia_serve::Status::Timeout => timeouts += 1,
+                    _ => failed += 1,
+                }
+            }
+            out.push_str(&format!(
+                "batch: {ok} ok / {timeouts} timeout / {failed} failed of {} requests",
+                responses.len()
+            ));
+            if timeouts + failed > 0 {
+                // Responses still belong on stdout; only the verdict goes to
+                // stderr via the error path.
+                println!("{out}");
+                return Err(CliError {
+                    message: format!(
+                        "batch: {timeouts} timed out, {failed} failed of {} requests",
+                        responses.len()
+                    ),
+                    code: if failed == 0 {
+                        EXIT_TIMEOUT
+                    } else {
+                        EXIT_ERROR
+                    },
+                });
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -324,6 +601,7 @@ mod tests {
                 cols: strs(&["a", "b"]),
                 variant: "v2".into(),
                 max_iter: Some(5),
+                timeout_ms: None,
                 metrics: false,
                 trace: None,
             }
@@ -397,6 +675,7 @@ mod tests {
             cols: strs(&["a"]),
             variant: "sia".into(),
             max_iter: Some(6),
+            timeout_ms: None,
             metrics: false,
             trace: None,
         })
@@ -414,6 +693,7 @@ mod tests {
             cols: strs(&["a"]),
             variant: "sia".into(),
             max_iter: Some(8),
+            timeout_ms: None,
             metrics: true,
             trace: None,
         })
@@ -451,6 +731,7 @@ mod tests {
             cols: strs(&["a"]),
             variant: "sia".into(),
             max_iter: Some(6),
+            timeout_ms: None,
             metrics: false,
             trace: Some(path_str.clone()),
         })

@@ -6,7 +6,12 @@
 //! sia project "a - b < 5 AND b < 0" --keep a          # ∃-eliminate the rest
 //! sia rewrite "SELECT * FROM lineitem, orders WHERE …" --table lineitem
 //! sia baseline "y1 > x AND x > y2" --cols y1,y2       # transitive closure
+//! sia serve --addr 127.0.0.1:7171 --workers 4         # synthesis service
+//! sia batch requests.jsonl --addr 127.0.0.1:7171      # drive the service
 //! ```
+//!
+//! Exit codes: 0 success, 1 error, 2 synthesis timeout / failed batch
+//! requests (all-timeout batches also exit 2).
 
 use sia_cli::{run, Command};
 use std::process::ExitCode;
@@ -21,7 +26,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(e.code)
             }
         },
         Err(e) => {

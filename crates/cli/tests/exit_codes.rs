@@ -1,0 +1,155 @@
+//! Exit-code contract of the `sia` binary: 0 on success, 1 on errors,
+//! 2 on synthesis timeouts (and all-timeout batches). Drives the real
+//! binary via `CARGO_BIN_EXE_sia`, including a serve/batch round trip.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+const SIA: &str = env!("CARGO_BIN_EXE_sia");
+
+/// A predicate hard enough that CEGIS cannot finish within a few ms.
+const HARD: &str = "a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0 AND a1 + b1 < 30";
+
+fn sia(args: &[&str]) -> std::process::Output {
+    Command::new(SIA)
+        .args(args)
+        .output()
+        .expect("sia binary runs")
+}
+
+#[test]
+fn synth_success_exits_zero() {
+    let out = sia(&[
+        "synth",
+        "a + 10 > b + 20 AND b + 10 > 20",
+        "--cols",
+        "a",
+        "--max-iter",
+        "6",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("a >= 22"), "{stdout}");
+}
+
+#[test]
+fn synth_parse_error_exits_one() {
+    let out = sia(&["synth", "a <", "--cols", "a"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn synth_bad_usage_exits_one() {
+    let out = sia(&["synth", "a < 5"]); // missing --cols
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn synth_timeout_exits_two() {
+    let out = sia(&["synth", HARD, "--cols", "a1", "--timeout-ms", "5"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("timeout"), "{stderr}");
+}
+
+/// Start `sia serve` on an ephemeral port; return the child, its address,
+/// and the stdout reader (which must stay open until the child exits, or
+/// the server's final summary hits a broken pipe).
+fn start_server(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(SIA)
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("banner line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .to_string();
+    assert!(line.contains("listening"), "unexpected banner: {line:?}");
+    (child, addr, reader)
+}
+
+fn stop_server(mut child: Child, addr: &str, mut stdout: BufReader<std::process::ChildStdout>) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect for shutdown");
+    writeln!(stream, "{{\"op\":\"shutdown\"}}").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    assert!(line.contains("bye"), "{line}");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(rest.contains("cache:"), "final summary missing: {rest}");
+}
+
+#[test]
+fn serve_and_batch_round_trip() {
+    let dir = std::env::temp_dir().join(format!("sia-exitcodes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (child, addr, server_out) = start_server(&[]);
+
+    // A good batch exits 0 and reports per-request responses.
+    let good = dir.join("good.jsonl");
+    std::fs::write(
+        &good,
+        "{\"id\":\"g0\",\"predicate\":\"a + 10 > b + 20 AND b + 10 > 20\",\"cols\":\"a\"}\n\
+         {\"id\":\"g1\",\"predicate\":\"x < 5 AND y > 2\",\"cols\":\"x\"}\n",
+    )
+    .unwrap();
+    let out = sia(&["batch", good.to_str().unwrap(), "--addr", &addr]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 ok / 0 timeout / 0 failed"), "{stdout}");
+
+    // A batch with one timed-out request exits 2.
+    let timed = dir.join("timed.jsonl");
+    std::fs::write(
+        &timed,
+        format!(
+            "{{\"id\":\"t0\",\"predicate\":\"x < 5 AND y > 2\",\"cols\":\"x\"}}\n\
+             {{\"id\":\"t1\",\"predicate\":\"{HARD}\",\"cols\":\"a1\",\"timeout_ms\":5}}\n"
+        ),
+    )
+    .unwrap();
+    let out = sia(&["batch", timed.to_str().unwrap(), "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // A batch with an unparseable predicate exits 1.
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(
+        &bad,
+        "{\"id\":\"b0\",\"predicate\":\"x <\",\"cols\":\"x\"}\n",
+    )
+    .unwrap();
+    let out = sia(&["batch", bad.to_str().unwrap(), "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    stop_server(child, &addr, server_out);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_against_no_server_exits_one() {
+    let dir = std::env::temp_dir().join(format!("sia-noserver-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("one.jsonl");
+    std::fs::write(
+        &f,
+        "{\"id\":\"q\",\"predicate\":\"x < 5\",\"cols\":\"x\"}\n",
+    )
+    .unwrap();
+    // Port 9 (discard) is essentially never listening.
+    let out = sia(&["batch", f.to_str().unwrap(), "--addr", "127.0.0.1:9"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

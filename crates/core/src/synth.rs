@@ -10,7 +10,7 @@ use sia_expr::{col, CmpOp, Expr, Pred};
 use sia_num::BigInt;
 use sia_rand::rngs::StdRng;
 use sia_rand::SeedableRng;
-use sia_smt::{Formula, QeConfig, VarId};
+use sia_smt::{Budget, Formula, QeConfig, VarId};
 use std::time::{Duration, Instant};
 
 /// How FALSE samples (unsatisfaction tuples) are produced.
@@ -50,6 +50,11 @@ pub struct SiaConfig {
     pub cegqi: CegqiConfig,
     /// RNG seed for sample diversification.
     pub seed: u64,
+    /// Deadline/cancel token for the whole run. Cloned into the SMT
+    /// solver (whose CDCL/simplex loops poll it) and checked between
+    /// CEGIS phases; exhaustion surfaces as
+    /// [`SynthesisError::Timeout`]. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for SiaConfig {
@@ -64,6 +69,7 @@ impl Default for SiaConfig {
             false_strategy: FalseSampleStrategy::default(),
             cegqi: CegqiConfig::default(),
             seed: 0xC0FFEE,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -134,6 +140,9 @@ pub enum SynthesisError {
     ColumnNotInPredicate(String),
     /// No target columns were given.
     NoColumns,
+    /// The run's [`Budget`] (deadline or cancellation) was exhausted
+    /// before synthesis completed.
+    Timeout,
 }
 
 impl std::fmt::Display for SynthesisError {
@@ -144,6 +153,7 @@ impl std::fmt::Display for SynthesisError {
                 write!(f, "column {c:?} does not occur in the predicate")
             }
             SynthesisError::NoColumns => write!(f, "no target columns given"),
+            SynthesisError::Timeout => write!(f, "synthesis budget exhausted (timeout)"),
         }
     }
 }
@@ -199,6 +209,19 @@ impl Synthesizer {
             }
         }
         let mut stats = SynthStats::default();
+        // Thread the deadline/cancel token into the solver so its CDCL
+        // and simplex loops poll it; the driver re-checks it between
+        // phases and converts exhaustion into an explicit Timeout.
+        let budget = self.config.budget.clone();
+        enc.solver().budget = budget.clone();
+        macro_rules! bail_if_exhausted {
+            () => {
+                if budget.is_exhausted() {
+                    return Err(SynthesisError::Timeout);
+                }
+            };
+        }
+        bail_if_exhausted!();
         // Phase spans: `synth` is the root; `generate` / `learn` /
         // `verify` / `optimality` are its children, with `smt.check`,
         // `qe.eliminate`, and `svm.train` nesting below (the `--metrics`
@@ -217,6 +240,7 @@ impl Synthesizer {
                 stats,
             });
         }
+        bail_if_exhausted!();
         let keep: Vec<VarId> = cols.iter().map(|c| enc.value_var(c)).collect();
         let arith_vars: Vec<VarId> = enc.columns().map(|(_, v)| v).collect();
         let others: Vec<VarId> = arith_vars
@@ -284,7 +308,10 @@ impl Synthesizer {
                     exhausted_true = true;
                     break;
                 }
-                SampleOutcome::Unknown => break,
+                SampleOutcome::Unknown => {
+                    bail_if_exhausted!();
+                    break;
+                }
             }
         }
         if exhausted_true {
@@ -310,7 +337,10 @@ impl Synthesizer {
                     exhausted_false = true;
                     break;
                 }
-                SampleOutcome::Unknown => break,
+                SampleOutcome::Unknown => {
+                    bail_if_exhausted!();
+                    break;
+                }
             }
         }
         // Accumulate (never overwrite) so the initial segment and every
@@ -341,6 +371,7 @@ impl Synthesizer {
         let mut valid_pred: Option<Pred> = None; // p₁ (None = trivial TRUE)
         let mut optimal = false;
         while stats.iterations < self.config.max_iterations {
+            bail_if_exhausted!();
             stats.iterations += 1;
             sia_obs::add(sia_obs::Counter::CegisRounds, 1);
             if sia_obs::enabled() {
@@ -396,6 +427,9 @@ impl Synthesizer {
                         }
                     }
                     stats.generation_time += gen_start.elapsed();
+                    if unknown {
+                        bail_if_exhausted!();
+                    }
                     if certified {
                         // `NotOld` hides unsatisfaction tuples we have
                         // already drawn; if p3 still accepts one of them
@@ -431,12 +465,16 @@ impl Synthesizer {
                     }
                     stats.generation_time += gen_start.elapsed();
                     if new_true.is_empty() {
+                        bail_if_exhausted!();
                         break;
                     }
                     sia_obs::add(sia_obs::Counter::CegisTrueSamples, new_true.len() as u64);
                     ts.extend(new_true);
                 }
-                Validity::Unknown => break,
+                Validity::Unknown => {
+                    bail_if_exhausted!();
+                    break;
+                }
             }
         }
         stats.true_samples = ts.len();
@@ -664,6 +702,39 @@ mod tests {
                 assert_eq!(eval_pred(learned, &m), Some(true), "at a={a}");
             }
         }
+    }
+
+    #[test]
+    fn expired_budget_times_out() {
+        let p = parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
+        let mut syn = Synthesizer::new(SiaConfig {
+            budget: Budget::with_deadline(Duration::ZERO),
+            ..SiaConfig::default()
+        });
+        assert_eq!(
+            syn.synthesize(&p, &strs(&["a1", "a2"])).unwrap_err(),
+            SynthesisError::Timeout
+        );
+    }
+
+    #[test]
+    fn cancelled_budget_times_out_mid_run() {
+        // Cancel before the run starts via a shared clone: the driver must
+        // observe it at its first poll and return Timeout, not wedge.
+        let budget = Budget::cancellable();
+        budget.cancel();
+        let p = parse_predicate("a + 10 > b + 20 AND b + 10 > 20").unwrap();
+        let mut syn = Synthesizer::new(SiaConfig {
+            budget: budget.clone(),
+            ..SiaConfig::default()
+        });
+        assert_eq!(
+            syn.synthesize(&p, &strs(&["a"])).unwrap_err(),
+            SynthesisError::Timeout
+        );
+        // An unlimited budget on the same predicate still succeeds.
+        let mut syn = Synthesizer::default();
+        assert!(syn.synthesize(&p, &strs(&["a"])).is_ok());
     }
 
     #[test]

@@ -48,11 +48,31 @@ pub enum Counter {
     CheckFarkasLemmas,
     /// Branch lemmas accepted during checking (`check.branch_lemmas`).
     CheckBranchLemmas,
+    /// Requests accepted by the synthesis server (`serve.requests`).
+    ServeRequests,
+    /// Requests that hit their deadline and returned `Timeout`
+    /// (`serve.timeouts`).
+    ServeTimeouts,
+    /// Requests that failed with a parse/synthesis error
+    /// (`serve.errors`).
+    ServeErrors,
+    /// Requests rejected by admission control — queue full
+    /// (`serve.rejected`).
+    ServeRejected,
+    /// Predicate-cache lookups answered from the cache (`cache.hits`).
+    CacheHits,
+    /// Predicate-cache lookups that missed (`cache.misses`).
+    CacheMisses,
+    /// Entries inserted into the predicate cache (`cache.inserts`).
+    CacheInserts,
+    /// Entries evicted from the predicate cache by the LRU policy
+    /// (`cache.evictions`).
+    CacheEvictions,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 27] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -72,6 +92,14 @@ impl Counter {
         Counter::CheckRupSteps,
         Counter::CheckFarkasLemmas,
         Counter::CheckBranchLemmas,
+        Counter::ServeRequests,
+        Counter::ServeTimeouts,
+        Counter::ServeErrors,
+        Counter::ServeRejected,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheInserts,
+        Counter::CacheEvictions,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -96,6 +124,14 @@ impl Counter {
             Counter::CheckRupSteps => "check.rup_steps",
             Counter::CheckFarkasLemmas => "check.farkas_lemmas",
             Counter::CheckBranchLemmas => "check.branch_lemmas",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeTimeouts => "serve.timeouts",
+            Counter::ServeErrors => "serve.errors",
+            Counter::ServeRejected => "serve.rejected",
+            Counter::CacheHits => "cache.hits",
+            Counter::CacheMisses => "cache.misses",
+            Counter::CacheInserts => "cache.inserts",
+            Counter::CacheEvictions => "cache.evictions",
         }
     }
 
@@ -124,17 +160,25 @@ pub enum Hist {
     /// FALSE-sample pool size entering each CEGIS round
     /// (`cegis.round_false`).
     CegisRoundFalse,
+    /// Request-queue depth observed at each enqueue
+    /// (`serve.queue_depth`).
+    ServeQueueDepth,
+    /// End-to-end request latency in microseconds, measured at the worker
+    /// (`serve.latency_us`).
+    ServeLatencyUs,
 }
 
 impl Hist {
     /// Every histogram, in display order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 8] = [
         Hist::SatLearnedLen,
         Hist::QeBlowup,
         Hist::SvmIterations,
         Hist::SvmMargin,
         Hist::CegisRoundTrue,
         Hist::CegisRoundFalse,
+        Hist::ServeQueueDepth,
+        Hist::ServeLatencyUs,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -146,6 +190,8 @@ impl Hist {
             Hist::SvmMargin => "svm.margin",
             Hist::CegisRoundTrue => "cegis.round_true",
             Hist::CegisRoundFalse => "cegis.round_false",
+            Hist::ServeQueueDepth => "serve.queue_depth",
+            Hist::ServeLatencyUs => "serve.latency_us",
         }
     }
 

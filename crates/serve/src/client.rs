@@ -1,0 +1,96 @@
+//! A small blocking client: one-shot requests, concurrent batches, and
+//! remote shutdown. Used by `sia batch` and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{render_request, render_shutdown, Request, Response};
+
+/// Send `requests` over `concurrency` connections and collect every
+/// response. Responses are returned in arrival order, not request order;
+/// match them up by `id`.
+///
+/// # Errors
+///
+/// Fails on connect/write errors or when the server closes a connection
+/// before answering everything it was sent.
+pub fn run_batch(
+    addr: &str,
+    requests: &[Request],
+    concurrency: usize,
+) -> std::io::Result<Vec<Response>> {
+    if requests.is_empty() {
+        return Ok(Vec::new());
+    }
+    let lanes = concurrency.clamp(1, requests.len());
+    let mut chunks: Vec<Vec<&Request>> = vec![Vec::new(); lanes];
+    for (i, r) in requests.iter().enumerate() {
+        chunks[i % lanes].push(r);
+    }
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| s.spawn(move || send_on_connection(addr, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch lane panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut all = Vec::with_capacity(requests.len());
+    for lane in results {
+        all.extend(lane?);
+    }
+    Ok(all)
+}
+
+/// Send one request and wait for its response.
+///
+/// # Errors
+///
+/// Fails on connect/write errors or a malformed response.
+pub fn request_one(addr: &str, request: &Request) -> std::io::Result<Response> {
+    let mut responses = send_on_connection(addr, &[request])?;
+    Ok(responses.remove(0))
+}
+
+/// Ask the server to drain and stop; returns its `bye` response.
+///
+/// # Errors
+///
+/// Fails on connect/write errors or a malformed response.
+pub fn shutdown(addr: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    writeln!(stream, "{}", render_shutdown())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Response::parse(line.trim()).map_err(std::io::Error::other)
+}
+
+fn send_on_connection(addr: &str, requests: &[&Request]) -> std::io::Result<Vec<Response>> {
+    let mut stream = TcpStream::connect(addr)?;
+    for r in requests {
+        writeln!(stream, "{}", render_request(r))?;
+    }
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(requests.len());
+    let mut line = String::new();
+    for _ in 0..requests.len() {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "server closed after {} of {} responses",
+                    out.len(),
+                    requests.len()
+                ),
+            ));
+        }
+        out.push(Response::parse(line.trim()).map_err(std::io::Error::other)?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,25 @@
+//! `sia-serve`: a concurrent predicate-synthesis service.
+//!
+//! Synthesis requests arrive as line-delimited JSON over TCP, pass
+//! through admission control into a bounded queue, and are executed by a
+//! worker pool with per-request deadlines. Results are memoized in
+//! `sia-cache`'s canonicalizing predicate cache, so repeated predicate
+//! *shapes* (the common case in query workloads) are answered in
+//! microseconds instead of re-running CEGIS.
+//!
+//! - [`protocol`] — the wire format (requests, responses, statuses).
+//! - [`server`] — [`server::start`], [`server::ServeConfig`], and the
+//!   worker-pool [`server::ServerHandle`].
+//! - [`client`] — blocking helpers: [`client::run_batch`],
+//!   [`client::request_one`], [`client::shutdown`].
+//!
+//! Built entirely on `std` (threads, `mpsc`, `TcpListener`); cooperative
+//! cancellation comes from `sia_smt::Budget`, which the solver's inner
+//! loops poll.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Request, Response, Status};
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,278 @@
+//! The line-delimited JSON protocol spoken over TCP.
+//!
+//! One request per line, one response per line; requests on a connection
+//! may be answered out of order (responses carry the request `id`).
+//! Objects are flat with string and number values only, matching
+//! `sia_obs::parse_object`:
+//!
+//! ```text
+//! → {"id":"q1","predicate":"x < 10 AND y > 2","cols":"x","timeout_ms":500}
+//! ← {"id":"q1","status":"ok","predicate":"x < 10","optimal":1,"cached":0,"micros":814}
+//! → {"op":"shutdown"}
+//! ← {"id":"","status":"bye","optimal":0,"cached":0,"micros":0}
+//! ```
+//!
+//! `cols` is a comma-separated list. A response with status `ok` and no
+//! `predicate` field means only the trivial predicate TRUE is valid (the
+//! paper's NULL result).
+
+use sia_obs::{json_string, parse_object, JsonValue};
+
+/// A synthesis request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen identifier echoed in the response.
+    pub id: String,
+    /// Predicate source in the paper's grammar.
+    pub predicate: String,
+    /// Target columns to synthesize over.
+    pub cols: Vec<String>,
+    /// Per-request deadline; `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestLine {
+    /// A synthesis request.
+    Synth(Request),
+    /// Ask the server to drain and stop.
+    Shutdown,
+}
+
+/// Response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Synthesis completed (possibly with the trivial result).
+    Ok,
+    /// The request's deadline expired before synthesis finished.
+    Timeout,
+    /// The request was malformed or synthesis failed outright.
+    Error,
+    /// The request queue was full; retry later.
+    Overloaded,
+    /// Acknowledgement of a shutdown request.
+    Bye,
+}
+
+impl Status {
+    /// Wire name of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Timeout => "timeout",
+            Status::Error => "error",
+            Status::Overloaded => "overloaded",
+            Status::Bye => "bye",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_str_opt(s: &str) -> Option<Status> {
+        match s {
+            "ok" => Some(Status::Ok),
+            "timeout" => Some(Status::Timeout),
+            "error" => Some(Status::Error),
+            "overloaded" => Some(Status::Overloaded),
+            "bye" => Some(Status::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// A response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id this answers (empty for `bye`).
+    pub id: String,
+    /// Outcome.
+    pub status: Status,
+    /// The synthesized predicate; `None` with status `ok` means the
+    /// trivial predicate TRUE.
+    pub predicate: Option<String>,
+    /// Whether the predicate was certified optimal.
+    pub optimal: bool,
+    /// Whether the result came from the predicate cache.
+    pub cached: bool,
+    /// Wall time spent on the request, in microseconds.
+    pub micros: u64,
+    /// Error detail when status is `error`.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A successful-or-benign response (`ok` or `bye`).
+    pub fn is_success(&self) -> bool {
+        matches!(self.status, Status::Ok | Status::Bye)
+    }
+
+    /// An error/infrastructure response carrying just id + status.
+    pub fn plain(id: &str, status: Status) -> Response {
+        Response {
+            id: id.to_string(),
+            status,
+            predicate: None,
+            optimal: false,
+            cached: false,
+            micros: 0,
+            error: None,
+        }
+    }
+
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = format!(
+            "{{\"id\":{},\"status\":{}",
+            json_string(&self.id),
+            json_string(self.status.as_str())
+        );
+        if let Some(p) = &self.predicate {
+            out.push_str(&format!(",\"predicate\":{}", json_string(p)));
+        }
+        out.push_str(&format!(
+            ",\"optimal\":{},\"cached\":{},\"micros\":{}",
+            u8::from(self.optimal),
+            u8::from(self.cached),
+            self.micros
+        ));
+        if let Some(e) = &self.error {
+            out.push_str(&format!(",\"error\":{}", json_string(e)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse a response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let fields = parse_object(line)?;
+        let mut resp = Response::plain("", Status::Error);
+        let mut saw_status = false;
+        for (name, value) in fields {
+            match (name.as_str(), value) {
+                ("id", JsonValue::Str(s)) => resp.id = s,
+                ("status", JsonValue::Str(s)) => {
+                    resp.status =
+                        Status::from_str_opt(&s).ok_or_else(|| format!("bad status {s:?}"))?;
+                    saw_status = true;
+                }
+                ("predicate", JsonValue::Str(s)) => resp.predicate = Some(s),
+                ("error", JsonValue::Str(s)) => resp.error = Some(s),
+                ("optimal", JsonValue::Num(n)) => resp.optimal = n != 0.0,
+                ("cached", JsonValue::Num(n)) => resp.cached = n != 0.0,
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                ("micros", JsonValue::Num(n)) => resp.micros = n.max(0.0) as u64,
+                _ => {}
+            }
+        }
+        if !saw_status {
+            return Err("response missing status".into());
+        }
+        Ok(resp)
+    }
+}
+
+/// Render a synthesis request as one JSONL line (no trailing newline).
+pub fn render_request(r: &Request) -> String {
+    let mut out = format!(
+        "{{\"id\":{},\"predicate\":{},\"cols\":{}",
+        json_string(&r.id),
+        json_string(&r.predicate),
+        json_string(&r.cols.join(","))
+    );
+    if let Some(ms) = r.timeout_ms {
+        out.push_str(&format!(",\"timeout_ms\":{ms}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Render the shutdown request line.
+pub fn render_shutdown() -> String {
+    "{\"op\":\"shutdown\"}".to_string()
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<RequestLine, String> {
+    let fields = parse_object(line)?;
+    let mut id = None;
+    let mut predicate = None;
+    let mut cols = None;
+    let mut timeout_ms = None;
+    for (name, value) in fields {
+        match (name.as_str(), value) {
+            ("op", JsonValue::Str(s)) if s == "shutdown" => return Ok(RequestLine::Shutdown),
+            ("op", JsonValue::Str(s)) => return Err(format!("unknown op {s:?}")),
+            ("id", JsonValue::Str(s)) => id = Some(s),
+            ("predicate", JsonValue::Str(s)) => predicate = Some(s),
+            ("cols", JsonValue::Str(s)) => {
+                cols = Some(
+                    s.split(',')
+                        .map(|c| c.trim().to_string())
+                        .filter(|c| !c.is_empty())
+                        .collect::<Vec<_>>(),
+                );
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            ("timeout_ms", JsonValue::Num(n)) => timeout_ms = Some(n.max(0.0) as u64),
+            _ => {}
+        }
+    }
+    Ok(RequestLine::Synth(Request {
+        id: id.ok_or("request missing id")?,
+        predicate: predicate.ok_or("request missing predicate")?,
+        cols: cols.ok_or("request missing cols")?,
+        timeout_ms,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let r = Request {
+            id: "q1".into(),
+            predicate: "x < 10 AND y > 2".into(),
+            cols: vec!["x".into(), "y".into()],
+            timeout_ms: Some(250),
+        };
+        let line = render_request(&r);
+        assert_eq!(parse_request(&line).unwrap(), RequestLine::Synth(r));
+    }
+
+    #[test]
+    fn shutdown_round_trips() {
+        assert_eq!(
+            parse_request(&render_shutdown()).unwrap(),
+            RequestLine::Shutdown
+        );
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let r = Response {
+            id: "q1".into(),
+            status: Status::Ok,
+            predicate: Some("x < 10".into()),
+            optimal: true,
+            cached: false,
+            micros: 814,
+            error: None,
+        };
+        assert_eq!(Response::parse(&r.to_line()).unwrap(), r);
+        let e = Response {
+            error: Some("parse error: boom".into()),
+            ..Response::plain("q2", Status::Error)
+        };
+        assert_eq!(Response::parse(&e.to_line()).unwrap(), e);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_request("{\"id\":\"a\"}").is_err());
+        assert!(parse_request("{\"op\":\"dance\"}").is_err());
+        assert!(parse_request("nonsense").is_err());
+        assert!(Response::parse("{\"id\":\"a\"}").is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! The synthesis server: accept loop, bounded job queue, worker pool.
+//!
+//! Threading model (std only — threads and channels, no async runtime):
+//!
+//! - An **accept thread** takes connections and spawns one reader thread
+//!   per connection.
+//! - **Reader threads** parse request lines and `try_send` jobs into a
+//!   bounded [`mpsc::sync_channel`]. A full queue is the admission
+//!   control: the reader answers `overloaded` immediately instead of
+//!   letting latency grow without bound.
+//! - **Worker threads** share the receiver behind a mutex, drain the
+//!   queue, and run synthesis with a per-request [`Budget`] deadline.
+//!   The budget is polled inside the SMT solver's CDCL and simplex
+//!   loops, so a 10 ms deadline on a hard instance returns `timeout`
+//!   without wedging the worker.
+//! - Responses are written through a per-connection `Mutex<TcpStream>`,
+//!   so workers and the reader (which writes `overloaded` rejections)
+//!   never interleave partial lines.
+//!
+//! Shutdown is cooperative: a `{"op":"shutdown"}` request sets the stop
+//! flag and wakes the accept thread with a loopback connection; readers
+//! notice the flag within one read timeout, drop their queue senders,
+//! and the workers exit once the queue drains — already-queued requests
+//! are still answered.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sia_cache::{canonicalize, PredicateCache};
+use sia_core::{SiaConfig, SynthesisError, Synthesizer};
+use sia_expr::Pred;
+use sia_obs::{Counter, Hist};
+use sia_smt::Budget;
+use sia_sql::parse_predicate;
+
+use crate::protocol::{parse_request, Request, RequestLine, Response, Status};
+
+/// How long reader threads block on a socket before re-checking the
+/// shutdown flag. Bounds the drain time of an idle connection.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7171` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads running synthesis.
+    pub workers: usize,
+    /// Predicate-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Bounded queue depth; requests beyond it are rejected as
+    /// `overloaded`.
+    pub queue_depth: usize,
+    /// Default per-request deadline when the request carries none
+    /// (`None` = unlimited).
+    pub default_timeout_ms: Option<u64>,
+    /// Cache persistence file: loaded at startup if present, written on
+    /// shutdown.
+    pub cache_file: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: 1024,
+            queue_depth: 64,
+            default_timeout_ms: None,
+            cache_file: None,
+        }
+    }
+}
+
+/// One unit of work: a parsed request plus where to write the answer.
+struct Job {
+    request: Request,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cache: Arc<PredicateCache>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    cache_file: Option<String>,
+}
+
+/// Start a server with the given configuration.
+///
+/// # Errors
+///
+/// Fails when the listen address cannot be bound or a cache file was
+/// given but cannot be read/created.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let cache = Arc::new(PredicateCache::new(config.cache_capacity));
+    if let Some(path) = &config.cache_file {
+        if std::path::Path::new(path).exists() {
+            cache.load_file(path)?;
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let queue_len = Arc::new(AtomicI64::new(0));
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let cache = Arc::clone(&cache);
+            let queue_len = Arc::clone(&queue_len);
+            let default_timeout_ms = config.default_timeout_ms;
+            std::thread::Builder::new()
+                .name(format!("sia-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &cache, &queue_len, default_timeout_ms))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let queue_len = Arc::clone(&queue_len);
+        std::thread::Builder::new()
+            .name("sia-accept".to_string())
+            .spawn(move || accept_loop(&listener, addr, &stop, &tx, &queue_len))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        cache,
+        stop,
+        accept: Some(accept),
+        workers,
+        cache_file: config.cache_file,
+    })
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared predicate cache (for statistics).
+    pub fn cache(&self) -> &PredicateCache {
+        &self.cache
+    }
+
+    /// An owned handle to the cache, usable after the server stops
+    /// (e.g. to report final statistics once [`Self::wait`] returns).
+    pub fn cache_arc(&self) -> Arc<PredicateCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Block until a client asks the server to shut down (via the
+    /// `shutdown` op), then drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configured cache file cannot be written.
+    pub fn wait(mut self) -> std::io::Result<()> {
+        self.join_all()
+    }
+
+    /// Stop the server from this process: reject new connections, drain
+    /// queued requests, join all threads, persist the cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configured cache file cannot be written.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.signal_stop();
+        self.join_all()
+    }
+
+    fn signal_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept thread, which may be blocked in accept().
+        drop(TcpStream::connect(self.addr));
+    }
+
+    fn join_all(&mut self) -> std::io::Result<()> {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(path) = self.cache_file.take() {
+            self.cache.save_file(&path)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.signal_stop();
+            let _ = self.join_all();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    stop: &Arc<AtomicBool>,
+    tx: &SyncSender<Job>,
+    queue_len: &Arc<AtomicI64>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let stop = Arc::clone(stop);
+        let tx = tx.clone();
+        let queue_len = Arc::clone(queue_len);
+        let _ = std::thread::Builder::new()
+            .name("sia-conn".to_string())
+            .spawn(move || reader_loop(stream, addr, &stop, &tx, &queue_len));
+    }
+    // Dropping `tx` here (with every reader's clone gone once they see
+    // the stop flag) lets the workers drain the queue and exit.
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    addr: SocketAddr,
+    stop: &AtomicBool,
+    tx: &SyncSender<Job>,
+    queue_len: &AtomicI64,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_side) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_side);
+    let out = Arc::new(Mutex::new(stream));
+    let mut line = String::new();
+    'conn: loop {
+        line.clear();
+        // Retry timeouts without clearing: a slow client may deliver a
+        // line across several poll intervals.
+        let n = loop {
+            if stop.load(Ordering::SeqCst) {
+                break 'conn;
+            }
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => break 'conn,
+            }
+        };
+        if n == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_request(trimmed) {
+            Ok(RequestLine::Shutdown) => {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept thread so it observes the flag.
+                drop(TcpStream::connect(addr));
+                respond(&out, &Response::plain("", Status::Bye));
+                break;
+            }
+            Ok(RequestLine::Synth(request)) => {
+                let id = request.id.clone();
+                let job = Job {
+                    request,
+                    out: Arc::clone(&out),
+                };
+                match tx.try_send(job) {
+                    Ok(()) => {
+                        let depth = queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+                        sia_obs::add(Counter::ServeRequests, 1);
+                        #[allow(clippy::cast_precision_loss)]
+                        sia_obs::record(Hist::ServeQueueDepth, depth.max(0) as f64);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        sia_obs::add(Counter::ServeRejected, 1);
+                        respond(&out, &Response::plain(&id, Status::Overloaded));
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        respond(
+                            &out,
+                            &Response {
+                                error: Some("server is shutting down".into()),
+                                ..Response::plain(&id, Status::Error)
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
+            Err(e) => {
+                respond(
+                    &out,
+                    &Response {
+                        error: Some(e),
+                        ..Response::plain("", Status::Error)
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    cache: &PredicateCache,
+    queue_len: &AtomicI64,
+    default_timeout_ms: Option<u64>,
+) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(job) = job else {
+            break; // queue drained and all senders gone
+        };
+        queue_len.fetch_sub(1, Ordering::Relaxed);
+        let response = process(&job.request, cache, default_timeout_ms);
+        respond(&job.out, &response);
+    }
+}
+
+/// Run one request to completion (cache hit, synthesis, or timeout).
+fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64>) -> Response {
+    let start = Instant::now();
+    let finish = |mut r: Response| {
+        #[allow(clippy::cast_precision_loss)]
+        let micros = start.elapsed().as_micros() as f64;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            r.micros = micros as u64;
+        }
+        sia_obs::record(Hist::ServeLatencyUs, micros);
+        r
+    };
+
+    let p = match parse_predicate(&req.predicate) {
+        Ok(p) => p,
+        Err(e) => {
+            sia_obs::add(Counter::ServeErrors, 1);
+            return finish(Response {
+                error: Some(e.to_string()),
+                ..Response::plain(&req.id, Status::Error)
+            });
+        }
+    };
+    let canon = canonicalize(&p);
+    if let Some(hit) = cache.lookup(&canon, &req.cols) {
+        return finish(Response {
+            predicate: (!hit.predicate.is_true()).then(|| hit.predicate.to_string()),
+            optimal: hit.optimal,
+            cached: true,
+            ..Response::plain(&req.id, Status::Ok)
+        });
+    }
+
+    let timeout_ms = req.timeout_ms.or(default_timeout_ms);
+    let budget = timeout_ms.map_or_else(Budget::unlimited, |ms| {
+        Budget::with_deadline(Duration::from_millis(ms))
+    });
+    let mut syn = Synthesizer::new(SiaConfig {
+        budget,
+        ..SiaConfig::default()
+    });
+    match syn.synthesize(&p, &req.cols) {
+        Ok(result) => {
+            let predicate = result.predicate.unwrap_or_else(Pred::true_);
+            cache.insert(&canon, &req.cols, &predicate, result.optimal);
+            finish(Response {
+                predicate: (!predicate.is_true()).then(|| predicate.to_string()),
+                optimal: result.optimal,
+                ..Response::plain(&req.id, Status::Ok)
+            })
+        }
+        Err(SynthesisError::Timeout) => {
+            sia_obs::add(Counter::ServeTimeouts, 1);
+            finish(Response::plain(&req.id, Status::Timeout))
+        }
+        Err(e) => {
+            sia_obs::add(Counter::ServeErrors, 1);
+            finish(Response {
+                error: Some(e.to_string()),
+                ..Response::plain(&req.id, Status::Error)
+            })
+        }
+    }
+}
+
+/// Write one response line, serialized per connection. Write failures are
+/// ignored: the client has gone away, and the worker must not die with it.
+fn respond(out: &Mutex<TcpStream>, response: &Response) {
+    let mut stream = out.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = writeln!(stream, "{}", response.to_line());
+    let _ = stream.flush();
+}

@@ -1,0 +1,221 @@
+//! End-to-end tests for the synthesis server: concurrent batches, cache
+//! hits on repeated shapes, deadline timeouts that do not wedge workers,
+//! and graceful shutdown.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use sia_serve::{client, server, Request, ServeConfig, Status};
+
+fn strs(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| (*s).to_string()).collect()
+}
+
+/// A predicate hard enough that CEGIS cannot finish within 10 ms.
+const HARD: &str = "a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0 AND a1 + b1 < 30";
+
+#[test]
+fn batch_cache_timeout_and_shutdown() {
+    let handle = server::start(ServeConfig {
+        workers: 2,
+        queue_depth: 32,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Two repeated predicate shapes: alpha-renamed + reordered variants
+    // must land on the same cache entry.
+    let requests: Vec<Request> = vec![
+        Request {
+            id: "q0".into(),
+            predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+            cols: strs(&["a"]),
+            timeout_ms: None,
+        },
+        Request {
+            id: "q1".into(),
+            predicate: "v + 10 > 20 AND u + 10 > v + 20".into(),
+            cols: strs(&["u"]),
+            timeout_ms: None,
+        },
+        Request {
+            id: "q2".into(),
+            predicate: "x < 5 AND y > 2".into(),
+            cols: strs(&["x"]),
+            timeout_ms: None,
+        },
+    ];
+
+    // First pass: all ok, nothing cached yet for q0 (q1 may already hit
+    // q0's entry depending on worker interleaving, so don't assert on it).
+    let first = client::run_batch(&addr, &requests, 2).expect("batch runs");
+    assert_eq!(first.len(), 3);
+    let by_id: HashMap<String, _> = first.into_iter().map(|r| (r.id.clone(), r)).collect();
+    for id in ["q0", "q1", "q2"] {
+        assert_eq!(by_id[id].status, Status::Ok, "{id}: {:?}", by_id[id]);
+    }
+    assert_eq!(
+        by_id["q0"].predicate.as_deref(),
+        Some("a >= 22"),
+        "{:?}",
+        by_id["q0"]
+    );
+    // q1 is q0 alpha-renamed: same result in its own column names.
+    assert_eq!(by_id["q1"].predicate.as_deref(), Some("u >= 22"));
+
+    // Second pass: every response must now come from the cache.
+    let second = client::run_batch(&addr, &requests, 3).expect("second batch runs");
+    for r in &second {
+        assert_eq!(r.status, Status::Ok, "{r:?}");
+        assert!(r.cached, "expected cache hit: {r:?}");
+    }
+    let stats = handle.cache().stats();
+    assert!(stats.hits >= 3, "cache stats {stats:?}");
+
+    // A 10ms deadline on a hard instance must time out without wedging
+    // the worker that ran it.
+    let t0 = Instant::now();
+    let timed_out = client::request_one(
+        &addr,
+        &Request {
+            id: "hard".into(),
+            predicate: HARD.into(),
+            cols: strs(&["a1"]),
+            timeout_ms: Some(10),
+        },
+    )
+    .expect("hard request answered");
+    assert_eq!(timed_out.status, Status::Timeout, "{timed_out:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "timeout took {:?}",
+        t0.elapsed()
+    );
+
+    // Both workers still alive: two more requests complete.
+    let after = client::run_batch(
+        &addr,
+        &[
+            Request {
+                id: "a0".into(),
+                predicate: "x < 5 AND y > 2".into(),
+                cols: strs(&["x"]),
+                timeout_ms: None,
+            },
+            Request {
+                id: "a1".into(),
+                predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+                cols: strs(&["a"]),
+                timeout_ms: None,
+            },
+        ],
+        2,
+    )
+    .expect("post-timeout batch runs");
+    assert!(after.iter().all(|r| r.status == Status::Ok), "{after:?}");
+
+    // Remote shutdown: server acknowledges, then the handle drains.
+    let wait = std::thread::spawn(move || handle.wait());
+    let bye = client::shutdown(&addr).expect("shutdown acknowledged");
+    assert_eq!(bye.status, Status::Bye);
+    wait.join().expect("wait thread").expect("clean drain");
+}
+
+#[test]
+fn admission_control_rejects_when_queue_is_full() {
+    // One worker, queue of 1: a burst must produce `overloaded` answers.
+    let handle = server::start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let burst: Vec<Request> = (0..8)
+        .map(|i| Request {
+            id: format!("b{i}"),
+            predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+            cols: strs(&["a"]),
+            timeout_ms: None,
+        })
+        .collect();
+    let responses = client::run_batch(&addr, &burst, 1).expect("burst answered");
+    assert_eq!(responses.len(), 8);
+    let overloaded = responses
+        .iter()
+        .filter(|r| r.status == Status::Overloaded)
+        .count();
+    let ok = responses.iter().filter(|r| r.status == Status::Ok).count();
+    assert!(overloaded > 0, "no overloaded responses: {responses:?}");
+    assert!(ok > 0, "no successful responses: {responses:?}");
+    assert_eq!(overloaded + ok, 8, "unexpected statuses: {responses:?}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn malformed_lines_get_error_responses() {
+    let handle = server::start(ServeConfig::default()).expect("server starts");
+    let addr = handle.addr().to_string();
+
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    writeln!(stream, "this is not json").unwrap();
+    writeln!(
+        stream,
+        "{{\"id\":\"x\",\"predicate\":\"a <\",\"cols\":\"a\"}}"
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let bad_json = sia_serve::Response::parse(line.trim()).unwrap();
+    assert_eq!(bad_json.status, Status::Error);
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let bad_pred = sia_serve::Response::parse(line.trim()).unwrap();
+    assert_eq!(bad_pred.status, Status::Error);
+    assert_eq!(bad_pred.id, "x");
+    assert!(bad_pred.error.is_some());
+    drop(reader);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn cache_persists_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("sia-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.jsonl");
+    let path = path.to_str().unwrap().to_string();
+
+    let config = ServeConfig {
+        workers: 1,
+        cache_file: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let req = Request {
+        id: "p0".into(),
+        predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+        cols: strs(&["a"]),
+        timeout_ms: None,
+    };
+
+    let handle = server::start(config.clone()).expect("first server");
+    let addr = handle.addr().to_string();
+    let cold = client::request_one(&addr, &req).expect("first run");
+    assert_eq!(cold.status, Status::Ok);
+    assert!(!cold.cached);
+    handle.shutdown().expect("persists cache");
+
+    let handle = server::start(config).expect("second server");
+    let addr = handle.addr().to_string();
+    let warm = client::request_one(&addr, &req).expect("warm run");
+    assert_eq!(warm.status, Status::Ok, "{warm:?}");
+    assert!(warm.cached, "expected warm-start hit: {warm:?}");
+    assert_eq!(warm.predicate.as_deref(), Some("a >= 22"));
+    handle.shutdown().expect("clean shutdown");
+    std::fs::remove_file(&path).ok();
+}

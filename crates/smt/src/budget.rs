@@ -1,0 +1,143 @@
+//! Cooperative cancellation and deadlines for the solver's main loops.
+//!
+//! A [`Budget`] is a cheap, cloneable token carrying an optional wall-clock
+//! deadline and a shared cancel flag. Clones share the same underlying
+//! state, so a caller can hand a clone to a long-running solve, keep one
+//! for itself, and flip the flag from another thread. The solver polls the
+//! token at its loop heads — every few hundred CDCL steps, every few dozen
+//! simplex pivots, every DPLL(T) round, every branch-and-bound node — and
+//! bails out with an `Unknown`/interrupted verdict instead of wedging.
+//!
+//! The default ([`Budget::unlimited`]) carries no state at all: polling it
+//! is a single `Option` discriminant test, so un-budgeted solving pays
+//! nothing for the hooks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared deadline + cancel token threaded through solver loops.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    inner: Option<Arc<BudgetInner>>,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget that never expires and cannot be cancelled (the default).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget that expires `limit` from now (and can also be cancelled).
+    pub fn with_deadline(limit: Duration) -> Budget {
+        Budget {
+            inner: Some(Arc::new(BudgetInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + limit),
+            })),
+        }
+    }
+
+    /// A budget with no deadline that can still be cancelled via
+    /// [`Budget::cancel`] on any clone.
+    pub fn cancellable() -> Budget {
+        Budget {
+            inner: Some(Arc::new(BudgetInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// True when this is [`Budget::unlimited`] — no deadline, no cancel
+    /// flag, polling is free.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Flip the shared cancel flag: every clone of this budget (and every
+    /// solver loop polling one) observes exhaustion from now on.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once the budget has been cancelled (deadline not consulted).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// The poll: true when cancelled or past the deadline. This is the
+    /// call sprinkled through the CDCL, simplex, DPLL(T), and
+    /// branch-and-bound loops.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        inner
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Wall time left before the deadline (`None` when there is no
+    /// deadline; `Some(ZERO)` once expired or cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return Some(Duration::ZERO);
+        }
+        inner
+            .deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.is_exhausted());
+        assert!(!b.is_cancelled());
+        assert_eq!(b.remaining(), None);
+        b.cancel(); // no-op on the unlimited budget
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert!(b.is_exhausted());
+        assert!(!b.is_cancelled());
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(!b.is_exhausted());
+        assert!(b.remaining().expect("has deadline") > Duration::from_secs(3599));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let b = Budget::cancellable();
+        let clone = b.clone();
+        assert!(!clone.is_exhausted());
+        b.cancel();
+        assert!(clone.is_exhausted());
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+    }
+}

@@ -15,7 +15,11 @@
 //!   samples and decide optimality (§4.2, §5.3, §5.5), and a model-based
 //!   CEGQI alternative used for ablation;
 //! * [`audit`] — a sampling soundness auditor for quantifier elimination,
-//!   run on every elimination under the `checked` cargo feature.
+//!   run on every elimination under the `checked` cargo feature;
+//! * [`budget`] — cooperative cancellation: a cloneable deadline/cancel
+//!   token ([`Budget`]) polled by the CDCL, simplex, DPLL(T), and
+//!   branch-and-bound loops so a caller-imposed time limit turns into an
+//!   `Unknown` verdict instead of a wedged solve.
 //!
 //! Formulas ([`Formula`]) are built over linear terms ([`LinTerm`]) with
 //! variables declared on the solver.
@@ -23,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod budget;
 pub mod formula;
 pub mod qe;
 pub mod sat;
@@ -31,6 +36,7 @@ pub mod solver;
 pub mod term;
 pub mod var;
 
+pub use budget::Budget;
 pub use formula::Formula;
 pub use qe::{eliminate_exists, QeConfig, QeError};
 pub use solver::{Model, SmtResult, Solver, SolverConfig, SolverStats};

@@ -87,6 +87,8 @@ pub enum SatResult {
     Sat,
     /// No satisfying assignment exists.
     Unsat,
+    /// The solver's [`crate::Budget`] was exhausted mid-search; no verdict.
+    Interrupted,
 }
 
 type ClauseRef = usize;
@@ -129,6 +131,9 @@ pub struct SatSolver {
     proof: Option<Vec<ProofStep>>,
     /// Statistics for the current lifetime of the solver.
     pub stats: SatStats,
+    /// Cooperative cancellation token, polled every few hundred search
+    /// steps inside [`SatSolver::solve`]. Unlimited by default.
+    pub budget: crate::Budget,
 }
 
 impl SatSolver {
@@ -434,7 +439,16 @@ impl SatSolver {
         let mut conflicts_since_restart = 0u64;
         let mut restart_idx = 1u64;
         let mut restart_limit = 64 * luby(restart_idx);
+        let mut steps = 0u64;
         loop {
+            // Cooperative cancellation: one search step is one
+            // propagate/analyze-or-decide round, so this polls the budget
+            // every 512 conflicts-or-decisions regardless of which branch
+            // the search is stuck in.
+            steps += 1;
+            if steps & 0x1FF == 0 && self.budget.is_exhausted() {
+                return SatResult::Interrupted;
+            }
             let conflicting = self.propagate();
             #[cfg(feature = "checked")]
             if conflicting.is_none() {

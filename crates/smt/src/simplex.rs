@@ -165,6 +165,12 @@ pub struct Simplex {
     pub pivots: u64,
     /// Bound assertions that actually narrowed a bound (statistics).
     pub tightenings: u64,
+    /// Cooperative cancellation token, polled every few dozen pivots
+    /// inside [`Simplex::check`]. Unlimited by default.
+    pub budget: crate::Budget,
+    /// Set when the last [`Simplex::check`] bailed out on an exhausted
+    /// budget; its `Ok(())` then means "undecided", not "feasible".
+    interrupted: bool,
 }
 
 impl Simplex {
@@ -365,10 +371,28 @@ impl Simplex {
         self.rows[xj] = Some(row_j);
     }
 
+    /// True when the previous [`Simplex::check`] was cut short by an
+    /// exhausted budget, in which case its `Ok(())` carries no feasibility
+    /// verdict and the caller must treat the state as undecided.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
     /// Restore feasibility. Uses Bland's rule (minimum variable index) so
     /// termination is guaranteed.
+    ///
+    /// Polls the [`Simplex::budget`] every 64 pivot rounds; on exhaustion
+    /// it returns `Ok(())` with [`Simplex::interrupted`] set — callers
+    /// consult that flag before trusting feasibility.
     pub fn check(&mut self) -> Result<(), Conflict> {
+        self.interrupted = false;
+        let mut rounds = 0u64;
         loop {
+            rounds += 1;
+            if rounds & 0x3F == 0 && self.budget.is_exhausted() {
+                self.interrupted = true;
+                return Ok(());
+            }
             // Find the smallest basic variable violating a bound.
             let mut violated: Option<(usize, bool)> = None; // (var, below_lower)
             for xi in 0..self.rows.len() {

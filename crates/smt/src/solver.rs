@@ -126,6 +126,10 @@ pub struct Solver {
     pub config: SolverConfig,
     /// Statistics.
     pub stats: SolverStats,
+    /// Cooperative deadline/cancel token. Cloned into the CDCL and simplex
+    /// cores on every [`Solver::check`], which return `Unknown` promptly
+    /// once it is exhausted. Unlimited by default.
+    pub budget: crate::Budget,
 }
 
 impl Solver {
@@ -163,7 +167,7 @@ impl Solver {
     pub fn check(&mut self, f: &Formula) -> SmtResult {
         self.stats.checks += 1;
         let _span = sia_obs::span("smt.check");
-        let mut ctx = CheckCtx::new(&self.vars, &self.config, false);
+        let mut ctx = CheckCtx::new(&self.vars, &self.config, false, self.budget.clone());
         let result = ctx.run(f);
         self.stats.rounds += ctx.rounds;
         self.stats.theory_lemmas += ctx.lemmas;
@@ -200,7 +204,7 @@ impl Solver {
     pub fn check_with_certificate(&mut self, f: &Formula) -> (SmtResult, Option<CertifiedUnsat>) {
         self.stats.checks += 1;
         let _span = sia_obs::span("smt.check");
-        let mut ctx = CheckCtx::new(&self.vars, &self.config, true);
+        let mut ctx = CheckCtx::new(&self.vars, &self.config, true, self.budget.clone());
         let result = ctx.run(f);
         self.stats.rounds += ctx.rounds;
         self.stats.theory_lemmas += ctx.lemmas;
@@ -316,19 +320,32 @@ struct CheckCtx<'a> {
     next_fresh: u32,
     /// record a proof log and atom table for an Unsat certificate.
     certify: bool,
+    /// Cooperative cancellation token, also cloned into `sat` and
+    /// `simplex`; polled once per lazy round and branch-and-bound node.
+    budget: crate::Budget,
     rounds: u64,
     lemmas: u64,
     bb_nodes: u64,
 }
 
 impl<'a> CheckCtx<'a> {
-    fn new(vars: &'a VarTable, config: &'a SolverConfig, certify: bool) -> Self {
+    fn new(
+        vars: &'a VarTable,
+        config: &'a SolverConfig,
+        certify: bool,
+        budget: crate::Budget,
+    ) -> Self {
+        let mut sat = SatSolver::new();
+        sat.budget = budget.clone();
+        let mut simplex = Simplex::new();
+        simplex.budget = budget.clone();
         CheckCtx {
             vars,
             config,
             certify,
-            sat: SatSolver::new(),
-            simplex: Simplex::new(),
+            budget,
+            sat,
+            simplex,
             arith_map: HashMap::new(),
             back_map: HashMap::new(),
             combos: HashMap::new(),
@@ -626,12 +643,14 @@ impl<'a> CheckCtx<'a> {
             }
         }
         loop {
-            if self.rounds >= self.config.max_rounds {
+            if self.rounds >= self.config.max_rounds || self.budget.is_exhausted() {
                 return SmtResult::Unknown;
             }
             self.rounds += 1;
-            if self.sat.solve() == SatResult::Unsat {
-                return SmtResult::Unsat;
+            match self.sat.solve() {
+                SatResult::Unsat => return SmtResult::Unsat,
+                SatResult::Interrupted => return SmtResult::Unknown,
+                SatResult::Sat => {}
             }
             // Assert the theory literals implied by the boolean model.
             self.simplex.push();
@@ -661,6 +680,10 @@ impl<'a> CheckCtx<'a> {
             }
             if conflict.is_none() {
                 conflict = self.simplex.check().err();
+                if conflict.is_none() && self.simplex.interrupted() {
+                    self.simplex.pop();
+                    return SmtResult::Unknown;
+                }
             }
             match conflict {
                 Some(c) => {
@@ -739,13 +762,16 @@ impl<'a> CheckCtx<'a> {
     fn branch_and_bound(&mut self, budget: &mut u64, depth: u32) -> BbResult {
         // Recursion depth cap: deep chains of branchings indicate an
         // unbounded diophantine search; give up rather than overflow.
-        if *budget == 0 || depth > 120 {
+        if *budget == 0 || depth > 120 || self.budget.is_exhausted() {
             return BbResult::Budget;
         }
         *budget -= 1;
         self.bb_nodes += 1;
         if self.simplex.check().is_err() {
             return BbResult::Infeasible;
+        }
+        if self.simplex.interrupted() {
+            return BbResult::Budget;
         }
         let delta = self.simplex.concrete_delta();
         // Prefer branching on doubly-bounded fractional variables (equality

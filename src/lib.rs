@@ -19,7 +19,11 @@
 //! * [`tpch`] — a TPC-H-style generator and the paper's 200-query workload,
 //! * [`obs`] — zero-dependency structured tracing and metrics instrumenting
 //!   every layer above,
-//! * [`core`] — Sia itself: the counter-example guided synthesis loop.
+//! * [`core`] — Sia itself: the counter-example guided synthesis loop,
+//! * [`cache`] — a canonicalizing predicate cache (alpha-renamed templates,
+//!   sharded LRU, JSONL persistence),
+//! * [`serve`] — a concurrent synthesis service (worker pool, admission
+//!   control, per-request deadlines over a JSONL-over-TCP protocol).
 //!
 //! ## Quickstart
 //!
@@ -37,11 +41,13 @@
 //! assert!(result.optimal);
 //! ```
 
+pub use sia_cache as cache;
 pub use sia_core as core;
 pub use sia_engine as engine;
 pub use sia_expr as expr;
 pub use sia_num as num;
 pub use sia_obs as obs;
+pub use sia_serve as serve;
 pub use sia_smt as smt;
 pub use sia_sql as sql;
 pub use sia_svm as svm;

@@ -1,0 +1,269 @@
+//! Chaos benchmark: the synthesis service under injected faults.
+//!
+//! Phase 1 drives a TPC-H-derived workload through a server whose
+//! workers panic on ~10% of requests (`serve.worker.request`) and die
+//! outright a few times (`serve.worker.die`), using the retrying client.
+//! The contract under test: **zero lost requests** — every request gets
+//! exactly one answer (ok, degraded fallback, or shed), and the
+//! supervisor restores the pool to full strength.
+//!
+//! Phase 2 simulates a crash during cache persistence: the saved
+//! snapshot gets its tail torn off mid-record (what a power cut during
+//! an append would leave), and a restarted server must recover every
+//! intact record — the CRC scan drops only the damaged tail — and serve
+//! cache hits from the recovered state.
+//!
+//! Results land in `BENCH_fault.json`. Environment knobs:
+//! `SIA_BENCH_SHAPES` (default 10), `SIA_BENCH_REPS` (default 6),
+//! `SIA_BENCH_WORKERS` (default 4).
+
+use std::time::{Duration, Instant};
+
+use sia_bench::util;
+use sia_obs::Counter;
+use sia_serve::{client, server, Request, RetryPolicy, ServeConfig, ServerHandle, Status};
+use sia_tpch::{generate_workload, WorkloadConfig, LINEITEM_COLS};
+
+fn build_requests(shapes: usize, reps: usize) -> Vec<Request> {
+    let queries = generate_workload(&WorkloadConfig {
+        count: shapes,
+        min_terms: 2,
+        max_terms: 4,
+        seed: 0x51A_FA17,
+    });
+    let mut requests = Vec::new();
+    for q in &queries {
+        let base_cols: Vec<String> = q
+            .predicate
+            .columns()
+            .into_iter()
+            .filter(|c| LINEITEM_COLS.contains(&c.as_str()))
+            .collect();
+        if base_cols.is_empty() {
+            continue;
+        }
+        for rep in 0..reps {
+            let (predicate, cols) = if rep % 2 == 1 {
+                let k = rep % 7;
+                let rename = |c: &str| format!("v{k}_{c}");
+                (
+                    q.predicate.map_columns(&|c| rename(c)),
+                    base_cols.iter().map(|c| rename(c)).collect::<Vec<_>>(),
+                )
+            } else {
+                (q.predicate.clone(), base_cols.clone())
+            };
+            requests.push(Request {
+                id: format!("q{}r{rep}", q.id),
+                predicate: predicate.to_string(),
+                cols,
+                timeout_ms: Some(30_000),
+            });
+        }
+    }
+    requests
+}
+
+fn counter(c: Counter) -> u64 {
+    sia_obs::snapshot()
+        .counters
+        .iter()
+        .find(|(k, _)| *k == c)
+        .map_or(0, |(_, v)| *v)
+}
+
+fn wait_for_full_pool(handle: &ServerHandle, target: u64) {
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(30) {
+        if handle.health().workers == target {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!(
+        "pool never recovered: {:?} (target {target})",
+        handle.health()
+    );
+}
+
+/// Tear the snapshot's tail mid-record, as a crash during an append
+/// would. Returns false (and leaves the file alone) if there are not
+/// enough records to lose one safely.
+fn tear_snapshot_tail(path: &str) -> bool {
+    let bytes = std::fs::read(path).expect("read snapshot");
+    if bytes.iter().filter(|&&b| b == b'\n').count() < 2 {
+        return false;
+    }
+    let cut = bytes.len() - 9; // rips through the final record's JSON
+    std::fs::write(path, &bytes[..cut]).expect("tear snapshot");
+    true
+}
+
+/// Keep injected panics (message prefix `failpoint `) off stderr — they
+/// are the point of the experiment, not noise worth a backtrace each.
+/// Anything else still reports through the default hook.
+fn silence_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("failpoint ") {
+            default_hook(info);
+        }
+    }));
+}
+
+fn main() {
+    silence_injected_panics();
+    let shapes = util::env_usize("SIA_BENCH_SHAPES", 10);
+    let reps = util::env_usize("SIA_BENCH_REPS", 6);
+    let workers = util::env_usize("SIA_BENCH_WORKERS", 4);
+
+    sia_obs::reset();
+    sia_obs::enable();
+
+    let requests = build_requests(shapes, reps);
+    let dir = std::env::temp_dir().join(format!("sia-exp-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cache_path = dir.join("cache.jsonl").to_str().expect("utf-8").to_string();
+
+    println!(
+        "== fault benchmark: {} requests ({shapes} shapes x {reps} reps, {workers} workers) ==",
+        requests.len()
+    );
+
+    // ---- Phase 1: serve the workload under injected panics and deaths.
+    sia_fault::set_seed(0x51AC_4A05);
+    sia_fault::configure("serve.worker.request", "10%panic(injected worker panic)")
+        .expect("valid policy");
+    sia_fault::configure("serve.worker.die", "3*panic(injected worker death)")
+        .expect("valid policy");
+
+    let handle = server::start(ServeConfig {
+        workers,
+        cache_capacity: 1024,
+        queue_depth: 32,
+        cache_file: Some(cache_path.clone()),
+        snapshot_interval: Some(Duration::from_millis(100)),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let t0 = Instant::now();
+    let outcome = client::run_batch_retry(&addr, &requests, workers * 2, &RetryPolicy::default());
+    let elapsed = t0.elapsed();
+
+    let answered = outcome.responses.len();
+    let ok = outcome
+        .responses
+        .iter()
+        .filter(|r| r.status == Status::Ok && !r.degraded)
+        .count();
+    let degraded = outcome.responses.iter().filter(|r| r.degraded).count();
+    let timeouts = outcome
+        .responses
+        .iter()
+        .filter(|r| r.status == Status::Timeout)
+        .count();
+    assert_eq!(
+        answered,
+        requests.len(),
+        "lost requests: {answered} answers for {} requests",
+        requests.len()
+    );
+    for r in &outcome.responses {
+        assert!(
+            matches!(r.status, Status::Ok | Status::Timeout),
+            "unexpected terminal status: {r:?}"
+        );
+        if r.degraded {
+            assert!(r.predicate.is_some(), "degraded without fallback: {r:?}");
+        }
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    wait_for_full_pool(&handle, workers as u64);
+    let health = handle.health();
+    sia_fault::clear();
+    handle.shutdown().expect("clean shutdown persists cache");
+
+    #[allow(clippy::cast_precision_loss)]
+    let throughput = answered as f64 / elapsed.as_secs_f64();
+    println!(
+        "chaos run: {throughput:.1} req/s | {ok} ok / {degraded} degraded / {timeouts} timeout \
+         | {} retried / {} shed | {} worker restarts, {} caught panics",
+        outcome.retried,
+        outcome.shed,
+        health.restarts,
+        counter(Counter::ServePanics)
+    );
+    assert!(
+        health.restarts >= 3,
+        "expected the injected worker deaths to be supervised: {health:?}"
+    );
+
+    // ---- Phase 2: torn-snapshot crash recovery.
+    let torn = tear_snapshot_tail(&cache_path);
+    let handle = server::start(ServeConfig {
+        workers,
+        cache_capacity: 1024,
+        queue_depth: 32,
+        cache_file: Some(cache_path.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("server restarts on torn snapshot");
+    let addr = handle.addr().to_string();
+    let warm = client::run_batch(&addr, &requests, workers * 2).expect("warm batch");
+    let warm_hits = warm.iter().filter(|r| r.cached).count();
+    let stats = handle.cache().stats();
+    handle.shutdown().expect("clean shutdown");
+
+    let recovered = counter(Counter::CacheRecovered);
+    let dropped = counter(Counter::CacheDroppedRecords);
+    println!(
+        "recovery: {recovered} records recovered, {dropped} dropped (torn tail) | \
+         warm hit rate {:.1}% ({warm_hits} cached answers)",
+        100.0 * stats.hit_rate()
+    );
+    assert!(
+        recovered > 0,
+        "nothing recovered from the torn snapshot (recovered {recovered})"
+    );
+    if torn {
+        assert!(
+            dropped >= 1,
+            "the torn tail record should have been dropped by the CRC scan"
+        );
+    }
+    assert!(
+        warm_hits > 0 && stats.hit_rate() > 0.0,
+        "recovered cache produced no hits: {stats:?}"
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"fault\",\"total\":{answered},\"ok\":{ok},\"degraded\":{degraded},\
+         \"timeouts\":{timeouts},\"retried\":{},\"shed\":{},\"throughput_rps\":{},\
+         \"restarts\":{},\"panics_caught\":{},\"faults_injected\":{},\
+         \"cache_recovered\":{recovered},\"cache_dropped\":{dropped},\"warm_hits\":{warm_hits},\
+         \"warm_hit_rate\":{},\"metrics\":{}}}\n",
+        outcome.retried,
+        outcome.shed,
+        sia_obs::json_number(throughput),
+        counter(Counter::ServeRestarts),
+        counter(Counter::ServePanics),
+        counter(Counter::FaultInjected),
+        sia_obs::json_number(stats.hit_rate()),
+        sia_obs::snapshot().to_json()
+    );
+    match std::fs::write("BENCH_fault.json", &json) {
+        Ok(()) => eprintln!("results written to BENCH_fault.json"),
+        Err(e) => eprintln!("warning: cannot write BENCH_fault.json: {e}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    println!("fault experiment passed: 0 lost requests, pool healed, cache recovered");
+}

@@ -12,8 +12,10 @@
 //! - [`PredicateCache`] is a sharded in-memory LRU keyed on
 //!   `(canonical predicate, target column set)`, with hit/miss/eviction
 //!   statistics mirrored into `sia-obs` (`cache.*` counters).
-//! - Entries persist to a JSONL file (one entry per line, rendered
-//!   predicates re-parsed on load) so a server restart starts warm.
+//! - Entries persist to a checksummed snapshot file (one CRC32-guarded
+//!   record per line, rendered predicates re-parsed on load) written via
+//!   write-to-temp + fsync + atomic rename, so a server restart starts
+//!   warm and a crash mid-save can never poison the next startup.
 //!
 //! No dependencies beyond the workspace's own crates; no unsafe code.
 
@@ -22,10 +24,12 @@ mod lru;
 mod persist;
 
 pub use canon::{canonicalize, Canonical};
+pub use persist::{crc32, LoadReport};
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -184,8 +188,20 @@ impl PredicateCache {
         }
     }
 
-    /// Persist all entries to `path` as JSONL. Returns the entry count.
+    /// Persist all entries to `path`, crash-safely. Returns the entry
+    /// count.
+    ///
+    /// The snapshot is written to a temporary file in the same directory,
+    /// fsynced, and atomically renamed over `path`; the directory is then
+    /// fsynced so the rename itself is durable. A crash (even `kill -9`)
+    /// at any point leaves either the old snapshot or the new one — never
+    /// a half-written file. Each record additionally carries a CRC32, so
+    /// damage from crashes of *non-atomic* writers (or bit rot) is
+    /// detected and contained at load time.
     pub fn save_file(&self, path: &str) -> std::io::Result<usize> {
+        if let Some(msg) = sia_fault::fire("cache.save") {
+            return Err(std::io::Error::other(msg));
+        }
         let mut entries = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard poisoned");
@@ -196,24 +212,47 @@ impl PredicateCache {
                     .collect::<Vec<_>>(),
             );
         }
-        let mut w = BufWriter::new(std::fs::File::create(path)?);
-        persist::save(&mut w, entries.iter().map(|(k, v)| (k.as_str(), v)))
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        let n = {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            let n = persist::save(&mut w, entries.iter().map(|(k, v)| (k.as_str(), v)))?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+            n
+        };
+        if let Some(msg) = sia_fault::fire("cache.rename") {
+            // The injected crash window: the snapshot exists only under
+            // its temporary name; `path` still holds the previous state.
+            std::fs::remove_file(&tmp).ok();
+            return Err(std::io::Error::other(msg));
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(n)
     }
 
-    /// Load entries from a JSONL file written by [`Self::save_file`],
-    /// inserting them subject to the LRU capacity. Returns the number of
-    /// entries loaded. Malformed lines are skipped.
-    pub fn load_file(&self, path: &str) -> std::io::Result<usize> {
-        if !self.is_enabled() {
-            return Ok(0);
+    /// Load entries from a snapshot written by [`Self::save_file`],
+    /// inserting them subject to the LRU capacity. Records that fail
+    /// their CRC check or do not parse (the damaged tail a crashed writer
+    /// leaves behind) are dropped rather than failing the load; the
+    /// report says how many, mirrored into the `cache.recovered` /
+    /// `cache.dropped_records` metrics.
+    pub fn load_file(&self, path: &str) -> std::io::Result<LoadReport> {
+        if let Some(msg) = sia_fault::fire("cache.load") {
+            return Err(std::io::Error::other(msg));
         }
-        let entries = persist::load(BufReader::new(std::fs::File::open(path)?))?;
-        let n = entries.len();
+        if !self.is_enabled() {
+            return Ok(LoadReport::default());
+        }
+        let (entries, report) = persist::load(BufReader::new(std::fs::File::open(path)?))?;
         for (key, value) in entries {
             let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
             shard.insert(key, value);
         }
-        Ok(n)
+        sia_obs::add(Counter::CacheRecovered, report.recovered as u64);
+        sia_obs::add(Counter::CacheDroppedRecords, report.dropped as u64);
+        Ok(report)
     }
 
     fn key(&self, canon: &Canonical, cols: &[String]) -> String {
@@ -240,6 +279,20 @@ impl PredicateCache {
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         sia_obs::add(Counter::CacheMisses, 1);
+    }
+}
+
+/// Fsync the directory containing `path` so a just-completed rename is
+/// durable. Best-effort: some filesystems refuse to sync directories, and
+/// a failed directory sync only widens the crash window — it never
+/// corrupts the snapshot.
+fn sync_parent_dir(path: &str) {
+    let parent = Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty());
+    let dir = parent.unwrap_or_else(|| Path::new("."));
+    if let Ok(f) = std::fs::File::open(dir) {
+        f.sync_all().ok();
     }
 }
 
@@ -330,8 +383,16 @@ mod tests {
         assert!(cache.stats().evictions > 0);
     }
 
+    /// Failpoints are process-global, so every test that runs `save_file`
+    /// (and could therefore observe another test's injected fault)
+    /// serializes on this lock.
+    static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn save_and_load_round_trip() {
+        let _g = FAULT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = std::env::temp_dir().join("sia-cache-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cache.jsonl");
@@ -349,9 +410,92 @@ mod tests {
         assert_eq!(cache.save_file(path).unwrap(), 1);
 
         let warm = PredicateCache::new(16);
-        assert_eq!(warm.load_file(path).unwrap(), 1);
+        assert_eq!(
+            warm.load_file(path).unwrap(),
+            LoadReport {
+                recovered: 1,
+                dropped: 0
+            }
+        );
         let hit = warm.lookup(&canon, &strs(&["x"])).unwrap();
         assert_eq!(hit.predicate, parse_predicate("x < 10").unwrap());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_is_atomic_under_injected_crash() {
+        let _g = FAULT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("sia-cache-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+        let path = path.to_str().unwrap();
+
+        let cache = PredicateCache::new(16);
+        let p = parse_predicate("x < 10").unwrap();
+        let canon = canonicalize(&p);
+        cache.insert(&canon, &strs(&["x"]), &p, true);
+        assert_eq!(cache.save_file(path).unwrap(), 1);
+
+        // Inject a crash in the window between fsync and rename: the old
+        // snapshot must survive untouched and no temp file may linger.
+        let before = std::fs::read_to_string(path).unwrap();
+        let q = parse_predicate("x < 99").unwrap();
+        cache.insert(&canonicalize(&q), &strs(&["x"]), &q, true);
+        sia_fault::configure("cache.rename", "1*error").unwrap();
+        let err = cache.save_file(path).unwrap_err();
+        sia_fault::remove("cache.rename");
+        assert!(err.to_string().contains("failpoint"), "{err}");
+        assert_eq!(std::fs::read_to_string(path).unwrap(), before);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+
+        // Without the failpoint the new snapshot lands atomically.
+        assert_eq!(cache.save_file(path).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_snapshot_recovers_all_but_the_damaged_tail() {
+        let _g = FAULT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("sia-cache-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+        let path = path.to_str().unwrap();
+
+        let cache = PredicateCache::new(16);
+        for i in 0..5 {
+            let p = parse_predicate(&format!("x < {i}")).unwrap();
+            cache.insert(&canonicalize(&p), &strs(&["x"]), &p, true);
+        }
+        assert_eq!(cache.save_file(path).unwrap(), 5);
+
+        // Simulate a crash mid-append by a non-atomic writer: cut the
+        // file in the middle of its final record.
+        let text = std::fs::read_to_string(path).unwrap();
+        let cut = text.trim_end().len() - 10;
+        std::fs::write(path, &text[..cut]).unwrap();
+
+        let warm = PredicateCache::new(16);
+        let report = warm.load_file(path).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                recovered: 4,
+                dropped: 1
+            }
+        );
+        assert_eq!(warm.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

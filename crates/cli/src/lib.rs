@@ -23,9 +23,9 @@ usage:
   sia baseline <predicate> --cols <c1,c2,…>
   sia serve   [--addr HOST:PORT] [--workers N] [--cache-capacity N]
               [--queue-depth N] [--timeout-ms N] [--cache-file FILE]
-              [--metrics]
+              [--snapshot-ms N] [--metrics]
   sia batch   <requests.jsonl> [--addr HOST:PORT] [--concurrency N]
-              [--timeout-ms N]
+              [--timeout-ms N] [--retries N]
 
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
 dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
@@ -34,6 +34,10 @@ dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
 serve speaks line-delimited JSON over TCP (one request object per line,
 see `sia batch` input: {\"id\":…,\"predicate\":…,\"cols\":\"a,b\",\"timeout_ms\":…});
 batch sends a file of such requests and prints one response per line.
+--snapshot-ms makes serve write periodic crash-safe cache snapshots;
+--retries makes batch retry overloaded/failed requests with jittered
+backoff, shedding client-side (degraded fallback) when retries run out.
+fault injection: set SIA_FAILPOINTS=site=policy;… (see sia-fault docs).
 
 exit codes: 0 success; 1 error; 2 synthesis timeout (synth) or
 failed/timed-out requests in the batch (batch).";
@@ -135,6 +139,8 @@ pub enum Command {
         timeout_ms: Option<u64>,
         /// Cache persistence file (loaded at startup, saved on shutdown).
         cache_file: Option<String>,
+        /// Periodic crash-safe cache snapshot interval, in milliseconds.
+        snapshot_ms: Option<u64>,
         /// Print the metrics summary when the server stops.
         metrics: bool,
     },
@@ -148,6 +154,8 @@ pub enum Command {
         concurrency: usize,
         /// Deadline applied to requests that carry none.
         timeout_ms: Option<u64>,
+        /// Retries per request for overloaded/failed sends (0 = off).
+        retries: u32,
     },
 }
 
@@ -178,7 +186,9 @@ impl Command {
         let mut cache_capacity = 1024usize;
         let mut queue_depth = 64usize;
         let mut cache_file = None;
+        let mut snapshot_ms = None;
         let mut concurrency = 4usize;
+        let mut retries = 0u32;
         let mut i = 0;
         while i < rest.len() {
             match rest[i].as_str() {
@@ -227,9 +237,17 @@ impl Command {
                     i += 1;
                     cache_file = Some(rest.get(i).ok_or("--cache-file needs a value")?.clone());
                 }
+                "--snapshot-ms" => {
+                    i += 1;
+                    snapshot_ms = Some(parse_num(rest.get(i), "--snapshot-ms")?);
+                }
                 "--concurrency" => {
                     i += 1;
                     concurrency = parse_num(rest.get(i), "--concurrency")?;
+                }
+                "--retries" => {
+                    i += 1;
+                    retries = parse_num(rest.get(i), "--retries")?;
                 }
                 "--v1" => variant = "v1".to_string(),
                 "--v2" => variant = "v2".to_string(),
@@ -297,6 +315,7 @@ impl Command {
                 queue_depth,
                 timeout_ms,
                 cache_file,
+                snapshot_ms,
                 metrics,
             }),
             "batch" => Ok(Command::Batch {
@@ -304,6 +323,7 @@ impl Command {
                 addr: addr.unwrap_or_else(|| "127.0.0.1:7171".to_string()),
                 concurrency,
                 timeout_ms,
+                retries,
             }),
             other => Err(format!("unknown subcommand {other:?}")),
         }
@@ -463,6 +483,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             queue_depth,
             timeout_ms,
             cache_file,
+            snapshot_ms,
             metrics,
         } => {
             if metrics {
@@ -476,6 +497,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 queue_depth,
                 default_timeout_ms: timeout_ms,
                 cache_file,
+                snapshot_interval: snapshot_ms.map(Duration::from_millis),
             })
             .map_err(|e| format!("cannot start server: {e}"))?;
             // Announce readiness immediately; `run` only returns output
@@ -507,6 +529,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             addr,
             concurrency,
             timeout_ms,
+            retries,
         } => {
             let text =
                 std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -525,24 +548,36 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         }
                         requests.push(r);
                     }
-                    protocol::RequestLine::Shutdown => {
+                    protocol::RequestLine::Shutdown | protocol::RequestLine::Health => {
                         return Err(format!(
-                            "{file}:{}: shutdown requests are not allowed in a batch",
+                            "{file}:{}: control requests are not allowed in a batch",
                             lineno + 1
                         )
                         .into())
                     }
                 }
             }
-            let responses = client::run_batch(&addr, &requests, concurrency)
-                .map_err(|e| format!("batch against {addr} failed: {e}"))?;
+            let (responses, retried, shed) = if retries > 0 {
+                let policy = sia_serve::RetryPolicy {
+                    attempts: retries.saturating_add(1),
+                    ..sia_serve::RetryPolicy::default()
+                };
+                let outcome = client::run_batch_retry(&addr, &requests, concurrency, &policy);
+                (outcome.responses, outcome.retried, outcome.shed)
+            } else {
+                let responses = client::run_batch(&addr, &requests, concurrency)
+                    .map_err(|e| format!("batch against {addr} failed: {e}"))?;
+                (responses, 0, 0)
+            };
             let mut out = String::new();
             let mut ok = 0usize;
             let mut timeouts = 0usize;
             let mut failed = 0usize;
+            let mut degraded = 0usize;
             for r in &responses {
                 out.push_str(&r.to_line());
                 out.push('\n');
+                degraded += usize::from(r.degraded);
                 match r.status {
                     sia_serve::Status::Ok => ok += 1,
                     sia_serve::Status::Timeout => timeouts += 1,
@@ -553,6 +588,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 "batch: {ok} ok / {timeouts} timeout / {failed} failed of {} requests",
                 responses.len()
             ));
+            if degraded + retried + shed > 0 {
+                out.push_str(&format!(
+                    " ({degraded} degraded, {retried} retried, {shed} shed)"
+                ));
+            }
             if timeouts + failed > 0 {
                 // Responses still belong on stdout; only the verdict goes to
                 // stderr via the error path.

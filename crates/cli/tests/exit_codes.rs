@@ -54,6 +54,27 @@ fn synth_timeout_exits_two() {
     assert!(stderr.contains("timeout"), "{stderr}");
 }
 
+#[test]
+fn synth_timeout_exits_two_even_with_injected_solver_stalls() {
+    // Stall every simplex pivot checkpoint by 20 ms via a failpoint: the
+    // 10 ms deadline must still be honored (the budget is polled right
+    // after the stall), mapping to exit code 2 without hanging.
+    let t0 = std::time::Instant::now();
+    let out = Command::new(SIA)
+        .args(["synth", HARD, "--cols", "a1", "--timeout-ms", "10"])
+        .env("SIA_FAILPOINTS", "smt.simplex.pivot=delay(20)")
+        .output()
+        .expect("sia binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("timeout"), "{stderr}");
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(10),
+        "stalled synth took {:?}",
+        t0.elapsed()
+    );
+}
+
 /// Start `sia serve` on an ephemeral port; return the child, its address,
 /// and the stdout reader (which must stay open until the child exits, or
 /// the server's final summary hits a broken pipe).

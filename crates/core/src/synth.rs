@@ -143,6 +143,10 @@ pub enum SynthesisError {
     /// The run's [`Budget`] (deadline or cancellation) was exhausted
     /// before synthesis completed.
     Timeout,
+    /// An internal failure that says nothing about the request itself
+    /// (today: an injected `synth.run` fault). Callers may treat it as
+    /// recoverable and fall back to the original predicate.
+    Internal(String),
 }
 
 impl std::fmt::Display for SynthesisError {
@@ -154,6 +158,7 @@ impl std::fmt::Display for SynthesisError {
             }
             SynthesisError::NoColumns => write!(f, "no target columns given"),
             SynthesisError::Timeout => write!(f, "synthesis budget exhausted (timeout)"),
+            SynthesisError::Internal(msg) => write!(f, "internal synthesis failure: {msg}"),
         }
     }
 }
@@ -207,6 +212,12 @@ impl Synthesizer {
             if !p_cols.contains(c) {
                 return Err(SynthesisError::ColumnNotInPredicate(c.clone()));
             }
+        }
+        // Chaos hook: an injected error/panic/stall at the very top of a
+        // run, after request validation (so injected faults model
+        // synthesis failures, not malformed requests).
+        if let Some(msg) = sia_fault::fire("synth.run") {
+            return Err(SynthesisError::Internal(msg));
         }
         let mut stats = SynthStats::default();
         // Thread the deadline/cancel token into the solver so its CDCL

@@ -59,6 +59,13 @@ pub enum Counter {
     /// Requests rejected by admission control — queue full
     /// (`serve.rejected`).
     ServeRejected,
+    /// Requests answered with a degraded fallback result — the original
+    /// predicate instead of a synthesized one (`serve.degraded`).
+    ServeDegraded,
+    /// Worker panics caught while processing a request (`serve.panics`).
+    ServePanics,
+    /// Dead workers respawned by the supervisor (`serve.restarts`).
+    ServeRestarts,
     /// Predicate-cache lookups answered from the cache (`cache.hits`).
     CacheHits,
     /// Predicate-cache lookups that missed (`cache.misses`).
@@ -68,11 +75,26 @@ pub enum Counter {
     /// Entries evicted from the predicate cache by the LRU policy
     /// (`cache.evictions`).
     CacheEvictions,
+    /// Entries recovered from a persisted cache snapshot at load time
+    /// (`cache.recovered`).
+    CacheRecovered,
+    /// Persisted records dropped at load time — CRC mismatch, truncated
+    /// tail, or unparseable content (`cache.dropped_records`).
+    CacheDroppedRecords,
+    /// Faults injected by `sia-fault`, all sites and actions
+    /// (`fault.injected`).
+    FaultInjected,
+    /// Injected faults whose action was `error` (`fault.errors`).
+    FaultErrors,
+    /// Injected faults whose action was `panic` (`fault.panics`).
+    FaultPanics,
+    /// Injected faults whose action was `delay` (`fault.delays`).
+    FaultDelays,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 36] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -96,10 +118,19 @@ impl Counter {
         Counter::ServeTimeouts,
         Counter::ServeErrors,
         Counter::ServeRejected,
+        Counter::ServeDegraded,
+        Counter::ServePanics,
+        Counter::ServeRestarts,
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheInserts,
         Counter::CacheEvictions,
+        Counter::CacheRecovered,
+        Counter::CacheDroppedRecords,
+        Counter::FaultInjected,
+        Counter::FaultErrors,
+        Counter::FaultPanics,
+        Counter::FaultDelays,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -128,10 +159,19 @@ impl Counter {
             Counter::ServeTimeouts => "serve.timeouts",
             Counter::ServeErrors => "serve.errors",
             Counter::ServeRejected => "serve.rejected",
+            Counter::ServeDegraded => "serve.degraded",
+            Counter::ServePanics => "serve.panics",
+            Counter::ServeRestarts => "serve.restarts",
             Counter::CacheHits => "cache.hits",
             Counter::CacheMisses => "cache.misses",
             Counter::CacheInserts => "cache.inserts",
             Counter::CacheEvictions => "cache.evictions",
+            Counter::CacheRecovered => "cache.recovered",
+            Counter::CacheDroppedRecords => "cache.dropped_records",
+            Counter::FaultInjected => "fault.injected",
+            Counter::FaultErrors => "fault.errors",
+            Counter::FaultPanics => "fault.panics",
+            Counter::FaultDelays => "fault.delays",
         }
     }
 

@@ -1,10 +1,21 @@
 //! A small blocking client: one-shot requests, concurrent batches, and
 //! remote shutdown. Used by `sia batch` and the integration tests.
+//!
+//! [`run_batch`] is the one-shot primitive: send everything once, report
+//! any lane failure as an error. [`run_batch_retry`] layers fault
+//! tolerance on top: failed lanes and `overloaded` rejections are
+//! retried with jittered exponential backoff, and whatever still has no
+//! answer after the last attempt is shed client-side — answered with a
+//! degraded fallback carrying the original predicate — so the caller
+//! always gets exactly one response per request.
 
+use std::collections::HashMap;
+use std::io;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-use crate::protocol::{render_request, render_shutdown, Request, Response};
+use crate::protocol::{render_health, render_request, render_shutdown, Request, Response, Status};
 
 /// Send `requests` over `concurrency` connections and collect every
 /// response. Responses are returned in arrival order, not request order;
@@ -12,8 +23,10 @@ use crate::protocol::{render_request, render_shutdown, Request, Response};
 ///
 /// # Errors
 ///
-/// Fails on connect/write errors or when the server closes a connection
-/// before answering everything it was sent.
+/// Fails on connect/write errors, when the server closes a connection
+/// before answering everything it was sent, or when a lane thread
+/// panics (reported as an error, without discarding the batch
+/// machinery: other lanes still run to completion).
 pub fn run_batch(
     addr: &str,
     requests: &[Request],
@@ -34,7 +47,10 @@ pub fn run_batch(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("batch lane panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(io::Error::other("batch lane panicked")))
+            })
             .collect::<Vec<_>>()
     });
     let mut all = Vec::with_capacity(requests.len());
@@ -42,6 +58,184 @@ pub fn run_batch(
         all.extend(lane?);
     }
     Ok(all)
+}
+
+/// Client-side retry policy for [`run_batch_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). At least 1.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_delay: Duration,
+    /// Upper bound on the backoff delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x51A_C11E47,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before attempt `attempt` (1-based over
+    /// retries): exponential in the attempt number, scaled by a
+    /// deterministic jitter in `[0.5, 1.0)` so retrying clients
+    /// desynchronize instead of stampeding together.
+    fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1 << attempt.saturating_sub(1).min(16))
+            .min(self.max_delay);
+        let jitter = splitmix64(self.seed ^ u64::from(attempt));
+        #[allow(clippy::cast_precision_loss)]
+        let scale = 0.5 + (jitter >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(scale)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Outcome of a [`run_batch_retry`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// One response per request, in request order.
+    pub responses: Vec<Response>,
+    /// Requests that were re-sent at least once.
+    pub retried: usize,
+    /// Requests shed client-side after every attempt failed (their
+    /// responses carry `degraded` with reason `shed`).
+    pub shed: usize,
+}
+
+/// Send `requests`, retrying `overloaded` rejections and failed lanes
+/// with jittered exponential backoff. Requests still unanswered after
+/// the last attempt are shed client-side: they get a degraded fallback
+/// response (the original predicate, reason `shed`), so every request
+/// has exactly one response and nothing is silently dropped.
+///
+/// Request ids should be unique within the batch; responses are matched
+/// back to requests by id.
+pub fn run_batch_retry(
+    addr: &str,
+    requests: &[Request],
+    concurrency: usize,
+    policy: &RetryPolicy,
+) -> BatchOutcome {
+    let mut out: Vec<Option<Response>> = vec![None; requests.len()];
+    let mut pending: Vec<usize> = (0..requests.len()).collect();
+    let mut ever_retried: Vec<bool> = vec![false; requests.len()];
+    for attempt in 0..policy.attempts.max(1) {
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 0 {
+            for &i in &pending {
+                ever_retried[i] = true;
+            }
+            std::thread::sleep(policy.delay(attempt));
+        }
+        pending = send_pending(addr, requests, &pending, concurrency, &mut out);
+    }
+
+    let mut shed = 0;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let exhausted = match slot {
+            None => true,
+            Some(r) => r.status == Status::Overloaded,
+        };
+        if exhausted {
+            shed += 1;
+            *slot = Some(Response {
+                predicate: Some(requests[i].predicate.clone()),
+                degraded: true,
+                reason: Some("shed".into()),
+                ..Response::plain(&requests[i].id, Status::Ok)
+            });
+        }
+    }
+    BatchOutcome {
+        responses: out.into_iter().map(|r| r.expect("slot filled")).collect(),
+        retried: ever_retried.iter().filter(|&&b| b).count(),
+        shed,
+    }
+}
+
+/// One attempt over the pending subset. Fills `out` for answered
+/// requests and returns the indices that still need another attempt:
+/// lane failures (no response at all) and `overloaded` rejections.
+fn send_pending(
+    addr: &str,
+    requests: &[Request],
+    pending: &[usize],
+    concurrency: usize,
+    out: &mut [Option<Response>],
+) -> Vec<usize> {
+    let lanes = concurrency.clamp(1, pending.len());
+    let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+    for (k, &i) in pending.iter().enumerate() {
+        chunks[k % lanes].push(i);
+    }
+    let lane_results: Vec<(Vec<usize>, io::Result<Vec<Response>>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let reqs: Vec<&Request> = chunk.iter().map(|&i| &requests[i]).collect();
+                    let result = send_on_connection(addr, &reqs);
+                    (chunk, result)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| (Vec::new(), Err(io::Error::other("lane panicked"))))
+            })
+            .collect()
+    });
+
+    let mut still_pending = Vec::new();
+    for (chunk, result) in lane_results {
+        match result {
+            Ok(responses) => {
+                // Responses arrive out of order; claim chunk slots by id.
+                let mut by_id: HashMap<&str, Vec<usize>> = HashMap::new();
+                for &i in chunk.iter().rev() {
+                    by_id.entry(&requests[i].id).or_default().push(i);
+                }
+                for resp in responses {
+                    let Some(i) = by_id.get_mut(resp.id.as_str()).and_then(Vec::pop) else {
+                        continue; // response to nothing we sent; drop it
+                    };
+                    if resp.status == Status::Overloaded {
+                        still_pending.push(i);
+                    } else {
+                        out[i] = Some(resp);
+                    }
+                }
+                // Chunk entries with no matching response (server closed
+                // early) go back in the pool.
+                still_pending.extend(by_id.into_values().flatten());
+            }
+            Err(_) => still_pending.extend(chunk),
+        }
+    }
+    still_pending.sort_unstable();
+    still_pending
 }
 
 /// Send one request and wait for its response.
@@ -54,19 +248,32 @@ pub fn request_one(addr: &str, request: &Request) -> std::io::Result<Response> {
     Ok(responses.remove(0))
 }
 
+/// Ask the server for its worker-pool health.
+///
+/// # Errors
+///
+/// Fails on connect/write errors or a malformed response.
+pub fn health(addr: &str) -> std::io::Result<Response> {
+    send_control(addr, &render_health())
+}
+
 /// Ask the server to drain and stop; returns its `bye` response.
 ///
 /// # Errors
 ///
 /// Fails on connect/write errors or a malformed response.
 pub fn shutdown(addr: &str) -> std::io::Result<Response> {
+    send_control(addr, &render_shutdown())
+}
+
+fn send_control(addr: &str, line: &str) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
-    writeln!(stream, "{}", render_shutdown())?;
+    writeln!(stream, "{line}")?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    Response::parse(line.trim()).map_err(std::io::Error::other)
+    let mut answer = String::new();
+    reader.read_line(&mut answer)?;
+    Response::parse(answer.trim()).map_err(std::io::Error::other)
 }
 
 fn send_on_connection(addr: &str, requests: &[&Request]) -> std::io::Result<Vec<Response>> {

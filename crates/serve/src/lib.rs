@@ -1,4 +1,4 @@
-//! `sia-serve`: a concurrent predicate-synthesis service.
+//! `sia-serve`: a concurrent, supervised predicate-synthesis service.
 //!
 //! Synthesis requests arrive as line-delimited JSON over TCP, pass
 //! through admission control into a bounded queue, and are executed by a
@@ -7,19 +7,31 @@
 //! *shapes* (the common case in query workloads) are answered in
 //! microseconds instead of re-running CEGIS.
 //!
-//! - [`protocol`] — the wire format (requests, responses, statuses).
+//! The service is built to degrade, not drop: requests run under a
+//! panic guard and answer with a fallback (the original predicate,
+//! marked `degraded`) when synthesis dies; a supervisor respawns dead
+//! workers with backoff and a restart-storm breaker; cache snapshots are
+//! written crash-safely (temp file + fsync + atomic rename, CRC-checked
+//! records); and the client retries `overloaded` rejections with
+//! jittered backoff before shedding client-side.
+//!
+//! - [`protocol`] — the wire format (requests, responses, statuses,
+//!   health).
 //! - [`server`] — [`server::start`], [`server::ServeConfig`], and the
 //!   worker-pool [`server::ServerHandle`].
 //! - [`client`] — blocking helpers: [`client::run_batch`],
-//!   [`client::request_one`], [`client::shutdown`].
+//!   [`client::run_batch_retry`], [`client::request_one`],
+//!   [`client::health`], [`client::shutdown`].
 //!
 //! Built entirely on `std` (threads, `mpsc`, `TcpListener`); cooperative
 //! cancellation comes from `sia_smt::Budget`, which the solver's inner
-//! loops poll.
+//! loops poll, and fault injection comes from `sia_fault` failpoints
+//! (`serve.worker.request`, `serve.worker.die`).
 
 pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{Request, Response, Status};
+pub use client::{BatchOutcome, RetryPolicy};
+pub use protocol::{HealthInfo, Request, Response, Status};
 pub use server::{start, ServeConfig, ServerHandle};

@@ -8,6 +8,8 @@
 //! ```text
 //! → {"id":"q1","predicate":"x < 10 AND y > 2","cols":"x","timeout_ms":500}
 //! ← {"id":"q1","status":"ok","predicate":"x < 10","optimal":1,"cached":0,"micros":814}
+//! → {"op":"health"}
+//! ← {"id":"","status":"ok","optimal":0,"cached":0,"micros":0,"workers":2,"target":2,"restarts":0,"queue":0,"breaker_open":0}
 //! → {"op":"shutdown"}
 //! ← {"id":"","status":"bye","optimal":0,"cached":0,"micros":0}
 //! ```
@@ -15,6 +17,13 @@
 //! `cols` is a comma-separated list. A response with status `ok` and no
 //! `predicate` field means only the trivial predicate TRUE is valid (the
 //! paper's NULL result).
+//!
+//! **Graceful degradation**: when a recoverable failure interrupts
+//! synthesis (a worker panic, a deadline, load shedding), the response
+//! carries `degraded:1`, a `reason` (`panic` / `timeout` / `internal` /
+//! `shed`), and echoes the *original* predicate — the always-valid,
+//! never-optimal fallback. Clients treat it exactly like "no useful
+//! reduction found": keep the original query plan.
 
 use sia_obs::{json_string, parse_object, JsonValue};
 
@@ -36,6 +45,9 @@ pub struct Request {
 pub enum RequestLine {
     /// A synthesis request.
     Synth(Request),
+    /// Ask the server for its worker-pool health (answered immediately by
+    /// the connection's reader thread, bypassing the queue).
+    Health,
     /// Ask the server to drain and stop.
     Shutdown,
 }
@@ -43,7 +55,8 @@ pub enum RequestLine {
 /// Response status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
-    /// Synthesis completed (possibly with the trivial result).
+    /// Synthesis completed (possibly with the trivial result, possibly
+    /// degraded — see [`Response::degraded`]).
     Ok,
     /// The request's deadline expired before synthesis finished.
     Timeout,
@@ -80,15 +93,32 @@ impl Status {
     }
 }
 
+/// Worker-pool health, attached to the answer of a `health` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Worker threads currently alive.
+    pub workers: u64,
+    /// Configured pool size (the supervisor restores `workers` to this).
+    pub target: u64,
+    /// Workers respawned by the supervisor since startup.
+    pub restarts: u64,
+    /// Requests currently queued.
+    pub queue: u64,
+    /// Whether the restart-storm circuit breaker is open (respawns
+    /// paused).
+    pub breaker_open: bool,
+}
+
 /// A response line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
-    /// The request id this answers (empty for `bye`).
+    /// The request id this answers (empty for `bye`/`health`).
     pub id: String,
     /// Outcome.
     pub status: Status,
     /// The synthesized predicate; `None` with status `ok` means the
-    /// trivial predicate TRUE.
+    /// trivial predicate TRUE. On a degraded response this echoes the
+    /// original predicate (the fallback).
     pub predicate: Option<String>,
     /// Whether the predicate was certified optimal.
     pub optimal: bool,
@@ -98,6 +128,14 @@ pub struct Response {
     pub micros: u64,
     /// Error detail when status is `error`.
     pub error: Option<String>,
+    /// True when this is a fallback result: synthesis did not complete
+    /// and the original predicate is echoed back instead.
+    pub degraded: bool,
+    /// Why the response is degraded (`panic` / `timeout` / `internal` /
+    /// `shed`).
+    pub reason: Option<String>,
+    /// Pool health, present on answers to the `health` op.
+    pub health: Option<HealthInfo>,
 }
 
 impl Response {
@@ -116,6 +154,9 @@ impl Response {
             cached: false,
             micros: 0,
             error: None,
+            degraded: false,
+            reason: None,
+            health: None,
         }
     }
 
@@ -135,6 +176,22 @@ impl Response {
             u8::from(self.cached),
             self.micros
         ));
+        if self.degraded {
+            out.push_str(",\"degraded\":1");
+        }
+        if let Some(r) = &self.reason {
+            out.push_str(&format!(",\"reason\":{}", json_string(r)));
+        }
+        if let Some(h) = &self.health {
+            out.push_str(&format!(
+                ",\"workers\":{},\"target\":{},\"restarts\":{},\"queue\":{},\"breaker_open\":{}",
+                h.workers,
+                h.target,
+                h.restarts,
+                h.queue,
+                u8::from(h.breaker_open)
+            ));
+        }
         if let Some(e) = &self.error {
             out.push_str(&format!(",\"error\":{}", json_string(e)));
         }
@@ -147,6 +204,10 @@ impl Response {
         let fields = parse_object(line)?;
         let mut resp = Response::plain("", Status::Error);
         let mut saw_status = false;
+        let mut health = HealthInfo::default();
+        let mut saw_health = false;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let as_u64 = |n: f64| n.max(0.0) as u64;
         for (name, value) in fields {
             match (name.as_str(), value) {
                 ("id", JsonValue::Str(s)) => resp.id = s,
@@ -157,15 +218,39 @@ impl Response {
                 }
                 ("predicate", JsonValue::Str(s)) => resp.predicate = Some(s),
                 ("error", JsonValue::Str(s)) => resp.error = Some(s),
+                ("reason", JsonValue::Str(s)) => resp.reason = Some(s),
                 ("optimal", JsonValue::Num(n)) => resp.optimal = n != 0.0,
                 ("cached", JsonValue::Num(n)) => resp.cached = n != 0.0,
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                ("micros", JsonValue::Num(n)) => resp.micros = n.max(0.0) as u64,
+                ("degraded", JsonValue::Num(n)) => resp.degraded = n != 0.0,
+                ("micros", JsonValue::Num(n)) => resp.micros = as_u64(n),
+                ("workers", JsonValue::Num(n)) => {
+                    health.workers = as_u64(n);
+                    saw_health = true;
+                }
+                ("target", JsonValue::Num(n)) => {
+                    health.target = as_u64(n);
+                    saw_health = true;
+                }
+                ("restarts", JsonValue::Num(n)) => {
+                    health.restarts = as_u64(n);
+                    saw_health = true;
+                }
+                ("queue", JsonValue::Num(n)) => {
+                    health.queue = as_u64(n);
+                    saw_health = true;
+                }
+                ("breaker_open", JsonValue::Num(n)) => {
+                    health.breaker_open = n != 0.0;
+                    saw_health = true;
+                }
                 _ => {}
             }
         }
         if !saw_status {
             return Err("response missing status".into());
+        }
+        if saw_health {
+            resp.health = Some(health);
         }
         Ok(resp)
     }
@@ -191,6 +276,11 @@ pub fn render_shutdown() -> String {
     "{\"op\":\"shutdown\"}".to_string()
 }
 
+/// Render the health request line.
+pub fn render_health() -> String {
+    "{\"op\":\"health\"}".to_string()
+}
+
 /// Parse one request line.
 pub fn parse_request(line: &str) -> Result<RequestLine, String> {
     let fields = parse_object(line)?;
@@ -201,6 +291,7 @@ pub fn parse_request(line: &str) -> Result<RequestLine, String> {
     for (name, value) in fields {
         match (name.as_str(), value) {
             ("op", JsonValue::Str(s)) if s == "shutdown" => return Ok(RequestLine::Shutdown),
+            ("op", JsonValue::Str(s)) if s == "health" => return Ok(RequestLine::Health),
             ("op", JsonValue::Str(s)) => return Err(format!("unknown op {s:?}")),
             ("id", JsonValue::Str(s)) => id = Some(s),
             ("predicate", JsonValue::Str(s)) => predicate = Some(s),
@@ -242,10 +333,14 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_round_trips() {
+    fn control_ops_round_trip() {
         assert_eq!(
             parse_request(&render_shutdown()).unwrap(),
             RequestLine::Shutdown
+        );
+        assert_eq!(
+            parse_request(&render_health()).unwrap(),
+            RequestLine::Health
         );
     }
 
@@ -258,7 +353,7 @@ mod tests {
             optimal: true,
             cached: false,
             micros: 814,
-            error: None,
+            ..Response::plain("q1", Status::Ok)
         };
         assert_eq!(Response::parse(&r.to_line()).unwrap(), r);
         let e = Response {
@@ -266,6 +361,40 @@ mod tests {
             ..Response::plain("q2", Status::Error)
         };
         assert_eq!(Response::parse(&e.to_line()).unwrap(), e);
+    }
+
+    #[test]
+    fn degraded_response_round_trips() {
+        let r = Response {
+            predicate: Some("x < 10 AND y > 2".into()),
+            degraded: true,
+            reason: Some("panic".into()),
+            ..Response::plain("q3", Status::Ok)
+        };
+        let line = r.to_line();
+        assert!(line.contains("\"degraded\":1"), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), r);
+        // Degradation is opt-in on the wire: plain responses omit it.
+        assert!(!Response::plain("q", Status::Ok)
+            .to_line()
+            .contains("degraded"));
+    }
+
+    #[test]
+    fn health_response_round_trips() {
+        let r = Response {
+            health: Some(HealthInfo {
+                workers: 3,
+                target: 4,
+                restarts: 7,
+                queue: 2,
+                breaker_open: true,
+            }),
+            ..Response::plain("", Status::Ok)
+        };
+        let back = Response::parse(&r.to_line()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.health.unwrap().restarts, 7);
     }
 
     #[test]

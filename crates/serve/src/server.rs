@@ -1,4 +1,5 @@
-//! The synthesis server: accept loop, bounded job queue, worker pool.
+//! The synthesis server: accept loop, bounded job queue, supervised
+//! worker pool.
 //!
 //! Threading model (std only — threads and channels, no async runtime):
 //!
@@ -7,12 +8,24 @@
 //! - **Reader threads** parse request lines and `try_send` jobs into a
 //!   bounded [`mpsc::sync_channel`]. A full queue is the admission
 //!   control: the reader answers `overloaded` immediately instead of
-//!   letting latency grow without bound.
+//!   letting latency grow without bound. `health` requests are answered
+//!   inline by the reader, bypassing the queue, so health stays
+//!   observable even when the pool is saturated.
 //! - **Worker threads** share the receiver behind a mutex, drain the
 //!   queue, and run synthesis with a per-request [`Budget`] deadline.
 //!   The budget is polled inside the SMT solver's CDCL and simplex
 //!   loops, so a 10 ms deadline on a hard instance returns `timeout`
-//!   without wedging the worker.
+//!   without wedging the worker. Each request runs under
+//!   [`std::panic::catch_unwind`]: a panic answers the request with a
+//!   degraded fallback (the original predicate) instead of killing the
+//!   connection.
+//! - A **supervisor thread** owns the worker join handles. When a worker
+//!   dies anyway (a panic outside the unwind guard, e.g. the
+//!   `serve.worker.die` failpoint), the supervisor respawns it with
+//!   per-slot exponential backoff; a restart storm (too many respawns in
+//!   a short window) opens a circuit breaker that pauses respawning
+//!   until the window drains. The supervisor also writes periodic
+//!   crash-safe cache snapshots when configured.
 //! - Responses are written through a per-connection `Mutex<TcpStream>`,
 //!   so workers and the reader (which writes `overloaded` rejections)
 //!   never interleave partial lines.
@@ -21,11 +34,15 @@
 //! flag and wakes the accept thread with a loopback connection; readers
 //! notice the flag within one read timeout, drop their queue senders,
 //! and the workers exit once the queue drains — already-queued requests
-//! are still answered.
+//! are still answered. The supervisor joins the drained workers and the
+//! final cache save goes through the same atomic temp-file + rename
+//! path as the snapshots.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -38,11 +55,30 @@ use sia_obs::{Counter, Hist};
 use sia_smt::Budget;
 use sia_sql::parse_predicate;
 
-use crate::protocol::{parse_request, Request, RequestLine, Response, Status};
+use crate::protocol::{parse_request, HealthInfo, Request, RequestLine, Response, Status};
 
 /// How long reader threads block on a socket before re-checking the
 /// shutdown flag. Bounds the drain time of an idle connection.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Supervisor poll interval for dead-worker detection and snapshots.
+const SUPERVISE_POLL: Duration = Duration::from_millis(10);
+
+/// First respawn delay after a worker death; doubles per consecutive
+/// death of the same slot, capped at [`BACKOFF_CAP`].
+const BACKOFF_BASE: Duration = Duration::from_millis(20);
+
+/// Upper bound on the per-slot respawn backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// A slot that survives this long has its backoff reset.
+const BACKOFF_RESET_AFTER: Duration = Duration::from_secs(1);
+
+/// Respawns within [`STORM_WINDOW`] that open the circuit breaker.
+const STORM_LIMIT: usize = 16;
+
+/// Sliding window for restart-storm detection.
+const STORM_WINDOW: Duration = Duration::from_secs(2);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -60,8 +96,13 @@ pub struct ServeConfig {
     /// (`None` = unlimited).
     pub default_timeout_ms: Option<u64>,
     /// Cache persistence file: loaded at startup if present, written on
-    /// shutdown.
+    /// shutdown (and periodically, see
+    /// [`ServeConfig::snapshot_interval`]).
     pub cache_file: Option<String>,
+    /// When set together with `cache_file`, the supervisor writes an
+    /// atomic cache snapshot this often, so a crash loses at most one
+    /// interval of cache warmth.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -73,8 +114,28 @@ impl Default for ServeConfig {
             queue_depth: 64,
             default_timeout_ms: None,
             cache_file: None,
+            snapshot_interval: None,
         }
     }
+}
+
+/// Shared worker-pool bookkeeping, read by health requests.
+#[derive(Debug)]
+struct PoolState {
+    target: usize,
+    alive: AtomicUsize,
+    restarts: AtomicU64,
+    breaker_open: AtomicBool,
+}
+
+/// Everything a worker thread needs; cloned per (re)spawn.
+#[derive(Clone)]
+struct WorkerCtx {
+    rx: Arc<Mutex<Receiver<Job>>>,
+    cache: Arc<PredicateCache>,
+    queue_len: Arc<AtomicI64>,
+    pool: Arc<PoolState>,
+    default_timeout_ms: Option<u64>,
 }
 
 /// One unit of work: a parsed request plus where to write the answer.
@@ -88,9 +149,10 @@ struct Job {
 pub struct ServerHandle {
     addr: SocketAddr,
     cache: Arc<PredicateCache>,
+    pool: Arc<PoolState>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     cache_file: Option<String>,
 }
 
@@ -113,35 +175,53 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
 
     let stop = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
-    let rx = Arc::new(Mutex::new(rx));
-    let queue_len = Arc::new(AtomicI64::new(0));
+    let pool = Arc::new(PoolState {
+        target: config.workers.max(1),
+        alive: AtomicUsize::new(0),
+        restarts: AtomicU64::new(0),
+        breaker_open: AtomicBool::new(false),
+    });
+    let ctx = WorkerCtx {
+        rx: Arc::new(Mutex::new(rx)),
+        cache: Arc::clone(&cache),
+        queue_len: Arc::new(AtomicI64::new(0)),
+        pool: Arc::clone(&pool),
+        default_timeout_ms: config.default_timeout_ms,
+    };
 
-    let workers = (0..config.workers.max(1))
-        .map(|i| {
-            let rx = Arc::clone(&rx);
-            let cache = Arc::clone(&cache);
-            let queue_len = Arc::clone(&queue_len);
-            let default_timeout_ms = config.default_timeout_ms;
-            std::thread::Builder::new()
-                .name(format!("sia-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &cache, &queue_len, default_timeout_ms))
-        })
+    let slots = (0..pool.target)
+        .map(|i| spawn_worker(i, &ctx).map(Some))
         .collect::<std::io::Result<Vec<_>>>()?;
+
+    let supervisor = {
+        let ctx = ctx.clone();
+        let stop = Arc::clone(&stop);
+        let snapshot = config
+            .cache_file
+            .clone()
+            .zip(config.snapshot_interval)
+            .filter(|(_, every)| !every.is_zero());
+        std::thread::Builder::new()
+            .name("sia-supervisor".to_string())
+            .spawn(move || supervise(slots, &ctx, &stop, snapshot.as_ref()))?
+    };
 
     let accept = {
         let stop = Arc::clone(&stop);
-        let queue_len = Arc::clone(&queue_len);
+        let queue_len = Arc::clone(&ctx.queue_len);
+        let pool = Arc::clone(&pool);
         std::thread::Builder::new()
             .name("sia-accept".to_string())
-            .spawn(move || accept_loop(&listener, addr, &stop, &tx, &queue_len))?
+            .spawn(move || accept_loop(&listener, addr, &stop, &tx, &queue_len, &pool))?
     };
 
     Ok(ServerHandle {
         addr,
         cache,
+        pool,
         stop,
         accept: Some(accept),
-        workers,
+        supervisor: Some(supervisor),
         cache_file: config.cache_file,
     })
 }
@@ -161,6 +241,17 @@ impl ServerHandle {
     /// (e.g. to report final statistics once [`Self::wait`] returns).
     pub fn cache_arc(&self) -> Arc<PredicateCache> {
         Arc::clone(&self.cache)
+    }
+
+    /// A point-in-time snapshot of worker-pool health.
+    pub fn health(&self) -> HealthInfo {
+        HealthInfo {
+            workers: self.pool.alive.load(Ordering::Relaxed) as u64,
+            target: self.pool.target as u64,
+            restarts: self.pool.restarts.load(Ordering::Relaxed),
+            queue: 0,
+            breaker_open: self.pool.breaker_open.load(Ordering::Relaxed),
+        }
     }
 
     /// Block until a client asks the server to shut down (via the
@@ -194,7 +285,7 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
         if let Some(path) = self.cache_file.take() {
@@ -213,12 +304,110 @@ impl Drop for ServerHandle {
     }
 }
 
+fn spawn_worker(slot: usize, ctx: &WorkerCtx) -> std::io::Result<JoinHandle<()>> {
+    let ctx = ctx.clone();
+    std::thread::Builder::new()
+        .name(format!("sia-worker-{slot}"))
+        .spawn(move || {
+            ctx.pool.alive.fetch_add(1, Ordering::Relaxed);
+            let _alive = AliveGuard(Arc::clone(&ctx.pool));
+            worker_loop(&ctx);
+        })
+}
+
+/// Decrements the live-worker count however the worker exits — clean
+/// drain or unwinding panic.
+struct AliveGuard(Arc<PoolState>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.alive.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The supervisor: detect dead workers, respawn with backoff and a
+/// restart-storm breaker, write periodic cache snapshots, and join
+/// everything at shutdown.
+fn supervise(
+    mut slots: Vec<Option<JoinHandle<()>>>,
+    ctx: &WorkerCtx,
+    stop: &AtomicBool,
+    snapshot: Option<&(String, Duration)>,
+) {
+    let now = Instant::now();
+    let mut backoff_exp: Vec<u32> = vec![0; slots.len()];
+    let mut next_spawn: Vec<Instant> = vec![now; slots.len()];
+    let mut spawned_at: Vec<Instant> = vec![now; slots.len()];
+    let mut recent_respawns: VecDeque<Instant> = VecDeque::new();
+    let mut last_snapshot = now;
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+
+        // Reap finished workers. Outside a shutdown, any exit is a death
+        // (workers only return cleanly once the queue disconnects).
+        for slot in 0..slots.len() {
+            let finished = slots[slot].as_ref().is_some_and(JoinHandle::is_finished);
+            if finished {
+                let _ = slots[slot].take().map(JoinHandle::join);
+                if !stopping {
+                    if spawned_at[slot].elapsed() >= BACKOFF_RESET_AFTER {
+                        backoff_exp[slot] = 0;
+                    }
+                    let delay = BACKOFF_BASE
+                        .saturating_mul(1 << backoff_exp[slot].min(16))
+                        .min(BACKOFF_CAP);
+                    backoff_exp[slot] = backoff_exp[slot].saturating_add(1);
+                    next_spawn[slot] = Instant::now() + delay;
+                }
+            }
+        }
+
+        // Restart-storm breaker: when too many respawns land inside the
+        // sliding window, pause respawning until the window drains.
+        while recent_respawns
+            .front()
+            .is_some_and(|t| t.elapsed() > STORM_WINDOW)
+        {
+            recent_respawns.pop_front();
+        }
+        let breaker_open = recent_respawns.len() >= STORM_LIMIT;
+        ctx.pool.breaker_open.store(breaker_open, Ordering::Relaxed);
+
+        if !stopping && !breaker_open {
+            for slot in 0..slots.len() {
+                if slots[slot].is_none() && Instant::now() >= next_spawn[slot] {
+                    if let Ok(handle) = spawn_worker(slot, ctx) {
+                        slots[slot] = Some(handle);
+                        spawned_at[slot] = Instant::now();
+                        recent_respawns.push_back(Instant::now());
+                        ctx.pool.restarts.fetch_add(1, Ordering::Relaxed);
+                        sia_obs::add(Counter::ServeRestarts, 1);
+                    }
+                }
+            }
+        }
+
+        if let Some((path, every)) = snapshot {
+            if !stopping && last_snapshot.elapsed() >= *every {
+                let _ = ctx.cache.save_file(path);
+                last_snapshot = Instant::now();
+            }
+        }
+
+        if stopping && slots.iter().all(Option::is_none) {
+            break;
+        }
+        std::thread::sleep(SUPERVISE_POLL);
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     addr: SocketAddr,
     stop: &Arc<AtomicBool>,
     tx: &SyncSender<Job>,
     queue_len: &Arc<AtomicI64>,
+    pool: &Arc<PoolState>,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -228,9 +417,10 @@ fn accept_loop(
         let stop = Arc::clone(stop);
         let tx = tx.clone();
         let queue_len = Arc::clone(queue_len);
+        let pool = Arc::clone(pool);
         let _ = std::thread::Builder::new()
             .name("sia-conn".to_string())
-            .spawn(move || reader_loop(stream, addr, &stop, &tx, &queue_len));
+            .spawn(move || reader_loop(stream, addr, &stop, &tx, &queue_len, &pool));
     }
     // Dropping `tx` here (with every reader's clone gone once they see
     // the stop flag) lets the workers drain the queue and exit.
@@ -242,6 +432,7 @@ fn reader_loop(
     stop: &AtomicBool,
     tx: &SyncSender<Job>,
     queue_len: &AtomicI64,
+    pool: &PoolState,
 ) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let Ok(read_side) = stream.try_clone() else {
@@ -278,6 +469,23 @@ fn reader_loop(
                 drop(TcpStream::connect(addr));
                 respond(&out, &Response::plain("", Status::Bye));
                 break;
+            }
+            Ok(RequestLine::Health) => {
+                #[allow(clippy::cast_sign_loss)]
+                let health = HealthInfo {
+                    workers: pool.alive.load(Ordering::Relaxed) as u64,
+                    target: pool.target as u64,
+                    restarts: pool.restarts.load(Ordering::Relaxed),
+                    queue: queue_len.load(Ordering::Relaxed).max(0) as u64,
+                    breaker_open: pool.breaker_open.load(Ordering::Relaxed),
+                };
+                respond(
+                    &out,
+                    &Response {
+                        health: Some(health),
+                        ..Response::plain("", Status::Ok)
+                    },
+                );
             }
             Ok(RequestLine::Synth(request)) => {
                 let id = request.id.clone();
@@ -321,27 +529,91 @@ fn reader_loop(
     }
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<Job>>,
-    cache: &PredicateCache,
-    queue_len: &AtomicI64,
-    default_timeout_ms: Option<u64>,
-) {
+fn worker_loop(ctx: &WorkerCtx) {
     loop {
+        // The `serve.worker.die` failpoint kills the worker *between*
+        // jobs — no request is held, so nothing is lost and the
+        // supervisor's respawn is the only observable effect.
+        if let Some(msg) = sia_fault::fire("serve.worker.die") {
+            panic!("{msg}");
+        }
         let job = {
-            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            let rx = ctx.rx.lock().unwrap_or_else(PoisonError::into_inner);
             rx.recv()
         };
         let Ok(job) = job else {
             break; // queue drained and all senders gone
         };
-        queue_len.fetch_sub(1, Ordering::Relaxed);
-        let response = process(&job.request, cache, default_timeout_ms);
-        respond(&job.out, &response);
+        ctx.queue_len.fetch_sub(1, Ordering::Relaxed);
+        // Belt and braces: if anything below unwinds past catch_unwind
+        // (it cannot today, but this code evolves), the guard still
+        // answers the request before the worker dies.
+        let mut guard = JobGuard::armed(&job);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            process(&job.request, &ctx.cache, ctx.default_timeout_ms)
+        }));
+        guard.disarm();
+        match result {
+            Ok(response) => respond(&job.out, &response),
+            Err(_) => {
+                sia_obs::add(Counter::ServePanics, 1);
+                respond(
+                    &job.out,
+                    &degraded(&job.request.id, &job.request.predicate, "panic"),
+                );
+            }
+        }
     }
 }
 
-/// Run one request to completion (cache hit, synthesis, or timeout).
+/// Answers the in-flight request with a degraded fallback if the worker
+/// thread unwinds while still holding it.
+struct JobGuard {
+    id: String,
+    predicate: String,
+    out: Arc<Mutex<TcpStream>>,
+    armed: bool,
+}
+
+impl JobGuard {
+    fn armed(job: &Job) -> JobGuard {
+        JobGuard {
+            id: job.request.id.clone(),
+            predicate: job.request.predicate.clone(),
+            out: Arc::clone(&job.out),
+            armed: true,
+        }
+    }
+
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            sia_obs::add(Counter::ServePanics, 1);
+            respond(&self.out, &degraded(&self.id, &self.predicate, "panic"));
+        }
+    }
+}
+
+/// Build a degraded fallback response: status `ok`, the *original*
+/// predicate echoed back (always valid, never optimal), and the reason
+/// the result is not a real synthesis.
+fn degraded(id: &str, original_predicate: &str, reason: &str) -> Response {
+    sia_obs::add(Counter::ServeDegraded, 1);
+    Response {
+        predicate: Some(original_predicate.to_string()),
+        degraded: true,
+        reason: Some(reason.to_string()),
+        ..Response::plain(id, Status::Ok)
+    }
+}
+
+/// Run one request to completion (cache hit, synthesis, timeout, or
+/// degraded fallback).
 fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64>) -> Response {
     let start = Instant::now();
     let finish = |mut r: Response| {
@@ -354,6 +626,10 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
         sia_obs::record(Hist::ServeLatencyUs, micros);
         r
     };
+
+    if sia_fault::fire("serve.worker.request").is_some() {
+        return finish(degraded(&req.id, &req.predicate, "internal"));
+    }
 
     let p = match parse_predicate(&req.predicate) {
         Ok(p) => p,
@@ -395,8 +671,19 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
         }
         Err(SynthesisError::Timeout) => {
             sia_obs::add(Counter::ServeTimeouts, 1);
-            finish(Response::plain(&req.id, Status::Timeout))
+            // Deadline expiry keeps its distinct status (clients and the
+            // CLI exit code depend on it) but now also carries the
+            // fallback predicate, so callers can proceed un-optimized.
+            finish(Response {
+                predicate: Some(req.predicate.clone()),
+                reason: Some("timeout".into()),
+                ..degraded_body(&req.id, Status::Timeout)
+            })
         }
+        Err(SynthesisError::Internal(msg)) => finish(Response {
+            error: Some(msg),
+            ..degraded(&req.id, &req.predicate, "internal")
+        }),
         Err(e) => {
             sia_obs::add(Counter::ServeErrors, 1);
             finish(Response {
@@ -404,6 +691,16 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
                 ..Response::plain(&req.id, Status::Error)
             })
         }
+    }
+}
+
+/// A degraded response skeleton with an explicit status (used for
+/// timeouts, which keep `status:"timeout"`).
+fn degraded_body(id: &str, status: Status) -> Response {
+    sia_obs::add(Counter::ServeDegraded, 1);
+    Response {
+        degraded: true,
+        ..Response::plain(id, status)
     }
 }
 

@@ -1,0 +1,218 @@
+//! Chaos tests: failpoint-driven worker panics and deaths, supervisor
+//! respawns, the restart-storm breaker, degraded fallbacks, and the
+//! client's retry/shed machinery.
+//!
+//! These live in their own test binary because failpoints are
+//! process-global: the plain serve tests must never observe them. Tests
+//! here serialize on [`FAULT_LOCK`] and clear the registry when done.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use sia_serve::{client, server, Request, RetryPolicy, ServeConfig, Status};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize the test and guarantee a clean registry on entry and exit
+/// (including panicking exits).
+fn fault_guard() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    sia_fault::clear();
+    guard
+}
+
+struct ClearOnDrop;
+
+impl Drop for ClearOnDrop {
+    fn drop(&mut self) {
+        sia_fault::clear();
+    }
+}
+
+fn strs(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| (*s).to_string()).collect()
+}
+
+fn synth_req(id: &str) -> Request {
+    Request {
+        id: id.to_string(),
+        predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+        cols: strs(&["a"]),
+        timeout_ms: None,
+    }
+}
+
+fn wait_for(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if done() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn panicking_requests_degrade_instead_of_dropping() {
+    let _lock = fault_guard();
+    let _clear = ClearOnDrop;
+    let handle = server::start(ServeConfig {
+        workers: 2,
+        cache_capacity: 0, // force real synthesis on every request
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Every request panics inside the worker; the unwind guard must
+    // answer each one with a degraded fallback on the same connection.
+    sia_fault::configure("serve.worker.request", "panic(injected for test)").unwrap();
+    let requests: Vec<Request> = (0..6).map(|i| synth_req(&format!("p{i}"))).collect();
+    let responses = client::run_batch(&addr, &requests, 3).expect("batch survives panics");
+    assert_eq!(responses.len(), 6);
+    for r in &responses {
+        assert_eq!(r.status, Status::Ok, "{r:?}");
+        assert!(r.degraded, "expected degraded fallback: {r:?}");
+        assert_eq!(r.reason.as_deref(), Some("panic"), "{r:?}");
+        // The fallback is the original predicate, verbatim.
+        assert_eq!(r.predicate.as_deref(), Some(requests[0].predicate.as_str()));
+    }
+
+    // Panics were contained: no worker died, so no restarts.
+    let health = handle.health();
+    assert_eq!(health.restarts, 0, "{health:?}");
+    assert_eq!(health.workers, 2, "{health:?}");
+
+    // Clearing the failpoint restores real synthesis on the same pool.
+    sia_fault::clear();
+    let ok = client::request_one(&addr, &synth_req("after")).expect("healed request");
+    assert_eq!(ok.status, Status::Ok, "{ok:?}");
+    assert!(!ok.degraded, "{ok:?}");
+    assert_eq!(ok.predicate.as_deref(), Some("a >= 22"));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn dead_workers_are_respawned_by_the_supervisor() {
+    let _lock = fault_guard();
+    let _clear = ClearOnDrop;
+    // Both workers die on their first loop iteration (between jobs, so
+    // nothing can be lost); the supervisor must bring the pool back.
+    sia_fault::configure("serve.worker.die", "2*panic(chaos kill)").unwrap();
+    let handle = server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    wait_for("pool to recover", Duration::from_secs(30), || {
+        let h = handle.health();
+        h.restarts >= 2 && h.workers == 2
+    });
+    // The respawned workers actually serve requests.
+    let resp = client::request_one(&addr, &synth_req("revived")).expect("request after respawn");
+    assert_eq!(resp.status, Status::Ok, "{resp:?}");
+    assert!(!resp.degraded, "{resp:?}");
+
+    // The health op over the wire agrees with the in-process view.
+    let wire = client::health(&addr).expect("health over tcp");
+    let info = wire.health.expect("health payload");
+    assert_eq!(info.workers, 2, "{info:?}");
+    assert_eq!(info.target, 2, "{info:?}");
+    assert!(info.restarts >= 2, "{info:?}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn restart_storm_opens_the_breaker_then_recovers() {
+    let _lock = fault_guard();
+    let _clear = ClearOnDrop;
+    // Every spawned worker dies immediately, forever: with 10 slots the
+    // respawn rate exceeds the storm limit and the breaker must open.
+    sia_fault::configure("serve.worker.die", "panic(storm)").unwrap();
+    let handle = server::start(ServeConfig {
+        workers: 10,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+
+    wait_for("breaker to open", Duration::from_secs(30), || {
+        handle.health().breaker_open
+    });
+
+    // Remove the fault: the window drains, the breaker closes, and the
+    // pool refills to its target size.
+    sia_fault::clear();
+    wait_for("pool to refill", Duration::from_secs(30), || {
+        let h = handle.health();
+        !h.breaker_open && h.workers == 10
+    });
+    let addr = handle.addr().to_string();
+    let resp = client::request_one(&addr, &synth_req("post-storm")).expect("request after storm");
+    assert_eq!(resp.status, Status::Ok, "{resp:?}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn retry_client_rides_out_mixed_faults_without_losing_requests() {
+    let _lock = fault_guard();
+    let _clear = ClearOnDrop;
+    // A hostile mix: 30% of requests panic mid-synthesis and workers
+    // occasionally die between jobs. Every request must still get
+    // exactly one answer (ok or degraded — never a dropped connection).
+    sia_fault::set_seed(7);
+    sia_fault::configure("serve.worker.request", "30%panic(chaos)").unwrap();
+    sia_fault::configure("serve.worker.die", "4*panic(chaos kill)").unwrap();
+    let handle = server::start(ServeConfig {
+        workers: 3,
+        cache_capacity: 0,
+        queue_depth: 8,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let requests: Vec<Request> = (0..40).map(|i| synth_req(&format!("c{i}"))).collect();
+    let outcome = client::run_batch_retry(&addr, &requests, 4, &RetryPolicy::default());
+    assert_eq!(outcome.responses.len(), 40, "one response per request");
+    for (i, r) in outcome.responses.iter().enumerate() {
+        assert_eq!(r.id, requests[i].id, "responses in request order");
+        assert!(
+            r.status == Status::Ok || r.status == Status::Timeout,
+            "request {i} not answered ok/degraded: {r:?}"
+        );
+        if r.degraded {
+            assert!(r.predicate.is_some(), "degraded without fallback: {r:?}");
+        }
+    }
+
+    // The pool heals back to full strength once the die budget runs out.
+    sia_fault::remove("serve.worker.request");
+    wait_for("pool to heal", Duration::from_secs(30), || {
+        handle.health().workers == 3
+    });
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn shed_fallback_answers_when_server_is_unreachable() {
+    // No failpoints needed: the address refuses connections, every
+    // attempt fails, and the client must shed with degraded fallbacks
+    // rather than erroring out.
+    let requests: Vec<Request> = (0..3).map(|i| synth_req(&format!("s{i}"))).collect();
+    let policy = RetryPolicy {
+        attempts: 2,
+        base_delay: Duration::from_millis(1),
+        ..RetryPolicy::default()
+    };
+    let outcome = client::run_batch_retry("127.0.0.1:1", &requests, 2, &policy);
+    assert_eq!(outcome.responses.len(), 3);
+    assert_eq!(outcome.shed, 3);
+    for (i, r) in outcome.responses.iter().enumerate() {
+        assert!(r.degraded, "{r:?}");
+        assert_eq!(r.reason.as_deref(), Some("shed"), "{r:?}");
+        assert_eq!(r.predicate.as_deref(), Some(requests[i].predicate.as_str()));
+    }
+}

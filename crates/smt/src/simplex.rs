@@ -389,9 +389,16 @@ impl Simplex {
         let mut rounds = 0u64;
         loop {
             rounds += 1;
-            if rounds & 0x3F == 0 && self.budget.is_exhausted() {
-                self.interrupted = true;
-                return Ok(());
+            // Failpoint + budget poll every 64 pivot rounds, including the
+            // very first, so an injected stall (`smt.simplex.pivot=delay`)
+            // or an already-expired deadline is caught on entry instead of
+            // 63 pivots later.
+            if rounds & 0x3F == 1 {
+                sia_fault::fire("smt.simplex.pivot");
+                if self.budget.is_exhausted() {
+                    self.interrupted = true;
+                    return Ok(());
+                }
             }
             // Find the smallest basic variable violating a bound.
             let mut violated: Option<(usize, bool)> = None; // (var, below_lower)

@@ -19,6 +19,8 @@
 //! * [`tpch`] — a TPC-H-style generator and the paper's 200-query workload,
 //! * [`obs`] — zero-dependency structured tracing and metrics instrumenting
 //!   every layer above,
+//! * [`fault`] — deterministic fault injection (named failpoints) driving
+//!   the chaos tests of every layer above,
 //! * [`core`] — Sia itself: the counter-example guided synthesis loop,
 //! * [`cache`] — a canonicalizing predicate cache (alpha-renamed templates,
 //!   sharded LRU, JSONL persistence),
@@ -45,6 +47,7 @@ pub use sia_cache as cache;
 pub use sia_core as core;
 pub use sia_engine as engine;
 pub use sia_expr as expr;
+pub use sia_fault as fault;
 pub use sia_num as num;
 pub use sia_obs as obs;
 pub use sia_serve as serve;

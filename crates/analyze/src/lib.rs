@@ -1,0 +1,455 @@
+//! `sia-analyze`: abstract interpretation over the Sia predicate language.
+//!
+//! The synthesizer's inner loop burns most of its time in SMT calls, yet
+//! many of those queries — infeasible conjunctions, syntactic implications,
+//! interval-closed bounds — are decidable by much cheaper static reasoning.
+//! This crate provides a sound, zero-dependency static analyzer over the
+//! [`sia_expr::Pred`] AST built from three cooperating abstract domains:
+//!
+//! * **Intervals** over exact rationals ([`Interval`]), with integer
+//!   tightening for integer-sorted variables;
+//! * **Congruence** facts in the style of the solver's divisibility atoms:
+//!   after canonicalizing a linear atom to coprime integer coefficients
+//!   ([`CanonAtom`]), the only residual divisibility question is whether the
+//!   bound is an integer — which decides equalities and disequalities
+//!   against fractional constants outright;
+//! * **3VL null-ability**: which columns may be NULL, and therefore whether
+//!   a comparison can evaluate to NULL rather than TRUE/FALSE.
+//!
+//! On top of the domains sits an implication/contradiction oracle
+//! ([`Analyzer::implies`], [`Analyzer::statically_unsat`]) used by
+//! `sia-core` to skip SMT validity and feasibility calls, and a linter
+//! ([`Analyzer::lint`]) surfaced through the `sia lint` CLI subcommand and
+//! the serve protocol's `warnings` field.
+//!
+//! # Soundness contract
+//!
+//! [`Analyzer::tri`] over-approximates the set of three-valued outcomes a
+//! predicate can take: if any tuple makes the predicate TRUE, the returned
+//! [`Tri`] has `can_true` set (and likewise for FALSE/NULL). All verdicts
+//! derived from it (`statically_unsat`, `implies`, …) err on the side of
+//! "don't know" — they may miss a fact, never invent one. The analyzer
+//! follows the *solver's* semantics (exact rational arithmetic, composite
+//! non-linear terms folded to opaque integer variables), since its verdicts
+//! gate SMT calls; under the workspace `checked` feature, `sia-core`
+//! cross-checks every verdict against the solver.
+
+use std::collections::BTreeSet;
+
+use sia_expr::{CmpOp, DataType, Expr, Pred, Schema};
+
+mod atom;
+mod interval;
+mod lint;
+mod state;
+mod tri;
+
+pub use atom::{CanonAtom, FormKey};
+pub use interval::{Bound, Interval};
+pub use lint::Warning;
+pub use tri::Tri;
+
+use state::State;
+
+/// The result of [`Analyzer::simplify`]: the rewritten predicate plus how
+/// many sub-predicates were replaced by literals.
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    /// The simplified predicate, three-valued-equivalent to the input.
+    pub pred: Pred,
+    /// Number of sub-predicates replaced by `TRUE`/`FALSE` literals.
+    pub replaced: usize,
+}
+
+/// The static analyzer: abstract interpretation configured with column
+/// type/null-ability facts.
+///
+/// By default every column is assumed `INTEGER NOT NULL`, matching the
+/// solver encoder's default; [`Analyzer::with_schema`] imports a schema's
+/// `DOUBLE`/`DATE`/nullable declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    /// Columns that may be NULL.
+    pub(crate) nullable: BTreeSet<String>,
+    /// Columns ranging over the reals (no integer tightening).
+    pub(crate) real: BTreeSet<String>,
+    /// Date-typed columns (integer-valued epoch days; used by the linter).
+    pub(crate) date: BTreeSet<String>,
+}
+
+impl Analyzer {
+    /// An analyzer with the default assumptions: all columns integer-sorted
+    /// and non-nullable.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Mark columns as possibly NULL.
+    #[must_use]
+    pub fn with_nullable(mut self, cols: impl IntoIterator<Item = impl Into<String>>) -> Analyzer {
+        self.nullable.extend(cols.into_iter().map(Into::into));
+        self
+    }
+
+    /// Mark columns as real-valued (`DOUBLE`): interval bounds on them are
+    /// not tightened to integers.
+    #[must_use]
+    pub fn with_real(mut self, cols: impl IntoIterator<Item = impl Into<String>>) -> Analyzer {
+        self.real.extend(cols.into_iter().map(Into::into));
+        self
+    }
+
+    /// Mark columns as `DATE`-typed (used by the linter's type checks).
+    #[must_use]
+    pub fn with_date(mut self, cols: impl IntoIterator<Item = impl Into<String>>) -> Analyzer {
+        self.date.extend(cols.into_iter().map(Into::into));
+        self
+    }
+
+    /// Import a schema's column facts: `DOUBLE` columns become real-valued,
+    /// `DATE` columns are noted for the linter, and nullable columns are
+    /// marked as such.
+    #[must_use]
+    pub fn with_schema(mut self, schema: &Schema) -> Analyzer {
+        for c in schema.columns() {
+            match c.ty {
+                DataType::Double => {
+                    self.real.insert(c.name.clone());
+                }
+                DataType::Date => {
+                    self.date.insert(c.name.clone());
+                }
+                _ => {}
+            }
+            if c.nullable {
+                self.nullable.insert(c.name.clone());
+            }
+        }
+        self
+    }
+
+    /// The set of three-valued outcomes `p` can take over any tuple
+    /// (a sound over-approximation; see the crate docs).
+    pub fn tri(&self, p: &Pred) -> Tri {
+        self.tri_pred(&p.nnf(), &State::top())
+    }
+
+    /// `p` can never evaluate TRUE: no tuple passes a filter using it.
+    /// (It may still evaluate NULL — this is the WHERE-clause notion of
+    /// emptiness, not `p ≡ FALSE`.)
+    pub fn statically_unsat(&self, p: &Pred) -> bool {
+        self.tri(p).never_true()
+    }
+
+    /// `p` evaluates TRUE on every tuple.
+    pub fn statically_true(&self, p: &Pred) -> bool {
+        self.tri(p).certainly_true()
+    }
+
+    /// Sound implication check: whenever `p` evaluates TRUE, so does `q`
+    /// (the validity the synthesizer's verifier asks the solver about).
+    /// `false` means "could not prove it", not "does not hold".
+    pub fn implies(&self, p: &Pred, q: &Pred) -> bool {
+        let qn = q.nnf();
+        let pn = p.nnf();
+        let is_int = |n: &str| !self.real.contains(n);
+        let disjuncts: Vec<&Pred> = match &pn {
+            Pred::Or(ps) => ps.iter().collect(),
+            other => vec![other],
+        };
+        disjuncts.into_iter().all(|d| {
+            let mut st = State::top();
+            self.assume_pred(d, &mut st);
+            st.propagate(&is_int);
+            st.bottom || self.tri_pred(&qn, &st).certainly_true()
+        })
+    }
+
+    /// Replace sub-predicates that are certainly TRUE / certainly FALSE
+    /// (in the full three-valued sense) with literals. The result is
+    /// 3VL-equivalent to the input on every tuple.
+    pub fn simplify(&self, p: &Pred) -> Simplified {
+        let mut replaced = 0usize;
+        let pred = self.simplify_rec(p, &mut replaced);
+        Simplified { pred, replaced }
+    }
+
+    /// Drop top-level disjuncts that can never evaluate TRUE, returning the
+    /// pruned predicate and how many disjuncts were removed.
+    ///
+    /// A dropped disjunct may still evaluate NULL, so this preserves only
+    /// *truth* (`IS TRUE`), not full 3VL equivalence — exactly what
+    /// WHERE-clause and sample-generation contexts need.
+    pub fn prune_never_true_disjuncts(&self, p: &Pred) -> (Pred, usize) {
+        match p {
+            Pred::Or(ps) => {
+                let mut pruned = 0usize;
+                let kept: Vec<Pred> = ps
+                    .iter()
+                    .filter(|d| {
+                        let dead = self.tri(d).never_true();
+                        if dead {
+                            pruned += 1;
+                        }
+                        !dead
+                    })
+                    .cloned()
+                    .collect();
+                (Pred::or_all(kept), pruned)
+            }
+            _ if self.tri(p).never_true() => (Pred::false_(), 1),
+            _ => (p.clone(), 0),
+        }
+    }
+
+    fn simplify_rec(&self, p: &Pred, replaced: &mut usize) -> Pred {
+        let t = self.tri(p);
+        if t.certainly_true() {
+            if !p.is_true() {
+                *replaced += 1;
+            }
+            return Pred::true_();
+        }
+        if t.certainly_false() {
+            if !p.is_false() {
+                *replaced += 1;
+            }
+            return Pred::false_();
+        }
+        match p {
+            Pred::And(ps) => Pred::and_all(ps.iter().map(|q| self.simplify_rec(q, replaced))),
+            Pred::Or(ps) => Pred::or_all(ps.iter().map(|q| self.simplify_rec(q, replaced))),
+            Pred::Not(q) => self.simplify_rec(q, replaced).not(),
+            _ => p.clone(),
+        }
+    }
+
+    pub(crate) fn canon(&self, op: CmpOp, lhs: &Expr, rhs: &Expr) -> Option<CanonAtom> {
+        CanonAtom::from_cmp(op, lhs, rhs, &|n| self.real.contains(n))
+    }
+
+    /// Abstract three-valued evaluation of an NNF predicate under `st`.
+    fn tri_pred(&self, p: &Pred, st: &State) -> Tri {
+        match p {
+            Pred::Lit(true) => Tri::true_(),
+            Pred::Lit(false) => Tri::false_(),
+            Pred::Cmp { op, lhs, rhs } => self.tri_cmp(*op, lhs, rhs, st),
+            Pred::And(ps) => {
+                let folded = ps
+                    .iter()
+                    .fold(Tri::true_(), |acc, q| acc.and(self.tri_pred(q, st)));
+                if !folded.can_true {
+                    return folded;
+                }
+                // Refinement pass: can one tuple make *all* conjuncts TRUE?
+                let is_int = |n: &str| !self.real.contains(n);
+                let mut rst = st.clone();
+                self.assume_pred(p, &mut rst);
+                rst.propagate(&is_int);
+                let joint = !rst.bottom && ps.iter().all(|q| self.tri_pred(q, &rst).can_true);
+                if joint || (!folded.can_false && !folded.can_null) {
+                    // Keep the result set non-empty: if the pointwise fold
+                    // says {TRUE} only, the refinement cannot soundly have
+                    // refuted it (γ(st) would be empty), so trust the fold.
+                    folded
+                } else {
+                    Tri {
+                        can_true: false,
+                        ..folded
+                    }
+                }
+            }
+            Pred::Or(ps) => ps
+                .iter()
+                .fold(Tri::false_(), |acc, q| acc.or(self.tri_pred(q, st))),
+            Pred::Not(q) => self.tri_pred(q, st).not(),
+        }
+    }
+
+    fn tri_cmp(&self, op: CmpOp, lhs: &Expr, rhs: &Expr, st: &State) -> Tri {
+        let mut cols = BTreeSet::new();
+        lhs.collect_columns(&mut cols);
+        rhs.collect_columns(&mut cols);
+        let can_null = cols.iter().any(|c| !st.is_nonnull(c, &self.nullable));
+        match self.canon(op, lhs, rhs) {
+            None => Tri {
+                can_true: true,
+                can_false: true,
+                can_null,
+            },
+            Some(atom) => {
+                let (can_true, can_false) = st.can_sat(&atom);
+                if !can_true && !can_false && !can_null {
+                    // The state admits no value for this form at all; its
+                    // concretization is empty and any answer is sound.
+                    return Tri::any();
+                }
+                Tri {
+                    can_true,
+                    can_false,
+                    can_null,
+                }
+            }
+        }
+    }
+
+    /// Assume `p` (in NNF) evaluates TRUE, strengthening `st` in place.
+    fn assume_pred(&self, p: &Pred, st: &mut State) {
+        let is_int = |n: &str| !self.real.contains(n);
+        match p {
+            Pred::Lit(true) => {}
+            Pred::Lit(false) => st.bottom = true,
+            Pred::And(ps) => {
+                for q in ps {
+                    self.assume_pred(q, st);
+                }
+            }
+            Pred::Cmp { op, lhs, rhs } => {
+                let mut cols = BTreeSet::new();
+                lhs.collect_columns(&mut cols);
+                rhs.collect_columns(&mut cols);
+                st.note_nonnull(cols);
+                if let Some(atom) = self.canon(*op, lhs, rhs) {
+                    st.assume(&atom, &is_int);
+                }
+            }
+            // A TRUE disjunction or (post-NNF unreachable) negation pins
+            // down no single branch; skipping the refinement is sound.
+            Pred::Or(_) | Pred::Not(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_expr::{col, lit};
+
+    fn cmp(op: CmpOp, l: Expr, r: Expr) -> Pred {
+        l.cmp(op, r)
+    }
+
+    #[test]
+    fn contradiction_and_tautology() {
+        let a = Analyzer::new();
+        let p = cmp(CmpOp::Lt, col("x"), lit(1)).and(cmp(CmpOp::Gt, col("x"), lit(2)));
+        assert!(a.statically_unsat(&p));
+        assert!(!a.statically_true(&p));
+
+        let t = cmp(CmpOp::Le, col("x"), lit(5)).or(cmp(CmpOp::Gt, col("x"), lit(4)));
+        // x <= 5 OR x > 4 covers every integer; columns are NOT NULL by
+        // default, but the pointwise OR cannot see the correlation, so the
+        // analyzer soundly declines to call it a tautology.
+        assert!(!a.statically_unsat(&t));
+
+        let t2 = cmp(CmpOp::Ge, col("x"), lit(0)).or(cmp(CmpOp::Lt, col("x"), lit(0)));
+        assert!(!a.statically_unsat(&t2));
+    }
+
+    #[test]
+    fn nullability_blocks_certainty() {
+        let p = cmp(CmpOp::Ne, col("x").mul(lit(2)), lit(5));
+        // 2x <> 5 is always TRUE over non-null integers…
+        assert!(Analyzer::new().statically_true(&p));
+        // …but with x nullable the predicate can be NULL.
+        let a = Analyzer::new().with_nullable(["x"]);
+        assert!(!a.statically_true(&p));
+        let t = a.tri(&p);
+        assert!(t.can_true && !t.can_false && t.can_null);
+    }
+
+    #[test]
+    fn implies_interval_and_propagation() {
+        let a = Analyzer::new();
+        // x >= 10 ⇒ x >= 5
+        assert!(a.implies(
+            &cmp(CmpOp::Ge, col("x"), lit(10)),
+            &cmp(CmpOp::Ge, col("x"), lit(5)),
+        ));
+        // x >= 5 ⇏ x >= 10
+        assert!(!a.implies(
+            &cmp(CmpOp::Ge, col("x"), lit(5)),
+            &cmp(CmpOp::Ge, col("x"), lit(10)),
+        ));
+        // b >= 11 AND a >= 2b ⇒ a >= 22
+        let p =
+            cmp(CmpOp::Ge, col("b"), lit(11)).and(cmp(CmpOp::Ge, col("a"), col("b").mul(lit(2))));
+        assert!(a.implies(&p, &cmp(CmpOp::Ge, col("a"), lit(22))));
+        assert!(!a.implies(&p, &cmp(CmpOp::Ge, col("a"), lit(23))));
+    }
+
+    #[test]
+    fn implies_respects_nullability() {
+        // x >= 10 ⇒ y >= 0 fails when y may be NULL even if y is bounded…
+        let nullable = Analyzer::new().with_nullable(["y"]);
+        let p = cmp(CmpOp::Ge, col("x"), lit(10));
+        let q = cmp(CmpOp::Ge, col("y").mul(col("y")), lit(0));
+        assert!(!nullable.implies(&p, &q));
+        // …and mentioning y in p makes it non-null again.
+        let p2 = p.and(cmp(CmpOp::Le, col("y"), lit(3)));
+        let q2 = cmp(CmpOp::Le, col("y"), lit(4));
+        assert!(nullable.implies(&p2, &q2));
+    }
+
+    #[test]
+    fn implies_per_disjunct() {
+        let a = Analyzer::new();
+        // (x >= 10 OR x >= 20) ⇒ x >= 10
+        let p = cmp(CmpOp::Ge, col("x"), lit(10)).or(cmp(CmpOp::Ge, col("x"), lit(20)));
+        assert!(a.implies(&p, &cmp(CmpOp::Ge, col("x"), lit(10))));
+        assert!(!a.implies(&p, &cmp(CmpOp::Ge, col("x"), lit(20))));
+    }
+
+    #[test]
+    fn syntactic_form_match_entails() {
+        let a = Analyzer::new();
+        // a - b <= 3 ⇒ 2a - 2b <= 10 (same canonical form, looser bound).
+        let p = cmp(CmpOp::Le, col("a").sub(col("b")), lit(3));
+        let q = cmp(
+            CmpOp::Le,
+            col("a").mul(lit(2)).sub(col("b").mul(lit(2))),
+            lit(10),
+        );
+        assert!(a.implies(&p, &q));
+        assert!(!a.implies(&q, &p));
+    }
+
+    #[test]
+    fn simplify_replaces_certain_subtrees() {
+        let a = Analyzer::new();
+        // (x < 1 AND x > 2) OR y >= 0: the first disjunct is certainly
+        // FALSE (columns non-null by default), so it folds away.
+        let dead = cmp(CmpOp::Lt, col("x"), lit(1)).and(cmp(CmpOp::Gt, col("x"), lit(2)));
+        let live = cmp(CmpOp::Ge, col("y"), lit(0));
+        let s = a.simplify(&dead.clone().or(live.clone()));
+        assert_eq!(s.pred, live);
+        assert_eq!(s.replaced, 1);
+
+        let (pruned, n) = a.prune_never_true_disjuncts(&dead.or(live.clone()));
+        assert_eq!(pruned, live);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn real_columns_skip_integer_tightening() {
+        // 0 < x < 1 is satisfiable for a DOUBLE column, empty for integers.
+        let p = cmp(CmpOp::Gt, col("x"), lit(0)).and(cmp(CmpOp::Lt, col("x"), lit(1)));
+        assert!(Analyzer::new().statically_unsat(&p));
+        assert!(!Analyzer::new().with_real(["x"]).statically_unsat(&p));
+    }
+
+    #[test]
+    fn tri_of_literals_and_unknown_atoms() {
+        let a = Analyzer::new();
+        assert!(a.tri(&Pred::true_()).certainly_true());
+        assert!(a.tri(&Pred::false_()).certainly_false());
+        // (a+1)*(b+1) < 3 does not linearize even with composite folding.
+        let odd = cmp(
+            CmpOp::Lt,
+            col("a").add(lit(1)).mul(col("b").add(lit(1))),
+            lit(3),
+        );
+        let t = a.tri(&odd);
+        assert!(t.can_true && t.can_false && !t.can_null);
+    }
+}

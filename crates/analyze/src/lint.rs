@@ -1,0 +1,267 @@
+//! Predicate linting: user-facing warnings about suspicious predicates.
+//!
+//! The linter reuses the oracle to flag predicates that are contradictory
+//! (filter out every row), tautological (filter nothing), partially dead
+//! (a disjunct or conjunct does no work), or type-suspect (comparisons that
+//! only make sense under a charitable reading of the types). Warnings are
+//! advisory — the engine still executes the predicate as written.
+
+use std::fmt;
+
+use sia_expr::{CmpOp, Expr, Pred};
+
+use crate::Analyzer;
+
+/// Maximum number of warnings reported for one predicate; linting is
+/// advisory and a pathological input should not produce unbounded output.
+const MAX_WARNINGS: usize = 16;
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Stable machine-readable code (`contradiction`, `tautology`,
+    /// `empty-disjunct`, `redundant-conjunct`, `type-suspect`).
+    pub code: &'static str,
+    /// Human-readable explanation. Never contains `"; "` so serve can join
+    /// multiple warnings into one flat protocol field.
+    pub message: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+fn push(out: &mut Vec<Warning>, code: &'static str, message: String) {
+    if out.len() < MAX_WARNINGS {
+        // The serve protocol joins warnings with "; "; keep messages free
+        // of the separator so the join stays unambiguous.
+        out.push(Warning {
+            code,
+            message: message.replace("; ", ", "),
+        });
+    }
+}
+
+impl Analyzer {
+    /// Lint `p`, returning warnings ordered roughly by severity
+    /// (whole-predicate verdicts first, then local findings).
+    pub fn lint(&self, p: &Pred) -> Vec<Warning> {
+        let mut out = Vec::new();
+        let t = self.tri(p);
+        if t.never_true() {
+            push(
+                &mut out,
+                "contradiction",
+                "predicate can never be TRUE: it filters out every row".to_string(),
+            );
+        } else if t.certainly_true() {
+            push(
+                &mut out,
+                "tautology",
+                "predicate is always TRUE: the filter does nothing".to_string(),
+            );
+        }
+        self.lint_node(p, &mut out);
+        out
+    }
+
+    fn lint_node(&self, p: &Pred, out: &mut Vec<Warning>) {
+        match p {
+            Pred::And(ps) => {
+                self.lint_conjunction(ps, out);
+                for q in ps {
+                    self.lint_node(q, out);
+                }
+            }
+            Pred::Or(ps) => {
+                for d in ps {
+                    if self.tri(d).never_true() {
+                        push(
+                            out,
+                            "empty-disjunct",
+                            format!("disjunct `{d}` can never be TRUE and contributes no rows"),
+                        );
+                    }
+                    self.lint_node(d, out);
+                }
+            }
+            Pred::Not(q) => self.lint_node(q, out),
+            Pred::Cmp { op, lhs, rhs } => self.lint_cmp(*op, lhs, rhs, out),
+            Pred::Lit(_) => {}
+        }
+    }
+
+    /// Pairwise contradiction witnesses and redundant conjuncts.
+    fn lint_conjunction(&self, ps: &[Pred], out: &mut Vec<Warning>) {
+        for (i, a) in ps.iter().enumerate() {
+            for b in ps.iter().skip(i + 1) {
+                if self.tri(a).never_true() || self.tri(b).never_true() {
+                    continue; // a solo-dead conjunct gets its own finding
+                }
+                if self.tri(&a.clone().and(b.clone())).never_true() {
+                    push(
+                        out,
+                        "contradiction",
+                        format!("conjuncts `{a}` and `{b}` are mutually exclusive"),
+                    );
+                }
+            }
+        }
+        for (i, c) in ps.iter().enumerate() {
+            let rest = Pred::and_all(
+                ps.iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, q)| q.clone()),
+            );
+            if !rest.is_true() && !self.tri(c).certainly_true() && self.implies(&rest, c) {
+                push(
+                    out,
+                    "redundant-conjunct",
+                    format!("conjunct `{c}` is already implied by the rest of the conjunction"),
+                );
+            }
+        }
+    }
+
+    /// Type-suspect comparisons.
+    fn lint_cmp(&self, op: CmpOp, lhs: &Expr, rhs: &Expr, out: &mut Vec<Warning>) {
+        let date_side = |e: &Expr| self.mentions_date(e);
+        let bare_int = |e: &Expr| matches!(e, Expr::Int(_));
+        if (date_side(lhs) && bare_int(rhs)) || (date_side(rhs) && bare_int(lhs)) {
+            push(
+                out,
+                "type-suspect",
+                format!(
+                    "`{lhs} {op} {rhs}` compares a DATE with a bare integer literal, \
+                     use a DATE literal instead"
+                ),
+            );
+        }
+        if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+            if let Some(atom) = self.canon(op, lhs, rhs) {
+                if atom.int_form && !atom.key.is_empty() && !atom.bound.is_integer() {
+                    let verdict = if op == CmpOp::Eq {
+                        "can never hold"
+                    } else {
+                        "always holds"
+                    };
+                    push(
+                        out,
+                        "type-suspect",
+                        format!(
+                            "`{lhs} {op} {rhs}` tests an integer-valued expression against \
+                             a fractional constant and {verdict}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Does the expression mention a DATE literal or a DATE-typed column?
+    fn mentions_date(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Date(_) => true,
+            Expr::Column(c) => self.date.contains(c),
+            Expr::Int(_) | Expr::Double(_) => false,
+            Expr::Binary { lhs, rhs, .. } => self.mentions_date(lhs) || self.mentions_date(rhs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_expr::{col, lit, Date};
+
+    fn date(s: &str) -> Expr {
+        Expr::Date(Date::parse(s).unwrap())
+    }
+
+    #[test]
+    fn flags_contradictory_date_range() {
+        // The README's seeded example: an impossible shipdate window.
+        let a = Analyzer::new().with_date(["l_shipdate"]);
+        let p = col("l_shipdate")
+            .cmp(CmpOp::Lt, date("1994-01-01"))
+            .and(col("l_shipdate").cmp(CmpOp::Ge, date("1995-01-01")));
+        let warnings = a.lint(&p);
+        assert!(warnings.iter().any(|w| w.code == "contradiction"));
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.code == "contradiction" && w.message.contains("mutually exclusive")),
+            "expected a pairwise witness, got {warnings:?}"
+        );
+    }
+
+    #[test]
+    fn flags_tautology_and_redundancy() {
+        let a = Analyzer::new();
+        let w = a.lint(&col("x").cmp(CmpOp::Ge, lit(5)).or(Pred::true_()));
+        assert!(w.iter().any(|x| x.code == "tautology"));
+
+        let p = col("x")
+            .cmp(CmpOp::Ge, lit(10))
+            .and(col("x").cmp(CmpOp::Ge, lit(5)));
+        let w = a.lint(&p);
+        assert!(
+            w.iter().any(|x| x.code == "redundant-conjunct"),
+            "got {w:?}"
+        );
+    }
+
+    #[test]
+    fn flags_empty_disjunct() {
+        let a = Analyzer::new();
+        let dead = col("x")
+            .cmp(CmpOp::Lt, lit(1))
+            .and(col("x").cmp(CmpOp::Gt, lit(2)));
+        let p = dead.or(col("y").cmp(CmpOp::Ge, lit(0)));
+        let w = a.lint(&p);
+        assert!(w.iter().any(|x| x.code == "empty-disjunct"), "got {w:?}");
+        // The whole predicate is satisfiable, so no whole-predicate verdict
+        // (the dead disjunct's inner conjunction still gets its pairwise
+        // contradiction witness, which is fine).
+        assert!(!w.iter().any(|x| x.message.contains("every row")));
+    }
+
+    #[test]
+    fn flags_type_suspect_comparisons() {
+        let a = Analyzer::new().with_date(["l_shipdate"]);
+        let w = a.lint(&col("l_shipdate").cmp(CmpOp::Lt, lit(19_940_101)));
+        assert!(w.iter().any(|x| x.code == "type-suspect"), "got {w:?}");
+        // DATE + INTERVAL arithmetic is fine: the literal is a day count.
+        let ok = col("l_shipdate").cmp(CmpOp::Lt, date("1994-01-01").add(lit(90)));
+        assert!(
+            !a.lint(&ok).iter().any(|x| x.code == "type-suspect"),
+            "interval arithmetic must not be flagged"
+        );
+
+        let w = a.lint(&col("x").mul(lit(2)).cmp(CmpOp::Eq, lit(5)));
+        assert!(w.iter().any(|x| x.code == "type-suspect"), "got {w:?}");
+    }
+
+    #[test]
+    fn clean_predicate_yields_no_warnings() {
+        let a = Analyzer::new().with_date(["l_shipdate"]);
+        let p = col("l_shipdate")
+            .cmp(CmpOp::Ge, date("1994-01-01"))
+            .and(col("l_shipdate").cmp(CmpOp::Lt, date("1995-01-01")));
+        assert!(a.lint(&p).is_empty());
+    }
+
+    #[test]
+    fn warning_messages_avoid_the_wire_separator() {
+        let a = Analyzer::new();
+        let p = col("x")
+            .cmp(CmpOp::Lt, lit(1))
+            .and(col("x").cmp(CmpOp::Gt, lit(2)));
+        for w in a.lint(&p) {
+            assert!(!w.message.contains("; "));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The abstract state: per-column intervals, per-form intervals, and
+//! null-ability facts, with conjunction refinement and bound propagation.
+//!
+//! A [`State`] over-approximates the set of tuples under consideration.
+//! Refining the state with an atom assumed TRUE shrinks that set; when the
+//! intervals become empty the state collapses to ⊥ (`bottom`), meaning no
+//! tuple can satisfy the assumptions — the contradiction verdict.
+//!
+//! Multi-variable atoms are tracked as intervals over their canonical form
+//! (see [`CanonAtom`]); [`State::propagate`] then pushes those form bounds
+//! back onto the individual columns with interval arithmetic, to a fixpoint
+//! (capped at a few rounds — each round only tightens, so stopping early is
+//! sound). This recovers e.g. `a >= 22` from `b >= 11 ∧ a - 2b >= 0`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sia_expr::CmpOp;
+use sia_num::BigRat;
+
+use crate::atom::{CanonAtom, FormKey};
+use crate::interval::Interval;
+
+/// Cap on bound-propagation rounds. Propagation is monotone (intervals only
+/// shrink), so truncating the fixpoint iteration merely loses precision,
+/// never soundness.
+const PROPAGATE_ROUNDS: usize = 8;
+
+/// An abstract description of a set of tuples.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// True when the state is unsatisfiable: no tuple meets the assumptions.
+    pub bottom: bool,
+    /// Columns known to be non-NULL under the current assumptions.
+    nonnull: BTreeSet<String>,
+    /// Per-variable value intervals (columns and folded composite terms).
+    cols: BTreeMap<String, Interval>,
+    /// Intervals over multi-variable canonical forms.
+    forms: BTreeMap<FormKey, Interval>,
+}
+
+impl State {
+    /// The unconstrained state: every tuple is possible.
+    pub fn top() -> State {
+        State {
+            bottom: false,
+            nonnull: BTreeSet::new(),
+            cols: BTreeMap::new(),
+            forms: BTreeMap::new(),
+        }
+    }
+
+    /// Record that each named column is non-NULL (a comparison over them
+    /// was assumed TRUE, and SQL comparisons involving NULL are never TRUE).
+    pub fn note_nonnull(&mut self, cols: impl IntoIterator<Item = String>) {
+        self.nonnull.extend(cols);
+    }
+
+    /// Whether `col` is known non-NULL: either the schema says it cannot be
+    /// NULL (`nullable` is the set of columns that may be) or an assumption
+    /// established it.
+    pub fn is_nonnull(&self, col: &str, nullable: &BTreeSet<String>) -> bool {
+        !nullable.contains(col) || self.nonnull.contains(col)
+    }
+
+    /// The current interval for a single variable (top when unconstrained).
+    fn col_interval(&self, name: &str) -> Interval {
+        self.cols.get(name).cloned().unwrap_or_else(Interval::top)
+    }
+
+    /// The interval of possible values of a canonical form: the stored
+    /// per-form interval (if any) met with the one derived from the
+    /// per-column intervals by interval arithmetic, integer-tightened when
+    /// the form is integer-valued. The empty key is the empty sum, 0.
+    pub fn form_interval(&self, key: &FormKey, int_form: bool) -> Interval {
+        let mut derived = Interval::point(BigRat::zero());
+        for (name, coeff) in key {
+            derived = derived.add(
+                &self
+                    .col_interval(name)
+                    .scale(&BigRat::from_int(coeff.clone())),
+            );
+        }
+        if let Some(stored) = self.forms.get(key) {
+            derived = derived.intersect(stored);
+        }
+        if int_form {
+            derived = derived.tighten_int();
+        }
+        derived
+    }
+
+    /// Assume `atom` evaluates TRUE, shrinking the state accordingly.
+    pub fn assume(&mut self, atom: &CanonAtom, is_int: &dyn Fn(&str) -> bool) {
+        if self.bottom {
+            return;
+        }
+        let Some(region) = op_region(atom.op, &atom.bound) else {
+            // Disequality: over an integer form a fractional bound is
+            // vacuous, otherwise all we can refute is a pinned point.
+            if atom.int_form && !atom.bound.is_integer() {
+                return;
+            }
+            if self.form_interval(&atom.key, atom.int_form).singleton() == Some(&atom.bound) {
+                self.bottom = true;
+            }
+            return;
+        };
+        if atom.key.is_empty() {
+            if !region.contains(&BigRat::zero()) {
+                self.bottom = true;
+            }
+        } else if atom.key.len() == 1 {
+            let name = atom.key[0].0.clone();
+            let mut nu = self.col_interval(&name).intersect(&region);
+            if is_int(&name) {
+                nu = nu.tighten_int();
+            }
+            if nu.is_empty() {
+                self.bottom = true;
+            } else {
+                self.cols.insert(name, nu);
+            }
+        } else {
+            let cur = self
+                .forms
+                .get(&atom.key)
+                .cloned()
+                .unwrap_or_else(Interval::top);
+            let mut nu = cur.intersect(&region);
+            if atom.int_form {
+                nu = nu.tighten_int();
+            }
+            if nu.is_empty() {
+                self.bottom = true;
+            } else {
+                self.forms.insert(atom.key.clone(), nu);
+            }
+        }
+    }
+
+    /// Can the atom evaluate TRUE / FALSE for some tuple in this state
+    /// (ignoring NULL, which the caller layers on from column null-ability)?
+    pub fn can_sat(&self, atom: &CanonAtom) -> (bool, bool) {
+        let i = self.form_interval(&atom.key, atom.int_form);
+        if i.is_empty() {
+            return (false, false);
+        }
+        let exists = |op: CmpOp| -> bool {
+            match op_region(op, &atom.bound) {
+                Some(region) => {
+                    let mut j = i.intersect(&region);
+                    if atom.int_form {
+                        j = j.tighten_int();
+                    }
+                    !j.is_empty()
+                }
+                // Disequality holds somewhere unless the form is pinned to
+                // exactly the bound.
+                None => i.singleton() != Some(&atom.bound),
+            }
+        };
+        (exists(atom.op), exists(atom.op.negated()))
+    }
+
+    /// Push multi-variable form bounds back onto individual columns with
+    /// interval arithmetic, iterating to a (capped) fixpoint. Detects
+    /// cross-atom contradictions and collapses to ⊥.
+    pub fn propagate(&mut self, is_int: &dyn Fn(&str) -> bool) {
+        for _ in 0..PROPAGATE_ROUNDS {
+            if self.bottom {
+                return;
+            }
+            let mut changed = false;
+            let keys: Vec<FormKey> = self.forms.keys().cloned().collect();
+            for key in keys {
+                let int_form = key.iter().all(|(name, _)| is_int(name));
+                let total = self.form_interval(&key, int_form);
+                if total.is_empty() {
+                    self.bottom = true;
+                    return;
+                }
+                for j in 0..key.len() {
+                    // x_j = (form - Σ_{i≠j} a_i·x_i) / a_j
+                    let mut rest = Interval::point(BigRat::zero());
+                    for (i, (name, coeff)) in key.iter().enumerate() {
+                        if i != j {
+                            rest = rest.add(
+                                &self
+                                    .col_interval(name)
+                                    .scale(&BigRat::from_int(coeff.clone())),
+                            );
+                        }
+                    }
+                    let (name, coeff) = &key[j];
+                    let target = total
+                        .sub(&rest)
+                        .scale(&BigRat::from_int(coeff.clone()).recip());
+                    let cur = self.col_interval(name);
+                    let mut nu = cur.intersect(&target);
+                    if is_int(name) {
+                        nu = nu.tighten_int();
+                    }
+                    if nu.is_empty() {
+                        self.bottom = true;
+                        return;
+                    }
+                    if nu != cur {
+                        self.cols.insert(name.clone(), nu);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+/// The solution region of `x ⋈ bound` as an interval, or `None` for `<>`
+/// (whose region is not an interval).
+fn op_region(op: CmpOp, bound: &BigRat) -> Option<Interval> {
+    match op {
+        CmpOp::Lt => Some(Interval::at_most(bound.clone(), true)),
+        CmpOp::Le => Some(Interval::at_most(bound.clone(), false)),
+        CmpOp::Gt => Some(Interval::at_least(bound.clone(), true)),
+        CmpOp::Ge => Some(Interval::at_least(bound.clone(), false)),
+        CmpOp::Eq => Some(Interval::point(bound.clone())),
+        CmpOp::Ne => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_expr::{col, lit, CmpOp};
+
+    fn int(_: &str) -> bool {
+        true
+    }
+
+    fn canon(op: CmpOp, lhs: sia_expr::Expr, rhs: sia_expr::Expr) -> CanonAtom {
+        CanonAtom::from_cmp(op, &lhs, &rhs, &|_| false).unwrap()
+    }
+
+    #[test]
+    fn contradictory_bounds_collapse_to_bottom() {
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Lt, col("x"), lit(1)), &int);
+        assert!(!st.bottom);
+        st.assume(&canon(CmpOp::Gt, col("x"), lit(2)), &int);
+        assert!(st.bottom);
+    }
+
+    #[test]
+    fn integer_gap_is_a_contradiction() {
+        // x > 1 AND x < 2 has rational models but no integer ones.
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Gt, col("x"), lit(1)), &int);
+        st.assume(&canon(CmpOp::Lt, col("x"), lit(2)), &int);
+        assert!(st.bottom);
+    }
+
+    #[test]
+    fn fractional_equality_on_integer_form() {
+        // 2x = 5 is infeasible over integers.
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Eq, col("x").mul(lit(2)), lit(5)), &int);
+        assert!(st.bottom);
+    }
+
+    #[test]
+    fn propagation_derives_column_bounds() {
+        // b >= 11 AND a - 2b >= 0  ⊢  a >= 22 (the paper's intro example).
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Ge, col("b"), lit(11)), &int);
+        st.assume(&canon(CmpOp::Ge, col("a"), col("b").mul(lit(2))), &int);
+        st.propagate(&int);
+        assert!(!st.bottom);
+        let a = canon(CmpOp::Ge, col("a"), lit(22));
+        let (_, can_false) = st.can_sat(&a);
+        assert!(!can_false, "a >= 22 must be entailed");
+        let tighter = canon(CmpOp::Ge, col("a"), lit(23));
+        let (_, can_false) = st.can_sat(&tighter);
+        assert!(can_false, "a >= 23 is not entailed");
+    }
+
+    #[test]
+    fn propagation_finds_cross_atom_contradiction() {
+        // a <= 10 AND b >= 11 AND a - 2b >= 0 is infeasible.
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Le, col("a"), lit(10)), &int);
+        st.assume(&canon(CmpOp::Ge, col("b"), lit(11)), &int);
+        st.assume(&canon(CmpOp::Ge, col("a"), col("b").mul(lit(2))), &int);
+        st.propagate(&int);
+        assert!(st.bottom);
+    }
+
+    #[test]
+    fn disequality_refutes_pinned_point() {
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Eq, col("x"), lit(7)), &int);
+        let ne = canon(CmpOp::Ne, col("x"), lit(7));
+        let (can_true, can_false) = st.can_sat(&ne);
+        assert!(!can_true);
+        assert!(can_false);
+        st.assume(&ne, &int);
+        assert!(st.bottom);
+    }
+
+    #[test]
+    fn constant_atoms_decide_immediately() {
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Lt, lit(3), lit(2)), &int);
+        assert!(st.bottom);
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Lt, lit(2), lit(3)), &int);
+        assert!(!st.bottom);
+    }
+
+    #[test]
+    fn nonnull_tracking() {
+        let mut st = State::top();
+        let nullable: BTreeSet<String> = ["x".to_string()].into();
+        assert!(!st.is_nonnull("x", &nullable));
+        assert!(st.is_nonnull("y", &nullable));
+        st.note_nonnull(["x".to_string()]);
+        assert!(st.is_nonnull("x", &nullable));
+    }
+}

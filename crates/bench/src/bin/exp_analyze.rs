@@ -1,0 +1,187 @@
+//! Static-analyzer benchmark: how many solver calls the abstract
+//! interpretation pre-screen removes from CEGIS synthesis on the TPC-H
+//! predicate workload, and what that does to wall time.
+//!
+//! Each workload predicate is synthesized twice — once with the
+//! pre-screen disabled (pure-solver baseline) and once with it enabled —
+//! and the two runs must produce byte-identical predicates: the analyzer
+//! may only move cost, never results. Results land in
+//! `BENCH_analyze.json`.
+//!
+//! Environment knobs: `SIA_BENCH_QUERIES` (workload size, default 24)
+//! and `SIA_BENCH_ASSERT=1` to fail the run unless the pre-screen prunes
+//! at least 20% of solver calls with zero recorded soundness
+//! disagreements. Build with `--features checked` to cross-check every
+//! pruned call against the solver while measuring.
+
+use std::time::Instant;
+
+use sia_bench::util;
+use sia_core::{SiaConfig, Synthesizer};
+use sia_expr::Pred;
+use sia_obs::Counter;
+use sia_tpch::{generate_workload, WorkloadConfig, LINEITEM_COLS};
+
+struct RunStats {
+    wall_s: f64,
+    smt_checks: u64,
+    fallbacks: u64,
+    implied: u64,
+    unsat: u64,
+    disjuncts_pruned: u64,
+    checks: u64,
+    disagreements: u64,
+    results: Vec<String>,
+}
+
+fn build_workload(count: usize) -> Vec<(Pred, Vec<String>)> {
+    let queries = generate_workload(&WorkloadConfig {
+        count,
+        min_terms: 2,
+        max_terms: 4,
+        seed: 0x51A_5E4E,
+    });
+    let mut work = Vec::new();
+    for q in &queries {
+        let cols: Vec<String> = q
+            .predicate
+            .columns()
+            .into_iter()
+            .filter(|c| LINEITEM_COLS.contains(&c.as_str()))
+            .collect();
+        if cols.is_empty() {
+            continue;
+        }
+        work.push((q.predicate.clone(), cols));
+    }
+    work
+}
+
+fn counter(snapshot: &sia_obs::Snapshot, key: Counter) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map_or(0, |(_, v)| *v)
+}
+
+fn run_once(work: &[(Pred, Vec<String>)], prescreen: bool) -> RunStats {
+    sia_core::set_static_prescreen(prescreen);
+    sia_obs::reset();
+    sia_obs::enable();
+    let start = Instant::now();
+    let mut results = Vec::new();
+    for (p, cols) in work {
+        let mut syn = Synthesizer::new(SiaConfig::default());
+        let r = syn.synthesize(p, cols).expect("synthesis succeeds");
+        results.push(
+            r.predicate
+                .map_or_else(|| "TRUE".to_string(), |q| q.to_string()),
+        );
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let snapshot = sia_obs::snapshot();
+    sia_obs::disable();
+    sia_core::set_static_prescreen(true);
+    RunStats {
+        wall_s,
+        smt_checks: counter(&snapshot, Counter::SmtChecks),
+        fallbacks: counter(&snapshot, Counter::AnalyzeFallbacks),
+        implied: counter(&snapshot, Counter::AnalyzeImplied),
+        unsat: counter(&snapshot, Counter::AnalyzeUnsat),
+        disjuncts_pruned: counter(&snapshot, Counter::AnalyzeDisjunctsPruned),
+        checks: counter(&snapshot, Counter::AnalyzeChecks),
+        disagreements: counter(&snapshot, Counter::AnalyzeDisagreements),
+        results,
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let count = util::env_usize("SIA_BENCH_QUERIES", 24);
+    let work = build_workload(count);
+    println!(
+        "== analyze benchmark: {} synthesis tasks from {count} workload queries ==",
+        work.len()
+    );
+
+    let baseline = run_once(&work, false);
+    println!(
+        "baseline: {:.2}s | {} solver calls ({} validity/feasibility) | analyzer off",
+        baseline.wall_s, baseline.smt_checks, baseline.fallbacks
+    );
+    let screened = run_once(&work, true);
+    let pruned = screened.implied + screened.unsat;
+    // Prune rate over the *eligible* population: validity/feasibility
+    // checks, which are the calls the pre-screen is allowed to answer.
+    // Sample-generation model queries are out of scope by design.
+    let eligible = pruned + screened.fallbacks;
+    let prune_rate = if eligible == 0 {
+        0.0
+    } else {
+        pruned as f64 / eligible as f64
+    };
+    let speedup = baseline.wall_s / screened.wall_s.max(1e-9);
+    println!(
+        "screened: {:.2}s | {} solver calls | {} of {eligible} validity/feasibility \
+         checks pruned ({} implied, {} unsat; {} dead disjuncts) | prune rate {:.1}% | \
+         speedup {speedup:.2}x",
+        screened.wall_s,
+        screened.smt_checks,
+        pruned,
+        screened.implied,
+        screened.unsat,
+        screened.disjuncts_pruned,
+        100.0 * prune_rate
+    );
+    if screened.checks > 0 {
+        println!(
+            "checked: {} verdicts cross-checked, {} disagreements",
+            screened.checks, screened.disagreements
+        );
+    }
+
+    let agree = baseline.results == screened.results;
+    let json = format!(
+        "{{\"experiment\":\"analyze\",\"tasks\":{},\"baseline_wall_s\":{},\
+         \"screened_wall_s\":{},\"speedup\":{},\"baseline_smt_checks\":{},\
+         \"screened_smt_checks\":{},\"eligible\":{eligible},\"pruned\":{pruned},\
+         \"implied\":{},\"unsat\":{},\
+         \"disjuncts_pruned\":{},\"prune_rate\":{},\"checks\":{},\"disagreements\":{},\
+         \"results_agree\":{},\"metrics\":{}}}\n",
+        work.len(),
+        sia_obs::json_number(baseline.wall_s),
+        sia_obs::json_number(screened.wall_s),
+        sia_obs::json_number(speedup),
+        baseline.smt_checks,
+        screened.smt_checks,
+        screened.implied,
+        screened.unsat,
+        screened.disjuncts_pruned,
+        sia_obs::json_number(prune_rate),
+        screened.checks,
+        screened.disagreements,
+        u8::from(agree),
+        sia_obs::snapshot().to_json()
+    );
+    match std::fs::write("BENCH_analyze.json", &json) {
+        Ok(()) => eprintln!("results written to BENCH_analyze.json"),
+        Err(e) => eprintln!("warning: cannot write BENCH_analyze.json: {e}"),
+    }
+
+    assert!(
+        agree,
+        "pre-screen changed synthesis results — soundness violation"
+    );
+    assert_eq!(
+        screened.disagreements, 0,
+        "analyzer/solver disagreements recorded"
+    );
+    if util::env_usize("SIA_BENCH_ASSERT", 0) != 0 {
+        assert!(
+            prune_rate >= 0.20,
+            "pre-screen pruned only {:.1}% of solver calls (need >= 20%)",
+            100.0 * prune_rate
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Workspace consistency gate, run in CI.
+//!
+//! Three checks, all of which must pass:
+//!
+//! 1. **Trace lint** (when a trace file is given): every line of a
+//!    `--trace` JSONL stream must parse as a flat JSON object with a
+//!    known `type`, the stream must be non-empty, and span enter/exit
+//!    events must balance.
+//! 2. **Obs-key sync**: every [`sia_obs::Counter`] and [`sia_obs::Hist`]
+//!    variant declared in the key taxonomy must be referenced somewhere
+//!    in the workspace outside the declaration file — a key nobody emits
+//!    or reads is dead weight and usually a sign of a lost call site.
+//! 3. **Failpoint sync**: the site names passed to `sia_fault::fire` /
+//!    `fired` in the source tree and the names listed in
+//!    [`sia_fault::CATALOG`] must agree in both directions: no
+//!    undocumented sites, no catalog entries without a live `fire` call.
+//!
+//! Usage: `workspace_lint [trace.jsonl]`. Exits nonzero on any
+//! violation so CI can gate on it.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut ok = true;
+    if let Some(path) = std::env::args().nth(1) {
+        ok &= lint_trace(&path);
+    }
+    let root = workspace_root();
+    let sources = rust_sources(&root);
+    ok &= lint_obs_keys(&root, &sources);
+    ok &= lint_failpoints(&root, &sources);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root, derived from this crate's baked-in manifest dir
+/// (`crates/bench` → two levels up).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .to_path_buf()
+}
+
+/// Every `.rs` file under `crates/` and the facade `src/`, with its
+/// contents. Paths are workspace-relative for readable diagnostics.
+fn rust_sources(root: &Path) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs(&root.join(top), root, &mut files);
+    }
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(root.join(&p))
+                .unwrap_or_else(|e| panic!("workspace_lint: cannot read {p}: {e}"));
+            (p, text)
+        })
+        .collect()
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Skip build output if anyone ever nests a target dir.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("path under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+/// Check 1: the `--trace` JSONL stream is well-formed.
+fn lint_trace(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("workspace_lint: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let mut enters = 0usize;
+    let mut exits = 0usize;
+    let mut counters = 0usize;
+    let mut hists = 0usize;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        lines += 1;
+        let fields = match sia_obs::parse_object(line) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("workspace_lint: {path}:{}: malformed JSON: {e}", i + 1);
+                return false;
+            }
+        };
+        let ty = fields
+            .iter()
+            .find(|(k, _)| k == "type")
+            .and_then(|(_, v)| v.as_str());
+        match ty {
+            Some("span_enter") => enters += 1,
+            Some("span_exit") => exits += 1,
+            Some("counter") => counters += 1,
+            Some("hist") => hists += 1,
+            Some(other) => {
+                eprintln!(
+                    "workspace_lint: {path}:{}: unknown event type {other:?}",
+                    i + 1
+                );
+                return false;
+            }
+            None => {
+                eprintln!("workspace_lint: {path}:{}: missing \"type\" field", i + 1);
+                return false;
+            }
+        }
+    }
+    if lines == 0 {
+        eprintln!("workspace_lint: {path} is empty");
+        return false;
+    }
+    if enters != exits {
+        eprintln!("workspace_lint: {path}: unbalanced spans ({enters} enters, {exits} exits)");
+        return false;
+    }
+    println!(
+        "workspace_lint: trace {path} OK — {lines} events ({enters} span pairs, \
+         {counters} counters, {hists} hist samples)"
+    );
+    true
+}
+
+/// Check 2: every declared obs key variant is referenced outside the
+/// taxonomy file.
+fn lint_obs_keys(_root: &Path, sources: &[(String, String)]) -> bool {
+    const KEY_FILE: &str = "crates/obs/src/key.rs";
+    let mut variants: Vec<String> = sia_obs::Counter::ALL
+        .iter()
+        .map(|c| format!("{c:?}"))
+        .collect();
+    variants.extend(sia_obs::Hist::ALL.iter().map(|h| format!("{h:?}")));
+    let mut ok = true;
+    for v in &variants {
+        let pattern = format!("::{v}");
+        let used = sources
+            .iter()
+            .any(|(p, text)| p != KEY_FILE && text.contains(&pattern));
+        if !used {
+            eprintln!(
+                "workspace_lint: obs key {v} is declared in {KEY_FILE} but never \
+                 referenced elsewhere — emit it or remove it"
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "workspace_lint: obs keys OK — {} counters + {} hists all referenced",
+            sia_obs::Counter::ALL.len(),
+            sia_obs::Hist::ALL.len()
+        );
+    }
+    ok
+}
+
+/// Check 3: `sia_fault::fire`/`fired` site names and `sia_fault::CATALOG`
+/// agree in both directions.
+fn lint_failpoints(_root: &Path, sources: &[(String, String)]) -> bool {
+    let catalog: BTreeSet<&str> = sia_fault::CATALOG.iter().map(|(n, _, _)| *n).collect();
+    let mut ok = true;
+    let mut fired_sites: BTreeSet<String> = BTreeSet::new();
+    for (path, text) in sources {
+        // The fault crate itself (docs, parser tests) may mention
+        // arbitrary site names; the catalog governs the *users*.
+        if path.starts_with("crates/fault/") {
+            continue;
+        }
+        for (site, is_fire) in failpoint_literals(text) {
+            if !catalog.contains(site.as_str()) {
+                eprintln!(
+                    "workspace_lint: {path}: failpoint {site:?} is not in \
+                     sia_fault::CATALOG — add it or fix the name"
+                );
+                ok = false;
+            }
+            if is_fire {
+                fired_sites.insert(site);
+            }
+        }
+    }
+    for name in &catalog {
+        if !fired_sites.contains(*name) {
+            eprintln!(
+                "workspace_lint: sia_fault::CATALOG lists {name:?} but no \
+                 fire({name:?}) call site exists — remove the entry or restore the site"
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "workspace_lint: failpoints OK — {} catalog sites all live",
+            catalog.len()
+        );
+    }
+    ok
+}
+
+/// String literals passed to `fire` or `fired` calls in `text`, tagged
+/// with whether the call was `fire` (an injection site) rather than
+/// `fired` (a test-side probe).
+fn failpoint_literals(text: &str) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    for (needle, is_fire) in [("fire(\"", true), ("fired(\"", false)] {
+        let mut rest = text;
+        while let Some(at) = rest.find(needle) {
+            let tail = &rest[at + needle.len()..];
+            if let Some(end) = tail.find('"') {
+                out.push((tail[..end].to_string(), is_fire));
+                rest = &tail[end..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}

@@ -18,6 +18,7 @@ usage:
   sia synth   <predicate> --cols <c1,c2,…> [--v1|--v2] [--max-iter N]
               [--timeout-ms N] [--metrics] [--trace FILE]
   sia solve   <predicate>
+  sia lint    <predicate>
   sia project <predicate> --keep <c1,c2,…>
   sia rewrite <query-sql> --table <name>        (TPC-H benchmark schema)
   sia baseline <predicate> --cols <c1,c2,…>
@@ -29,6 +30,8 @@ usage:
 
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
 dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
+lint statically checks a predicate for contradictions, tautologies, and
+type-suspect comparisons (TPC-H column types are pre-seeded).
 --metrics prints a per-phase wall-time and solver-counter breakdown;
 --trace streams every span/counter event as JSONL to FILE.
 serve speaks line-delimited JSON over TCP (one request object per line,
@@ -101,6 +104,12 @@ pub enum Command {
     },
     /// Check satisfiability and print a model.
     Solve {
+        /// The predicate source.
+        predicate: String,
+    },
+    /// Statically analyze a predicate for contradictions, tautologies,
+    /// and type-suspect comparisons.
+    Lint {
         /// The predicate source.
         predicate: String,
     },
@@ -286,6 +295,9 @@ impl Command {
             "solve" => Ok(Command::Solve {
                 predicate: positional,
             }),
+            "lint" => Ok(Command::Lint {
+                predicate: positional,
+            }),
             "project" => {
                 if keep.is_empty() {
                     return Err("project requires --keep".into());
@@ -436,6 +448,25 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 }
                 SmtResult::Unsat => Ok("unsat".to_string()),
                 SmtResult::Unknown => Ok("unknown (budget exhausted)".to_string()),
+            }
+        }
+        Command::Lint { predicate } => {
+            let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
+            // Seed the analyzer with the TPC-H benchmark schemas so DATE
+            // and DOUBLE columns are typed; unknown columns default to
+            // INTEGER NOT NULL, matching the synthesizer's encoder.
+            let analyzer = sia_analyze::Analyzer::new()
+                .with_schema(&sia_tpch::lineitem_schema())
+                .with_schema(&sia_tpch::orders_schema());
+            let warnings = analyzer.lint(&p);
+            if warnings.is_empty() {
+                Ok("no warnings".to_string())
+            } else {
+                Ok(warnings
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n"))
             }
         }
         Command::Project { predicate, keep } => {
@@ -692,6 +723,45 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, "unsat");
+    }
+
+    #[test]
+    fn run_lint() {
+        // A contradictory TPC-H date range: every row is filtered out.
+        let out = run(Command::Lint {
+            predicate: "l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1994-01-01'".into(),
+        })
+        .unwrap();
+        assert!(out.contains("contradiction"), "{out}");
+        // A DATE column compared against a bare integer is type-suspect.
+        let out = run(Command::Lint {
+            predicate: "l_shipdate < 19940101".into(),
+        })
+        .unwrap();
+        assert!(out.contains("DATE"), "{out}");
+        // A sensible predicate is clean.
+        let out = run(Command::Lint {
+            predicate: "l_quantity < 24 AND l_discount >= 0".into(),
+        })
+        .unwrap();
+        assert_eq!(out, "no warnings");
+        // Parsing is still enforced.
+        assert!(run(Command::Lint {
+            predicate: "a <".into()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn parse_lint() {
+        let cmd = Command::parse(&strs(&["lint", "a < 0 AND a > 10"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                predicate: "a < 0 AND a > 10".into()
+            }
+        );
+        assert!(Command::parse(&strs(&["lint"])).is_err());
     }
 
     #[test]

@@ -140,6 +140,16 @@ impl PredEncoder {
         self.value_vars.iter().map(|(c, v)| (c.as_str(), *v))
     }
 
+    /// The columns marked nullable (see [`PredEncoder::with_nullable`]).
+    pub fn nullable_cols(&self) -> &BTreeSet<String> {
+        &self.nullable
+    }
+
+    /// The declared type of a column, as the type oracle reports it.
+    pub fn column_type(&self, col: &str) -> DataType {
+        (self.col_type)(col)
+    }
+
     fn check_composites(&self, p: &Pred) -> Result<(), EncodeError> {
         // Collect "usage units" per atom side: composite names and plain
         // column names as they appear after linearization.

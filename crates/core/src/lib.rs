@@ -27,6 +27,7 @@ pub mod baselines;
 pub mod cegqi;
 pub mod encode;
 pub mod learn;
+pub(crate) mod prescreen;
 pub mod rewrite;
 pub mod samples;
 pub mod synth;
@@ -34,6 +35,7 @@ pub mod verify;
 
 pub use encode::{EncodeError, PredEncoder};
 pub use learn::{learn, LearnConfig, LearnOutput, LearnedPlane};
+pub use prescreen::set_enabled as set_static_prescreen;
 pub use rewrite::{rewrite_query, RewriteError, RewriteOutcome};
 pub use samples::{SampleOutcome, Sampler};
 pub use synth::{

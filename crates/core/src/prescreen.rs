@@ -1,0 +1,138 @@
+//! Static pre-screening of solver queries with `sia-analyze`.
+//!
+//! The CEGIS loop asks the SMT solver three kinds of question over and
+//! over: validity (`p ⇒ p₁`), feasibility (is `p` satisfiable at all), and
+//! pairwise redundancy during output simplification. A large share of those
+//! are decidable by the abstract-interpretation oracle at a fraction of the
+//! cost; this module builds an [`Analyzer`] that mirrors the encoder's type
+//! and null-ability assumptions so its verdicts are sound for exactly the
+//! formulas the solver would otherwise see.
+//!
+//! Under the `checked` feature every verdict the analyzer uses to *skip* a
+//! solver call is re-asked of the solver anyway, and a disagreement — the
+//! analyzer claimed a fact the solver refutes — aborts the process. The
+//! `analyze.checks` / `analyze.disagreements` counters make the harness
+//! auditable; the bench gate requires the latter to stay at zero.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use sia_analyze::Analyzer;
+use sia_expr::{DataType, Pred};
+
+use crate::encode::PredEncoder;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable the static pre-screen (on by default).
+///
+/// Exists for benchmarking: turning the analyzer off yields the
+/// pure-solver baseline the `exp_analyze` experiment compares against.
+/// Results must be identical either way — only the cost moves.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the static pre-screen is currently enabled.
+pub(crate) fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// An analyzer agreeing with `enc`'s model of the columns mentioned by
+/// `preds`: `DOUBLE` columns are real-valued (no integer tightening),
+/// everything else — including composite columns, which the encoder sorts
+/// as integers — is integer-valued; null-ability follows the encoder's
+/// nullable set.
+pub(crate) fn analyzer_for(enc: &PredEncoder, preds: &[&Pred]) -> Analyzer {
+    let mut cols = BTreeSet::new();
+    for p in preds {
+        p.collect_columns(&mut cols);
+    }
+    let real: Vec<String> = cols
+        .iter()
+        .filter(|c| enc.column_type(c) == DataType::Double)
+        .cloned()
+        .collect();
+    let nullable: Vec<String> = cols
+        .iter()
+        .filter(|c| enc.nullable_cols().contains(*c))
+        .cloned()
+        .collect();
+    Analyzer::new().with_real(real).with_nullable(nullable)
+}
+
+/// Record a solver-skipping verdict and, under `checked`, cross-check it.
+///
+/// `claim` describes the verdict for the panic message; `refuted` re-asks
+/// the solver and must return true only when the solver found a concrete
+/// counterexample (an `Unknown` is not a refutation — the analyzer is
+/// allowed to know more than a budget-limited solver).
+pub(crate) fn audit_verdict(
+    counter: sia_obs::Counter,
+    count: u64,
+    claim: &dyn Fn() -> String,
+    refuted: &mut dyn FnMut() -> bool,
+) {
+    sia_obs::add(counter, count);
+    let _ = &claim;
+    let _ = &refuted;
+    #[cfg(feature = "checked")]
+    {
+        sia_obs::add(sia_obs::Counter::AnalyzeChecks, 1);
+        if refuted() {
+            sia_obs::add(sia_obs::Counter::AnalyzeDisagreements, 1);
+            panic!("sia-analyze soundness violation: {}", claim());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_sql::parse_predicate;
+
+    #[test]
+    fn analyzer_mirrors_encoder_types() {
+        let enc = PredEncoder::new()
+            .with_types(|c| {
+                if c == "d" {
+                    DataType::Double
+                } else {
+                    DataType::Integer
+                }
+            })
+            .with_nullable(["n".to_string()]);
+        let p = parse_predicate("d > 0 AND d < 1").unwrap();
+        let an = analyzer_for(&enc, &[&p]);
+        // 0 < d < 1 is satisfiable for a DOUBLE column.
+        assert!(!an.statically_unsat(&p));
+
+        let q = parse_predicate("i > 0 AND i < 1").unwrap();
+        let an = analyzer_for(&enc, &[&q]);
+        assert!(an.statically_unsat(&q));
+
+        let r = parse_predicate("n <> 0 OR n = 0").unwrap();
+        let an = analyzer_for(&enc, &[&r]);
+        assert!(!an.statically_true(&r), "nullable n can make this NULL");
+    }
+
+    #[test]
+    fn audit_verdict_counts() {
+        let get = || {
+            sia_obs::snapshot()
+                .counters
+                .iter()
+                .find(|(k, _)| *k == sia_obs::Counter::AnalyzeImplied)
+                .map_or(0, |(_, v)| *v)
+        };
+        sia_obs::enable();
+        let base = get();
+        audit_verdict(
+            sia_obs::Counter::AnalyzeImplied,
+            1,
+            &|| "test".to_string(),
+            &mut || false,
+        );
+        assert!(get() > base);
+    }
+}

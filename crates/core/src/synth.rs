@@ -242,8 +242,25 @@ impl Synthesizer {
         let gen_start = Instant::now();
         let p_f = enc.encode(p)?;
         // Degenerate: p unsatisfiable ⇒ FALSE is a valid, optimal
-        // reduction (it is implied by p and rejects everything).
-        if enc.solver().check(&p_f).is_unsat() {
+        // reduction (it is implied by p and rejects everything). The
+        // static analyzer answers most such cases — contradictory bounds,
+        // integer gaps, fractional equalities — without a solver call.
+        let analyzer = crate::prescreen::analyzer_for(enc, &[p]);
+        let mut known_unsat = false;
+        if crate::prescreen::enabled() && analyzer.statically_unsat(p) {
+            known_unsat = true;
+            crate::prescreen::audit_verdict(
+                sia_obs::Counter::AnalyzeUnsat,
+                1,
+                &|| format!("claimed `{p}` is statically unsatisfiable, solver found a model"),
+                &mut || matches!(enc.solver().check(&p_f), sia_smt::SmtResult::Sat(_)),
+            );
+        }
+        let p_unsat = known_unsat || {
+            sia_obs::add(sia_obs::Counter::AnalyzeFallbacks, 1);
+            enc.solver().check(&p_f).is_unsat()
+        };
+        if p_unsat {
             stats.generation_time += gen_start.elapsed();
             return Ok(SynthesisResult {
                 predicate: Some(Pred::false_()),
@@ -263,7 +280,38 @@ impl Synthesizer {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b97f4a7c15);
         let false_region: Option<Formula> = match self.config.false_strategy {
             // On QE budget errors this is None and we fall back to CEGQI.
-            FalseSampleStrategy::CooperQe => unsat_region(&p_f, &others, &self.config.qe).ok(),
+            // Statically-dead disjuncts of p are pruned first: they admit
+            // no TRUE tuple, so the projection ∃ others . p is unchanged
+            // while Cooper elimination skips their atoms entirely.
+            FalseSampleStrategy::CooperQe => {
+                let (qe_pred, pruned) = if crate::prescreen::enabled() {
+                    analyzer.prune_never_true_disjuncts(p)
+                } else {
+                    (p.clone(), 0)
+                };
+                let qe_f = if pruned > 0 {
+                    let f = enc.encode(&qe_pred)?;
+                    crate::prescreen::audit_verdict(
+                        sia_obs::Counter::AnalyzeDisjunctsPruned,
+                        pruned as u64,
+                        &|| {
+                            format!(
+                                "pruned disjuncts of `{p}` changed its models (kept `{qe_pred}`)"
+                            )
+                        },
+                        &mut || {
+                            matches!(
+                                enc.solver().check(&p_f.clone().and(f.clone().not())),
+                                sia_smt::SmtResult::Sat(_)
+                            )
+                        },
+                    );
+                    f
+                } else {
+                    p_f.clone()
+                };
+                unsat_region(&qe_f, &others, &self.config.qe).ok()
+            }
             FalseSampleStrategy::Cegqi => None,
         };
         let mut ts_sampler = Sampler::new(p_f.clone(), keep.clone(), self.config.seed);

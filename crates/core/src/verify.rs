@@ -27,6 +27,22 @@ pub fn verify_implies(
     let p_true = enc.encode_is_true_3v(p)?;
     let c_true = enc.encode_is_true_3v(candidate)?;
     let q = p_true.and(c_true.not());
+    // Static fast-path: the abstract-interpretation oracle proves most
+    // interval-shaped implications without touching the solver. (Encoding
+    // happens first regardless, so the checked cross-check and the slow
+    // path see identical formulas.)
+    if crate::prescreen::enabled()
+        && crate::prescreen::analyzer_for(enc, &[p, candidate]).implies(p, candidate)
+    {
+        crate::prescreen::audit_verdict(
+            sia_obs::Counter::AnalyzeImplied,
+            1,
+            &|| format!("claimed `{p}` implies `{candidate}`, solver found a counterexample"),
+            &mut || matches!(enc.solver().check(&q), SmtResult::Sat(_)),
+        );
+        return Ok(Validity::Valid);
+    }
+    sia_obs::add(sia_obs::Counter::AnalyzeFallbacks, 1);
     Ok(match enc.solver().check(&q) {
         SmtResult::Unsat => Validity::Valid,
         SmtResult::Sat(_) => Validity::Invalid,
@@ -58,6 +74,7 @@ pub fn remove_redundant_conjuncts(enc: &mut PredEncoder, p: &Pred) -> Pred {
     if conjuncts.len() <= 1 {
         return p.clone();
     }
+    let analyzer = crate::prescreen::analyzer_for(enc, &[p]);
     let mut kept = conjuncts;
     let mut i = 0;
     while i < kept.len() {
@@ -71,9 +88,27 @@ pub fn remove_redundant_conjuncts(enc: &mut PredEncoder, p: &Pred) -> Pred {
                 .filter(|(j, _)| *j != i)
                 .map(|(_, c)| c.clone()),
         );
-        let implied = match (enc.encode(&rest), enc.encode(&candidate)) {
-            (Ok(r), Ok(c)) => enc.solver().check(&r.and(c.not())).is_unsat(),
-            _ => false,
+        // The static oracle settles the common case (superseded interval
+        // bounds from successive CEGIS iterations) without a solver call.
+        let implied = if crate::prescreen::enabled() && analyzer.implies(&rest, &candidate) {
+            crate::prescreen::audit_verdict(
+                sia_obs::Counter::AnalyzeImplied,
+                1,
+                &|| format!("claimed `{rest}` implies `{candidate}`, solver disagrees"),
+                &mut || match (enc.encode(&rest), enc.encode(&candidate)) {
+                    (Ok(r), Ok(c)) => {
+                        matches!(enc.solver().check(&r.and(c.not())), SmtResult::Sat(_))
+                    }
+                    _ => false,
+                },
+            );
+            true
+        } else {
+            sia_obs::add(sia_obs::Counter::AnalyzeFallbacks, 1);
+            match (enc.encode(&rest), enc.encode(&candidate)) {
+                (Ok(r), Ok(c)) => enc.solver().check(&r.and(c.not())).is_unsat(),
+                _ => false,
+            }
         };
         if implied {
             kept.remove(i);
@@ -90,6 +125,7 @@ pub fn remove_redundant_conjuncts(enc: &mut PredEncoder, p: &Pred) -> Pred {
 /// subsumed by a later, weaker one.
 pub fn remove_redundant_disjuncts(enc: &mut PredEncoder, p: &Pred) -> Pred {
     let Pred::Or(ds) = p else { return p.clone() };
+    let analyzer = crate::prescreen::analyzer_for(enc, &[p]);
     let mut kept: Vec<Pred> = ds.clone();
     let mut i = 0;
     while i < kept.len() {
@@ -104,9 +140,25 @@ pub fn remove_redundant_disjuncts(enc: &mut PredEncoder, p: &Pred) -> Pred {
                 .map(|(_, c)| c.clone()),
         );
         // candidate ⇒ rest ⟺ candidate ∧ ¬rest unsat.
-        let implied = match (enc.encode(&candidate), enc.encode(&rest)) {
-            (Ok(c), Ok(r)) => enc.solver().check(&c.and(r.not())).is_unsat(),
-            _ => false,
+        let implied = if crate::prescreen::enabled() && analyzer.implies(&candidate, &rest) {
+            crate::prescreen::audit_verdict(
+                sia_obs::Counter::AnalyzeImplied,
+                1,
+                &|| format!("claimed `{candidate}` implies `{rest}`, solver disagrees"),
+                &mut || match (enc.encode(&candidate), enc.encode(&rest)) {
+                    (Ok(c), Ok(r)) => {
+                        matches!(enc.solver().check(&c.and(r.not())), SmtResult::Sat(_))
+                    }
+                    _ => false,
+                },
+            );
+            true
+        } else {
+            sia_obs::add(sia_obs::Counter::AnalyzeFallbacks, 1);
+            match (enc.encode(&candidate), enc.encode(&rest)) {
+                (Ok(c), Ok(r)) => enc.solver().check(&c.and(r.not())).is_unsat(),
+                _ => false,
+            }
         };
         if implied {
             kept.remove(i);

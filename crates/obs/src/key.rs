@@ -90,11 +90,32 @@ pub enum Counter {
     FaultPanics,
     /// Injected faults whose action was `delay` (`fault.delays`).
     FaultDelays,
+    /// SMT validity calls skipped because the static analyzer proved the
+    /// implication (`analyze.implied`).
+    AnalyzeImplied,
+    /// Synthesis targets the static analyzer proved unsatisfiable before
+    /// any solver call (`analyze.unsat`).
+    AnalyzeUnsat,
+    /// Statically-dead disjuncts pruned before quantifier elimination
+    /// (`analyze.disjuncts_pruned`).
+    AnalyzeDisjunctsPruned,
+    /// Lint warnings attached to serve responses (`analyze.lint_warnings`).
+    AnalyzeLintWarnings,
+    /// Analyzer verdicts cross-checked against the solver under the
+    /// `checked` feature (`analyze.checks`).
+    AnalyzeChecks,
+    /// Cross-checks where analyzer and solver disagreed — always a bug
+    /// (`analyze.disagreements`).
+    AnalyzeDisagreements,
+    /// Validity/feasibility checks the analyzer could not settle,
+    /// answered by the solver — the denominator (together with the
+    /// pruned counts) of the pre-screen hit rate (`analyze.fallbacks`).
+    AnalyzeFallbacks,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 43] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -131,6 +152,13 @@ impl Counter {
         Counter::FaultErrors,
         Counter::FaultPanics,
         Counter::FaultDelays,
+        Counter::AnalyzeImplied,
+        Counter::AnalyzeUnsat,
+        Counter::AnalyzeDisjunctsPruned,
+        Counter::AnalyzeLintWarnings,
+        Counter::AnalyzeChecks,
+        Counter::AnalyzeDisagreements,
+        Counter::AnalyzeFallbacks,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -172,6 +200,13 @@ impl Counter {
             Counter::FaultErrors => "fault.errors",
             Counter::FaultPanics => "fault.panics",
             Counter::FaultDelays => "fault.delays",
+            Counter::AnalyzeImplied => "analyze.implied",
+            Counter::AnalyzeUnsat => "analyze.unsat",
+            Counter::AnalyzeDisjunctsPruned => "analyze.disjuncts_pruned",
+            Counter::AnalyzeLintWarnings => "analyze.lint_warnings",
+            Counter::AnalyzeChecks => "analyze.checks",
+            Counter::AnalyzeDisagreements => "analyze.disagreements",
+            Counter::AnalyzeFallbacks => "analyze.fallbacks",
         }
     }
 

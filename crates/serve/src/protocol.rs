@@ -24,6 +24,11 @@
 //! `shed`), and echoes the *original* predicate — the always-valid,
 //! never-optimal fallback. Clients treat it exactly like "no useful
 //! reduction found": keep the original query plan.
+//!
+//! **Lint warnings**: responses may carry a `warnings` field — static
+//! analysis findings about the request predicate (contradictions,
+//! tautologies, type-suspect comparisons), joined with `"; "`. Advisory
+//! only; omitted when there is nothing to flag.
 
 use sia_obs::{json_string, parse_object, JsonValue};
 
@@ -134,6 +139,12 @@ pub struct Response {
     /// Why the response is degraded (`panic` / `timeout` / `internal` /
     /// `shed`).
     pub reason: Option<String>,
+    /// Static-analysis lint warnings about the *request* predicate
+    /// (contradictory, tautological, or type-suspect conjuncts). Purely
+    /// advisory: the synthesized result is unaffected. Serialized as one
+    /// `"; "`-joined string field, omitted when empty; individual
+    /// messages never contain `"; "`.
+    pub warnings: Vec<String>,
     /// Pool health, present on answers to the `health` op.
     pub health: Option<HealthInfo>,
 }
@@ -156,6 +167,7 @@ impl Response {
             error: None,
             degraded: false,
             reason: None,
+            warnings: Vec::new(),
             health: None,
         }
     }
@@ -181,6 +193,12 @@ impl Response {
         }
         if let Some(r) = &self.reason {
             out.push_str(&format!(",\"reason\":{}", json_string(r)));
+        }
+        if !self.warnings.is_empty() {
+            out.push_str(&format!(
+                ",\"warnings\":{}",
+                json_string(&self.warnings.join("; "))
+            ));
         }
         if let Some(h) = &self.health {
             out.push_str(&format!(
@@ -219,6 +237,9 @@ impl Response {
                 ("predicate", JsonValue::Str(s)) => resp.predicate = Some(s),
                 ("error", JsonValue::Str(s)) => resp.error = Some(s),
                 ("reason", JsonValue::Str(s)) => resp.reason = Some(s),
+                ("warnings", JsonValue::Str(s)) => {
+                    resp.warnings = s.split("; ").map(str::to_string).collect();
+                }
                 ("optimal", JsonValue::Num(n)) => resp.optimal = n != 0.0,
                 ("cached", JsonValue::Num(n)) => resp.cached = n != 0.0,
                 ("degraded", JsonValue::Num(n)) => resp.degraded = n != 0.0,
@@ -378,6 +399,25 @@ mod tests {
         assert!(!Response::plain("q", Status::Ok)
             .to_line()
             .contains("degraded"));
+    }
+
+    #[test]
+    fn warnings_round_trip() {
+        let r = Response {
+            predicate: Some("x < 10".into()),
+            warnings: vec![
+                "[contradiction] filters out every row".into(),
+                "[tautology] conjunct is always true".into(),
+            ],
+            ..Response::plain("q4", Status::Ok)
+        };
+        let line = r.to_line();
+        assert!(line.contains("\"warnings\""), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), r);
+        // Warnings are opt-in on the wire: clean responses omit the field.
+        assert!(!Response::plain("q", Status::Ok)
+            .to_line()
+            .contains("warnings"));
     }
 
     #[test]

@@ -48,6 +48,7 @@ use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use sia_analyze::Analyzer;
 use sia_cache::{canonicalize, PredicateCache};
 use sia_core::{SiaConfig, SynthesisError, Synthesizer};
 use sia_expr::Pred;
@@ -641,12 +642,14 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
             });
         }
     };
+    let warnings = lint_warnings(&p);
     let canon = canonicalize(&p);
     if let Some(hit) = cache.lookup(&canon, &req.cols) {
         return finish(Response {
             predicate: (!hit.predicate.is_true()).then(|| hit.predicate.to_string()),
             optimal: hit.optimal,
             cached: true,
+            warnings,
             ..Response::plain(&req.id, Status::Ok)
         });
     }
@@ -666,6 +669,7 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
             finish(Response {
                 predicate: (!predicate.is_true()).then(|| predicate.to_string()),
                 optimal: result.optimal,
+                warnings,
                 ..Response::plain(&req.id, Status::Ok)
             })
         }
@@ -677,21 +681,40 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
             finish(Response {
                 predicate: Some(req.predicate.clone()),
                 reason: Some("timeout".into()),
+                warnings,
                 ..degraded_body(&req.id, Status::Timeout)
             })
         }
         Err(SynthesisError::Internal(msg)) => finish(Response {
             error: Some(msg),
+            warnings,
             ..degraded(&req.id, &req.predicate, "internal")
         }),
         Err(e) => {
             sia_obs::add(Counter::ServeErrors, 1);
             finish(Response {
                 error: Some(e.to_string()),
+                warnings,
                 ..Response::plain(&req.id, Status::Error)
             })
         }
     }
+}
+
+/// Static-analysis lint of the request predicate. Advisory only: the
+/// result rides along on the response's `warnings` field and never
+/// changes the synthesis outcome.
+fn lint_warnings(p: &Pred) -> Vec<String> {
+    let warnings: Vec<String> = Analyzer::new()
+        .lint(p)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    sia_obs::add(
+        Counter::AnalyzeLintWarnings,
+        u64::try_from(warnings.len()).unwrap_or(u64::MAX),
+    );
+    warnings
 }
 
 /// A degraded response skeleton with an explicit status (used for

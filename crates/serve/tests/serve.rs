@@ -185,6 +185,52 @@ fn malformed_lines_get_error_responses() {
 }
 
 #[test]
+fn contradictory_predicate_carries_warnings() {
+    let handle = server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let req = Request {
+        id: "w0".into(),
+        predicate: "x < 0 AND x > 10".into(),
+        cols: strs(&["x"]),
+        timeout_ms: None,
+    };
+    let fresh = client::request_one(&addr, &req).expect("fresh run");
+    assert_eq!(fresh.status, Status::Ok, "{fresh:?}");
+    assert!(
+        fresh.warnings.iter().any(|w| w.contains("contradiction")),
+        "expected a contradiction warning: {fresh:?}"
+    );
+    // Warnings describe the *request*, so a cache hit re-lints and still
+    // carries them.
+    let cached = client::request_one(&addr, &req).expect("cached run");
+    assert!(cached.cached, "{cached:?}");
+    assert!(
+        cached.warnings.iter().any(|w| w.contains("contradiction")),
+        "expected a contradiction warning on the cache hit: {cached:?}"
+    );
+
+    // A clean predicate stays warning-free.
+    let clean = client::request_one(
+        &addr,
+        &Request {
+            id: "w1".into(),
+            predicate: "x < 5 AND y > 2".into(),
+            cols: strs(&["x"]),
+            timeout_ms: None,
+        },
+    )
+    .expect("clean run");
+    assert_eq!(clean.status, Status::Ok, "{clean:?}");
+    assert!(clean.warnings.is_empty(), "{clean:?}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn cache_persists_across_restarts() {
     let dir = std::env::temp_dir().join(format!("sia-serve-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -21,6 +21,9 @@
 //!   every layer above,
 //! * [`fault`] — deterministic fault injection (named failpoints) driving
 //!   the chaos tests of every layer above,
+//! * [`analyze`] — abstract interpretation over the predicate language
+//!   (intervals, congruence, 3VL null-ability) whose implication and
+//!   contradiction oracle prunes SMT calls and powers `sia lint`,
 //! * [`core`] — Sia itself: the counter-example guided synthesis loop,
 //! * [`cache`] — a canonicalizing predicate cache (alpha-renamed templates,
 //!   sharded LRU, JSONL persistence),
@@ -43,6 +46,7 @@
 //! assert!(result.optimal);
 //! ```
 
+pub use sia_analyze as analyze;
 pub use sia_cache as cache;
 pub use sia_core as core;
 pub use sia_engine as engine;

@@ -8,6 +8,10 @@
 //!
 //! * **Intervals** over exact rationals ([`Interval`]), with integer
 //!   tightening for integer-sorted variables;
+//! * **Zones** (difference-bound matrices, [`Zone`]): relational facts of
+//!   the form `x - y ≤ c`, closed under shortest paths and reduced against
+//!   the interval state, giving transitive entailments (`a - b ≤ 3 ∧
+//!   b - c ≤ 4 ⊢ a - c ≤ 7`) and exact projection ([`Analyzer::derive`]);
 //! * **Congruence** facts in the style of the solver's divisibility atoms:
 //!   after canonicalizing a linear atom to coprime integer coefficients
 //!   ([`CanonAtom`]), the only residual divisibility question is whether the
@@ -41,13 +45,17 @@ use sia_expr::{CmpOp, DataType, Expr, Pred, Schema};
 mod atom;
 mod interval;
 mod lint;
+mod project;
 mod state;
 mod tri;
+mod zone;
 
 pub use atom::{CanonAtom, FormKey};
 pub use interval::{Bound, Interval};
 pub use lint::Warning;
+pub use project::Derivation;
 pub use tri::Tri;
+pub use zone::Zone;
 
 use state::State;
 
@@ -398,6 +406,20 @@ mod tests {
         let p = cmp(CmpOp::Ge, col("x"), lit(10)).or(cmp(CmpOp::Ge, col("x"), lit(20)));
         assert!(a.implies(&p, &cmp(CmpOp::Ge, col("x"), lit(10))));
         assert!(!a.implies(&p, &cmp(CmpOp::Ge, col("x"), lit(20))));
+    }
+
+    #[test]
+    fn implies_through_difference_chain() {
+        let a = Analyzer::new();
+        // a - b <= 3 AND b - c <= 4 ⇒ a - c <= 7 needs the zone closure:
+        // no single canonical form relates a and c.
+        let p = cmp(CmpOp::Le, col("a").sub(col("b")), lit(3)).and(cmp(
+            CmpOp::Le,
+            col("b").sub(col("c")),
+            lit(4),
+        ));
+        assert!(a.implies(&p, &cmp(CmpOp::Le, col("a").sub(col("c")), lit(7))));
+        assert!(!a.implies(&p, &cmp(CmpOp::Le, col("a").sub(col("c")), lit(6))));
     }
 
     #[test]

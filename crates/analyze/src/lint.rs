@@ -27,6 +27,19 @@ pub struct Warning {
     pub message: String,
 }
 
+impl Warning {
+    /// Severity bucket for exit codes and structured output: a
+    /// `contradiction` means the predicate (or part of it) provably does
+    /// the wrong amount of work and is reported as `"error"`; every other
+    /// code is advisory and reported as `"warning"`.
+    pub fn severity(&self) -> &'static str {
+        match self.code {
+            "contradiction" => "error",
+            _ => "warning",
+        }
+    }
+}
+
 impl fmt::Display for Warning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {}", self.code, self.message)

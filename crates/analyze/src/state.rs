@@ -15,10 +15,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use sia_expr::CmpOp;
-use sia_num::BigRat;
+use sia_num::{BigInt, BigRat};
 
 use crate::atom::{CanonAtom, FormKey};
 use crate::interval::Interval;
+use crate::zone::Zone;
 
 /// Cap on bound-propagation rounds. Propagation is monotone (intervals only
 /// shrink), so truncating the fixpoint iteration merely loses precision,
@@ -210,11 +211,115 @@ impl State {
                     }
                 }
             }
+            changed |= self.zone_step(is_int);
+            if self.bottom {
+                return;
+            }
             if !changed {
                 return;
             }
         }
     }
+
+    /// One step of the reduced product with the zone domain: load every
+    /// unit-difference form and the unary bounds on its variables into a
+    /// DBM, close it, and write the tightened unary bounds *and all closed
+    /// pairwise differences* back. This is what turns two difference facts
+    /// into a third (`a - b ≤ 3 ∧ b - c ≤ 4 ⊢ a - c ≤ 7`), which the
+    /// per-form interval propagation above cannot see. Returns whether
+    /// anything tightened; collapses to ⊥ on a negative cycle.
+    fn zone_step(&mut self, is_int: &dyn Fn(&str) -> bool) -> bool {
+        let mut vars: Vec<String> = Vec::new();
+        let mut diffs: Vec<(String, String)> = Vec::new();
+        for key in self.forms.keys() {
+            if let [(a, ca), (b, cb)] = key.as_slice() {
+                if ca.is_one() && (-cb.clone()).is_one() {
+                    for v in [a, b] {
+                        if !vars.contains(v) {
+                            vars.push(v.clone());
+                        }
+                    }
+                    diffs.push((a.clone(), b.clone()));
+                }
+            }
+        }
+        if diffs.is_empty() {
+            return false;
+        }
+        let mut z = Zone::top(vars.clone(), is_int);
+        for v in &vars {
+            let i = z.index_of(v).expect("tracked var");
+            z.constrain_interval(i, 0, &self.col_interval(v));
+        }
+        for (a, b) in &diffs {
+            let key = diff_key(a, b);
+            let iv = self.form_interval(&key, is_int(a) && is_int(b));
+            let (i, j) = (
+                z.index_of(a).expect("tracked var"),
+                z.index_of(b).expect("tracked var"),
+            );
+            z.constrain_interval(i, j, &iv);
+        }
+        if !z.close() {
+            self.bottom = true;
+            return true;
+        }
+        let mut changed = false;
+        for v in &vars {
+            let i = z.index_of(v).expect("tracked var");
+            let cur = self.col_interval(v);
+            let mut nu = cur.intersect(&z.diff_interval(i, 0));
+            if is_int(v) {
+                nu = nu.tighten_int();
+            }
+            if nu.is_empty() {
+                self.bottom = true;
+                return true;
+            }
+            if nu != cur {
+                self.cols.insert(v.clone(), nu);
+                changed = true;
+            }
+        }
+        for (ai, a) in vars.iter().enumerate() {
+            for b in &vars[ai + 1..] {
+                // Canonical form keys are name-sorted with positive leading
+                // coefficient, so the stored direction is min(a,b) − max(a,b).
+                let (x, y) = if a < b { (a, b) } else { (b, a) };
+                let (i, j) = (
+                    z.index_of(x).expect("tracked var"),
+                    z.index_of(y).expect("tracked var"),
+                );
+                let iv = z.diff_interval(i, j);
+                if iv.lo.is_none() && iv.hi.is_none() {
+                    continue;
+                }
+                let key = diff_key(x, y);
+                let cur = self.forms.get(&key).cloned().unwrap_or_else(Interval::top);
+                let mut nu = cur.intersect(&iv);
+                if is_int(x) && is_int(y) {
+                    nu = nu.tighten_int();
+                }
+                if nu.is_empty() {
+                    self.bottom = true;
+                    return true;
+                }
+                if nu != cur {
+                    self.forms.insert(key, nu);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// The canonical form key of the difference `a - b` (callers pass `a < b`).
+fn diff_key(a: &str, b: &str) -> FormKey {
+    vec![
+        (a.to_string(), BigInt::one()),
+        (b.to_string(), -BigInt::one()),
+    ]
 }
 
 /// The solution region of `x ⋈ bound` as an interval, or `None` for `<>`
@@ -316,6 +421,35 @@ mod tests {
         let mut st = State::top();
         st.assume(&canon(CmpOp::Lt, lit(2), lit(3)), &int);
         assert!(!st.bottom);
+    }
+
+    #[test]
+    fn zone_closure_derives_transitive_differences() {
+        // a - b <= 3 AND b - c <= 4 ⊢ a - c <= 7 (invisible to per-form
+        // interval propagation; found by the zone reduced product).
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Le, col("a").sub(col("b")), lit(3)), &int);
+        st.assume(&canon(CmpOp::Le, col("b").sub(col("c")), lit(4)), &int);
+        st.propagate(&int);
+        assert!(!st.bottom);
+        let q = canon(CmpOp::Le, col("a").sub(col("c")), lit(7));
+        let (_, can_false) = st.can_sat(&q);
+        assert!(!can_false, "a - c <= 7 must be entailed");
+        let tight = canon(CmpOp::Le, col("a").sub(col("c")), lit(6));
+        let (_, can_false) = st.can_sat(&tight);
+        assert!(can_false, "a - c <= 6 is not entailed");
+    }
+
+    #[test]
+    fn zone_closure_detects_difference_cycles() {
+        // a - b <= -1, b - c <= 0, c - a <= 0: the cycle sums to -1.
+        let mut st = State::top();
+        st.assume(&canon(CmpOp::Le, col("a").sub(col("b")), lit(-1)), &int);
+        st.assume(&canon(CmpOp::Le, col("b").sub(col("c")), lit(0)), &int);
+        st.assume(&canon(CmpOp::Le, col("c").sub(col("a")), lit(0)), &int);
+        assert!(!st.bottom);
+        st.propagate(&int);
+        assert!(st.bottom);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 
 use std::collections::BTreeMap;
 
-use sia_analyze::Analyzer;
+use sia_analyze::{Analyzer, Bound, Zone};
 use sia_expr::{col, lit, ArithOp, CmpOp, Expr, Pred};
+use sia_num::BigRat;
 use sia_rand::rngs::StdRng;
 use sia_rand::{Rng, SeedableRng};
 
@@ -201,6 +202,209 @@ fn implication_oracle_is_sound() {
     // The oracle must actually fire on random pairs, or the test is
     // vacuous (`q OR anything` style pairs show up often enough).
     assert!(proved > 0, "implication oracle never proved anything");
+}
+
+/// Random DBM over `names`, all integer-sorted, with small constants.
+fn rand_zone(g: &mut StdRng, names: &[&str]) -> Zone {
+    let mut z = Zone::top(names.iter().map(|s| s.to_string()).collect(), &|_| true);
+    let d = names.len() + 1;
+    for _ in 0..g.gen_range(2usize..=6) {
+        let i = g.gen_range(0usize..d);
+        let j = g.gen_range(0usize..d);
+        if i == j {
+            continue;
+        }
+        let v = BigRat::from(g.gen_range(-8i64..=8));
+        let b = if g.gen_bool_fair() {
+            Bound::closed(v)
+        } else {
+            Bound::strict(v)
+        };
+        z.constrain(i, j, b);
+    }
+    z
+}
+
+/// Concrete satisfaction of every finite constraint of `z` by an integer
+/// point (the zero variable is 0).
+fn zone_sat(z: &Zone, vals: &BTreeMap<String, i64>) -> bool {
+    z.constraints().iter().all(|(i, j, b)| {
+        let at = |k: usize| if k == 0 { 0 } else { vals[&z.vars()[k - 1]] };
+        let d = BigRat::from(at(*i) - at(*j));
+        d < b.value || (!b.strict && d == b.value)
+    })
+}
+
+fn rand_point(g: &mut StdRng, names: &[&str], range: i64) -> BTreeMap<String, i64> {
+    names
+        .iter()
+        .map(|&n| (n.to_string(), g.gen_range(-range..=range)))
+        .collect()
+}
+
+#[test]
+fn zone_closure_idempotent_and_sound() {
+    let mut g = StdRng::seed_from_u64(0x500B_D004);
+    let names = ["a", "b", "o"];
+    for _ in 0..300 {
+        let z0 = rand_zone(&mut g, &names);
+        let mut z = z0.clone();
+        if !z.close() {
+            // Claimed inconsistent: no grid point may satisfy the original
+            // constraints (constants are ≤ 8, so witnesses of satisfiable
+            // systems live well inside ±12 — any hit here is a real bug).
+            for a in -12..=12 {
+                for b in -12..=12 {
+                    for o in -12..=12 {
+                        let vals: BTreeMap<String, i64> = [
+                            ("a".to_string(), a),
+                            ("b".to_string(), b),
+                            ("o".to_string(), o),
+                        ]
+                        .into();
+                        assert!(
+                            !zone_sat(&z0, &vals),
+                            "zone declared empty but {vals:?} satisfies it"
+                        );
+                    }
+                }
+            }
+            continue;
+        }
+        // Idempotence: a second closure is a no-op.
+        let snap = z.clone();
+        assert!(z.close());
+        assert_eq!(z, snap, "closure is not idempotent");
+        // Soundness: closure only adds *entailed* constraints.
+        for _ in 0..32 {
+            let vals = rand_point(&mut g, &names, 12);
+            if zone_sat(&z0, &vals) {
+                assert!(
+                    zone_sat(&snap, &vals),
+                    "closure invented a constraint: {vals:?} satisfies the \
+                     original zone but not its closure"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zone_meet_exact_join_sound() {
+    let mut g = StdRng::seed_from_u64(0x500B_D005);
+    let names = ["a", "b"];
+    for _ in 0..300 {
+        let x = rand_zone(&mut g, &names);
+        let y = rand_zone(&mut g, &names);
+        let m = x.meet(&y);
+        // Join is exact only on closed operands; soundness (⊇ union) is
+        // what we assert, and it must hold for closed inputs too.
+        let (mut xc, mut yc) = (x.clone(), y.clone());
+        let joins: Vec<Zone> = if xc.close() && yc.close() {
+            vec![x.join(&y), xc.join(&yc)]
+        } else {
+            vec![x.join(&y)]
+        };
+        for _ in 0..48 {
+            let vals = rand_point(&mut g, &names, 12);
+            let (in_x, in_y) = (zone_sat(&x, &vals), zone_sat(&y, &vals));
+            assert_eq!(
+                zone_sat(&m, &vals),
+                in_x && in_y,
+                "meet is not the intersection at {vals:?}"
+            );
+            if in_x || in_y {
+                for j in &joins {
+                    assert!(zone_sat(j, &vals), "join lost point {vals:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Conjunctions of random unary-bound / unit-difference atoms over
+/// `a`, `b`, `o` — the zone-representable predicate fragment.
+fn rand_zone_atom(g: &mut StdRng) -> Pred {
+    const ZVARS: [&str; 3] = ["a", "b", "o"];
+    let op = match g.gen_range(0u32..5) {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        _ => CmpOp::Eq,
+    };
+    let c = lit(g.gen_range(-8i64..=8));
+    let x = col(ZVARS[g.gen_range(0usize..3)]);
+    if g.gen_bool_fair() {
+        x.cmp(op, c)
+    } else {
+        let y = col(ZVARS[g.gen_range(0usize..3)]);
+        x.sub(y).cmp(op, c)
+    }
+}
+
+#[test]
+fn zone_projection_sound_and_exact() {
+    let mut g = StdRng::seed_from_u64(0x500B_D006);
+    let an = Analyzer::new();
+    let keep: Vec<String> = vec!["a".into(), "b".into()];
+    let mut exact_seen = 0usize;
+    for _ in 0..250 {
+        let n = g.gen_range(2usize..=5);
+        let p = Pred::and_all((0..n).map(|_| rand_zone_atom(&mut g)));
+        let Some(d) = an.derive(&p, &keep) else {
+            continue;
+        };
+        // Soundness: every tuple making `p` TRUE makes the derived
+        // predicate TRUE (it only mentions kept columns).
+        for _ in 0..24 {
+            let mut tuple: BTreeMap<String, Option<i128>> =
+                rand_point(&mut g, &["a", "b", "o"], 12)
+                    .into_iter()
+                    .map(|(k, v)| (k, Some(i128::from(v))))
+                    .collect();
+            tuple.insert("c".into(), Some(0));
+            tuple.insert("n".into(), Some(0));
+            if eval_pred(&p, &tuple) == Some(true) {
+                assert_eq!(
+                    eval_pred(d.pred(), &tuple),
+                    Some(true),
+                    "derivation of `{p}` to `{}` lost TRUE tuple {tuple:?}",
+                    d.pred()
+                );
+            }
+        }
+        // Exactness: when the derivation claims projection-equivalence,
+        // every (a, b) satisfying it must extend to a witness for `p`.
+        // Constants are ≤ 8 and conjunctions have ≤ 5 atoms, so closure
+        // bounds stay within ±40 and any witness fits well inside ±64.
+        if d.is_exact() && !d.pred().is_false() {
+            exact_seen += 1;
+            for _ in 0..12 {
+                let mut tuple: BTreeMap<String, Option<i128>> = rand_point(&mut g, &["a", "b"], 12)
+                    .into_iter()
+                    .map(|(k, v)| (k, Some(i128::from(v))))
+                    .collect();
+                tuple.insert("o".into(), Some(0));
+                tuple.insert("c".into(), Some(0));
+                tuple.insert("n".into(), Some(0));
+                if eval_pred(d.pred(), &tuple) != Some(true) {
+                    continue;
+                }
+                let witnessed = (-64i128..=64).any(|o| {
+                    tuple.insert("o".into(), Some(o));
+                    eval_pred(&p, &tuple) == Some(true)
+                });
+                assert!(
+                    witnessed,
+                    "`{}` claims to be the exact projection of `{p}` but \
+                     {tuple:?} has no o-extension satisfying p",
+                    d.pred()
+                );
+            }
+        }
+    }
+    assert!(exact_seen > 20, "exact derivations too rare ({exact_seen})");
 }
 
 #[test]

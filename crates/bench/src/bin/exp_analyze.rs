@@ -1,26 +1,39 @@
-//! Static-analyzer benchmark: how many solver calls the abstract
-//! interpretation pre-screen removes from CEGIS synthesis on the TPC-H
-//! predicate workload, and what that does to wall time.
+//! Static-analyzer benchmark: how much of CEGIS synthesis the abstract
+//! interpretation layer removes on the TPC-H predicate workload — solver
+//! calls pruned by the pre-screen, whole synthesis requests discharged by
+//! static zone-projection derivation, SVM trainings avoided — and what
+//! that does to wall time.
 //!
 //! Each workload predicate is synthesized twice — once with the
-//! pre-screen disabled (pure-solver baseline) and once with it enabled —
-//! and the two runs must produce byte-identical predicates: the analyzer
-//! may only move cost, never results. Results land in
-//! `BENCH_analyze.json`.
+//! analyzer disabled (pure-solver baseline) and once with it enabled —
+//! and the two runs must produce semantically equivalent predicates
+//! whenever both report an optimal reduction: the analyzer may only move
+//! cost, never results. (Byte equality is not required: a statically
+//! derived predicate like `a <= 3` can differ textually from the
+//! equivalent form CEGIS renders.) Equivalence is established by a
+//! fresh solver after timing ends. Results land in `BENCH_analyze.json`.
 //!
 //! Environment knobs: `SIA_BENCH_QUERIES` (workload size, default 24)
 //! and `SIA_BENCH_ASSERT=1` to fail the run unless the pre-screen prunes
-//! at least 20% of solver calls with zero recorded soundness
+//! at least 20% of solver calls, static derivation discharges at least
+//! 30% of synthesis requests, and (on unchecked builds) end-to-end wall
+//! time improves by at least 1.2x — all with zero recorded soundness
 //! disagreements. Build with `--features checked` to cross-check every
-//! pruned call against the solver while measuring.
+//! analyzer verdict against the solver while measuring.
 
 use std::time::Instant;
 
 use sia_bench::util;
-use sia_core::{SiaConfig, Synthesizer};
+use sia_core::{PredEncoder, SiaConfig, Synthesizer};
 use sia_expr::Pred;
 use sia_obs::Counter;
+use sia_smt::SmtResult;
 use sia_tpch::{generate_workload, WorkloadConfig, LINEITEM_COLS};
+
+struct TaskResult {
+    predicate: Option<Pred>,
+    optimal: bool,
+}
 
 struct RunStats {
     wall_s: f64,
@@ -29,9 +42,13 @@ struct RunStats {
     implied: u64,
     unsat: u64,
     disjuncts_pruned: u64,
+    derive_static: u64,
+    derive_partial: u64,
+    derive_miss: u64,
+    svm_trainings: u64,
     checks: u64,
     disagreements: u64,
-    results: Vec<String>,
+    results: Vec<TaskResult>,
 }
 
 fn build_workload(count: usize) -> Vec<(Pred, Vec<String>)> {
@@ -74,10 +91,10 @@ fn run_once(work: &[(Pred, Vec<String>)], prescreen: bool) -> RunStats {
     for (p, cols) in work {
         let mut syn = Synthesizer::new(SiaConfig::default());
         let r = syn.synthesize(p, cols).expect("synthesis succeeds");
-        results.push(
-            r.predicate
-                .map_or_else(|| "TRUE".to_string(), |q| q.to_string()),
-        );
+        results.push(TaskResult {
+            predicate: r.predicate,
+            optimal: r.optimal,
+        });
     }
     let wall_s = start.elapsed().as_secs_f64();
     let snapshot = sia_obs::snapshot();
@@ -90,10 +107,32 @@ fn run_once(work: &[(Pred, Vec<String>)], prescreen: bool) -> RunStats {
         implied: counter(&snapshot, Counter::AnalyzeImplied),
         unsat: counter(&snapshot, Counter::AnalyzeUnsat),
         disjuncts_pruned: counter(&snapshot, Counter::AnalyzeDisjunctsPruned),
+        derive_static: counter(&snapshot, Counter::AnalyzeDeriveStatic),
+        derive_partial: counter(&snapshot, Counter::AnalyzeDerivePartial),
+        derive_miss: counter(&snapshot, Counter::AnalyzeDeriveMiss),
+        svm_trainings: counter(&snapshot, Counter::SvmTrainings),
         checks: counter(&snapshot, Counter::AnalyzeChecks),
         disagreements: counter(&snapshot, Counter::AnalyzeDisagreements),
         results,
     }
+}
+
+/// Are two synthesized reductions semantically equivalent? `None` means
+/// the unconstrained reduction TRUE. Called after timing with obs
+/// disabled, so the cross-check itself never pollutes the measurement.
+fn equivalent(a: &Option<Pred>, b: &Option<Pred>) -> bool {
+    if a == b {
+        return true;
+    }
+    let t = Pred::true_();
+    let pa = a.as_ref().unwrap_or(&t);
+    let pb = b.as_ref().unwrap_or(&t);
+    let mut enc = PredEncoder::new();
+    let (Ok(fa), Ok(fb)) = (enc.encode(pa), enc.encode(pb)) else {
+        return false;
+    };
+    let diff = fa.clone().and(fb.clone().not()).or(fb.and(fa.not()));
+    matches!(enc.solver().check(&diff), SmtResult::Unsat)
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -107,8 +146,9 @@ fn main() {
 
     let baseline = run_once(&work, false);
     println!(
-        "baseline: {:.2}s | {} solver calls ({} validity/feasibility) | analyzer off",
-        baseline.wall_s, baseline.smt_checks, baseline.fallbacks
+        "baseline: {:.2}s | {} solver calls ({} validity/feasibility) | {} SVM trainings | \
+         analyzer off",
+        baseline.wall_s, baseline.smt_checks, baseline.fallbacks, baseline.svm_trainings
     );
     let screened = run_once(&work, true);
     let pruned = screened.implied + screened.unsat;
@@ -121,6 +161,16 @@ fn main() {
     } else {
         pruned as f64 / eligible as f64
     };
+    // Derivation rate over all synthesis requests: the fraction the zone
+    // projection discharged outright, before sampling or learning began.
+    let derive_rate = if work.is_empty() {
+        0.0
+    } else {
+        screened.derive_static as f64 / work.len() as f64
+    };
+    let svm_avoided = baseline
+        .svm_trainings
+        .saturating_sub(screened.svm_trainings);
     let speedup = baseline.wall_s / screened.wall_s.max(1e-9);
     println!(
         "screened: {:.2}s | {} solver calls | {} of {eligible} validity/feasibility \
@@ -134,6 +184,17 @@ fn main() {
         screened.disjuncts_pruned,
         100.0 * prune_rate
     );
+    println!(
+        "derived:  {} of {} requests static ({:.1}%), {} partial (warm start), {} miss | \
+         {} SVM trainings ({} avoided)",
+        screened.derive_static,
+        work.len(),
+        100.0 * derive_rate,
+        screened.derive_partial,
+        screened.derive_miss,
+        screened.svm_trainings,
+        svm_avoided
+    );
     if screened.checks > 0 {
         println!(
             "checked: {} verdicts cross-checked, {} disagreements",
@@ -141,13 +202,37 @@ fn main() {
         );
     }
 
-    let agree = baseline.results == screened.results;
+    // Cross-check the two runs task by task. When both runs report an
+    // optimal reduction, both predicates are exactly the satisfiable
+    // region of the input, so they must be semantically equivalent even
+    // when their rendered forms differ. Pairs where either run was
+    // best-effort carry no such guarantee and are only counted.
+    let mut mismatches = 0usize;
+    let mut best_effort = 0usize;
+    for (b, s) in baseline.results.iter().zip(&screened.results) {
+        if b.optimal && s.optimal {
+            if !equivalent(&b.predicate, &s.predicate) {
+                mismatches += 1;
+            }
+        } else {
+            best_effort += 1;
+        }
+    }
+    if best_effort > 0 {
+        println!("note: {best_effort} task(s) were best-effort in at least one run");
+    }
+    let agree = mismatches == 0;
+
     let json = format!(
         "{{\"experiment\":\"analyze\",\"tasks\":{},\"baseline_wall_s\":{},\
          \"screened_wall_s\":{},\"speedup\":{},\"baseline_smt_checks\":{},\
          \"screened_smt_checks\":{},\"eligible\":{eligible},\"pruned\":{pruned},\
          \"implied\":{},\"unsat\":{},\
-         \"disjuncts_pruned\":{},\"prune_rate\":{},\"checks\":{},\"disagreements\":{},\
+         \"disjuncts_pruned\":{},\"prune_rate\":{},\
+         \"derive_static\":{},\"derive_partial\":{},\"derive_miss\":{},\
+         \"derive_rate\":{},\"baseline_svm_trainings\":{},\
+         \"screened_svm_trainings\":{},\"svm_trainings_avoided\":{svm_avoided},\
+         \"checks\":{},\"disagreements\":{},\
          \"results_agree\":{},\"metrics\":{}}}\n",
         work.len(),
         sia_obs::json_number(baseline.wall_s),
@@ -159,6 +244,12 @@ fn main() {
         screened.unsat,
         screened.disjuncts_pruned,
         sia_obs::json_number(prune_rate),
+        screened.derive_static,
+        screened.derive_partial,
+        screened.derive_miss,
+        sia_obs::json_number(derive_rate),
+        baseline.svm_trainings,
+        screened.svm_trainings,
         screened.checks,
         screened.disagreements,
         u8::from(agree),
@@ -171,7 +262,7 @@ fn main() {
 
     assert!(
         agree,
-        "pre-screen changed synthesis results — soundness violation"
+        "analyzer changed synthesis results on {mismatches} task(s) — soundness violation"
     );
     assert_eq!(
         screened.disagreements, 0,
@@ -183,5 +274,18 @@ fn main() {
             "pre-screen pruned only {:.1}% of solver calls (need >= 20%)",
             100.0 * prune_rate
         );
+        assert!(
+            derive_rate >= 0.30,
+            "static derivation discharged only {:.1}% of requests (need >= 30%)",
+            100.0 * derive_rate
+        );
+        // The checked build re-asks the solver for every analyzer verdict,
+        // so wall time there measures auditing, not the optimization.
+        if screened.checks == 0 {
+            assert!(
+                speedup >= 1.2,
+                "end-to-end speedup {speedup:.2}x vs pure-solver baseline (need >= 1.2x)"
+            );
+        }
     }
 }

@@ -18,7 +18,7 @@ usage:
   sia synth   <predicate> --cols <c1,c2,…> [--v1|--v2] [--max-iter N]
               [--timeout-ms N] [--metrics] [--trace FILE]
   sia solve   <predicate>
-  sia lint    <predicate>
+  sia lint    <predicate> [--format text|json]
   sia project <predicate> --keep <c1,c2,…>
   sia rewrite <query-sql> --table <name>        (TPC-H benchmark schema)
   sia baseline <predicate> --cols <c1,c2,…>
@@ -31,7 +31,9 @@ usage:
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
 dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
 lint statically checks a predicate for contradictions, tautologies, and
-type-suspect comparisons (TPC-H column types are pre-seeded).
+type-suspect comparisons (TPC-H column types are pre-seeded);
+--format json emits one machine-readable object with per-finding
+severities, and error-severity findings (contradictions) exit 3.
 --metrics prints a per-phase wall-time and solver-counter breakdown;
 --trace streams every span/counter event as JSONL to FILE.
 serve speaks line-delimited JSON over TCP (one request object per line,
@@ -43,12 +45,15 @@ backoff, shedding client-side (degraded fallback) when retries run out.
 fault injection: set SIA_FAILPOINTS=site=policy;… (see sia-fault docs).
 
 exit codes: 0 success; 1 error; 2 synthesis timeout (synth) or
-failed/timed-out requests in the batch (batch).";
+failed/timed-out requests in the batch (batch); 3 error-severity lint
+findings (lint).";
 
 /// Exit code for generic failures.
 pub const EXIT_ERROR: u8 = 1;
 /// Exit code for a synthesis timeout (or an all-timeout batch failure).
 pub const EXIT_TIMEOUT: u8 = 2;
+/// Exit code when `sia lint` reports at least one error-severity finding.
+pub const EXIT_LINT: u8 = 3;
 
 /// A CLI failure: a message plus the process exit code it maps to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +117,8 @@ pub enum Command {
     Lint {
         /// The predicate source.
         predicate: String,
+        /// Output format: "text" (default) or "json".
+        format: String,
     },
     /// Project the predicate onto the kept columns (∃-eliminate the rest).
     Project {
@@ -198,6 +205,7 @@ impl Command {
         let mut snapshot_ms = None;
         let mut concurrency = 4usize;
         let mut retries = 0u32;
+        let mut format: Option<String> = None;
         let mut i = 0;
         while i < rest.len() {
             match rest[i].as_str() {
@@ -258,6 +266,14 @@ impl Command {
                     i += 1;
                     retries = parse_num(rest.get(i), "--retries")?;
                 }
+                "--format" => {
+                    i += 1;
+                    let f = rest.get(i).ok_or("--format needs a value")?.clone();
+                    if f != "text" && f != "json" {
+                        return Err(format!("--format must be text or json, got {f:?}"));
+                    }
+                    format = Some(f);
+                }
                 "--v1" => variant = "v1".to_string(),
                 "--v2" => variant = "v2".to_string(),
                 "--metrics" => metrics = true,
@@ -276,6 +292,9 @@ impl Command {
         }
         if timeout_ms.is_some() && !matches!(sub.as_str(), "synth" | "serve" | "batch") {
             return Err("--timeout-ms applies to synth, serve, and batch".into());
+        }
+        if format.is_some() && sub != "lint" {
+            return Err("--format applies to lint".into());
         }
         match sub.as_str() {
             "synth" => {
@@ -297,6 +316,7 @@ impl Command {
             }),
             "lint" => Ok(Command::Lint {
                 predicate: positional,
+                format: format.unwrap_or_else(|| "text".to_string()),
             }),
             "project" => {
                 if keep.is_empty() {
@@ -353,6 +373,24 @@ fn parse_num<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> Result<T
     arg.ok_or_else(|| format!("{flag} needs a value"))?
         .parse()
         .map_err(|_| format!("{flag} must be an integer"))
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// the hand-rolled `lint --format json` output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Execute a command, returning its printable output. Failures carry the
@@ -416,6 +454,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 Some(q) => out.push_str(&format!("predicate: {q}\n")),
                 None => out.push_str("predicate: TRUE (nothing non-trivial is valid)\n"),
             }
+            if r.derived_static {
+                out.push_str("derived: static\n");
+            }
             out.push_str(&format!(
                 "optimal: {}\niterations: {}\nsamples: {} TRUE / {} FALSE",
                 r.optimal, r.stats.iterations, r.stats.true_samples, r.stats.false_samples
@@ -450,7 +491,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 SmtResult::Unknown => Ok("unknown (budget exhausted)".to_string()),
             }
         }
-        Command::Lint { predicate } => {
+        Command::Lint { predicate, format } => {
             let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
             // Seed the analyzer with the TPC-H benchmark schemas so DATE
             // and DOUBLE columns are typed; unknown columns default to
@@ -459,15 +500,43 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 .with_schema(&sia_tpch::lineitem_schema())
                 .with_schema(&sia_tpch::orders_schema());
             let warnings = analyzer.lint(&p);
-            if warnings.is_empty() {
-                Ok("no warnings".to_string())
+            let errors = warnings.iter().filter(|w| w.severity() == "error").count();
+            let out = if format == "json" {
+                let findings: Vec<String> = warnings
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}",
+                            w.severity(),
+                            w.code,
+                            json_escape(&w.message)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"findings\":[{}],\"errors\":{errors},\"warnings\":{}}}",
+                    findings.join(","),
+                    warnings.len() - errors
+                )
+            } else if warnings.is_empty() {
+                "no warnings".to_string()
             } else {
-                Ok(warnings
+                warnings
                     .iter()
                     .map(ToString::to_string)
                     .collect::<Vec<_>>()
-                    .join("\n"))
+                    .join("\n")
+            };
+            if errors > 0 {
+                // Findings still belong on stdout; only the verdict goes
+                // to stderr via the error path (the batch precedent).
+                println!("{out}");
+                return Err(CliError {
+                    message: format!("lint: {errors} error-severity finding(s)"),
+                    code: EXIT_LINT,
+                });
             }
+            Ok(out)
         }
         Command::Project { predicate, keep } => {
             let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
@@ -727,29 +796,67 @@ mod tests {
 
     #[test]
     fn run_lint() {
-        // A contradictory TPC-H date range: every row is filtered out.
-        let out = run(Command::Lint {
+        // A contradictory TPC-H date range: every row is filtered out —
+        // an error-severity finding, so the run fails with EXIT_LINT.
+        let err = run(Command::Lint {
             predicate: "l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1994-01-01'".into(),
+            format: "text".into(),
         })
-        .unwrap();
-        assert!(out.contains("contradiction"), "{out}");
-        // A DATE column compared against a bare integer is type-suspect.
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_LINT);
+        assert!(err.message.contains("error-severity"), "{err}");
+        // A DATE column compared against a bare integer is type-suspect:
+        // advisory only, exit 0.
         let out = run(Command::Lint {
             predicate: "l_shipdate < 19940101".into(),
+            format: "text".into(),
         })
         .unwrap();
         assert!(out.contains("DATE"), "{out}");
         // A sensible predicate is clean.
         let out = run(Command::Lint {
             predicate: "l_quantity < 24 AND l_discount >= 0".into(),
+            format: "text".into(),
         })
         .unwrap();
         assert_eq!(out, "no warnings");
         // Parsing is still enforced.
         assert!(run(Command::Lint {
-            predicate: "a <".into()
+            predicate: "a <".into(),
+            format: "text".into(),
         })
         .is_err());
+    }
+
+    #[test]
+    fn run_lint_json() {
+        // Advisory finding: JSON object on stdout, exit 0.
+        let out = run(Command::Lint {
+            predicate: "l_shipdate < 19940101".into(),
+            format: "json".into(),
+        })
+        .unwrap();
+        assert!(out.starts_with("{\"findings\":["), "{out}");
+        assert!(out.contains("\"severity\":\"warning\""), "{out}");
+        assert!(out.contains("\"code\":\"type-suspect\""), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+        // Quotes/backticks in messages survive as valid JSON (the message
+        // quotes the offending expression).
+        assert!(!out.contains("\n"), "one JSON object per run: {out}");
+        // Error-severity finding: still exit code 3 in JSON mode.
+        let err = run(Command::Lint {
+            predicate: "l_quantity < 0 AND l_quantity > 10".into(),
+            format: "json".into(),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_LINT);
+        // Clean predicate: empty findings array.
+        let out = run(Command::Lint {
+            predicate: "l_quantity < 24".into(),
+            format: "json".into(),
+        })
+        .unwrap();
+        assert_eq!(out, "{\"findings\":[],\"errors\":0,\"warnings\":0}");
     }
 
     #[test]
@@ -758,10 +865,21 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Lint {
-                predicate: "a < 0 AND a > 10".into()
+                predicate: "a < 0 AND a > 10".into(),
+                format: "text".into(),
+            }
+        );
+        let cmd = Command::parse(&strs(&["lint", "a < 0", "--format", "json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                predicate: "a < 0".into(),
+                format: "json".into(),
             }
         );
         assert!(Command::parse(&strs(&["lint"])).is_err());
+        assert!(Command::parse(&strs(&["lint", "a < 0", "--format", "yaml"])).is_err());
+        assert!(Command::parse(&strs(&["solve", "a < 0", "--format", "json"])).is_err());
     }
 
     #[test]
@@ -791,6 +909,28 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("a >= 22"), "{out}");
+        // This predicate is pure difference bounds: the zone projection
+        // discharges it without CEGIS and says so.
+        assert!(out.contains("derived: static"), "{out}");
+    }
+
+    #[test]
+    fn run_synth_derived_metrics() {
+        let _guard = OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out = run(Command::Synth {
+            predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+            cols: strs(&["a"]),
+            variant: "sia".into(),
+            max_iter: Some(6),
+            timeout_ms: None,
+            metrics: true,
+            trace: None,
+        })
+        .unwrap();
+        assert!(out.contains("derived: static"), "{out}");
+        assert!(out.contains("analyze.derive.static"), "{out}");
     }
 
     #[test]
@@ -798,8 +938,10 @@ mod tests {
         let _guard = OBS_LOCK
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // The doubled `a` keeps the predicate outside the zone fragment so
+        // the full CEGIS pipeline (and all its phase spans) runs.
         let out = run(Command::Synth {
-            predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
+            predicate: "a + a + 10 > b + 20 AND b + 10 > 20".into(),
             cols: strs(&["a"]),
             variant: "sia".into(),
             max_iter: Some(8),

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! Exit codes: 0 success, 1 error, 2 synthesis timeout / failed batch
-//! requests (all-timeout batches also exit 2).
+//! requests (all-timeout batches also exit 2), 3 error-severity lint
+//! findings.
 
 use sia_cli::{run, Command};
 use std::process::ExitCode;

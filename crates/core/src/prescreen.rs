@@ -17,7 +17,7 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use sia_analyze::Analyzer;
+use sia_analyze::{Analyzer, Derivation};
 use sia_expr::{DataType, Pred};
 
 use crate::encode::PredEncoder;
@@ -59,6 +59,18 @@ pub(crate) fn analyzer_for(enc: &PredEncoder, preds: &[&Pred]) -> Analyzer {
         .cloned()
         .collect();
     Analyzer::new().with_real(real).with_nullable(nullable)
+}
+
+/// Tier-0 static derivation: project the zone fragment of `p` onto the
+/// target columns (see [`Analyzer::derive`]). `None` when the pre-screen is
+/// disabled or the zone domain gets no purchase on `p`; the caller is
+/// responsible for verifying any returned predicate through the exact
+/// pipeline before trusting it.
+pub(crate) fn derive(enc: &PredEncoder, p: &Pred, cols: &[String]) -> Option<Derivation> {
+    if !enabled() {
+        return None;
+    }
+    analyzer_for(enc, &[p]).derive(p, cols)
 }
 
 /// Record a solver-skipping verdict and, under `checked`, cross-check it.

@@ -125,6 +125,11 @@ pub struct SynthesisResult {
     /// Whether the predicate was certified optimal (Lemma 4: no
     /// unsatisfaction tuple is accepted).
     pub optimal: bool,
+    /// Whether the result was produced (in whole or as the dominant part)
+    /// by static zone projection rather than CEGIS: either the derivation
+    /// was exact and returned directly, or a partial derivation bounded
+    /// the search so tightly that sampling finished it off exactly.
+    pub derived_static: bool,
     /// Run statistics.
     pub stats: SynthStats,
 }
@@ -265,6 +270,7 @@ impl Synthesizer {
             return Ok(SynthesisResult {
                 predicate: Some(Pred::false_()),
                 optimal: true,
+                derived_static: false,
                 stats,
             });
         }
@@ -276,6 +282,73 @@ impl Synthesizer {
             .copied()
             .filter(|v| !keep.contains(v))
             .collect();
+        // Tier 0: static derivation. When the difference-bound fragment of
+        // `p` is rich enough, projecting its closed zone onto the target
+        // columns *is* the quantifier elimination ∃ others . p — no
+        // sampling, no learning, no SVM. An exact derivation is verified
+        // through the exact pipeline (`verify_implies`) and returned
+        // directly; a partial one (sound bounds, possibly not optimal)
+        // seeds the sampler and warm-starts the CEGIS loop. Under
+        // `checked`, exact discharges are additionally cross-checked
+        // against a solver-computed unsatisfaction region.
+        let mut warm_bounds: Option<Pred> = None;
+        match crate::prescreen::derive(enc, p, cols) {
+            Some(sia_analyze::Derivation::Exact(q)) if !q.is_false() => {
+                let val_start = Instant::now();
+                let ok = q.is_true() || verify_implies(enc, p, &q)? == Validity::Valid;
+                stats.validation_time += val_start.elapsed();
+                if ok {
+                    let q_f = enc.encode(&q)?;
+                    crate::prescreen::audit_verdict(
+                        sia_obs::Counter::AnalyzeDeriveStatic,
+                        1,
+                        &|| format!("statically derived `{q}` is not optimal for `{p}`"),
+                        &mut || {
+                            // Refuted iff the derived predicate accepts a
+                            // point of the exact unsatisfaction region. A
+                            // QE budget failure is not a refutation.
+                            let Ok(region) = unsat_region(&p_f, &others, &self.config.qe) else {
+                                return false;
+                            };
+                            matches!(
+                                enc.solver().check(&q_f.clone().and(region)),
+                                sia_smt::SmtResult::Sat(_)
+                            )
+                        },
+                    );
+                    stats.generation_time += gen_start.elapsed();
+                    return Ok(SynthesisResult {
+                        predicate: if q.is_true() { None } else { Some(q) },
+                        optimal: true,
+                        derived_static: true,
+                        stats,
+                    });
+                }
+                sia_obs::add(sia_obs::Counter::AnalyzeDeriveMiss, 1);
+            }
+            Some(sia_analyze::Derivation::Bounds(q)) => {
+                let val_start = Instant::now();
+                let ok = verify_implies(enc, p, &q)? == Validity::Valid;
+                stats.validation_time += val_start.elapsed();
+                if ok {
+                    sia_obs::add(sia_obs::Counter::AnalyzeDerivePartial, 1);
+                    warm_bounds = Some(q);
+                } else {
+                    sia_obs::add(sia_obs::Counter::AnalyzeDeriveMiss, 1);
+                }
+            }
+            Some(sia_analyze::Derivation::Exact(_)) => {
+                // Exact(FALSE) cannot be sound here — p was just proven
+                // satisfiable — so treat it as a miss and fall through to
+                // the full pipeline, which will surface the disagreement.
+                sia_obs::add(sia_obs::Counter::AnalyzeDeriveMiss, 1);
+            }
+            None => {
+                if crate::prescreen::enabled() {
+                    sia_obs::add(sia_obs::Counter::AnalyzeDeriveMiss, 1);
+                }
+            }
+        }
         // Build the FALSE-sample machinery.
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b97f4a7c15);
         let false_region: Option<Formula> = match self.config.false_strategy {
@@ -380,6 +453,7 @@ impl Synthesizer {
             return Ok(SynthesisResult {
                 predicate: Some(pred),
                 optimal: true,
+                derived_static: false,
                 stats,
             });
         }
@@ -387,10 +461,17 @@ impl Synthesizer {
         // trivial predicate TRUE is already optimal — nothing useful to
         // synthesize (the paper's NULL result, and the negative case of
         // the case study's "symbolically relevant" test).
+        // A partial derivation `q` restricts sampling to its interior: any
+        // unsatisfaction tuple outside q is already rejected by q, so only
+        // the ones q still accepts can drive further progress.
+        let false_extra = match &warm_bounds {
+            Some(q) => enc.encode(q)?,
+            None => Formula::True,
+        };
         let mut fs: Vec<Vec<BigInt>> = Vec::new();
         let mut exhausted_false = false;
         for _ in 0..self.config.initial_false {
-            match false_sample!(enc, &Formula::True) {
+            match false_sample!(enc, &false_extra) {
                 SampleOutcome::Sample(t) => fs.push(t),
                 SampleOutcome::Exhausted => {
                     exhausted_false = true;
@@ -409,25 +490,36 @@ impl Synthesizer {
         sia_obs::add(sia_obs::Counter::CegisTrueSamples, ts.len() as u64);
         sia_obs::add(sia_obs::Counter::CegisFalseSamples, fs.len() as u64);
         if exhausted_false {
+            let derived_static = warm_bounds.is_some();
             if fs.is_empty() {
+                // No unsatisfaction tuple inside the warm bounds: the
+                // bounds themselves (or trivial TRUE without them) are
+                // already optimal.
                 return Ok(SynthesisResult {
-                    predicate: None,
+                    predicate: warm_bounds,
                     optimal: true,
+                    derived_static,
                     stats,
                 });
             }
-            // Finite unsatisfaction set: its complement is the optimal
-            // reduction (§5.3).
+            // Finite unsatisfaction set: its complement — within the warm
+            // bounds when present — is the optimal reduction (§5.3).
             stats.false_samples = fs.len();
-            let pred = exact_disjunction(cols, &fs).not();
+            let neg = exact_disjunction(cols, &fs).not();
+            let pred = match warm_bounds {
+                Some(q) => q.and(neg),
+                None => neg,
+            };
             return Ok(SynthesisResult {
                 predicate: Some(pred),
                 optimal: true,
+                derived_static,
                 stats,
             });
         }
-        // The counter-example guided learning loop (Alg 1).
-        let mut valid_pred: Option<Pred> = None; // p₁ (None = trivial TRUE)
+        // The counter-example guided learning loop (Alg 1), warm-started
+        // from any partially derived bounds. p₁ (None = trivial TRUE).
+        let mut valid_pred: Option<Pred> = warm_bounds;
         let mut optimal = false;
         while stats.iterations < self.config.max_iterations {
             bail_if_exhausted!();
@@ -550,6 +642,7 @@ impl Synthesizer {
         Ok(SynthesisResult {
             predicate,
             optimal,
+            derived_static: false,
             stats,
         })
     }
@@ -653,6 +746,57 @@ mod tests {
     }
 
     #[test]
+    fn zone_fragment_is_discharged_statically() {
+        // Pure difference-bound predicate: the zone projection is the
+        // exact quantifier elimination, so no CEGIS iteration runs and
+        // the result is certified optimal up front.
+        let p = parse_predicate("a + 10 > b + 20 AND b + 10 > 20").unwrap();
+        let mut syn = Synthesizer::default();
+        let r = syn.synthesize(&p, &strs(&["a"])).unwrap();
+        assert!(r.derived_static, "expected static derivation");
+        assert!(r.optimal);
+        assert_eq!(r.stats.iterations, 0);
+        let learned = r.predicate.expect("non-trivial predicate");
+        for (v, expect) in [(21i64, false), (22, true), (1000, true)] {
+            let m: HashMap<String, Value> =
+                [("a".to_string(), Value::Int(v))].into_iter().collect();
+            assert_eq!(eval_pred(&learned, &m), Some(expect), "at a={v}");
+        }
+    }
+
+    #[test]
+    fn partial_derivation_warm_starts_the_loop() {
+        // One conjunct is outside the zone fragment, so derivation can
+        // only bound the answer (a2 ≤ 18); the bound must survive into
+        // the final predicate no matter what the learner adds.
+        let p = parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
+        let mut syn = Synthesizer::default();
+        let r = syn.synthesize(&p, &strs(&["a1", "a2"])).unwrap();
+        let learned = r.predicate.expect("non-trivial predicate");
+        let m: HashMap<String, Value> = [
+            ("a1".to_string(), Value::Int(0)),
+            ("a2".to_string(), Value::Int(19)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(eval_pred(&learned, &m), Some(false), "a2 = 19 is unsat");
+        assert_valid_on_grid(&p, &learned, &["a1", "a2", "b1"], 12);
+    }
+
+    #[test]
+    fn total_zone_region_is_discharged_as_trivial() {
+        // ∃b . a < b is TRUE for every a: the projection is exactly TRUE,
+        // so the NULL result is certified without any sampling.
+        let p = parse_predicate("a < b").unwrap();
+        let mut syn = Synthesizer::default();
+        let r = syn.synthesize(&p, &strs(&["a"])).unwrap();
+        assert!(r.predicate.is_none());
+        assert!(r.optimal);
+        assert!(r.derived_static);
+        assert_eq!(r.stats.iterations, 0);
+    }
+
+    #[test]
     fn synthesizes_motivating_example() {
         // §3.2: keep {a1, a2}; true region is a1-a2 ≤ 28 ∧ a2 ≤ 18.
         let p = parse_predicate("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0").unwrap();
@@ -753,9 +897,10 @@ mod tests {
         let p = parse_predicate("a > b AND a < b + 500000 AND b > 0 AND b < 1500000").unwrap();
         let mut syn = Synthesizer::default();
         let r = syn.synthesize(&p, &strs(&["a"])).unwrap();
-        // Must terminate; predicate if any must be valid at spot checks.
+        // Must terminate; predicate if any must be valid at spot checks
+        // (the satisfiable a-region is exactly 2..=1_999_998).
         if let Some(learned) = &r.predicate {
-            for a in [2i64, 100, 400_000, 1_999_999] {
+            for a in [2i64, 100, 400_000, 1_999_998] {
                 let m: HashMap<String, Value> =
                     [("a".to_string(), Value::Int(a))].into_iter().collect();
                 assert_eq!(eval_pred(learned, &m), Some(true), "at a={a}");
@@ -798,9 +943,12 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let p = parse_predicate("a2 - b1 < 20 AND b1 < 0").unwrap();
+        // The 3-term atom keeps this outside the zone fragment so the
+        // sampling pipeline actually runs.
+        let p = parse_predicate("a2 + a2 - b1 < 20 AND b1 < 0").unwrap();
         let mut syn = Synthesizer::default();
         let r = syn.synthesize(&p, &strs(&["a2"])).unwrap();
+        assert!(!r.derived_static);
         assert!(r.stats.true_samples > 0);
         assert!(r.stats.generation_time > Duration::ZERO);
     }
@@ -809,7 +957,9 @@ mod tests {
     fn phases_cover_the_synthesis_run() {
         sia_obs::reset();
         sia_obs::enable();
-        let p = parse_predicate("a + 10 > b + 20 AND b + 10 > 20").unwrap();
+        // The doubled `a` keeps the atom outside the zone fragment so the
+        // full CEGIS pipeline (and all its phase spans) runs.
+        let p = parse_predicate("a + a + 10 > b + 20 AND b + 10 > 20").unwrap();
         let mut syn = Synthesizer::new(SiaConfig {
             max_iterations: 8,
             ..SiaConfig::default()

@@ -111,11 +111,22 @@ pub enum Counter {
     /// answered by the solver — the denominator (together with the
     /// pruned counts) of the pre-screen hit rate (`analyze.fallbacks`).
     AnalyzeFallbacks,
+    /// Synthesis requests discharged entirely by static zone projection —
+    /// no sampling, learning, or SVM training ran
+    /// (`analyze.derive.static`).
+    AnalyzeDeriveStatic,
+    /// Synthesis requests where zone projection produced sound but
+    /// possibly non-optimal bounds that seeded the sampler and
+    /// warm-started the learner (`analyze.derive.partial`).
+    AnalyzeDerivePartial,
+    /// Synthesis requests where static derivation produced nothing usable
+    /// and the full CEGIS pipeline ran unaided (`analyze.derive.miss`).
+    AnalyzeDeriveMiss,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 43] = [
+    pub const ALL: [Counter; 46] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -159,6 +170,9 @@ impl Counter {
         Counter::AnalyzeChecks,
         Counter::AnalyzeDisagreements,
         Counter::AnalyzeFallbacks,
+        Counter::AnalyzeDeriveStatic,
+        Counter::AnalyzeDerivePartial,
+        Counter::AnalyzeDeriveMiss,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -207,6 +221,9 @@ impl Counter {
             Counter::AnalyzeChecks => "analyze.checks",
             Counter::AnalyzeDisagreements => "analyze.disagreements",
             Counter::AnalyzeFallbacks => "analyze.fallbacks",
+            Counter::AnalyzeDeriveStatic => "analyze.derive.static",
+            Counter::AnalyzeDerivePartial => "analyze.derive.partial",
+            Counter::AnalyzeDeriveMiss => "analyze.derive.miss",
         }
     }
 

@@ -47,6 +47,18 @@ pub struct SvmConfig {
     pub max_iters: usize,
     /// Convergence tolerance on the projected gradient range.
     pub tol: f64,
+    /// Relative duality-gap tolerance: training stops as soon as
+    /// `P(w) − D(α) ≤ gap_tol · max(1, |P(w)|)`, where `P` is the primal
+    /// hinge-loss objective and `D` the dual. The gap bounds the
+    /// suboptimality of the current iterate directly, so this fires long
+    /// before the projected-gradient test on problems where the gradient
+    /// range decays slowly (the common case for Sia's near-hard margins).
+    /// The gap is measured scale-invariantly — the primal is evaluated at
+    /// the best rescaling of the iterate, which is the same decision
+    /// boundary — so the large-`C` hinge noise on support vectors does
+    /// not mask convergence. Set to `0.0` to disable and rely on `tol`
+    /// alone.
+    pub gap_tol: f64,
     /// Seed for the coordinate-shuffling PRNG (training is deterministic
     /// given the seed).
     pub seed: u64,
@@ -61,6 +73,7 @@ impl Default for SvmConfig {
             c: 1e6,
             max_iters: 4000,
             tol: 1e-9,
+            gap_tol: 1e-3,
             seed: 0x51ab055,
         }
     }
@@ -109,6 +122,15 @@ impl Hyperplane {
     }
 }
 
+/// Convergence diagnostics from one training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Coordinate-descent epochs (full passes over the data) executed.
+    pub epochs: u32,
+    /// Final duality gap `P(w) − D(α)` in the scaled augmented space.
+    pub gap: f64,
+}
+
 /// Train a linear SVM on the samples.
 ///
 /// Uses L1-loss (hinge) dual coordinate descent with an augmented constant
@@ -119,6 +141,15 @@ impl Hyperplane {
 /// # Panics
 /// Panics if `samples` is empty or features have inconsistent lengths.
 pub fn train(samples: &[Sample], config: &SvmConfig) -> Hyperplane {
+    train_with_stats(samples, config).0
+}
+
+/// [`train`], also returning convergence diagnostics — epochs run and the
+/// final duality gap — without going through the global metrics sink.
+///
+/// # Panics
+/// Panics if `samples` is empty or features have inconsistent lengths.
+pub fn train_with_stats(samples: &[Sample], config: &SvmConfig) -> (Hyperplane, TrainStats) {
     assert!(!samples.is_empty(), "cannot train on zero samples");
     let dim = samples[0].features.len();
     assert!(
@@ -162,7 +193,11 @@ pub fn train(samples: &[Sample], config: &SvmConfig) -> Hyperplane {
     let mut w = vec![0.0f64; dim + 1];
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = XorShift64::new(config.seed);
+    // The gap evaluation costs a full O(n·d) pass — as much as an epoch —
+    // so amortize it by checking only every few epochs.
+    const GAP_CHECK_EVERY: u32 = 10;
     let mut epochs: u32 = 0;
+    let mut gap = f64::INFINITY;
     for _ in 0..config.max_iters {
         epochs += 1;
         rng.shuffle(&mut order);
@@ -193,6 +228,35 @@ pub fn train(samples: &[Sample], config: &SvmConfig) -> Hyperplane {
         if max_pg < config.tol {
             break;
         }
+        // Duality-gap stop: P(w) − D(α) = ‖w‖² + C·Σhinge − Σα bounds how
+        // far the current primal iterate is from optimal, so a small gap
+        // certifies the hyperplane even while individual projected
+        // gradients are still churning. One extra O(n·d) pass per epoch —
+        // the same cost as the epoch itself — in exchange for stopping
+        // hundreds of epochs before the gradient test fires.
+        if config.gap_tol > 0.0 && epochs.is_multiple_of(GAP_CHECK_EVERY) {
+            let wnorm2 = dot(&w, &w);
+            let sum_alpha: f64 = alpha.iter().sum();
+            let dual = sum_alpha - 0.5 * wnorm2;
+            let margins: Vec<f64> = xs.iter().zip(&ys).map(|(x, y)| y * dot(&w, x)).collect();
+            // Weak duality makes P(v) − D(α) an upper bound on the
+            // suboptimality for ANY primal point v, so evaluate the primal
+            // at the best rescaling s·w of the iterate. The decision
+            // boundary is invariant under positive scaling of the
+            // augmented w, but the large-C hinge term is not: late in a
+            // run the raw P(w) stays inflated by C·(1e-5-sized) margin
+            // violations that a factor-(1+1e-4) rescale erases entirely.
+            let mut primal = f64::INFINITY;
+            for k in [0.0f64, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0] {
+                let s = 1.0 + k;
+                let hinge: f64 = margins.iter().map(|m| (1.0 - s * m).max(0.0)).sum();
+                primal = primal.min(0.5 * s * s * wnorm2 + config.c * hinge);
+            }
+            gap = primal - dual;
+            if gap <= config.gap_tol * primal.abs().max(1.0) {
+                break;
+            }
+        }
     }
     if sia_obs::enabled() {
         sia_obs::add(sia_obs::Counter::SvmTrainings, 1);
@@ -213,7 +277,7 @@ pub fn train(samples: &[Sample], config: &SvmConfig) -> Hyperplane {
     }
     let bias = w[dim] * BIAS_SCALE;
     let weights: Vec<f64> = w[..dim].iter().map(|v| v * scale).collect();
-    Hyperplane { weights, bias }
+    (Hyperplane { weights, bias }, TrainStats { epochs, gap })
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -366,6 +430,46 @@ mod tests {
         assert!(h.accuracy(&samples) < 1.0);
         // whichever side it sacrificed, the helper only reports positives
         assert!(missed.iter().all(|m| m.label));
+    }
+
+    #[test]
+    fn duality_gap_stops_before_epoch_cap() {
+        // Separable fixture mirroring the CEGIS regime: integer samples a
+        // few units apart around the true boundary with a near-hard
+        // margin. The projected-gradient test alone grinds toward the
+        // epoch cap here; the duality gap certifies the plane much
+        // earlier without costing any accuracy.
+        let mut samples = Vec::new();
+        for i in -8i32..=8 {
+            for j in -8i32..=8 {
+                let v = i + j;
+                if v >= 2 {
+                    samples.push(s(&[f64::from(i), f64::from(j)], true));
+                } else if v <= -2 {
+                    samples.push(s(&[f64::from(i), f64::from(j)], false));
+                }
+            }
+        }
+        let cfg = SvmConfig::default();
+        let (h, stats) = train_with_stats(&samples, &cfg);
+        assert_eq!(h.accuracy(&samples), 1.0, "plane {h:?}");
+        assert!(
+            (stats.epochs as usize) < cfg.max_iters,
+            "gap stop never fired: {} epochs",
+            stats.epochs
+        );
+        assert!(stats.gap.is_finite());
+        // Disabling the gap stop must not change correctness, and can
+        // only run longer.
+        let (h2, stats2) = train_with_stats(
+            &samples,
+            &SvmConfig {
+                gap_tol: 0.0,
+                ..cfg
+            },
+        );
+        assert_eq!(h2.accuracy(&samples), 1.0);
+        assert!(stats2.epochs >= stats.epochs);
     }
 
     #[test]

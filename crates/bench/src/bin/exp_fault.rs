@@ -58,6 +58,7 @@ fn build_requests(shapes: usize, reps: usize) -> Vec<Request> {
                 predicate: predicate.to_string(),
                 cols,
                 timeout_ms: Some(30_000),
+                trace: None,
             });
         }
     }

@@ -89,7 +89,11 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
     }
 }
 
-/// Check 1: the `--trace` JSONL stream is well-formed.
+/// Check 1: the `--trace` JSONL stream is well-formed. Delegates to the
+/// shared [`sia_obs::parse_trace`] validator (the same one the serve
+/// tooling uses), so the lint and the tools cannot drift: interior
+/// corruption is a hard failure, while a torn final line (a crash
+/// mid-write without a trailing newline) is tolerated and reported.
 fn lint_trace(path: &str) -> bool {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -98,53 +102,33 @@ fn lint_trace(path: &str) -> bool {
             return false;
         }
     };
-    let mut enters = 0usize;
-    let mut exits = 0usize;
-    let mut counters = 0usize;
-    let mut hists = 0usize;
-    let mut lines = 0usize;
-    for (i, line) in text.lines().enumerate() {
-        lines += 1;
-        let fields = match sia_obs::parse_object(line) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("workspace_lint: {path}:{}: malformed JSON: {e}", i + 1);
-                return false;
-            }
-        };
-        let ty = fields
-            .iter()
-            .find(|(k, _)| k == "type")
-            .and_then(|(_, v)| v.as_str());
-        match ty {
-            Some("span_enter") => enters += 1,
-            Some("span_exit") => exits += 1,
-            Some("counter") => counters += 1,
-            Some("hist") => hists += 1,
-            Some(other) => {
-                eprintln!(
-                    "workspace_lint: {path}:{}: unknown event type {other:?}",
-                    i + 1
-                );
-                return false;
-            }
-            None => {
-                eprintln!("workspace_lint: {path}:{}: missing \"type\" field", i + 1);
-                return false;
-            }
+    let stats = match sia_obs::parse_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workspace_lint: {path}: {e}");
+            return false;
         }
-    }
-    if lines == 0 {
+    };
+    if stats.events == 0 {
         eprintln!("workspace_lint: {path} is empty");
         return false;
     }
-    if enters != exits {
-        eprintln!("workspace_lint: {path}: unbalanced spans ({enters} enters, {exits} exits)");
+    if stats.enters != stats.exits {
+        eprintln!(
+            "workspace_lint: {path}: unbalanced spans ({} enters, {} exits)",
+            stats.enters, stats.exits
+        );
         return false;
     }
+    let torn = if stats.torn_tail {
+        " (torn final line skipped)"
+    } else {
+        ""
+    };
     println!(
-        "workspace_lint: trace {path} OK — {lines} events ({enters} span pairs, \
-         {counters} counters, {hists} hist samples)"
+        "workspace_lint: trace {path} OK — {} events ({} span pairs, \
+         {} counters, {} hist samples){torn}",
+        stats.events, stats.enters, stats.counters, stats.hists
     );
     true
 }

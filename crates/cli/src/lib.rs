@@ -24,9 +24,10 @@ usage:
   sia baseline <predicate> --cols <c1,c2,…>
   sia serve   [--addr HOST:PORT] [--workers N] [--cache-capacity N]
               [--queue-depth N] [--timeout-ms N] [--cache-file FILE]
-              [--snapshot-ms N] [--metrics]
+              [--snapshot-ms N] [--slow-log FILE] [--slow-ms N] [--metrics]
   sia batch   <requests.jsonl> [--addr HOST:PORT] [--concurrency N]
               [--timeout-ms N] [--retries N]
+  sia top     [--addr HOST:PORT] [--interval-ms N] [--iterations N]
 
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
 dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
@@ -40,8 +41,14 @@ serve speaks line-delimited JSON over TCP (one request object per line,
 see `sia batch` input: {\"id\":…,\"predicate\":…,\"cols\":\"a,b\",\"timeout_ms\":…});
 batch sends a file of such requests and prints one response per line.
 --snapshot-ms makes serve write periodic crash-safe cache snapshots;
+--slow-log appends a response exemplar (trace ID + phase breakdown) for
+every request slower than --slow-ms (default 1000) to FILE;
 --retries makes batch retry overloaded/failed requests with jittered
 backoff, shedding client-side (degraded fallback) when retries run out.
+top polls the server's queue-free {\"op\":\"stats\"} endpoint every
+--interval-ms (default 1000) and redraws a terminal view of live
+counters, latency percentiles, cache hit rate, and per-phase totals;
+--iterations N stops after N polls (0 = until interrupted).
 fault injection: set SIA_FAILPOINTS=site=policy;… (see sia-fault docs).
 
 exit codes: 0 success; 1 error; 2 synthesis timeout (synth) or
@@ -157,6 +164,10 @@ pub enum Command {
         cache_file: Option<String>,
         /// Periodic crash-safe cache snapshot interval, in milliseconds.
         snapshot_ms: Option<u64>,
+        /// Slow-request log file (JSONL response exemplars).
+        slow_log: Option<String>,
+        /// Slow-log latency threshold in milliseconds (default 1000).
+        slow_ms: Option<u64>,
         /// Print the metrics summary when the server stops.
         metrics: bool,
     },
@@ -173,6 +184,16 @@ pub enum Command {
         /// Retries per request for overloaded/failed sends (0 = off).
         retries: u32,
     },
+    /// Poll a running server's live telemetry into a refreshing
+    /// terminal view.
+    Top {
+        /// Server address.
+        addr: String,
+        /// Refresh interval in milliseconds.
+        interval_ms: u64,
+        /// Polls before exiting (0 = run until interrupted).
+        iterations: u64,
+    },
 }
 
 impl Command {
@@ -181,8 +202,9 @@ impl Command {
         let mut it = args.iter();
         let sub = it.next().ok_or("missing subcommand")?;
         let mut rest: Vec<String> = it.cloned().collect();
-        // Every subcommand except `serve` takes one positional argument.
-        let positional = if sub == "serve" {
+        // Every subcommand except `serve` and `top` takes one positional
+        // argument.
+        let positional = if sub == "serve" || sub == "top" {
             String::new()
         } else if rest.is_empty() || rest[0].starts_with("--") {
             return Err("missing argument".into());
@@ -206,6 +228,10 @@ impl Command {
         let mut concurrency = 4usize;
         let mut retries = 0u32;
         let mut format: Option<String> = None;
+        let mut slow_log = None;
+        let mut slow_ms = None;
+        let mut interval_ms: Option<u64> = None;
+        let mut iterations: Option<u64> = None;
         let mut i = 0;
         while i < rest.len() {
             match rest[i].as_str() {
@@ -258,6 +284,22 @@ impl Command {
                     i += 1;
                     snapshot_ms = Some(parse_num(rest.get(i), "--snapshot-ms")?);
                 }
+                "--slow-log" => {
+                    i += 1;
+                    slow_log = Some(rest.get(i).ok_or("--slow-log needs a file path")?.clone());
+                }
+                "--slow-ms" => {
+                    i += 1;
+                    slow_ms = Some(parse_num(rest.get(i), "--slow-ms")?);
+                }
+                "--interval-ms" => {
+                    i += 1;
+                    interval_ms = Some(parse_num(rest.get(i), "--interval-ms")?);
+                }
+                "--iterations" => {
+                    i += 1;
+                    iterations = Some(parse_num(rest.get(i), "--iterations")?);
+                }
                 "--concurrency" => {
                     i += 1;
                     concurrency = parse_num(rest.get(i), "--concurrency")?;
@@ -295,6 +337,12 @@ impl Command {
         }
         if format.is_some() && sub != "lint" {
             return Err("--format applies to lint".into());
+        }
+        if (slow_log.is_some() || slow_ms.is_some()) && sub != "serve" {
+            return Err("--slow-log/--slow-ms apply to serve".into());
+        }
+        if (interval_ms.is_some() || iterations.is_some()) && sub != "top" {
+            return Err("--interval-ms/--iterations apply to top".into());
         }
         match sub.as_str() {
             "synth" => {
@@ -348,6 +396,8 @@ impl Command {
                 timeout_ms,
                 cache_file,
                 snapshot_ms,
+                slow_log,
+                slow_ms,
                 metrics,
             }),
             "batch" => Ok(Command::Batch {
@@ -356,6 +406,11 @@ impl Command {
                 concurrency,
                 timeout_ms,
                 retries,
+            }),
+            "top" => Ok(Command::Top {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+                interval_ms: interval_ms.unwrap_or(1000),
+                iterations: iterations.unwrap_or(0),
             }),
             other => Err(format!("unknown subcommand {other:?}")),
         }
@@ -584,6 +639,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             timeout_ms,
             cache_file,
             snapshot_ms,
+            slow_log,
+            slow_ms,
             metrics,
         } => {
             if metrics {
@@ -598,6 +655,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 default_timeout_ms: timeout_ms,
                 cache_file,
                 snapshot_interval: snapshot_ms.map(Duration::from_millis),
+                slow_log_file: slow_log,
+                slow_threshold: Duration::from_millis(slow_ms.unwrap_or(1000)),
             })
             .map_err(|e| format!("cannot start server: {e}"))?;
             // Announce readiness immediately; `run` only returns output
@@ -648,7 +707,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         }
                         requests.push(r);
                     }
-                    protocol::RequestLine::Shutdown | protocol::RequestLine::Health => {
+                    protocol::RequestLine::Shutdown
+                    | protocol::RequestLine::Health
+                    | protocol::RequestLine::Stats => {
                         return Err(format!(
                             "{file}:{}: control requests are not allowed in a batch",
                             lineno + 1
@@ -711,7 +772,92 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Top {
+            addr,
+            interval_ms,
+            iterations,
+        } => {
+            let mut polls = 0u64;
+            loop {
+                let resp = client::stats(&addr)
+                    .map_err(|e| format!("cannot fetch stats from {addr}: {e}"))?;
+                let frame = render_top(&addr, &resp);
+                polls += 1;
+                if iterations != 0 && polls >= iterations {
+                    // The final frame is the command's output (and the
+                    // only one when --iterations 1, the scriptable mode).
+                    return Ok(frame);
+                }
+                // Clear screen + cursor home, like `top`.
+                println!("\u{1b}[2J\u{1b}[H{frame}");
+                std::io::Write::flush(&mut std::io::stdout()).ok();
+                std::thread::sleep(Duration::from_millis(interval_ms.max(50)));
+            }
+        }
     }
+}
+
+/// Render one `sia top` frame from a `stats` response.
+fn render_top(addr: &str, resp: &sia_serve::Response) -> String {
+    use std::fmt::Write as _;
+    let s = resp.stats.unwrap_or_default();
+    let dur_ms = |ms: u64| sia_obs::fmt_duration(Duration::from_millis(ms));
+    let dur_us = |us: u64| sia_obs::fmt_duration(Duration::from_micros(us));
+    let mut out = String::new();
+    let _ = writeln!(out, "sia top — {addr} (uptime {})", dur_ms(s.uptime_ms));
+    if let Some(h) = &resp.health {
+        let _ = writeln!(
+            out,
+            "workers  {}/{}  queue {}  restarts {}  breaker {}",
+            h.workers,
+            h.target,
+            h.queue,
+            h.restarts,
+            if h.breaker_open { "open" } else { "closed" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "requests {} accepted / {} completed / {} rejected\n\
+         outcomes {} timeout / {} error / {} degraded / {} slow",
+        s.requests, s.completed, s.rejected, s.timeouts, s.errors, s.degraded, s.slow
+    );
+    let _ = writeln!(
+        out,
+        "cache    {} hits / {} misses (hit rate {:.1}%)",
+        s.cache_hits,
+        s.cache_misses,
+        100.0 * s.hit_rate()
+    );
+    let _ = writeln!(
+        out,
+        "latency  p50 {}  p90 {}  p99 {}  p99.9 {}  mean {}",
+        dur_us(s.p50_us),
+        dur_us(s.p90_us),
+        dur_us(s.p99_us),
+        dur_us(s.p999_us),
+        dur_us(s.mean_us)
+    );
+    if !resp.phases.is_empty() {
+        let _ = writeln!(out, "\n{:<24} {:>10} {:>7}", "phase", "total", "share");
+        for (path, us) in &resp.phases {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            #[allow(clippy::cast_precision_loss)]
+            let share = if s.total_us > 0 {
+                100.0 * *us as f64 / s.total_us as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10} {share:>6.1}%",
+                format!("{}{name}", "  ".repeat(depth)),
+                dur_us(*us)
+            );
+        }
+    }
+    out.trim_end().to_string()
 }
 
 #[cfg(test)]
@@ -776,6 +922,95 @@ mod tests {
         assert!(Command::parse(&strs(&["nope", "x"])).is_err());
         assert!(Command::parse(&strs(&["rewrite", "SELECT"])).is_err()); // no --table
         assert!(Command::parse(&strs(&["solve", "a < b", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_slow_log_flags() {
+        let cmd = Command::parse(&strs(&[
+            "serve",
+            "--slow-log",
+            "slow.jsonl",
+            "--slow-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve { ref slow_log, slow_ms: Some(250), .. }
+                if slow_log.as_deref() == Some("slow.jsonl")
+        ));
+        // The slow-log flags are serve-only.
+        assert!(Command::parse(&strs(&["batch", "r.jsonl", "--slow-ms", "10"])).is_err());
+        assert!(Command::parse(&strs(&["top", "--slow-log", "s.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn parse_top() {
+        let cmd = Command::parse(&strs(&["top"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Top {
+                addr: "127.0.0.1:7171".into(),
+                interval_ms: 1000,
+                iterations: 0,
+            }
+        );
+        let cmd = Command::parse(&strs(&[
+            "top",
+            "--addr",
+            "10.0.0.1:9999",
+            "--interval-ms",
+            "200",
+            "--iterations",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Top {
+                addr: "10.0.0.1:9999".into(),
+                interval_ms: 200,
+                iterations: 3,
+            }
+        );
+        // The polling flags are top-only; values are validated.
+        assert!(Command::parse(&strs(&["serve", "--interval-ms", "100"])).is_err());
+        assert!(Command::parse(&strs(&["top", "--iterations", "x"])).is_err());
+    }
+
+    #[test]
+    fn run_top_renders_live_stats() {
+        let handle = sia_serve::server::start(sia_serve::ServeConfig {
+            workers: 1,
+            ..sia_serve::ServeConfig::default()
+        })
+        .expect("server starts");
+        let addr = handle.addr().to_string();
+        let resp = client::request_one(
+            &addr,
+            &sia_serve::Request {
+                id: "t0".into(),
+                predicate: "x < 5 AND y > 2".into(),
+                cols: strs(&["x"]),
+                timeout_ms: None,
+                trace: None,
+            },
+        )
+        .expect("request");
+        assert_eq!(resp.status, sia_serve::Status::Ok, "{resp:?}");
+
+        // --iterations 1 is the scriptable mode: one poll, one frame.
+        let out = run(Command::Top {
+            addr: addr.clone(),
+            interval_ms: 10,
+            iterations: 1,
+        })
+        .expect("top frame");
+        assert!(out.contains(&format!("sia top — {addr}")), "{out}");
+        assert!(out.contains("requests 1 accepted"), "{out}");
+        assert!(out.contains("workers  1/1"), "{out}");
+        assert!(out.contains("latency  p50"), "{out}");
+        handle.shutdown().expect("clean shutdown");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! sia baseline "y1 > x AND x > y2" --cols y1,y2       # transitive closure
 //! sia serve --addr 127.0.0.1:7171 --workers 4         # synthesis service
 //! sia batch requests.jsonl --addr 127.0.0.1:7171      # drive the service
+//! sia top --addr 127.0.0.1:7171                       # live server telemetry
 //! ```
 //!
 //! Exit codes: 0 success, 1 error, 2 synthesis timeout / failed batch

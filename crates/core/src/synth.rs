@@ -218,12 +218,6 @@ impl Synthesizer {
                 return Err(SynthesisError::ColumnNotInPredicate(c.clone()));
             }
         }
-        // Chaos hook: an injected error/panic/stall at the very top of a
-        // run, after request validation (so injected faults model
-        // synthesis failures, not malformed requests).
-        if let Some(msg) = sia_fault::fire("synth.run") {
-            return Err(SynthesisError::Internal(msg));
-        }
         let mut stats = SynthStats::default();
         // Thread the deadline/cancel token into the solver so its CDCL
         // and simplex loops poll it; the driver re-checks it between
@@ -243,6 +237,14 @@ impl Synthesizer {
         // `qe.eliminate`, and `svm.train` nesting below (the `--metrics`
         // breakdown). Guards close on every early return.
         let _synth_span = sia_obs::span("synth");
+        // Chaos hook: an injected error/panic/stall at the very top of a
+        // run, after request validation (so injected faults model
+        // synthesis failures, not malformed requests). Inside the `synth`
+        // span so an injected stall is attributed to synthesis time in
+        // phase breakdowns, like the real stalls it stands in for.
+        if let Some(msg) = sia_fault::fire("synth.run") {
+            return Err(SynthesisError::Internal(msg));
+        }
         let gen_span = sia_obs::span("generate");
         let gen_start = Instant::now();
         let p_f = enc.encode(p)?;
@@ -292,7 +294,11 @@ impl Synthesizer {
         // `checked`, exact discharges are additionally cross-checked
         // against a solver-computed unsatisfaction region.
         let mut warm_bounds: Option<Pred> = None;
-        match crate::prescreen::derive(enc, p, cols) {
+        let derivation = {
+            let _derive_span = sia_obs::span("derive");
+            crate::prescreen::derive(enc, p, cols)
+        };
+        match derivation {
             Some(sia_analyze::Derivation::Exact(q)) if !q.is_false() => {
                 let val_start = Instant::now();
                 let ok = q.is_true() || verify_implies(enc, p, &q)? == Validity::Valid;

@@ -122,11 +122,48 @@ pub enum Counter {
     /// Synthesis requests where static derivation produced nothing usable
     /// and the full CEGIS pipeline ran unaided (`analyze.derive.miss`).
     AnalyzeDeriveMiss,
+    /// Traced request root spans opened via `SpanContext::begin`
+    /// (`trace.roots`).
+    TraceRoots,
+    /// Cross-thread span-context adoptions — a pool thread attaching its
+    /// work under a request's root span (`trace.adopted`).
+    TraceAdopted,
+    /// Torn trailing lines skipped by the trace parser — writer killed
+    /// mid-line, mirroring the cache's torn-tail recovery
+    /// (`trace.torn_lines`).
+    TraceTornLines,
+    /// Slow-request exemplars written to the slow log
+    /// (`slowlog.captured`).
+    SlowlogCaptured,
+    /// `{"op":"stats"}` requests answered queue-free by reader threads
+    /// (`serve.stats_ops`).
+    ServeStatsOps,
+    /// Total µs requests spent waiting in the work queue
+    /// (`serve.phase.queue_us`).
+    ServePhaseQueueUs,
+    /// Total µs spent parsing request predicates (`serve.phase.parse_us`).
+    ServePhaseParseUs,
+    /// Total µs spent linting request predicates for advisory warnings
+    /// (`serve.phase.lint_us`).
+    ServePhaseLintUs,
+    /// Total µs spent canonicalizing and probing the predicate cache
+    /// (`serve.phase.cache_us`).
+    ServePhaseCacheUs,
+    /// Total µs spent in synthesis proper — derivation, sampling, SVM
+    /// training, verification (`serve.phase.synth_us`).
+    ServePhaseSynthUs,
+    /// Total µs spent serializing and writing responses
+    /// (`serve.phase.respond_us`).
+    ServePhaseRespondUs,
+    /// Total request µs not attributed to any named phase — the
+    /// complement of the ≥95% phase-coverage target
+    /// (`serve.phase.other_us`).
+    ServePhaseOtherUs,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 46] = [
+    pub const ALL: [Counter; 58] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -173,6 +210,18 @@ impl Counter {
         Counter::AnalyzeDeriveStatic,
         Counter::AnalyzeDerivePartial,
         Counter::AnalyzeDeriveMiss,
+        Counter::TraceRoots,
+        Counter::TraceAdopted,
+        Counter::TraceTornLines,
+        Counter::SlowlogCaptured,
+        Counter::ServeStatsOps,
+        Counter::ServePhaseQueueUs,
+        Counter::ServePhaseParseUs,
+        Counter::ServePhaseLintUs,
+        Counter::ServePhaseCacheUs,
+        Counter::ServePhaseSynthUs,
+        Counter::ServePhaseRespondUs,
+        Counter::ServePhaseOtherUs,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -224,6 +273,18 @@ impl Counter {
             Counter::AnalyzeDeriveStatic => "analyze.derive.static",
             Counter::AnalyzeDerivePartial => "analyze.derive.partial",
             Counter::AnalyzeDeriveMiss => "analyze.derive.miss",
+            Counter::TraceRoots => "trace.roots",
+            Counter::TraceAdopted => "trace.adopted",
+            Counter::TraceTornLines => "trace.torn_lines",
+            Counter::SlowlogCaptured => "slowlog.captured",
+            Counter::ServeStatsOps => "serve.stats_ops",
+            Counter::ServePhaseQueueUs => "serve.phase.queue_us",
+            Counter::ServePhaseParseUs => "serve.phase.parse_us",
+            Counter::ServePhaseLintUs => "serve.phase.lint_us",
+            Counter::ServePhaseCacheUs => "serve.phase.cache_us",
+            Counter::ServePhaseSynthUs => "serve.phase.synth_us",
+            Counter::ServePhaseRespondUs => "serve.phase.respond_us",
+            Counter::ServePhaseOtherUs => "serve.phase.other_us",
         }
     }
 
@@ -258,11 +319,14 @@ pub enum Hist {
     /// End-to-end request latency in microseconds, measured at the worker
     /// (`serve.latency_us`).
     ServeLatencyUs,
+    /// Per-request queue wait in microseconds, measured at dequeue
+    /// (`serve.latency.queue_us`).
+    ServeQueueWaitUs,
 }
 
 impl Hist {
     /// Every histogram, in display order.
-    pub const ALL: [Hist; 8] = [
+    pub const ALL: [Hist; 9] = [
         Hist::SatLearnedLen,
         Hist::QeBlowup,
         Hist::SvmIterations,
@@ -271,6 +335,7 @@ impl Hist {
         Hist::CegisRoundFalse,
         Hist::ServeQueueDepth,
         Hist::ServeLatencyUs,
+        Hist::ServeQueueWaitUs,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -284,6 +349,7 @@ impl Hist {
             Hist::CegisRoundFalse => "cegis.round_false",
             Hist::ServeQueueDepth => "serve.queue_depth",
             Hist::ServeLatencyUs => "serve.latency_us",
+            Hist::ServeQueueWaitUs => "serve.latency.queue_us",
         }
     }
 

@@ -33,14 +33,19 @@ mod key;
 mod sink;
 mod span;
 mod summary;
+mod trace;
 
 pub use jsonl::{parse_object, JsonValue};
 pub use key::{Counter, Hist};
 pub use sink::{
     json_number, json_string, Event, JsonlSink, MemorySink, NoopSink, OwnedEvent, Sink,
 };
-pub use span::{span, SpanGuard};
+pub use span::{
+    current_trace, local_begin, local_take, record_complete, span, AdoptGuard, SpanContext,
+    SpanGuard,
+};
 pub use summary::{fmt_duration, HistData, MetricsSummary, Snapshot, SpanStat};
+pub use trace::{parse_trace, TraceStats};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

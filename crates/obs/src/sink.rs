@@ -18,6 +18,8 @@ pub enum Event<'a> {
     SpanEnter {
         /// Full span path, e.g. `synth/generate/smt.check`.
         path: &'a str,
+        /// Request trace ID (0 = untraced; omitted from JSONL when 0).
+        trace: u64,
         /// Microseconds since the collector epoch.
         t_us: u64,
     },
@@ -25,6 +27,8 @@ pub enum Event<'a> {
     SpanExit {
         /// Full span path.
         path: &'a str,
+        /// Request trace ID (0 = untraced; omitted from JSONL when 0).
+        trace: u64,
         /// Microseconds since the collector epoch (at exit).
         t_us: u64,
         /// Span duration in microseconds.
@@ -54,12 +58,19 @@ impl Event<'_> {
     /// Convert to an owned event (for buffering).
     pub fn to_owned_event(&self) -> OwnedEvent {
         match *self {
-            Event::SpanEnter { path, t_us } => OwnedEvent::SpanEnter {
+            Event::SpanEnter { path, trace, t_us } => OwnedEvent::SpanEnter {
                 path: path.to_string(),
+                trace,
                 t_us,
             },
-            Event::SpanExit { path, t_us, dur_us } => OwnedEvent::SpanExit {
+            Event::SpanExit {
+                path,
+                trace,
+                t_us,
+                dur_us,
+            } => OwnedEvent::SpanExit {
                 path: path.to_string(),
+                trace,
                 t_us,
                 dur_us,
             },
@@ -70,14 +81,30 @@ impl Event<'_> {
 
     /// Render as one JSONL line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
+        // The trace ID is omitted when 0 so untraced runs keep their
+        // pre-tracing line shape (and size).
+        let trace_field = |trace: u64| {
+            if trace == 0 {
+                String::new()
+            } else {
+                format!(",\"trace\":{trace}")
+            }
+        };
         match *self {
-            Event::SpanEnter { path, t_us } => format!(
-                "{{\"type\":\"span_enter\",\"path\":{},\"t_us\":{t_us}}}",
-                json_string(path)
+            Event::SpanEnter { path, trace, t_us } => format!(
+                "{{\"type\":\"span_enter\",\"path\":{}{},\"t_us\":{t_us}}}",
+                json_string(path),
+                trace_field(trace)
             ),
-            Event::SpanExit { path, t_us, dur_us } => format!(
-                "{{\"type\":\"span_exit\",\"path\":{},\"t_us\":{t_us},\"dur_us\":{dur_us}}}",
-                json_string(path)
+            Event::SpanExit {
+                path,
+                trace,
+                t_us,
+                dur_us,
+            } => format!(
+                "{{\"type\":\"span_exit\",\"path\":{}{},\"t_us\":{t_us},\"dur_us\":{dur_us}}}",
+                json_string(path),
+                trace_field(trace)
             ),
             Event::Counter { key, add, t_us } => format!(
                 "{{\"type\":\"counter\",\"key\":{},\"add\":{add},\"t_us\":{t_us}}}",
@@ -99,6 +126,8 @@ pub enum OwnedEvent {
     SpanEnter {
         /// Full span path.
         path: String,
+        /// Request trace ID (0 = untraced).
+        trace: u64,
         /// Microseconds since the collector epoch.
         t_us: u64,
     },
@@ -106,6 +135,8 @@ pub enum OwnedEvent {
     SpanExit {
         /// Full span path.
         path: String,
+        /// Request trace ID (0 = untraced).
+        trace: u64,
         /// Microseconds since the collector epoch (at exit).
         t_us: u64,
         /// Span duration in microseconds.
@@ -260,11 +291,23 @@ mod tests {
     fn renders_events_as_jsonl() {
         let e = Event::SpanEnter {
             path: "synth/learn",
+            trace: 0,
             t_us: 7,
         };
         assert_eq!(
             e.to_jsonl(),
             "{\"type\":\"span_enter\",\"path\":\"synth/learn\",\"t_us\":7}"
+        );
+        let e = Event::SpanExit {
+            path: "serve.request",
+            trace: 42,
+            t_us: 260,
+            dur_us: 250,
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"type\":\"span_exit\",\"path\":\"serve.request\",\"trace\":42,\
+             \"t_us\":260,\"dur_us\":250}"
         );
         let e = Event::Hist {
             key: Hist::SvmIterations,

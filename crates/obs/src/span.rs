@@ -1,4 +1,5 @@
-//! Structured spans: a thread-local stack of timed scopes.
+//! Structured spans: a thread-local stack of timed scopes, plus an
+//! explicit [`SpanContext`] handle for spans that cross threads.
 //!
 //! [`span`] pushes a frame onto the current thread's stack and returns a
 //! RAII guard; dropping the guard (including during unwinding, so a panic
@@ -6,26 +7,105 @@
 //! elapsed time to the `/`-joined span path in the global collector, and
 //! credits the duration to the parent frame's child time so self-time can
 //! be derived.
+//!
+//! The thread-local stack alone cannot follow a request across a thread
+//! handoff (accept thread → queue → worker pool): a span opened on the
+//! reader thread is invisible to the worker, so worker-side spans would
+//! silently start a new root. [`SpanContext`] fixes that: the reader
+//! [`SpanContext::begin`]s a root span and ships the handle through the
+//! queue; the worker [`SpanContext::adopt`]s it, which pushes a borrowed
+//! frame so everything the worker records nests under the request's root
+//! path and carries its trace ID; whoever owns the context
+//! [`SpanContext::finish`]es it exactly once.
+//!
+//! Orthogonally, [`local_begin`]/[`local_take`] capture a per-request
+//! phase breakdown on the current thread — every span close adds its
+//! duration to a thread-local map — so a server can attach per-phase
+//! timings to each response even when the process-global collector is
+//! disabled.
 
+use crate::key::Counter;
 use crate::sink::Event;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 struct Frame {
     path: String,
     start: Instant,
     child: Duration,
+    /// Close this frame into the global collector? `false` for adopted
+    /// (borrowed) frames — their owning [`SpanContext`] records the span —
+    /// and for frames opened while only the request-local recorder is on.
+    global: bool,
 }
 
 thread_local! {
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    /// Trace ID in effect on this thread (0 = untraced). Set while a
+    /// [`SpanContext`] is adopted; stamped on every emitted span event.
+    static TRACE: Cell<u64> = const { Cell::new(0) };
+    /// Request-local phase recorder: span path → accumulated µs.
+    static LOCAL: RefCell<Option<BTreeMap<String, u64>>> = const { RefCell::new(None) };
+    static LOCAL_ON: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The trace ID in effect on this thread (0 when untraced).
+pub fn current_trace() -> u64 {
+    TRACE.with(Cell::get)
+}
+
+fn local_active() -> bool {
+    LOCAL_ON.with(Cell::get)
+}
+
+fn local_add(path: &str, dur: Duration) {
+    if !local_active() {
+        return;
+    }
+    LOCAL.with(|l| {
+        if let Some(map) = l.borrow_mut().as_mut() {
+            let us: u64 = dur.as_micros().try_into().unwrap_or(u64::MAX);
+            match map.get_mut(path) {
+                Some(total) => *total = total.saturating_add(us),
+                None => {
+                    map.insert(path.to_string(), us);
+                }
+            }
+        }
+    });
+}
+
+/// Start the request-local phase recorder on this thread: until
+/// [`local_take`], every span closed on this thread also adds its
+/// duration to a private map, independent of (and in addition to) the
+/// global collector. Replaces any recorder already active.
+pub fn local_begin() {
+    LOCAL.with(|l| *l.borrow_mut() = Some(BTreeMap::new()));
+    LOCAL_ON.with(|c| c.set(true));
+}
+
+/// Stop the request-local recorder and return `(span path, total µs)`
+/// pairs sorted by path. Empty if [`local_begin`] was never called.
+pub fn local_take() -> Vec<(String, u64)> {
+    LOCAL_ON.with(|c| c.set(false));
+    LOCAL
+        .with(|l| l.borrow_mut().take())
+        .map(|m| m.into_iter().collect())
+        .unwrap_or_default()
+}
+
+fn dur_us(dur: Duration) -> u64 {
+    dur.as_micros().try_into().unwrap_or(u64::MAX)
 }
 
 /// Enter a span named `name`, nested under the innermost open span on
-/// this thread. When the collector is disabled this is a no-op costing
-/// one atomic load.
+/// this thread. When neither the collector nor the request-local
+/// recorder is active this is a no-op costing one atomic load and one
+/// thread-local read.
 pub fn span(name: &'static str) -> SpanGuard {
-    if !crate::enabled() {
+    let global = crate::enabled();
+    if !global && !local_active() {
         return SpanGuard { active: false };
     }
     STACK.with(|stack| {
@@ -34,17 +114,61 @@ pub fn span(name: &'static str) -> SpanGuard {
             Some(parent) => format!("{}/{name}", parent.path),
             None => name.to_string(),
         };
-        crate::emit(&Event::SpanEnter {
-            path: &path,
-            t_us: crate::now_us(),
-        });
+        if global {
+            crate::emit(&Event::SpanEnter {
+                path: &path,
+                trace: current_trace(),
+                t_us: crate::now_us(),
+            });
+        }
         stack.push(Frame {
             path,
             start: Instant::now(),
             child: Duration::ZERO,
+            global,
         });
     });
     SpanGuard { active: true }
+}
+
+/// Record a span for work that already elapsed (ending now), nested
+/// under the innermost open span on this thread. For phases measured
+/// outside any RAII scope — e.g. queue wait, measured by the worker at
+/// dequeue time but spent before the worker ever saw the request.
+pub fn record_complete(name: &str, dur: Duration) {
+    let global = crate::enabled();
+    if !global && !local_active() {
+        return;
+    }
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_string(),
+        };
+        if let Some(parent) = stack.last_mut() {
+            parent.child += dur;
+        }
+        drop(stack);
+        local_add(&path, dur);
+        if global {
+            let t = crate::now_us();
+            let d = dur_us(dur);
+            let trace = current_trace();
+            crate::emit(&Event::SpanEnter {
+                path: &path,
+                trace,
+                t_us: t.saturating_sub(d),
+            });
+            crate::emit(&Event::SpanExit {
+                path: &path,
+                trace,
+                t_us: t,
+                dur_us: d,
+            });
+            crate::record_span(&path, dur, Duration::ZERO);
+        }
+    });
 }
 
 /// Closes its span on drop. Guards nest strictly (drop order mirrors
@@ -68,12 +192,135 @@ impl Drop for SpanGuard {
             if let Some(parent) = stack.last_mut() {
                 parent.child += dur;
             }
-            crate::record_span(&frame.path, dur, frame.child);
-            crate::emit(&Event::SpanExit {
-                path: &frame.path,
+            drop(stack);
+            local_add(&frame.path, dur);
+            if frame.global {
+                crate::record_span(&frame.path, dur, frame.child);
+                crate::emit(&Event::SpanExit {
+                    path: &frame.path,
+                    trace: current_trace(),
+                    t_us: crate::now_us(),
+                    dur_us: dur_us(dur),
+                });
+            }
+        });
+    }
+}
+
+/// An explicit handle to an open root span that can cross threads.
+///
+/// Created where a request is born ([`SpanContext::begin`]), shipped
+/// through queues by value, [`SpanContext::adopt`]ed by whichever thread
+/// works on the request (so that thread's spans nest under the request
+/// path and carry its trace ID), and closed exactly once with
+/// [`SpanContext::finish`]. Child time accumulated under each adoption
+/// is credited back to the context so self-time stays meaningful.
+#[derive(Debug)]
+pub struct SpanContext {
+    path: String,
+    trace: u64,
+    start: Instant,
+    child: Cell<Duration>,
+}
+
+impl SpanContext {
+    /// Open a root span named `name` with trace ID `trace` (0 =
+    /// untraced). Emits the enter event immediately so the trace file
+    /// shows the request starting on the thread that accepted it.
+    pub fn begin(name: &str, trace: u64) -> SpanContext {
+        if crate::enabled() {
+            if trace != 0 {
+                crate::add(Counter::TraceRoots, 1);
+            }
+            crate::emit(&Event::SpanEnter {
+                path: name,
+                trace,
                 t_us: crate::now_us(),
-                dur_us: dur.as_micros().try_into().unwrap_or(u64::MAX),
+            });
+        }
+        SpanContext {
+            path: name.to_string(),
+            trace,
+            start: Instant::now(),
+            child: Cell::new(Duration::ZERO),
+        }
+    }
+
+    /// The trace ID this context carries (0 = untraced).
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// The root span path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Wall time since [`SpanContext::begin`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Adopt this context on the current thread: spans opened while the
+    /// returned guard lives nest under the context's path and carry its
+    /// trace ID. The guard restores the previous trace ID on drop and
+    /// credits child time back to the context; it records nothing itself
+    /// — the span is closed by [`SpanContext::finish`].
+    pub fn adopt(&self) -> AdoptGuard<'_> {
+        if crate::enabled() && self.trace != 0 {
+            crate::add(Counter::TraceAdopted, 1);
+        }
+        let prev_trace = TRACE.with(|t| t.replace(self.trace));
+        STACK.with(|stack| {
+            stack.borrow_mut().push(Frame {
+                path: self.path.clone(),
+                start: Instant::now(),
+                child: Duration::ZERO,
+                global: false,
             });
         });
+        AdoptGuard {
+            ctx: self,
+            prev_trace,
+        }
+    }
+
+    /// Close the root span: record its total wall time (since `begin`)
+    /// and the child time accumulated across adoptions, and emit the
+    /// exit event. Returns the total duration.
+    pub fn finish(self) -> Duration {
+        let dur = self.start.elapsed();
+        if crate::enabled() {
+            crate::record_span(&self.path, dur, self.child.get());
+            crate::emit(&Event::SpanExit {
+                path: &self.path,
+                trace: self.trace,
+                t_us: crate::now_us(),
+                dur_us: dur_us(dur),
+            });
+        }
+        dur
+    }
+}
+
+/// Undoes a [`SpanContext::adopt`] on drop: pops the borrowed frame,
+/// credits its child time to the context, and restores the thread's
+/// previous trace ID. Drop runs during unwinding, so a panicking worker
+/// cannot leak the adopted frame onto its span stack.
+#[must_use = "an adoption guard detaches the span context when dropped"]
+#[derive(Debug)]
+pub struct AdoptGuard<'a> {
+    ctx: &'a SpanContext,
+    prev_trace: u64,
+}
+
+impl Drop for AdoptGuard<'_> {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            if let Some(frame) = stack.borrow_mut().pop() {
+                self.ctx.child.set(self.ctx.child.get() + frame.child);
+            }
+        });
+        TRACE.with(|t| t.set(self.prev_trace));
     }
 }

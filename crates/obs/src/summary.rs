@@ -5,7 +5,16 @@ use crate::sink::{json_number, json_string};
 use std::fmt;
 use std::time::Duration;
 
-/// Aggregate of one histogram key.
+/// Number of logarithmic buckets per histogram: four per octave, so the
+/// top bucket starts at 2^(127/4) ≈ 3.6e9 — about an hour in µs.
+const BUCKETS: usize = 128;
+
+/// Aggregate of one histogram key: count/sum/min/max plus a fixed array
+/// of logarithmic buckets (four per power of two) for percentile
+/// readback. A value in bucket `k` lies in `[2^(k/4), 2^((k+1)/4))`, so
+/// reading a quantile back as the bucket's geometric midpoint is off by
+/// at most a factor of 2^(1/8) ≈ 1.09 — a ≤9% relative error, at 1 KiB
+/// per histogram and O(1) record cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistData {
     /// Number of observations.
@@ -16,21 +25,43 @@ pub struct HistData {
     pub min: f64,
     /// Largest observed value (`-∞` when empty).
     pub max: f64,
+    /// Observation counts per logarithmic bucket.
+    buckets: [u64; BUCKETS],
 }
 
 impl HistData {
-    pub(crate) const EMPTY: HistData = HistData {
+    /// A histogram with no observations.
+    pub const EMPTY: HistData = HistData {
         count: 0,
         sum: 0.0,
         min: f64::INFINITY,
         max: f64::NEG_INFINITY,
+        buckets: [0; BUCKETS],
     };
 
-    pub(crate) fn record(&mut self, v: f64) {
+    /// Bucket index for value `v`: `floor(4·log2(v))` clamped to the
+    /// array. Everything ≤ 1 (and NaN) lands in bucket 0.
+    fn bucket_of(v: f64) -> usize {
+        if v.is_nan() || v <= 1.0 {
+            return 0;
+        }
+        let idx = (4.0 * v.log2()).floor();
+        if idx >= (BUCKETS - 1) as f64 {
+            BUCKETS - 1
+        } else {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let idx = idx as usize;
+            idx
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
     }
 
     /// Mean of the observations (0 when empty).
@@ -42,6 +73,57 @@ impl HistData {
             let n = self.count as f64;
             self.sum / n
         }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0,1]`) from the buckets:
+    /// nearest-rank selection, read back as the holding bucket's
+    /// geometric midpoint and clamped to the exact observed `[min, max]`.
+    /// Relative error ≤ 2^(1/8) − 1 ≈ 9%; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let target = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        // Rank 0 and rank count−1 are tracked exactly — no bucket error
+        // at the extremes (and single observations read back verbatim).
+        if target == 0 {
+            return self.min;
+        }
+        if target + 1 >= self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum > target {
+                #[allow(clippy::cast_precision_loss)]
+                let mid = 2f64.powf((k as f64 + 0.5) / 4.0);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistData::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
     }
 }
 
@@ -113,11 +195,16 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{}:{{\"count\":{},\"min\":{},\"mean\":{},\"max\":{},\"sum\":{}}}",
+                "{}:{{\"count\":{},\"min\":{},\"mean\":{},\"p50\":{},\"p90\":{},\
+                 \"p99\":{},\"p999\":{},\"max\":{},\"sum\":{}}}",
                 json_string(k.name()),
                 h.count,
                 json_number(h.min),
                 json_number(h.mean()),
+                json_number(h.p50()),
+                json_number(h.p90()),
+                json_number(h.p99()),
+                json_number(h.p999()),
                 json_number(h.max),
                 json_number(h.sum)
             ));
@@ -250,8 +337,8 @@ impl fmt::Display for MetricsSummary {
                 .unwrap_or(9);
             writeln!(
                 f,
-                "\n{:<width$}  {:>7}  {:>10}  {:>10}  {:>10}",
-                "histogram", "count", "min", "mean", "max"
+                "\n{:<width$}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                "histogram", "count", "min", "mean", "p50", "p99", "max"
             )?;
             for (k, h) in &snap.hists {
                 let (mn, mx) = if h.count == 0 {
@@ -261,10 +348,12 @@ impl fmt::Display for MetricsSummary {
                 };
                 writeln!(
                     f,
-                    "{:<width$}  {:>7}  {mn:>10.2}  {:>10.2}  {mx:>10.2}",
+                    "{:<width$}  {:>7}  {mn:>10.2}  {:>10.2}  {:>10.2}  {:>10.2}  {mx:>10.2}",
                     k.name(),
                     h.count,
                     h.mean(),
+                    h.p50(),
+                    h.p99(),
                 )?;
             }
         }
@@ -348,8 +437,34 @@ mod tests {
         };
         let json = snap.to_json();
         let expected = "{\"counters\":{\"smt.checks\":3},\
-             \"histograms\":{\"qe.blowup\":{\"count\":1,\"min\":2,\"mean\":2,\"max\":2,\"sum\":2}},\
+             \"histograms\":{\"qe.blowup\":{\"count\":1,\"min\":2,\"mean\":2,\
+             \"p50\":2,\"p90\":2,\"p99\":2,\"p999\":2,\"max\":2,\"sum\":2}},\
              \"spans\":{\"synth/learn\":{\"count\":2,\"total_us\":90,\"self_us\":90}}}";
         assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        // 1..=1000: the exact q-quantile is q·1000, and the bucket
+        // estimate must stay within the documented 9% relative error.
+        let mut h = HistData::EMPTY;
+        for v in 1..=1000 {
+            h.record(f64::from(v));
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0), (0.999, 999.0)] {
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= 0.091, "q={q}: est {est} vs exact {exact} ({rel})");
+        }
+        // Extremes are exact: clamped to observed min/max.
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        // A single observation reads back exactly at every quantile.
+        let mut one = HistData::EMPTY;
+        one.record(1234.5);
+        assert_eq!(one.p50(), 1234.5);
+        assert_eq!(one.p999(), 1234.5);
+        // Empty histograms answer 0 without dividing by zero.
+        assert_eq!(HistData::EMPTY.quantile(0.5), 0.0);
     }
 }

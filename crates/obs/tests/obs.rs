@@ -144,10 +144,12 @@ fn jsonl_round_trips_through_hand_parser() {
     let events = vec![
         Event::SpanEnter {
             path: "synth/generate",
+            trace: 0,
             t_us: 10,
         },
         Event::SpanExit {
             path: "synth/generate",
+            trace: 7_777,
             t_us: 260,
             dur_us: 250,
         },
@@ -177,15 +179,23 @@ fn jsonl_round_trips_through_hand_parser() {
                 .1
         };
         match original {
-            Event::SpanEnter { path, t_us } => {
+            Event::SpanEnter { path, t_us, .. } => {
                 assert_eq!(get("type").as_str(), Some("span_enter"));
                 assert_eq!(get("path").as_str(), Some(*path));
                 assert_eq!(get("t_us").as_num(), Some(*t_us as f64));
+                // Untraced events omit the trace field entirely.
+                assert!(!fields.iter().any(|(k, _)| k == "trace"), "{line}");
             }
-            Event::SpanExit { path, dur_us, .. } => {
+            Event::SpanExit {
+                path,
+                trace,
+                dur_us,
+                ..
+            } => {
                 assert_eq!(get("type").as_str(), Some("span_exit"));
                 assert_eq!(get("path").as_str(), Some(*path));
                 assert_eq!(get("dur_us").as_num(), Some(*dur_us as f64));
+                assert_eq!(get("trace").as_num(), Some(*trace as f64));
             }
             Event::Counter { key, add, .. } => {
                 assert_eq!(get("type").as_str(), Some("counter"));
@@ -199,6 +209,120 @@ fn jsonl_round_trips_through_hand_parser() {
             }
         }
     }
+    sia_obs::disable();
+}
+
+#[test]
+fn span_context_adoption_links_threads_under_one_trace() {
+    let _guard = isolated();
+    let (sink, events) = MemorySink::new();
+    sia_obs::set_sink(Box::new(sink));
+    const TRACE: u64 = 42;
+
+    // Reader thread opens the root; a different (worker) thread adopts
+    // it, so its spans must nest under the root path and carry the
+    // trace ID — the cross-thread parentage the thread-local stack
+    // alone cannot provide.
+    let ctx = sia_obs::SpanContext::begin("serve.request", TRACE);
+    std::thread::spawn(move || {
+        let _adopt = ctx.adopt();
+        assert_eq!(sia_obs::current_trace(), TRACE);
+        sia_obs::record_complete("queue", std::time::Duration::from_micros(150));
+        {
+            let _work = sia_obs::span("work");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(_adopt);
+        assert_eq!(sia_obs::current_trace(), 0, "trace restored on detach");
+        ctx.finish()
+    })
+    .join()
+    .expect("worker thread");
+
+    let snap = sia_obs::snapshot();
+    let root = snap.span("serve.request").expect("root span recorded once");
+    assert_eq!(root.count, 1);
+    let work = snap.span("serve.request/work").expect("nested under root");
+    assert!(root.child >= work.total, "adoption credits child time back");
+    assert!(
+        snap.span("serve.request/queue").is_some(),
+        "queue attributed"
+    );
+
+    drop(sia_obs::take_sink());
+    let events = events.lock().unwrap();
+    let span_trace = |path: &str, enter: bool| {
+        events.iter().find_map(|e| match e {
+            OwnedEvent::SpanEnter { path: p, trace, .. } if enter && p == path => Some(*trace),
+            OwnedEvent::SpanExit { path: p, trace, .. } if !enter && p == path => Some(*trace),
+            _ => None,
+        })
+    };
+    // Client/root, queue, and worker spans all share the one trace ID.
+    assert_eq!(span_trace("serve.request", true), Some(TRACE));
+    assert_eq!(span_trace("serve.request", false), Some(TRACE));
+    assert_eq!(span_trace("serve.request/queue", true), Some(TRACE));
+    assert_eq!(span_trace("serve.request/work", true), Some(TRACE));
+    assert_eq!(span_trace("serve.request/work", false), Some(TRACE));
+    sia_obs::disable();
+}
+
+#[test]
+fn local_recorder_breaks_down_phases_without_global_collector() {
+    let _guard = isolated();
+    sia_obs::disable(); // request-local recording must not need the collector
+    sia_obs::local_begin();
+    {
+        let _root = sia_obs::span("req");
+        sia_obs::record_complete("queue", std::time::Duration::from_micros(500));
+        let _phase = sia_obs::span("synth");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let phases = sia_obs::local_take();
+    let get = |p: &str| phases.iter().find(|(k, _)| k == p).map(|&(_, us)| us);
+    assert_eq!(get("req/queue"), Some(500));
+    assert!(get("req/synth").is_some_and(|us| us >= 1_000), "{phases:?}");
+    assert!(get("req").is_some(), "{phases:?}");
+    // Nothing leaked into the global collector, and the recorder is off.
+    assert!(sia_obs::snapshot().spans.is_empty());
+    assert!(sia_obs::local_take().is_empty());
+}
+
+#[test]
+fn concurrent_jsonl_sink_writes_never_tear_lines() {
+    let _guard = isolated();
+    let path = std::env::temp_dir().join(format!("sia_obs_conc_{}.jsonl", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path").to_string();
+    let sink = sia_obs::JsonlSink::create(&path_str).expect("create trace file");
+    sia_obs::set_sink(Box::new(sink));
+
+    const THREADS: usize = 8;
+    const SPANS: usize = 50;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let ctx = sia_obs::SpanContext::begin("req", (t as u64) + 1);
+                {
+                    let _adopt = ctx.adopt();
+                    for _ in 0..SPANS {
+                        let _inner = sia_obs::span("step");
+                        sia_obs::add(Counter::SmtChecks, 1);
+                    }
+                }
+                ctx.finish();
+            });
+        }
+    });
+    drop(sia_obs::take_sink()); // flush + close
+
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    let stats = sia_obs::parse_trace(&text).expect("interleaved writes parse");
+    assert!(!stats.torn_tail, "no torn tail from live interleaving");
+    assert_eq!(stats.enters, stats.exits, "spans balance");
+    assert_eq!(stats.enters, THREADS * (SPANS + 1));
+    // SmtChecks per step, plus trace.roots + trace.adopted per thread.
+    assert_eq!(stats.counters, THREADS * (SPANS + 2));
+    std::fs::remove_file(&path).ok();
     sia_obs::disable();
 }
 

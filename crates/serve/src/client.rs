@@ -15,7 +15,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::protocol::{render_health, render_request, render_shutdown, Request, Response, Status};
+use crate::protocol::{
+    fresh_trace_id, render_health, render_request, render_shutdown, render_stats, Request,
+    Response, Status,
+};
 
 /// Send `requests` over `concurrency` connections and collect every
 /// response. Responses are returned in arrival order, not request order;
@@ -238,13 +241,33 @@ fn send_pending(
     still_pending
 }
 
-/// Send one request and wait for its response.
+/// Send one request and wait for its response. The round trip runs
+/// under a `client.request` span, so a trace file from an instrumented
+/// client shows the client-side wall time bracketing the server's
+/// `serve.request` root for the same trace ID.
 ///
 /// # Errors
 ///
 /// Fails on connect/write errors or a malformed response.
 pub fn request_one(addr: &str, request: &Request) -> std::io::Result<Response> {
-    let mut responses = send_on_connection(addr, &[request])?;
+    let traced: Request;
+    let request = match request.trace {
+        Some(_) => request,
+        None => {
+            traced = Request {
+                trace: Some(fresh_trace_id()),
+                ..request.clone()
+            };
+            &traced
+        }
+    };
+    let ctx = sia_obs::SpanContext::begin("client.request", request.trace.unwrap_or(0));
+    let result = {
+        let _adopted = ctx.adopt();
+        send_on_connection(addr, &[request])
+    };
+    let _ = ctx.finish();
+    let mut responses = result?;
     Ok(responses.remove(0))
 }
 
@@ -266,6 +289,18 @@ pub fn shutdown(addr: &str) -> std::io::Result<Response> {
     send_control(addr, &render_shutdown())
 }
 
+/// Ask the server for its live telemetry: cumulative counters, latency
+/// percentiles, cache hit rates, and per-phase wall-time totals.
+/// Answered by the connection's reader thread without queueing, so it
+/// works even when the pool is saturated.
+///
+/// # Errors
+///
+/// Fails on connect/write errors or a malformed response.
+pub fn stats(addr: &str) -> std::io::Result<Response> {
+    send_control(addr, &render_stats())
+}
+
 fn send_control(addr: &str, line: &str) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     writeln!(stream, "{line}")?;
@@ -279,7 +314,17 @@ fn send_control(addr: &str, line: &str) -> std::io::Result<Response> {
 fn send_on_connection(addr: &str, requests: &[&Request]) -> std::io::Result<Vec<Response>> {
     let mut stream = TcpStream::connect(addr)?;
     for r in requests {
-        writeln!(stream, "{}", render_request(r))?;
+        // The trace ID is assigned at the client: requests sent without
+        // one get a fresh ID on the wire, so every request in the
+        // system is traceable end to end.
+        let line = match r.trace {
+            Some(_) => render_request(r),
+            None => render_request(&Request {
+                trace: Some(fresh_trace_id()),
+                ..(*r).clone()
+            }),
+        };
+        writeln!(stream, "{line}")?;
     }
     stream.flush()?;
     let mut reader = BufReader::new(stream);

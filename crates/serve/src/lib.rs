@@ -15,13 +15,22 @@
 //! records); and the client retries `overloaded` rejections with
 //! jittered backoff before shedding client-side.
 //!
+//! Every request is traced end to end: the client stamps a trace ID on
+//! the wire, the server's reader opens a `serve.request` root span that
+//! crosses the queue into the worker pool (`sia_obs::SpanContext`), and
+//! each response carries a per-phase wall-time breakdown (queue wait,
+//! parse, lint, cache probe, synthesis). Live telemetry — cumulative
+//! counters, log-bucket latency percentiles, cache hit rates, per-phase
+//! totals — is answered queue-free by the `stats` op, and requests over
+//! a configurable threshold leave exemplars in a slow-request log.
+//!
 //! - [`protocol`] — the wire format (requests, responses, statuses,
-//!   health).
+//!   health, stats, trace IDs).
 //! - [`server`] — [`server::start`], [`server::ServeConfig`], and the
 //!   worker-pool [`server::ServerHandle`].
 //! - [`client`] — blocking helpers: [`client::run_batch`],
 //!   [`client::run_batch_retry`], [`client::request_one`],
-//!   [`client::health`], [`client::shutdown`].
+//!   [`client::health`], [`client::stats`], [`client::shutdown`].
 //!
 //! Built entirely on `std` (threads, `mpsc`, `TcpListener`); cooperative
 //! cancellation comes from `sia_smt::Budget`, which the solver's inner
@@ -33,5 +42,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{BatchOutcome, RetryPolicy};
-pub use protocol::{HealthInfo, Request, Response, Status};
+pub use protocol::{fresh_trace_id, HealthInfo, Request, Response, StatsInfo, Status};
 pub use server::{start, ServeConfig, ServerHandle};

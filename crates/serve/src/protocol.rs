@@ -29,8 +29,24 @@
 //! analysis findings about the request predicate (contradictions,
 //! tautologies, type-suspect comparisons), joined with `"; "`. Advisory
 //! only; omitted when there is nothing to flag.
+//!
+//! **Tracing**: a request may carry a numeric `trace` ID (the client
+//! assigns one when the caller didn't). The server adopts it for every
+//! span recorded on the request's behalf — across the reader → queue →
+//! worker handoff — echoes it on the response, and attaches a `phases`
+//! field: a `;`-joined list of `span_path=micros` pairs breaking the
+//! request's wall time down into queue wait, parse, lint, cache probe,
+//! and synthesis (with nested synthesis phases as `synth/...` entries).
+//! Trace IDs stay below 2^53 so the f64-based JSON parser round-trips
+//! them exactly.
+//!
+//! **Live stats**: `{"op":"stats"}` is answered queue-free by the
+//! connection's reader thread (like `health`) with cumulative counters,
+//! log-bucket latency percentiles, cache hit rates, and per-phase totals
+//! (`stats_*` fields plus `phases`), alongside the usual health fields.
 
 use sia_obs::{json_string, parse_object, JsonValue};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A synthesis request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +59,8 @@ pub struct Request {
     pub cols: Vec<String>,
     /// Per-request deadline; `None` uses the server default.
     pub timeout_ms: Option<u64>,
+    /// Request trace ID; `None` lets the client assign a fresh one.
+    pub trace: Option<u64>,
 }
 
 /// One parsed request line.
@@ -53,6 +71,11 @@ pub enum RequestLine {
     /// Ask the server for its worker-pool health (answered immediately by
     /// the connection's reader thread, bypassing the queue).
     Health,
+    /// Ask the server for live telemetry — counters, latency
+    /// percentiles, cache hit rates, per-phase totals. Answered
+    /// immediately by the reader thread, bypassing the queue, so it
+    /// works even when the pool is saturated.
+    Stats,
     /// Ask the server to drain and stop.
     Shutdown,
 }
@@ -114,6 +137,60 @@ pub struct HealthInfo {
     pub breaker_open: bool,
 }
 
+/// Live server telemetry, attached to the answer of a `stats` request.
+/// All counters are cumulative since startup; percentiles come from the
+/// server's log-bucket latency histogram (≤9% relative error).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsInfo {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Synthesis requests accepted into the work queue.
+    pub requests: u64,
+    /// Requests answered by a worker (any status).
+    pub completed: u64,
+    /// Requests that hit their deadline.
+    pub timeouts: u64,
+    /// Requests that failed with a parse/synthesis error.
+    pub errors: u64,
+    /// Requests rejected by admission control (queue full).
+    pub rejected: u64,
+    /// Requests answered with a degraded fallback.
+    pub degraded: u64,
+    /// Cache lookups answered from the predicate cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Slow-request exemplars captured in the slow log.
+    pub slow: u64,
+    /// Total wall time across completed requests, µs (queue wait
+    /// included) — the denominator for phase coverage.
+    pub total_us: u64,
+    /// Mean request latency, µs.
+    pub mean_us: u64,
+    /// Median request latency, µs.
+    pub p50_us: u64,
+    /// 90th-percentile request latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: u64,
+    /// 99.9th-percentile request latency, µs.
+    pub p999_us: u64,
+}
+
+impl StatsInfo {
+    /// Cache hit rate in `[0,1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let rate = self.cache_hits as f64 / total as f64;
+            rate
+        }
+    }
+}
+
 /// A response line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -147,6 +224,16 @@ pub struct Response {
     pub warnings: Vec<String>,
     /// Pool health, present on answers to the `health` op.
     pub health: Option<HealthInfo>,
+    /// The request's trace ID, echoed back when the request carried one.
+    pub trace: Option<u64>,
+    /// Per-phase wall-time breakdown of this request: `(span path,
+    /// micros)` pairs, paths relative to the request root (e.g. `queue`,
+    /// `synth/learn`). Serialized as one `;`-joined `path=us` string
+    /// field; omitted when empty. Top-level entries (no `/`) sum to
+    /// ≥95% of `micros` for a successfully traced request.
+    pub phases: Vec<(String, u64)>,
+    /// Live telemetry, present on answers to the `stats` op.
+    pub stats: Option<StatsInfo>,
 }
 
 impl Response {
@@ -169,6 +256,9 @@ impl Response {
             reason: None,
             warnings: Vec::new(),
             health: None,
+            trace: None,
+            phases: Vec::new(),
+            stats: None,
         }
     }
 
@@ -188,6 +278,18 @@ impl Response {
             u8::from(self.cached),
             self.micros
         ));
+        if let Some(t) = self.trace {
+            out.push_str(&format!(",\"trace\":{t}"));
+        }
+        if !self.phases.is_empty() {
+            let joined = self
+                .phases
+                .iter()
+                .map(|(p, us)| format!("{p}={us}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            out.push_str(&format!(",\"phases\":{}", json_string(&joined)));
+        }
         if self.degraded {
             out.push_str(",\"degraded\":1");
         }
@@ -210,6 +312,32 @@ impl Response {
                 u8::from(h.breaker_open)
             ));
         }
+        if let Some(s) = &self.stats {
+            out.push_str(&format!(
+                ",\"stats_uptime_ms\":{},\"stats_requests\":{},\"stats_completed\":{},\
+                 \"stats_timeouts\":{},\"stats_errors\":{},\"stats_rejected\":{},\
+                 \"stats_degraded\":{},\"stats_cache_hits\":{},\"stats_cache_misses\":{},\
+                 \"stats_slow\":{},\"stats_total_us\":{},\"stats_mean_us\":{},\
+                 \"stats_p50_us\":{},\"stats_p90_us\":{},\"stats_p99_us\":{},\
+                 \"stats_p999_us\":{}",
+                s.uptime_ms,
+                s.requests,
+                s.completed,
+                s.timeouts,
+                s.errors,
+                s.rejected,
+                s.degraded,
+                s.cache_hits,
+                s.cache_misses,
+                s.slow,
+                s.total_us,
+                s.mean_us,
+                s.p50_us,
+                s.p90_us,
+                s.p99_us,
+                s.p999_us
+            ));
+        }
         if let Some(e) = &self.error {
             out.push_str(&format!(",\"error\":{}", json_string(e)));
         }
@@ -224,9 +352,37 @@ impl Response {
         let mut saw_status = false;
         let mut health = HealthInfo::default();
         let mut saw_health = false;
+        let mut stats = StatsInfo::default();
+        let mut saw_stats = false;
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let as_u64 = |n: f64| n.max(0.0) as u64;
         for (name, value) in fields {
+            if let Some(field) = name.strip_prefix("stats_") {
+                if let JsonValue::Num(n) = value {
+                    let slot = match field {
+                        "uptime_ms" => &mut stats.uptime_ms,
+                        "requests" => &mut stats.requests,
+                        "completed" => &mut stats.completed,
+                        "timeouts" => &mut stats.timeouts,
+                        "errors" => &mut stats.errors,
+                        "rejected" => &mut stats.rejected,
+                        "degraded" => &mut stats.degraded,
+                        "cache_hits" => &mut stats.cache_hits,
+                        "cache_misses" => &mut stats.cache_misses,
+                        "slow" => &mut stats.slow,
+                        "total_us" => &mut stats.total_us,
+                        "mean_us" => &mut stats.mean_us,
+                        "p50_us" => &mut stats.p50_us,
+                        "p90_us" => &mut stats.p90_us,
+                        "p99_us" => &mut stats.p99_us,
+                        "p999_us" => &mut stats.p999_us,
+                        _ => continue,
+                    };
+                    *slot = as_u64(n);
+                    saw_stats = true;
+                }
+                continue;
+            }
             match (name.as_str(), value) {
                 ("id", JsonValue::Str(s)) => resp.id = s,
                 ("status", JsonValue::Str(s)) => {
@@ -244,6 +400,16 @@ impl Response {
                 ("cached", JsonValue::Num(n)) => resp.cached = n != 0.0,
                 ("degraded", JsonValue::Num(n)) => resp.degraded = n != 0.0,
                 ("micros", JsonValue::Num(n)) => resp.micros = as_u64(n),
+                ("trace", JsonValue::Num(n)) => resp.trace = Some(as_u64(n)),
+                ("phases", JsonValue::Str(s)) => {
+                    resp.phases = s
+                        .split(';')
+                        .filter_map(|pair| {
+                            let (path, us) = pair.split_once('=')?;
+                            Some((path.to_string(), us.parse().ok()?))
+                        })
+                        .collect();
+                }
                 ("workers", JsonValue::Num(n)) => {
                     health.workers = as_u64(n);
                     saw_health = true;
@@ -273,7 +439,35 @@ impl Response {
         if saw_health {
             resp.health = Some(health);
         }
+        if saw_stats {
+            resp.stats = Some(stats);
+        }
         Ok(resp)
+    }
+}
+
+/// Trace IDs stay below 2^53 so the f64-based JSON parser round-trips
+/// them exactly.
+const TRACE_ID_MASK: u64 = (1 << 53) - 1;
+
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh process-unique trace ID: nonzero, below 2^53, and well
+/// scattered (splitmix64 finalizer over a process counter) so IDs from
+/// concurrent clients are unlikely to collide in a shared trace file.
+pub fn fresh_trace_id() -> u64 {
+    let n = TRACE_SEQ
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_add(u64::from(std::process::id()) << 20);
+    let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let id = z & TRACE_ID_MASK;
+    if id == 0 {
+        1
+    } else {
+        id
     }
 }
 
@@ -287,6 +481,9 @@ pub fn render_request(r: &Request) -> String {
     );
     if let Some(ms) = r.timeout_ms {
         out.push_str(&format!(",\"timeout_ms\":{ms}"));
+    }
+    if let Some(t) = r.trace {
+        out.push_str(&format!(",\"trace\":{t}"));
     }
     out.push('}');
     out
@@ -302,6 +499,11 @@ pub fn render_health() -> String {
     "{\"op\":\"health\"}".to_string()
 }
 
+/// Render the stats request line.
+pub fn render_stats() -> String {
+    "{\"op\":\"stats\"}".to_string()
+}
+
 /// Parse one request line.
 pub fn parse_request(line: &str) -> Result<RequestLine, String> {
     let fields = parse_object(line)?;
@@ -309,10 +511,12 @@ pub fn parse_request(line: &str) -> Result<RequestLine, String> {
     let mut predicate = None;
     let mut cols = None;
     let mut timeout_ms = None;
+    let mut trace = None;
     for (name, value) in fields {
         match (name.as_str(), value) {
             ("op", JsonValue::Str(s)) if s == "shutdown" => return Ok(RequestLine::Shutdown),
             ("op", JsonValue::Str(s)) if s == "health" => return Ok(RequestLine::Health),
+            ("op", JsonValue::Str(s)) if s == "stats" => return Ok(RequestLine::Stats),
             ("op", JsonValue::Str(s)) => return Err(format!("unknown op {s:?}")),
             ("id", JsonValue::Str(s)) => id = Some(s),
             ("predicate", JsonValue::Str(s)) => predicate = Some(s),
@@ -326,6 +530,8 @@ pub fn parse_request(line: &str) -> Result<RequestLine, String> {
             }
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             ("timeout_ms", JsonValue::Num(n)) => timeout_ms = Some(n.max(0.0) as u64),
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            ("trace", JsonValue::Num(n)) => trace = Some(n.max(0.0) as u64 & TRACE_ID_MASK),
             _ => {}
         }
     }
@@ -334,6 +540,7 @@ pub fn parse_request(line: &str) -> Result<RequestLine, String> {
         predicate: predicate.ok_or("request missing predicate")?,
         cols: cols.ok_or("request missing cols")?,
         timeout_ms,
+        trace,
     }))
 }
 
@@ -348,8 +555,21 @@ mod tests {
             predicate: "x < 10 AND y > 2".into(),
             cols: vec!["x".into(), "y".into()],
             timeout_ms: Some(250),
+            trace: Some(123_456_789),
         };
         let line = render_request(&r);
+        assert!(line.contains("\"trace\":123456789"), "{line}");
+        assert_eq!(parse_request(&line).unwrap(), RequestLine::Synth(r));
+        // Untraced requests keep the pre-tracing line shape.
+        let r = Request {
+            id: "q2".into(),
+            predicate: "x < 10".into(),
+            cols: vec!["x".into()],
+            timeout_ms: None,
+            trace: None,
+        };
+        let line = render_request(&r);
+        assert!(!line.contains("trace"), "{line}");
         assert_eq!(parse_request(&line).unwrap(), RequestLine::Synth(r));
     }
 
@@ -363,6 +583,89 @@ mod tests {
             parse_request(&render_health()).unwrap(),
             RequestLine::Health
         );
+        assert_eq!(parse_request(&render_stats()).unwrap(), RequestLine::Stats);
+    }
+
+    #[test]
+    fn trace_and_phases_round_trip() {
+        let r = Response {
+            trace: Some(9_007_199_254_740_991), // 2^53 − 1: the largest legal ID
+            phases: vec![
+                ("queue".into(), 120),
+                ("synth".into(), 4_500),
+                ("synth/learn".into(), 2_000),
+            ],
+            ..Response::plain("q5", Status::Ok)
+        };
+        let line = r.to_line();
+        assert!(
+            line.contains("\"phases\":\"queue=120;synth=4500;synth/learn=2000\""),
+            "{line}"
+        );
+        assert_eq!(Response::parse(&line).unwrap(), r);
+        // Both fields are opt-in on the wire.
+        let plain = Response::plain("q", Status::Ok).to_line();
+        assert!(
+            !plain.contains("trace") && !plain.contains("phases"),
+            "{plain}"
+        );
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let r = Response {
+            health: Some(HealthInfo {
+                workers: 4,
+                target: 4,
+                restarts: 0,
+                queue: 1,
+                breaker_open: false,
+            }),
+            stats: Some(StatsInfo {
+                uptime_ms: 12_345,
+                requests: 100,
+                completed: 97,
+                timeouts: 2,
+                errors: 1,
+                rejected: 3,
+                degraded: 4,
+                cache_hits: 60,
+                cache_misses: 37,
+                slow: 2,
+                total_us: 9_000_000,
+                mean_us: 92_783,
+                p50_us: 1_100,
+                p90_us: 150_000,
+                p99_us: 480_000,
+                p999_us: 900_000,
+            }),
+            phases: vec![("queue".into(), 500_000), ("synth".into(), 8_000_000)],
+            ..Response::plain("", Status::Ok)
+        };
+        let back = Response::parse(&r.to_line()).unwrap();
+        assert_eq!(back, r);
+        let s = back.stats.unwrap();
+        assert_eq!(s.p999_us, 900_000);
+        assert!((s.hit_rate() - 60.0 / 97.0).abs() < 1e-9);
+        // The stats payload does not clobber the response-level flags.
+        assert!(!back.degraded);
+        assert_eq!(back.micros, 0);
+    }
+
+    #[test]
+    fn fresh_trace_ids_are_nonzero_distinct_and_f64_safe() {
+        let ids: Vec<u64> = (0..64).map(|_| fresh_trace_id()).collect();
+        for &id in &ids {
+            assert!(id != 0 && id < (1 << 53), "{id}");
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+            #[allow(clippy::cast_sign_loss)]
+            let through_f64 = id as f64 as u64;
+            assert_eq!(through_f64, id, "survives the f64 JSON parser");
+        }
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "no collisions in a small batch");
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! - **Reader threads** parse request lines and `try_send` jobs into a
 //!   bounded [`mpsc::sync_channel`]. A full queue is the admission
 //!   control: the reader answers `overloaded` immediately instead of
-//!   letting latency grow without bound. `health` requests are answered
-//!   inline by the reader, bypassing the queue, so health stays
-//!   observable even when the pool is saturated.
+//!   letting latency grow without bound. `health` and `stats` requests
+//!   are answered inline by the reader, bypassing the queue, so health
+//!   and live telemetry stay observable even when the pool is saturated.
+//!   Each synthesis request gets a trace ID (the client's if it sent
+//!   one, a fresh one otherwise) and an open `serve.request` root span
+//!   ([`sia_obs::SpanContext`]) that travels with the job through the
+//!   queue.
 //! - **Worker threads** share the receiver behind a mutex, drain the
-//!   queue, and run synthesis with a per-request [`Budget`] deadline.
+//!   queue, adopt the job's span context (so every span they record —
+//!   parse, lint, cache probe, the synthesizer's own `synth/...` tree —
+//!   nests under `serve.request` and carries the request's trace ID),
+//!   and run synthesis with a per-request [`Budget`] deadline.
 //!   The budget is polled inside the SMT solver's CDCL and simplex
 //!   loops, so a 10 ms deadline on a hard instance returns `timeout`
 //!   without wedging the worker. Each request runs under
@@ -29,6 +36,13 @@
 //! - Responses are written through a per-connection `Mutex<TcpStream>`,
 //!   so workers and the reader (which writes `overloaded` rejections)
 //!   never interleave partial lines.
+//! - Every synthesis response carries a per-phase wall-time breakdown
+//!   (queue wait, parse, lint, cache probe, synthesis), captured by the
+//!   request-local recorder even when the global collector is off.
+//!   Cumulative [`Telemetry`] — counters, a log-bucket latency
+//!   histogram, per-phase totals — backs the `stats` op, and requests
+//!   slower than [`ServeConfig::slow_threshold`] append a full response
+//!   exemplar to the slow log when one is configured.
 //!
 //! Shutdown is cooperative: a `{"op":"shutdown"}` request sets the stop
 //! flag and wakes the accept thread with a loopback connection; readers
@@ -38,7 +52,7 @@
 //! final cache save goes through the same atomic temp-file + rename
 //! path as the snapshots.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,11 +66,13 @@ use sia_analyze::Analyzer;
 use sia_cache::{canonicalize, PredicateCache};
 use sia_core::{SiaConfig, SynthesisError, Synthesizer};
 use sia_expr::Pred;
-use sia_obs::{Counter, Hist};
+use sia_obs::{Counter, Hist, HistData, SpanContext};
 use sia_smt::Budget;
 use sia_sql::parse_predicate;
 
-use crate::protocol::{parse_request, HealthInfo, Request, RequestLine, Response, Status};
+use crate::protocol::{
+    fresh_trace_id, parse_request, HealthInfo, Request, RequestLine, Response, StatsInfo, Status,
+};
 
 /// How long reader threads block on a socket before re-checking the
 /// shutdown flag. Bounds the drain time of an idle connection.
@@ -104,6 +120,13 @@ pub struct ServeConfig {
     /// atomic cache snapshot this often, so a crash loses at most one
     /// interval of cache warmth.
     pub snapshot_interval: Option<Duration>,
+    /// Slow-request log: when set, every request whose total wall time
+    /// (queue wait included) meets [`ServeConfig::slow_threshold`]
+    /// appends its full response line — trace ID and phase breakdown
+    /// included — to this JSONL file as a debugging exemplar.
+    pub slow_log_file: Option<String>,
+    /// Latency threshold for the slow log.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +139,8 @@ impl Default for ServeConfig {
             default_timeout_ms: None,
             cache_file: None,
             snapshot_interval: None,
+            slow_log_file: None,
+            slow_threshold: Duration::from_secs(1),
         }
     }
 }
@@ -129,6 +154,102 @@ struct PoolState {
     breaker_open: AtomicBool,
 }
 
+/// Cumulative live telemetry since startup. Workers write it after each
+/// request; reader threads answer `stats` requests from it without
+/// touching the work queue, so it stays readable under saturation. All
+/// counters are relaxed atomics; the latency histogram and per-phase
+/// totals sit behind mutexes that are only held for O(1) updates.
+#[derive(Debug)]
+struct Telemetry {
+    started: Instant,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    degraded: AtomicU64,
+    slow: AtomicU64,
+    total_us: AtomicU64,
+    latency: Mutex<HistData>,
+    phases: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        Telemetry {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            latency: Mutex::new(HistData::EMPTY),
+            phases: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A point-in-time [`StatsInfo`] for the `stats` op. Cache hit/miss
+    /// counts come from the shared predicate cache itself.
+    fn stats(&self, cache: &PredicateCache) -> StatsInfo {
+        let lat = *lock(&self.latency);
+        let cache_stats = cache.stats();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let us = |v: f64| v.max(0.0) as u64;
+        StatsInfo {
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            requests: self.requests.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
+            slow: self.slow.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            mean_us: us(lat.mean()),
+            p50_us: us(lat.p50()),
+            p90_us: us(lat.p90()),
+            p99_us: us(lat.p99()),
+            p999_us: us(lat.p999()),
+        }
+    }
+
+    /// Cumulative `(span path, total µs)` pairs across all completed
+    /// requests, sorted by path (nested phases as `synth/...`).
+    fn phase_totals(&self) -> Vec<(String, u64)> {
+        lock(&self.phases)
+            .iter()
+            .map(|(p, &us)| (p.clone(), us))
+            .collect()
+    }
+}
+
+/// The slow-request log: a shared append-only JSONL file of response
+/// exemplars (each line parses back with [`Response::parse`]).
+#[derive(Debug)]
+struct SlowLog {
+    threshold: Duration,
+    file: Mutex<std::fs::File>,
+}
+
+impl SlowLog {
+    fn capture(&self, response: &Response) {
+        let mut file = lock(&self.file);
+        let _ = writeln!(file, "{}", response.to_line());
+        let _ = file.flush();
+    }
+}
+
+/// See [`sia_obs`]'s lock helper: a poisoned telemetry lock only means a
+/// panic mid-update; the data stays usable.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Everything a worker thread needs; cloned per (re)spawn.
 #[derive(Clone)]
 struct WorkerCtx {
@@ -137,11 +258,16 @@ struct WorkerCtx {
     queue_len: Arc<AtomicI64>,
     pool: Arc<PoolState>,
     default_timeout_ms: Option<u64>,
+    telemetry: Arc<Telemetry>,
+    slow_log: Option<Arc<SlowLog>>,
 }
 
-/// One unit of work: a parsed request plus where to write the answer.
+/// One unit of work: a parsed request, its open root span (carrying the
+/// trace ID across the thread handoff), and where to write the answer.
 struct Job {
     request: Request,
+    span: SpanContext,
+    enqueued: Instant,
     out: Arc<Mutex<TcpStream>>,
 }
 
@@ -151,6 +277,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     cache: Arc<PredicateCache>,
     pool: Arc<PoolState>,
+    telemetry: Arc<Telemetry>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
@@ -182,12 +309,28 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         restarts: AtomicU64::new(0),
         breaker_open: AtomicBool::new(false),
     });
+    let telemetry = Arc::new(Telemetry::new());
+    let slow_log = match &config.slow_log_file {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            Some(Arc::new(SlowLog {
+                threshold: config.slow_threshold,
+                file: Mutex::new(file),
+            }))
+        }
+        None => None,
+    };
     let ctx = WorkerCtx {
         rx: Arc::new(Mutex::new(rx)),
         cache: Arc::clone(&cache),
         queue_len: Arc::new(AtomicI64::new(0)),
         pool: Arc::clone(&pool),
         default_timeout_ms: config.default_timeout_ms,
+        telemetry: Arc::clone(&telemetry),
+        slow_log,
     };
 
     let slots = (0..pool.target)
@@ -209,17 +352,23 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
 
     let accept = {
         let stop = Arc::clone(&stop);
-        let queue_len = Arc::clone(&ctx.queue_len);
-        let pool = Arc::clone(&pool);
+        let reader_ctx = ReaderCtx {
+            tx,
+            queue_len: Arc::clone(&ctx.queue_len),
+            pool: Arc::clone(&pool),
+            cache: Arc::clone(&cache),
+            telemetry: Arc::clone(&telemetry),
+        };
         std::thread::Builder::new()
             .name("sia-accept".to_string())
-            .spawn(move || accept_loop(&listener, addr, &stop, &tx, &queue_len, &pool))?
+            .spawn(move || accept_loop(&listener, addr, &stop, &reader_ctx))?
     };
 
     Ok(ServerHandle {
         addr,
         cache,
         pool,
+        telemetry,
         stop,
         accept: Some(accept),
         supervisor: Some(supervisor),
@@ -253,6 +402,18 @@ impl ServerHandle {
             queue: 0,
             breaker_open: self.pool.breaker_open.load(Ordering::Relaxed),
         }
+    }
+
+    /// Live telemetry — the same numbers the `stats` op reports over
+    /// the wire.
+    pub fn stats(&self) -> StatsInfo {
+        self.telemetry.stats(&self.cache)
+    }
+
+    /// Cumulative per-phase wall-time totals across completed requests,
+    /// as `(span path, µs)` pairs sorted by path.
+    pub fn phase_totals(&self) -> Vec<(String, u64)> {
+        self.telemetry.phase_totals()
     }
 
     /// Block until a client asks the server to shut down (via the
@@ -402,39 +563,35 @@ fn supervise(
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    addr: SocketAddr,
-    stop: &Arc<AtomicBool>,
-    tx: &SyncSender<Job>,
-    queue_len: &Arc<AtomicI64>,
-    pool: &Arc<PoolState>,
-) {
+/// Everything a reader thread needs; cloned per connection (cloning the
+/// queue sender with it).
+#[derive(Clone)]
+struct ReaderCtx {
+    tx: SyncSender<Job>,
+    queue_len: Arc<AtomicI64>,
+    pool: Arc<PoolState>,
+    cache: Arc<PredicateCache>,
+    telemetry: Arc<Telemetry>,
+}
+
+fn accept_loop(listener: &TcpListener, addr: SocketAddr, stop: &Arc<AtomicBool>, ctx: &ReaderCtx) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
         let stop = Arc::clone(stop);
-        let tx = tx.clone();
-        let queue_len = Arc::clone(queue_len);
-        let pool = Arc::clone(pool);
+        let ctx = ctx.clone();
         let _ = std::thread::Builder::new()
             .name("sia-conn".to_string())
-            .spawn(move || reader_loop(stream, addr, &stop, &tx, &queue_len, &pool));
+            .spawn(move || reader_loop(stream, addr, &stop, &ctx));
     }
-    // Dropping `tx` here (with every reader's clone gone once they see
-    // the stop flag) lets the workers drain the queue and exit.
+    // Dropping the accept loop's `ctx.tx` here (with every reader's
+    // clone gone once they see the stop flag) lets the workers drain
+    // the queue and exit.
 }
 
-fn reader_loop(
-    stream: TcpStream,
-    addr: SocketAddr,
-    stop: &AtomicBool,
-    tx: &SyncSender<Job>,
-    queue_len: &AtomicI64,
-    pool: &PoolState,
-) {
+fn reader_loop(stream: TcpStream, addr: SocketAddr, stop: &AtomicBool, ctx: &ReaderCtx) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let Ok(read_side) = stream.try_clone() else {
         return;
@@ -472,40 +629,63 @@ fn reader_loop(
                 break;
             }
             Ok(RequestLine::Health) => {
-                #[allow(clippy::cast_sign_loss)]
-                let health = HealthInfo {
-                    workers: pool.alive.load(Ordering::Relaxed) as u64,
-                    target: pool.target as u64,
-                    restarts: pool.restarts.load(Ordering::Relaxed),
-                    queue: queue_len.load(Ordering::Relaxed).max(0) as u64,
-                    breaker_open: pool.breaker_open.load(Ordering::Relaxed),
-                };
                 respond(
                     &out,
                     &Response {
-                        health: Some(health),
+                        health: Some(pool_health(ctx)),
                         ..Response::plain("", Status::Ok)
                     },
                 );
             }
-            Ok(RequestLine::Synth(request)) => {
+            Ok(RequestLine::Stats) => {
+                sia_obs::add(Counter::ServeStatsOps, 1);
+                respond(
+                    &out,
+                    &Response {
+                        health: Some(pool_health(ctx)),
+                        stats: Some(ctx.telemetry.stats(&ctx.cache)),
+                        phases: ctx.telemetry.phase_totals(),
+                        ..Response::plain("", Status::Ok)
+                    },
+                );
+            }
+            Ok(RequestLine::Synth(mut request)) => {
                 let id = request.id.clone();
+                // Every request is traced: keep the client's ID or mint
+                // one, and open the root span *here* so the trace shows
+                // the request starting on the thread that accepted it.
+                let trace = request.trace.unwrap_or_else(fresh_trace_id);
+                request.trace = Some(trace);
                 let job = Job {
                     request,
+                    span: SpanContext::begin("serve.request", trace),
+                    enqueued: Instant::now(),
                     out: Arc::clone(&out),
                 };
-                match tx.try_send(job) {
+                match ctx.tx.try_send(job) {
                     Ok(()) => {
-                        let depth = queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+                        let depth = ctx.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+                        ctx.telemetry.requests.fetch_add(1, Ordering::Relaxed);
                         sia_obs::add(Counter::ServeRequests, 1);
                         #[allow(clippy::cast_precision_loss)]
                         sia_obs::record(Hist::ServeQueueDepth, depth.max(0) as f64);
                     }
-                    Err(TrySendError::Full(_)) => {
+                    Err(TrySendError::Full(job)) => {
+                        ctx.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
                         sia_obs::add(Counter::ServeRejected, 1);
-                        respond(&out, &Response::plain(&id, Status::Overloaded));
+                        // The request dies at admission: close its root
+                        // span so the trace stream stays balanced.
+                        let _ = job.span.finish();
+                        respond(
+                            &out,
+                            &Response {
+                                trace: Some(trace),
+                                ..Response::plain(&id, Status::Overloaded)
+                            },
+                        );
                     }
-                    Err(TrySendError::Disconnected(_)) => {
+                    Err(TrySendError::Disconnected(job)) => {
+                        let _ = job.span.finish();
                         respond(
                             &out,
                             &Response {
@@ -530,6 +710,19 @@ fn reader_loop(
     }
 }
 
+/// A point-in-time [`HealthInfo`] from the shared pool and queue
+/// counters (used for both the `health` and `stats` ops).
+fn pool_health(ctx: &ReaderCtx) -> HealthInfo {
+    #[allow(clippy::cast_sign_loss)]
+    HealthInfo {
+        workers: ctx.pool.alive.load(Ordering::Relaxed) as u64,
+        target: ctx.pool.target as u64,
+        restarts: ctx.pool.restarts.load(Ordering::Relaxed),
+        queue: ctx.queue_len.load(Ordering::Relaxed).max(0) as u64,
+        breaker_open: ctx.pool.breaker_open.load(Ordering::Relaxed),
+    }
+}
+
 fn worker_loop(ctx: &WorkerCtx) {
     loop {
         // The `serve.worker.die` failpoint kills the worker *between*
@@ -546,6 +739,17 @@ fn worker_loop(ctx: &WorkerCtx) {
             break; // queue drained and all senders gone
         };
         ctx.queue_len.fetch_sub(1, Ordering::Relaxed);
+        // Adopt the request's span context: everything recorded below
+        // nests under `serve.request` and carries its trace ID. The
+        // request-local recorder captures the same phases into a private
+        // map so the response can report them even when the global
+        // collector is off.
+        let adopted = job.span.adopt();
+        sia_obs::local_begin();
+        let queue_wait = job.enqueued.elapsed();
+        sia_obs::record_complete("queue", queue_wait);
+        #[allow(clippy::cast_precision_loss)]
+        sia_obs::record(Hist::ServeQueueWaitUs, queue_wait.as_micros() as f64);
         // Belt and braces: if anything below unwinds past catch_unwind
         // (it cannot today, but this code evolves), the guard still
         // answers the request before the worker dies.
@@ -554,16 +758,103 @@ fn worker_loop(ctx: &WorkerCtx) {
             process(&job.request, &ctx.cache, ctx.default_timeout_ms)
         }));
         guard.disarm();
-        match result {
-            Ok(response) => respond(&job.out, &response),
+        let mut response = match result {
+            Ok(response) => response,
             Err(_) => {
                 sia_obs::add(Counter::ServePanics, 1);
-                respond(
-                    &job.out,
-                    &degraded(&job.request.id, &job.request.predicate, "panic"),
-                );
+                degraded(&job.request.id, &job.request.predicate, "panic")
+            }
+        };
+        // Echo the trace ID and attach the phase breakdown, restating
+        // `micros` as the root span's full wall time (queue wait
+        // included) so the phases decompose exactly the number they
+        // ride along with.
+        response.trace = job.request.trace;
+        response.phases = sia_obs::local_take()
+            .into_iter()
+            .map(|(path, us)| match path.strip_prefix("serve.request/") {
+                Some(rel) => (rel.to_string(), us),
+                None => (path, us),
+            })
+            .collect();
+        response.micros = u64::try_from(job.span.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let respond_start = Instant::now();
+        respond(&job.out, &response);
+        let respond_time = respond_start.elapsed();
+        sia_obs::record_complete("respond", respond_time);
+        drop(adopted);
+        let total = job.span.finish();
+        finish_request(ctx, &response, total, respond_time);
+    }
+}
+
+/// Post-response bookkeeping: cumulative telemetry, per-phase global
+/// counters, and the slow-log exemplar.
+fn finish_request(ctx: &WorkerCtx, response: &Response, total: Duration, respond_time: Duration) {
+    let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    let total_us = us(total);
+    let respond_us = us(respond_time);
+
+    let t = &ctx.telemetry;
+    t.completed.fetch_add(1, Ordering::Relaxed);
+    t.total_us.fetch_add(total_us, Ordering::Relaxed);
+    #[allow(clippy::cast_precision_loss)]
+    lock(&t.latency).record(total_us as f64);
+    match response.status {
+        Status::Timeout => {
+            t.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        Status::Error => {
+            t.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    if response.degraded {
+        t.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Fold this request's phases into the cumulative per-phase totals
+    // and the global `serve.phase.*` counters. Only top-level phases
+    // count toward attribution (nested `synth/...` time is already
+    // inside `synth`); whatever wall time no phase claims goes to
+    // `serve.phase.other_us` so coverage gaps are visible, not silent.
+    let mut attributed = respond_us;
+    {
+        let mut phases = lock(&t.phases);
+        for (path, us) in &response.phases {
+            *phases.entry(path.clone()).or_insert(0) += us;
+            if !path.contains('/') {
+                attributed = attributed.saturating_add(*us);
+                sia_obs::add(phase_counter(path), *us);
             }
         }
+        *phases.entry("respond".to_string()).or_insert(0) += respond_us;
+    }
+    sia_obs::add(Counter::ServePhaseRespondUs, respond_us);
+    sia_obs::add(
+        Counter::ServePhaseOtherUs,
+        total_us.saturating_sub(attributed),
+    );
+
+    if let Some(slow) = &ctx.slow_log {
+        if total >= slow.threshold {
+            t.slow.fetch_add(1, Ordering::Relaxed);
+            sia_obs::add(Counter::SlowlogCaptured, 1);
+            slow.capture(response);
+        }
+    }
+}
+
+/// The global counter accumulating a top-level request phase.
+fn phase_counter(path: &str) -> Counter {
+    match path {
+        "queue" => Counter::ServePhaseQueueUs,
+        "parse" => Counter::ServePhaseParseUs,
+        "lint" => Counter::ServePhaseLintUs,
+        "cache" => Counter::ServePhaseCacheUs,
+        "synth" => Counter::ServePhaseSynthUs,
+        "respond" => Counter::ServePhaseRespondUs,
+        _ => Counter::ServePhaseOtherUs,
     }
 }
 
@@ -632,7 +923,10 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
         return finish(degraded(&req.id, &req.predicate, "internal"));
     }
 
-    let p = match parse_predicate(&req.predicate) {
+    let parse_span = sia_obs::span("parse");
+    let parsed = parse_predicate(&req.predicate);
+    drop(parse_span);
+    let p = match parsed {
         Ok(p) => p,
         Err(e) => {
             sia_obs::add(Counter::ServeErrors, 1);
@@ -642,9 +936,15 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
             });
         }
     };
-    let warnings = lint_warnings(&p);
+    let warnings = {
+        let _lint_span = sia_obs::span("lint");
+        lint_warnings(&p)
+    };
+    let cache_span = sia_obs::span("cache");
     let canon = canonicalize(&p);
-    if let Some(hit) = cache.lookup(&canon, &req.cols) {
+    let hit = cache.lookup(&canon, &req.cols);
+    drop(cache_span);
+    if let Some(hit) = hit {
         return finish(Response {
             predicate: (!hit.predicate.is_true()).then(|| hit.predicate.to_string()),
             optimal: hit.optimal,

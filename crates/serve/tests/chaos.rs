@@ -39,6 +39,7 @@ fn synth_req(id: &str) -> Request {
         predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
         cols: strs(&["a"]),
         timeout_ms: None,
+        trace: None,
     }
 }
 
@@ -194,6 +195,61 @@ fn retry_client_rides_out_mixed_faults_without_losing_requests() {
         handle.health().workers == 3
     });
     handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn slow_requests_leave_an_exemplar_in_the_slow_log() {
+    let _lock = fault_guard();
+    let _clear = ClearOnDrop;
+    let path = std::env::temp_dir().join(format!("sia-slowlog-{}.jsonl", std::process::id()));
+    let path = path.to_str().unwrap().to_string();
+    std::fs::remove_file(&path).ok();
+
+    // The first synthesis stalls 300ms inside the `synth` span; with a
+    // 100ms threshold that request — and only that request — must leave
+    // a full trace exemplar in the slow log.
+    sia_fault::configure("synth.run", "1*delay(300)").unwrap();
+    let handle = server::start(ServeConfig {
+        workers: 1,
+        cache_capacity: 0,
+        slow_log_file: Some(path.clone()),
+        slow_threshold: Duration::from_millis(100),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let slow = client::request_one(&addr, &synth_req("slow0")).expect("slow request");
+    assert_eq!(slow.status, Status::Ok, "{slow:?}");
+    assert!(slow.micros >= 100_000, "not slow enough: {slow:?}");
+
+    let fast = client::request_one(&addr, &synth_req("fast0")).expect("fast request");
+    assert_eq!(fast.status, Status::Ok, "{fast:?}");
+    assert!(fast.micros < 100_000, "fault budget not spent: {fast:?}");
+
+    // One worker: slow0's bookkeeping finished before fast0 was served.
+    let stats = handle.stats();
+    assert_eq!(stats.slow, 1, "{stats:?}");
+    handle.shutdown().expect("clean shutdown");
+
+    // The exemplar is a full response line: it parses back, names the
+    // slow request, and its phase breakdown pins the time on synthesis.
+    let text = std::fs::read_to_string(&path).expect("slow log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "exactly one exemplar: {text:?}");
+    let exemplar = sia_serve::Response::parse(lines[0]).expect("exemplar parses");
+    assert_eq!(exemplar.id, "slow0", "{exemplar:?}");
+    assert!(exemplar.trace.is_some(), "{exemplar:?}");
+    assert!(exemplar.micros >= 100_000, "{exemplar:?}");
+    assert!(
+        exemplar
+            .phases
+            .iter()
+            .any(|(p, us)| p == "synth" && *us >= 250_000),
+        "stall not attributed to synth: {:?}",
+        exemplar.phases
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

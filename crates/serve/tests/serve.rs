@@ -33,18 +33,21 @@ fn batch_cache_timeout_and_shutdown() {
             predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
             cols: strs(&["a"]),
             timeout_ms: None,
+            trace: None,
         },
         Request {
             id: "q1".into(),
             predicate: "v + 10 > 20 AND u + 10 > v + 20".into(),
             cols: strs(&["u"]),
             timeout_ms: None,
+            trace: None,
         },
         Request {
             id: "q2".into(),
             predicate: "x < 5 AND y > 2".into(),
             cols: strs(&["x"]),
             timeout_ms: None,
+            trace: None,
         },
     ];
 
@@ -84,6 +87,7 @@ fn batch_cache_timeout_and_shutdown() {
             predicate: HARD.into(),
             cols: strs(&["a1"]),
             timeout_ms: Some(10),
+            trace: None,
         },
     )
     .expect("hard request answered");
@@ -103,12 +107,14 @@ fn batch_cache_timeout_and_shutdown() {
                 predicate: "x < 5 AND y > 2".into(),
                 cols: strs(&["x"]),
                 timeout_ms: None,
+                trace: None,
             },
             Request {
                 id: "a1".into(),
                 predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
                 cols: strs(&["a"]),
                 timeout_ms: None,
+                trace: None,
             },
         ],
         2,
@@ -141,6 +147,7 @@ fn admission_control_rejects_when_queue_is_full() {
             predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
             cols: strs(&["a"]),
             timeout_ms: None,
+            trace: None,
         })
         .collect();
     let responses = client::run_batch(&addr, &burst, 1).expect("burst answered");
@@ -198,6 +205,7 @@ fn contradictory_predicate_carries_warnings() {
         predicate: "x < 0 AND x > 10".into(),
         cols: strs(&["x"]),
         timeout_ms: None,
+        trace: None,
     };
     let fresh = client::request_one(&addr, &req).expect("fresh run");
     assert_eq!(fresh.status, Status::Ok, "{fresh:?}");
@@ -222,6 +230,7 @@ fn contradictory_predicate_carries_warnings() {
             predicate: "x < 5 AND y > 2".into(),
             cols: strs(&["x"]),
             timeout_ms: None,
+            trace: None,
         },
     )
     .expect("clean run");
@@ -247,6 +256,7 @@ fn cache_persists_across_restarts() {
         predicate: "a + 10 > b + 20 AND b + 10 > 20".into(),
         cols: strs(&["a"]),
         timeout_ms: None,
+        trace: None,
     };
 
     let handle = server::start(config.clone()).expect("first server");

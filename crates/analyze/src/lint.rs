@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use sia_expr::{CmpOp, Expr, Pred};
+use sia_expr::{ArithOp, CmpOp, Expr, Pred};
 
 use crate::Analyzer;
 
@@ -141,7 +141,7 @@ impl Analyzer {
 
     /// Type-suspect comparisons.
     fn lint_cmp(&self, op: CmpOp, lhs: &Expr, rhs: &Expr, out: &mut Vec<Warning>) {
-        let date_side = |e: &Expr| self.mentions_date(e);
+        let date_side = |e: &Expr| self.date_typed(e);
         let bare_int = |e: &Expr| matches!(e, Expr::Int(_));
         if (date_side(lhs) && bare_int(rhs)) || (date_side(rhs) && bare_int(lhs)) {
             push(
@@ -174,13 +174,26 @@ impl Analyzer {
         }
     }
 
-    /// Does the expression mention a DATE literal or a DATE-typed column?
-    fn mentions_date(&self, e: &Expr) -> bool {
+    /// Is the expression's *result* date-valued? A date shifted by an
+    /// interval stays a date, but the difference of two dates is an
+    /// interval, and scaling or dividing destroys date-ness — so
+    /// `l_shipdate - l_commitdate < 30` is a legitimate interval
+    /// comparison, not a type-suspect one. This matters once schemas are
+    /// seeded (the generator registry marks every date column): the naive
+    /// "mentions a date anywhere" test would flag the whole §6.3 workload.
+    fn date_typed(&self, e: &Expr) -> bool {
         match e {
             Expr::Date(_) => true,
             Expr::Column(c) => self.date.contains(c),
             Expr::Int(_) | Expr::Double(_) => false,
-            Expr::Binary { lhs, rhs, .. } => self.mentions_date(lhs) || self.mentions_date(rhs),
+            Expr::Binary { op, lhs, rhs } => match op {
+                // date + int or int + date shifts a date; date + date is
+                // nonsense we leave to other lints.
+                ArithOp::Add => self.date_typed(lhs) != self.date_typed(rhs),
+                // date - int stays a date; date - date is an interval.
+                ArithOp::Sub => self.date_typed(lhs) && !self.date_typed(rhs),
+                ArithOp::Mul | ArithOp::Div => false,
+            },
         }
     }
 }
@@ -192,6 +205,24 @@ mod tests {
 
     fn date(s: &str) -> Expr {
         Expr::Date(Date::parse(s).unwrap())
+    }
+
+    #[test]
+    fn date_difference_is_an_interval_not_type_suspect() {
+        let a = Analyzer::new().with_date(["l_shipdate", "l_commitdate"]);
+        // date - date is an interval: comparing with a bare integer is fine.
+        let p = col("l_shipdate").sub(col("l_commitdate")).lt(lit(30));
+        assert!(
+            a.lint(&p).iter().all(|w| w.code != "type-suspect"),
+            "{:?}",
+            a.lint(&p)
+        );
+        // A bare date column against a bare integer still warns…
+        let q = col("l_shipdate").lt(lit(19_940_101));
+        assert!(a.lint(&q).iter().any(|w| w.code == "type-suspect"));
+        // …and so does a date shifted by an interval (still date-valued).
+        let r = col("l_shipdate").add(lit(30)).lt(lit(19_940_101));
+        assert!(a.lint(&r).iter().any(|w| w.code == "type-suspect"));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! is exactly a zone; closing the zone and dropping the rows/columns of the
 //! non-target variables computes `∃ others . p` precisely (Fourier–Motzkin
 //! specializes to shortest paths on difference constraints). Disjunctions
-//! distribute through `∃`, so a top-level OR is derived per-disjunct.
+//! distribute through `∃`, so the predicate is expanded to a bounded DNF
+//! and derived per-disjunct; nested ORs (IN-lists, grouped alternatives)
+//! lose nothing as long as the expansion stays under [`DNF_LIMIT`].
 //!
 //! The result is graded:
 //!
@@ -31,6 +33,11 @@ use sia_num::BigRat;
 use crate::interval::Bound;
 use crate::zone::Zone;
 use crate::Analyzer;
+
+/// Cap on DNF expansion inside [`Analyzer::derive`]: generated workloads
+/// (§6.3 presets, `sia-gen` shapes with IN-lists and nested groups) stay
+/// well under this, while adversarial CNF towers fall back gracefully.
+const DNF_LIMIT: usize = 32;
 
 /// A statically derived movable predicate (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
@@ -61,13 +68,19 @@ impl Analyzer {
     /// purchase on `p` at all (nothing derived beyond TRUE).
     pub fn derive(&self, p: &Pred, keep: &[String]) -> Option<Derivation> {
         let pn = p.nnf();
-        let disjuncts: Vec<&Pred> = match &pn {
-            Pred::Or(ps) => ps.iter().collect(),
+        // Disjunction distributes through ∃, and DNF expansion is an
+        // equivalence, so nested ORs (IN-lists, grouped alternatives) are
+        // derived exactly by flattening first — bounded to keep the output
+        // readable and the expansion linear in practice. Past the bound,
+        // fall back to splitting only a top-level OR; nested ORs then
+        // degrade to dropped conjuncts inside `derive_conjunction`.
+        let disjuncts: Vec<Pred> = pn.dnf_within(DNF_LIMIT).unwrap_or_else(|| match pn {
+            Pred::Or(ps) => ps,
             other => vec![other],
-        };
+        });
         let mut exact = true;
         let mut out = Pred::false_();
-        for d in disjuncts {
+        for d in &disjuncts {
             let (q, ex) = self.derive_conjunction(d, keep);
             exact &= ex;
             out = out.or(q);
@@ -362,6 +375,26 @@ mod tests {
         let d = derive("(a - o <= 1 AND o <= 2) OR (a - o <= 2 AND o <= 0)", &["a"]).unwrap();
         assert!(d.is_exact());
         assert_eq!(d.pred().to_string(), "a <= 3 OR a <= 2");
+    }
+
+    #[test]
+    fn nested_disjunctions_distribute_exactly() {
+        // An OR *inside* the conjunction (the shape of an IN-list): DNF
+        // expansion keeps the derivation exact instead of dropping it.
+        let d = derive("a - o <= 1 AND (o = 2 OR o = 5)", &["a"]).unwrap();
+        assert!(d.is_exact());
+        assert_eq!(d.pred().to_string(), "a <= 3 OR a <= 6");
+    }
+
+    #[test]
+    fn oversized_cnf_falls_back_to_inexact() {
+        // 6 binary clauses -> 64 DNF disjuncts > DNF_LIMIT: the expansion
+        // aborts and the nested ORs degrade to dropped conjuncts (Bounds).
+        let clause = "(o = 1 OR o = 2)";
+        let p = format!("a <= 5 AND {}", [clause; 6].join(" AND "));
+        let d = derive(&p, &["a"]).unwrap();
+        assert!(!d.is_exact());
+        assert_eq!(d.pred().to_string(), "a <= 5");
     }
 
     #[test]

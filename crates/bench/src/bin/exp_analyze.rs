@@ -28,7 +28,6 @@ use sia_core::{PredEncoder, SiaConfig, Synthesizer};
 use sia_expr::Pred;
 use sia_obs::Counter;
 use sia_smt::SmtResult;
-use sia_tpch::{generate_workload, WorkloadConfig, LINEITEM_COLS};
 
 struct TaskResult {
     predicate: Option<Pred>,
@@ -52,26 +51,12 @@ struct RunStats {
 }
 
 fn build_workload(count: usize) -> Vec<(Pred, Vec<String>)> {
-    let queries = generate_workload(&WorkloadConfig {
-        count,
-        min_terms: 2,
-        max_terms: 4,
-        seed: 0x51A_5E4E,
-    });
-    let mut work = Vec::new();
-    for q in &queries {
-        let cols: Vec<String> = q
-            .predicate
-            .columns()
-            .into_iter()
-            .filter(|c| LINEITEM_COLS.contains(&c.as_str()))
-            .collect();
-        if cols.is_empty() {
-            continue;
-        }
-        work.push((q.predicate.clone(), cols));
-    }
-    work
+    // The §6.3 preset — byte-for-byte the workload this binary used to
+    // build inline (same seed and term range as `exp_serve`).
+    sia_gen::paper_6_3_tasks(count, 2, 4, sia_gen::SEED_6_3_SERVE)
+        .into_iter()
+        .map(|t| (t.predicate, t.cols))
+        .collect()
 }
 
 fn counter(snapshot: &sia_obs::Snapshot, key: Counter) -> u64 {

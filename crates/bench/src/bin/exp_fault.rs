@@ -19,72 +19,25 @@
 
 use std::time::{Duration, Instant};
 
+use sia_bench::soak::{counter, silence_injected_panics, wait_for_full_pool};
 use sia_bench::util;
 use sia_obs::Counter;
-use sia_serve::{client, server, Request, RetryPolicy, ServeConfig, ServerHandle, Status};
-use sia_tpch::{generate_workload, WorkloadConfig, LINEITEM_COLS};
+use sia_serve::{client, server, Request, RetryPolicy, ServeConfig, Status};
 
 fn build_requests(shapes: usize, reps: usize) -> Vec<Request> {
-    let queries = generate_workload(&WorkloadConfig {
-        count: shapes,
-        min_terms: 2,
-        max_terms: 4,
-        seed: 0x51A_FA17,
-    });
-    let mut requests = Vec::new();
-    for q in &queries {
-        let base_cols: Vec<String> = q
-            .predicate
-            .columns()
-            .into_iter()
-            .filter(|c| LINEITEM_COLS.contains(&c.as_str()))
-            .collect();
-        if base_cols.is_empty() {
-            continue;
-        }
-        for rep in 0..reps {
-            let (predicate, cols) = if rep % 2 == 1 {
-                let k = rep % 7;
-                let rename = |c: &str| format!("v{k}_{c}");
-                (
-                    q.predicate.map_columns(&|c| rename(c)),
-                    base_cols.iter().map(|c| rename(c)).collect::<Vec<_>>(),
-                )
-            } else {
-                (q.predicate.clone(), base_cols.clone())
-            };
-            requests.push(Request {
-                id: format!("q{}r{rep}", q.id),
-                predicate: predicate.to_string(),
-                cols,
-                timeout_ms: Some(30_000),
-                trace: None,
-            });
-        }
-    }
-    requests
-}
-
-fn counter(c: Counter) -> u64 {
-    sia_obs::snapshot()
-        .counters
-        .iter()
-        .find(|(k, _)| *k == c)
-        .map_or(0, |(_, v)| *v)
-}
-
-fn wait_for_full_pool(handle: &ServerHandle, target: u64) {
-    let t0 = Instant::now();
-    while t0.elapsed() < Duration::from_secs(30) {
-        if handle.health().workers == target {
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    panic!(
-        "pool never recovered: {:?} (target {target})",
-        handle.health()
-    );
+    // The §6.3 preset with alpha-renamed repeats — byte-for-byte the
+    // workload this binary used to build inline.
+    let tasks = sia_gen::paper_6_3_tasks(shapes, 2, 4, sia_gen::SEED_6_3_FAULT);
+    sia_gen::with_repeats(&tasks, reps)
+        .into_iter()
+        .map(|g| Request {
+            id: g.id,
+            predicate: g.predicate.to_string(),
+            cols: g.cols,
+            timeout_ms: Some(30_000),
+            trace: None,
+        })
+        .collect()
 }
 
 /// Tear the snapshot's tail mid-record, as a crash during an append
@@ -98,24 +51,6 @@ fn tear_snapshot_tail(path: &str) -> bool {
     let cut = bytes.len() - 9; // rips through the final record's JSON
     std::fs::write(path, &bytes[..cut]).expect("tear snapshot");
     true
-}
-
-/// Keep injected panics (message prefix `failpoint `) off stderr — they
-/// are the point of the experiment, not noise worth a backtrace each.
-/// Anything else still reports through the default hook.
-fn silence_injected_panics() {
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let msg = info
-            .payload()
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| info.payload().downcast_ref::<&str>().copied())
-            .unwrap_or("");
-        if !msg.starts_with("failpoint ") {
-            default_hook(info);
-        }
-    }));
 }
 
 fn main() {
@@ -188,8 +123,12 @@ fn main() {
     }
 
     #[allow(clippy::cast_possible_truncation)]
-    wait_for_full_pool(&handle, workers as u64);
+    let healed = wait_for_full_pool(&handle, workers as u64, Duration::from_secs(30));
     let health = handle.health();
+    assert!(
+        healed,
+        "pool never recovered: {health:?} (target {workers})"
+    );
     sia_fault::clear();
     handle.shutdown().expect("clean shutdown persists cache");
 

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use sia_bench::{casestudy::percentile, util};
 use sia_rand::{RngCore, SplitMix64};
 use sia_serve::{client, server, Request, ServeConfig, Status};
-use sia_tpch::{generate_workload, WorkloadConfig, LINEITEM_COLS, ORDERS_COL};
+use sia_tpch::ORDERS_COL;
 
 struct RunStats {
     throughput_rps: f64,
@@ -48,54 +48,23 @@ struct RunStats {
 }
 
 fn build_requests(shapes: usize, reps: usize) -> Vec<Request> {
-    let queries = generate_workload(&WorkloadConfig {
-        count: shapes,
-        min_terms: 2,
-        max_terms: 4,
-        seed: 0x51A_5E4E,
-    });
-    let mut requests = Vec::new();
-    let mut skipped = 0usize;
-    for q in &queries {
-        let base_cols: Vec<String> = q
-            .predicate
-            .columns()
-            .into_iter()
-            .filter(|c| LINEITEM_COLS.contains(&c.as_str()))
-            .collect();
-        if base_cols.is_empty() {
-            // A predicate purely over o_orderdate has no lineitem columns
-            // to synthesize for; drop it rather than send a no-op.
-            skipped += 1;
-            continue;
-        }
-        for rep in 0..reps {
-            // Odd repeats are alpha-renamed with a uniform prefix: the
-            // canonical template is unchanged, so they must hit the same
-            // cache entry as the original shape.
-            let (predicate, cols) = if rep % 2 == 1 {
-                let k = rep % 7;
-                let rename = |c: &str| format!("v{k}_{c}");
-                (
-                    q.predicate.map_columns(&|c| rename(c)),
-                    base_cols.iter().map(|c| rename(c)).collect::<Vec<_>>(),
-                )
-            } else {
-                (q.predicate.clone(), base_cols.clone())
-            };
-            requests.push(Request {
-                id: format!("q{}r{rep}", q.id),
-                predicate: predicate.to_string(),
-                cols,
-                timeout_ms: Some(30_000),
-                trace: None,
-            });
-        }
-    }
-    if skipped > 0 {
+    // The §6.3 preset (with alpha-renamed repeats for the canonicalizing
+    // cache) — byte-for-byte the workload this binary used to build inline.
+    let tasks = sia_gen::paper_6_3_tasks(shapes, 2, 4, sia_gen::SEED_6_3_SERVE);
+    if tasks.len() < shapes {
+        let skipped = shapes - tasks.len();
         eprintln!("note: {skipped} of {shapes} shapes skipped ({ORDERS_COL}-only predicates)");
     }
-    requests
+    sia_gen::with_repeats(&tasks, reps)
+        .into_iter()
+        .map(|g| Request {
+            id: g.id,
+            predicate: g.predicate.to_string(),
+            cols: g.cols,
+            timeout_ms: Some(30_000),
+            trace: None,
+        })
+        .collect()
 }
 
 fn run_once(requests: &[Request], cache_capacity: usize, workers: usize) -> RunStats {

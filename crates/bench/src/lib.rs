@@ -24,5 +24,6 @@ pub mod microbench;
 pub mod motivating;
 pub mod report;
 pub mod runtime;
+pub mod soak;
 pub mod suite;
 pub mod util;

@@ -1,0 +1,588 @@
+//! Long-running chaos soak: drive a generated workload through a live
+//! serve pool under injected faults while continuously checking the
+//! invariants the service promises — zero soundness violations (sampled
+//! answers re-verified against the solver oracle), zero lost requests,
+//! bounded cache memory, a healed worker pool, and stable tail latency
+//! across time windows.
+//!
+//! The driver is open-loop: arrivals are Poisson at the offered rate and
+//! each one gets its own connection the moment it is due, so queueing
+//! delay under overload is charged to the server. Latency is measured
+//! from the *scheduled* arrival time.
+//!
+//! [`run_soak`] is shared by `exp_soak` (the benchmark binary) and
+//! `sia soak` (the CLI subcommand).
+
+use std::time::{Duration, Instant};
+
+use sia_core::{verify_implies, PredEncoder, Validity};
+use sia_expr::Pred;
+use sia_gen::GenConfig;
+use sia_obs::Counter;
+use sia_rand::{RngCore, SplitMix64};
+use sia_serve::{
+    client, server, Request, Response, RetryPolicy, ServeConfig, ServerHandle, Status,
+};
+use sia_sql::parse_predicate;
+
+use crate::casestudy::percentile;
+
+/// Per-arrival retry attempts before a request is declared lost.
+const ATTEMPTS: usize = 4;
+
+/// Soak configuration. The workload itself comes from the embedded
+/// generator config; everything else shapes the server and the load.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Workload generator knobs; `gen.count` is the size of the request
+    /// *pool*, which the soak cycles through.
+    pub gen: GenConfig,
+    /// Total arrivals to offer (ignored when `duration` is set).
+    pub requests: usize,
+    /// Wall-clock budget; when set, arrivals are offered for this long
+    /// instead of counting to `requests`.
+    pub duration: Option<Duration>,
+    /// Offered arrival rate, req/s (Poisson).
+    pub rate: f64,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Predicate-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Server queue depth.
+    pub queue_depth: usize,
+    /// Total fault budget in percent, split across failpoints: half
+    /// worker panics, half synthesis errors, plus a fixed trickle of
+    /// 1 ms solver-pivot delays and three outright worker deaths.
+    pub fault_percent: u32,
+    /// Fraction of successful answers re-verified against the solver
+    /// oracle (`p ⇒ learned` must hold).
+    pub oracle_rate: f64,
+    /// Tail-latency window width.
+    pub window: Duration,
+    /// Per-request deadline forwarded to the server.
+    pub timeout_ms: Option<u64>,
+    /// Seed for arrivals, fault sites, and oracle sampling.
+    pub seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            gen: GenConfig {
+                count: 128,
+                max_terms: 4,
+                repeat_rate: 0.4,
+                drift_rate: 0.25,
+                seed: 0x51A_50AC,
+                ..GenConfig::default()
+            },
+            requests: 5000,
+            duration: None,
+            rate: 80.0,
+            workers: 4,
+            cache_capacity: 1024,
+            queue_depth: 64,
+            fault_percent: 10,
+            oracle_rate: 0.05,
+            window: Duration::from_secs(5),
+            timeout_ms: Some(10_000),
+            seed: 0x51A_50AC,
+        }
+    }
+}
+
+/// Tail-latency and outcome counts for one time window.
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    /// Window start, seconds since the soak began.
+    pub start_s: f64,
+    /// Arrivals scheduled inside the window.
+    pub requests: usize,
+    /// Successful, non-degraded answers.
+    pub ok: usize,
+    /// Degraded fallbacks (panic, injected error, shed).
+    pub degraded: usize,
+    /// Deadline expiries.
+    pub timeouts: usize,
+    /// Cache hits.
+    pub hits: usize,
+    /// Median latency from scheduled arrival, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency from scheduled arrival, µs.
+    pub p99_us: f64,
+}
+
+/// Everything a soak run measured; the caller decides which gates to
+/// enforce (see `exp_soak`).
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Arrivals offered.
+    pub offered: usize,
+    /// Arrivals that received any response.
+    pub answered: usize,
+    /// Arrivals with no response after every retry — must be zero.
+    pub lost: usize,
+    /// Arrivals still `overloaded` after every retry (a definitive
+    /// answer, not a loss — the server shed them under pressure).
+    pub shed: usize,
+    /// Successful, non-degraded answers.
+    pub ok: usize,
+    /// Degraded fallbacks.
+    pub degraded: usize,
+    /// Deadline expiries.
+    pub timeouts: usize,
+    /// Arrivals that needed at least one retry.
+    pub retried: usize,
+    /// Sampled answers re-verified against the solver oracle.
+    pub oracle_checks: usize,
+    /// Oracle refutations (`p ⇒ learned` failed) — must be zero.
+    pub violations: usize,
+    /// Cache entries at shutdown.
+    pub cache_len: usize,
+    /// Cache capacity the server ran with.
+    pub cache_capacity: usize,
+    /// Whole-run cache hit rate.
+    pub hit_rate: f64,
+    /// Fraction of synthesis runs discharged by static derivation.
+    pub derive_static_rate: f64,
+    /// Did the worker pool return to full strength after the faults?
+    pub pool_healed: bool,
+    /// Supervisor respawns observed.
+    pub restarts: u64,
+    /// Faults actually injected.
+    pub faults_injected: u64,
+    /// Per-window tail latency.
+    pub windows: Vec<WindowStats>,
+    /// Max window p99 over median window p99 (1.0 = perfectly flat).
+    pub p99_drift: f64,
+    /// Wall time of the drive phase, seconds.
+    pub elapsed_s: f64,
+    /// Shapes the generator produced for the pool.
+    pub pool_size: usize,
+    /// Shapes that survived warmup (cacheable inside the deadline) and
+    /// were actually offered.
+    pub pool_kept: usize,
+}
+
+impl SoakReport {
+    /// Flat-ish JSON (only strings, numbers, and arrays of flat objects,
+    /// to stay within the workspace's hand-rolled parser).
+    pub fn to_json(&self) -> String {
+        let windows = self
+            .windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"start_s\":{},\"requests\":{},\"ok\":{},\"degraded\":{},\
+                     \"timeouts\":{},\"hits\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                    sia_obs::json_number(w.start_s),
+                    w.requests,
+                    w.ok,
+                    w.degraded,
+                    w.timeouts,
+                    w.hits,
+                    sia_obs::json_number(w.p50_us),
+                    sia_obs::json_number(w.p99_us),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"offered\":{},\"answered\":{},\"lost\":{},\"shed\":{},\"ok\":{},\"degraded\":{},\
+             \"timeouts\":{},\"retried\":{},\"oracle_checks\":{},\"violations\":{},\
+             \"cache_len\":{},\"cache_capacity\":{},\"hit_rate\":{},\
+             \"derive_static_rate\":{},\"pool_healed\":{},\"restarts\":{},\
+             \"faults_injected\":{},\"p99_drift\":{},\"elapsed_s\":{},\
+             \"pool_size\":{},\"pool_kept\":{},\"windows\":[{windows}]}}",
+            self.offered,
+            self.answered,
+            self.lost,
+            self.shed,
+            self.ok,
+            self.degraded,
+            self.timeouts,
+            self.retried,
+            self.oracle_checks,
+            self.violations,
+            self.cache_len,
+            self.cache_capacity,
+            sia_obs::json_number(self.hit_rate),
+            sia_obs::json_number(self.derive_static_rate),
+            u8::from(self.pool_healed),
+            self.restarts,
+            self.faults_injected,
+            sia_obs::json_number(self.p99_drift),
+            sia_obs::json_number(self.elapsed_s),
+            self.pool_size,
+            self.pool_kept,
+        )
+    }
+}
+
+/// Keep injected panics (message prefix `failpoint `) off stderr — they
+/// are the point of the experiment, not noise worth a backtrace each.
+/// Anything else still reports through the default hook.
+pub fn silence_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("failpoint ") {
+            default_hook(info);
+        }
+    }));
+}
+
+/// Poll until the worker pool reports full strength, or `budget` runs
+/// out. Returns whether the pool healed.
+pub fn wait_for_full_pool(handle: &ServerHandle, target: u64, budget: Duration) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < budget {
+        if handle.health().workers == target {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// Read one counter out of the global snapshot.
+pub fn counter(c: Counter) -> u64 {
+    sia_obs::snapshot()
+        .counters
+        .iter()
+        .find(|(k, _)| *k == c)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// Uniform draw in `[0, 1)` from 53 random bits.
+fn unit(rng: &mut SplitMix64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    u
+}
+
+/// One answered arrival: scheduled offset, completion offset, retries
+/// used, and the response (None = lost).
+struct Arrival {
+    scheduled: Duration,
+    done: Duration,
+    retried: bool,
+    response: Option<Response>,
+}
+
+/// Send one request with bounded retries on transport errors and
+/// `overloaded` rejections. Transient failures back off linearly. A
+/// final `overloaded` answer is returned as-is (the server shed the
+/// request — definitive, not lost); `None` means no answer at all.
+fn send_with_retry(addr: &str, req: &Request) -> (bool, Option<Response>) {
+    let mut retried = false;
+    let mut last = None;
+    for attempt in 0..ATTEMPTS {
+        if attempt > 0 {
+            retried = true;
+            std::thread::sleep(Duration::from_millis(20 * attempt as u64));
+        }
+        match client::request_one(addr, req) {
+            Ok(r) if r.status == Status::Overloaded => last = Some(r),
+            Ok(r) => return (retried, Some(r)),
+            Err(_) => {}
+        }
+    }
+    (retried, last)
+}
+
+/// Re-verify a sampled answer against the solver oracle: the request
+/// predicate must imply the learned one. Returns true on a violation.
+fn oracle_refutes(original: &Pred, resp: &Response) -> bool {
+    let Some(text) = &resp.predicate else {
+        return false; // no learned predicate ⇒ trivially sound
+    };
+    let Ok(learned) = parse_predicate(text) else {
+        return true; // an unparseable answer is its own violation
+    };
+    let mut enc = PredEncoder::new();
+    matches!(
+        verify_implies(&mut enc, original, &learned),
+        Ok(Validity::Invalid)
+    )
+}
+
+/// Drive one full soak: generate, start, load, verify, report.
+///
+/// # Errors
+///
+/// Fails when the generator config is invalid or the server cannot
+/// start.
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
+    let pool_reqs = sia_gen::generate(&cfg.gen)?;
+    let pool: Vec<Request> = pool_reqs
+        .iter()
+        .map(|g| Request {
+            id: g.id.clone(),
+            predicate: g.predicate.to_string(),
+            cols: g.cols.clone(),
+            timeout_ms: cfg.timeout_ms,
+            trace: None,
+        })
+        .collect();
+    if pool.is_empty() {
+        return Err("generator produced an empty pool".to_string());
+    }
+
+    let handle = server::start(ServeConfig {
+        workers: cfg.workers,
+        cache_capacity: cfg.cache_capacity,
+        queue_depth: cfg.queue_depth,
+        lint_schemas: sia_gen::schemas().into_iter().map(|(_, s)| s).collect(),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("cannot start soak server: {e}"))?;
+    let addr = handle.addr().to_string();
+
+    // Warm the cache with one pass over the distinct pool before any
+    // fault is armed: the soak measures steady-state serving stability,
+    // not cold-start synthesis cost. Chunks stay within the queue depth
+    // so warmup itself cannot overload the server and silently skip
+    // shapes. Shapes that fail to produce a cacheable answer inside the
+    // warmup deadline are dropped from the arrival pool — an uncached
+    // shape would re-run a multi-second synthesis on every cycle of the
+    // pool, wedging the workers behind it.
+    let warmup: Vec<Request> = pool
+        .iter()
+        .map(|r| Request {
+            timeout_ms: Some(cfg.timeout_ms.unwrap_or(3000).min(3000)),
+            ..r.clone()
+        })
+        .collect();
+    let mut keep = vec![false; pool.len()];
+    for (ci, chunk) in warmup.chunks(cfg.queue_depth.clamp(1, 32)).enumerate() {
+        let outcome =
+            client::run_batch_retry(&addr, chunk, cfg.workers * 2, &RetryPolicy::default());
+        for (j, resp) in outcome.responses.iter().enumerate() {
+            keep[ci * cfg.queue_depth.clamp(1, 32) + j] =
+                resp.status == Status::Ok && !resp.degraded;
+        }
+    }
+    let pool_size = pool.len();
+    let kept_idx: Vec<usize> = (0..pool.len()).filter(|&i| keep[i]).collect();
+    if kept_idx.is_empty() {
+        handle.shutdown().ok();
+        return Err("warmup cached no shapes; cannot soak".to_string());
+    }
+    let pool: Vec<Request> = kept_idx.iter().map(|&i| pool[i].clone()).collect();
+    let pool_preds: Vec<&Pred> = kept_idx.iter().map(|&i| &pool_reqs[i].predicate).collect();
+
+    if cfg.fault_percent > 0 {
+        sia_fault::set_seed(cfg.seed ^ 0xFA17);
+        let half = (cfg.fault_percent / 2).max(1);
+        sia_fault::configure(
+            "serve.worker.request",
+            &format!("{half}%panic(injected worker panic)"),
+        )?;
+        sia_fault::configure("synth.run", &format!("{half}%error(injected synth error)"))?;
+        sia_fault::configure("smt.simplex.pivot", "1%delay(1)")?;
+        sia_fault::configure("serve.worker.die", "3*panic(injected worker death)")?;
+    }
+
+    // Poisson arrival schedule.
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut offsets = Vec::new();
+    let mut t = 0.0f64;
+    match cfg.duration {
+        Some(d) => {
+            let budget = d.as_secs_f64();
+            loop {
+                t += -(1.0 - unit(&mut rng)).ln() / cfg.rate;
+                if t > budget {
+                    break;
+                }
+                offsets.push(Duration::from_secs_f64(t));
+            }
+            if offsets.is_empty() {
+                offsets.push(Duration::from_secs_f64(0.0));
+            }
+        }
+        None => {
+            for _ in 0..cfg.requests.max(1) {
+                t += -(1.0 - unit(&mut rng)).ln() / cfg.rate;
+                offsets.push(Duration::from_secs_f64(t));
+            }
+        }
+    }
+    let offered = offsets.len();
+
+    let static_before = counter(Counter::AnalyzeDeriveStatic);
+    let miss_before = counter(Counter::AnalyzeDeriveMiss);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Arrival)>();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (i, &scheduled) in offsets.iter().enumerate() {
+            if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let req = pool[i % pool.len()].clone();
+            let tx = tx.clone();
+            let addr = addr.as_str();
+            s.spawn(move || {
+                let (retried, response) = send_with_retry(addr, &req);
+                let _ = tx.send((
+                    i,
+                    Arrival {
+                        scheduled,
+                        done: start.elapsed(),
+                        retried,
+                        response,
+                    },
+                ));
+            });
+        }
+    });
+    drop(tx);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let arrivals: Vec<(usize, Arrival)> = rx.into_iter().collect();
+
+    // Pool-health and fault bookkeeping before shutdown.
+    #[allow(clippy::cast_possible_truncation)]
+    let pool_healed = wait_for_full_pool(&handle, cfg.workers as u64, Duration::from_secs(30));
+    let restarts = handle.health().restarts;
+    let faults_injected = counter(Counter::FaultInjected);
+    sia_fault::clear();
+    let cache_len = handle.cache().len();
+    let hit_rate = handle.cache().stats().hit_rate();
+    handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    // Outcome tallies + soundness oracle on a deterministic sample.
+    let mut oracle_rng = SplitMix64::new(cfg.seed ^ 0x0AC1E);
+    let mut lost = 0usize;
+    let mut shed = 0usize;
+    let mut ok = 0usize;
+    let mut degraded = 0usize;
+    let mut timeouts = 0usize;
+    let mut retried = 0usize;
+    let mut oracle_checks = 0usize;
+    let mut violations = 0usize;
+    for (i, a) in &arrivals {
+        if a.retried {
+            retried += 1;
+        }
+        let Some(resp) = &a.response else {
+            lost += 1;
+            sia_obs::add(Counter::SoakLost, 1);
+            continue;
+        };
+        if resp.status == Status::Overloaded {
+            shed += 1;
+        } else if resp.degraded {
+            degraded += 1;
+        } else if resp.status == Status::Timeout {
+            timeouts += 1;
+        } else if resp.status == Status::Ok {
+            ok += 1;
+            if unit(&mut oracle_rng) < cfg.oracle_rate {
+                oracle_checks += 1;
+                sia_obs::add(Counter::SoakOracleChecks, 1);
+                if oracle_refutes(pool_preds[i % pool_preds.len()], resp) {
+                    violations += 1;
+                    sia_obs::add(Counter::SoakViolations, 1);
+                }
+            }
+        }
+    }
+
+    // Windowed tail latency, keyed by scheduled arrival time.
+    let window_s = cfg.window.as_secs_f64().max(0.1);
+    let n_windows = (elapsed_s / window_s).ceil().max(1.0) as usize;
+    let mut buckets: Vec<Vec<&Arrival>> = vec![Vec::new(); n_windows];
+    for (_, a) in &arrivals {
+        let w = ((a.scheduled.as_secs_f64() / window_s) as usize).min(n_windows - 1);
+        buckets[w].push(a);
+    }
+    let mut windows = Vec::new();
+    for (w, bucket) in buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        sia_obs::add(Counter::SoakWindows, 1);
+        let mut lat: Vec<f64> = bucket
+            .iter()
+            .map(|a| a.done.saturating_sub(a.scheduled).as_micros() as f64)
+            .collect();
+        windows.push(WindowStats {
+            start_s: w as f64 * window_s,
+            requests: bucket.len(),
+            ok: bucket
+                .iter()
+                .filter(|a| {
+                    a.response
+                        .as_ref()
+                        .is_some_and(|r| r.status == Status::Ok && !r.degraded)
+                })
+                .count(),
+            degraded: bucket
+                .iter()
+                .filter(|a| a.response.as_ref().is_some_and(|r| r.degraded))
+                .count(),
+            timeouts: bucket
+                .iter()
+                .filter(|a| {
+                    a.response
+                        .as_ref()
+                        .is_some_and(|r| r.status == Status::Timeout)
+                })
+                .count(),
+            hits: bucket
+                .iter()
+                .filter(|a| a.response.as_ref().is_some_and(|r| r.cached))
+                .count(),
+            p50_us: percentile(&mut lat, 50.0),
+            p99_us: percentile(&mut lat, 99.0),
+        });
+    }
+    let mut p99s: Vec<f64> = windows.iter().map(|w| w.p99_us).collect();
+    let median_p99 = percentile(&mut p99s, 50.0);
+    let max_p99 = p99s.iter().copied().fold(0.0f64, f64::max);
+    let p99_drift = if median_p99 > 0.0 {
+        max_p99 / median_p99
+    } else {
+        1.0
+    };
+
+    let static_hits = counter(Counter::AnalyzeDeriveStatic) - static_before;
+    let misses = counter(Counter::AnalyzeDeriveMiss) - miss_before;
+    let derive_static_rate = if static_hits + misses == 0 {
+        0.0
+    } else {
+        static_hits as f64 / (static_hits + misses) as f64
+    };
+
+    Ok(SoakReport {
+        offered,
+        answered: arrivals.len() - lost,
+        lost,
+        shed,
+        ok,
+        degraded,
+        timeouts,
+        retried,
+        oracle_checks,
+        violations,
+        cache_len,
+        cache_capacity: cfg.cache_capacity,
+        hit_rate,
+        derive_static_rate,
+        pool_healed,
+        restarts,
+        faults_injected,
+        windows,
+        p99_drift,
+        elapsed_s,
+        pool_size,
+        pool_kept: pool.len(),
+    })
+}

@@ -26,13 +26,20 @@ usage:
               [--queue-depth N] [--timeout-ms N] [--cache-file FILE]
               [--snapshot-ms N] [--slow-log FILE] [--slow-ms N] [--metrics]
   sia batch   <requests.jsonl> [--addr HOST:PORT] [--concurrency N]
-              [--timeout-ms N] [--retries N]
+              [--timeout-ms N] [--retries N] [--workload]
+  sia gen     [--out FILE] [--table NAME] [--count N] [--seed N]
+              [--min-terms N] [--max-terms N] [--zone any|eligible|ineligible]
+              [--selectivity F] [--tolerance F] [--repeat-rate F]
+              [--drift-rate F]
+  sia soak    [--requests N] [--duration-s F] [--rate F] [--workers N]
+              [--fault-percent N] [--seed N] [--out FILE]
   sia top     [--addr HOST:PORT] [--interval-ms N] [--iterations N]
 
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
 dates as DATE 'YYYY-MM-DD', intervals as INTERVAL 'n' DAY.
 lint statically checks a predicate for contradictions, tautologies, and
-type-suspect comparisons (TPC-H column types are pre-seeded);
+type-suspect comparisons (the generator registry's column types —
+TPC-H plus the synthetic schemas — are pre-seeded);
 --format json emits one machine-readable object with per-finding
 severities, and error-severity findings (contradictions) exit 3.
 --metrics prints a per-phase wall-time and solver-counter breakdown;
@@ -45,6 +52,17 @@ batch sends a file of such requests and prints one response per line.
 every request slower than --slow-ms (default 1000) to FILE;
 --retries makes batch retry overloaded/failed requests with jittered
 backoff, shedding client-side (degraded fallback) when retries run out.
+gen writes a seed-deterministic workload file (header line echoing the
+config, then one request per line) from the typed schema registry;
+--zone steers zone-fragment eligibility, --selectivity targets a
+measured selectivity on sampled rows, --repeat-rate/--drift-rate
+control template repetition (the cache-hit knob) and parameter drift.
+batch --workload replays such a file against a running server.
+soak runs a self-contained chaos simulation: an in-process server pool
+under open-loop Poisson load with injected faults, continuously
+asserting zero lost requests, zero soundness violations (sampled
+responses are re-checked against the solver oracle), a bounded cache,
+and a healed worker pool; --out writes the JSON report.
 top polls the server's queue-free {\"op\":\"stats\"} endpoint every
 --interval-ms (default 1000) and redraws a terminal view of live
 counters, latency percentiles, cache hit rate, and per-phase totals;
@@ -183,6 +201,34 @@ pub enum Command {
         timeout_ms: Option<u64>,
         /// Retries per request for overloaded/failed sends (0 = off).
         retries: u32,
+        /// Treat the file as a `sia gen` workload (header + typed
+        /// requests) instead of raw protocol request lines.
+        workload: bool,
+    },
+    /// Generate a workload file of synthesis requests.
+    Gen {
+        /// Output file; stdout when absent.
+        out: Option<String>,
+        /// Generator knobs assembled from the flags.
+        config: sia_gen::GenConfig,
+    },
+    /// Run the self-contained chaos soak (in-process pool, injected
+    /// faults, continuously asserted invariants).
+    Soak {
+        /// Total arrivals (ignored when `duration_s` > 0).
+        requests: usize,
+        /// Wall-clock budget in seconds (0 = request-budgeted).
+        duration_s: f64,
+        /// Offered Poisson arrival rate, requests/second.
+        rate: f64,
+        /// Worker threads in the pool.
+        workers: usize,
+        /// Percentage of requests with injected faults.
+        fault_percent: u32,
+        /// RNG seed for the workload, schedule, and fault sites.
+        seed: u64,
+        /// Write the JSON report here (printed summary either way).
+        out: Option<String>,
     },
     /// Poll a running server's live telemetry into a refreshing
     /// terminal view.
@@ -202,9 +248,9 @@ impl Command {
         let mut it = args.iter();
         let sub = it.next().ok_or("missing subcommand")?;
         let mut rest: Vec<String> = it.cloned().collect();
-        // Every subcommand except `serve` and `top` takes one positional
-        // argument.
-        let positional = if sub == "serve" || sub == "top" {
+        // Every subcommand except `serve`, `top`, `gen`, and `soak`
+        // takes one positional argument.
+        let positional = if matches!(sub.as_str(), "serve" | "top" | "gen" | "soak") {
             String::new()
         } else if rest.is_empty() || rest[0].starts_with("--") {
             return Err("missing argument".into());
@@ -220,7 +266,7 @@ impl Command {
         let mut trace = None;
         let mut timeout_ms = None;
         let mut addr = None;
-        let mut workers = 2usize;
+        let mut workers: Option<usize> = None;
         let mut cache_capacity = 1024usize;
         let mut queue_depth = 64usize;
         let mut cache_file = None;
@@ -232,6 +278,21 @@ impl Command {
         let mut slow_ms = None;
         let mut interval_ms: Option<u64> = None;
         let mut iterations: Option<u64> = None;
+        let mut workload = false;
+        let mut out: Option<String> = None;
+        let mut count: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut min_terms: Option<usize> = None;
+        let mut max_terms: Option<usize> = None;
+        let mut zone: Option<sia_gen::ZonePolicy> = None;
+        let mut selectivity: Option<f64> = None;
+        let mut tolerance: Option<f64> = None;
+        let mut repeat_rate: Option<f64> = None;
+        let mut drift_rate: Option<f64> = None;
+        let mut requests: Option<usize> = None;
+        let mut duration_s: Option<f64> = None;
+        let mut rate: Option<f64> = None;
+        let mut fault_percent: Option<u32> = None;
         let mut i = 0;
         while i < rest.len() {
             match rest[i].as_str() {
@@ -266,7 +327,7 @@ impl Command {
                 }
                 "--workers" => {
                     i += 1;
-                    workers = parse_num(rest.get(i), "--workers")?;
+                    workers = Some(parse_num(rest.get(i), "--workers")?);
                 }
                 "--cache-capacity" => {
                     i += 1;
@@ -316,6 +377,64 @@ impl Command {
                     }
                     format = Some(f);
                 }
+                "--workload" => workload = true,
+                "--out" => {
+                    i += 1;
+                    out = Some(rest.get(i).ok_or("--out needs a file path")?.clone());
+                }
+                "--count" => {
+                    i += 1;
+                    count = Some(parse_num(rest.get(i), "--count")?);
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = Some(parse_num(rest.get(i), "--seed")?);
+                }
+                "--min-terms" => {
+                    i += 1;
+                    min_terms = Some(parse_num(rest.get(i), "--min-terms")?);
+                }
+                "--max-terms" => {
+                    i += 1;
+                    max_terms = Some(parse_num(rest.get(i), "--max-terms")?);
+                }
+                "--zone" => {
+                    i += 1;
+                    let z = rest.get(i).ok_or("--zone needs a value")?;
+                    zone = Some(sia_gen::ZonePolicy::parse(z)?);
+                }
+                "--selectivity" => {
+                    i += 1;
+                    selectivity = Some(parse_float(rest.get(i), "--selectivity")?);
+                }
+                "--tolerance" => {
+                    i += 1;
+                    tolerance = Some(parse_float(rest.get(i), "--tolerance")?);
+                }
+                "--repeat-rate" => {
+                    i += 1;
+                    repeat_rate = Some(parse_float(rest.get(i), "--repeat-rate")?);
+                }
+                "--drift-rate" => {
+                    i += 1;
+                    drift_rate = Some(parse_float(rest.get(i), "--drift-rate")?);
+                }
+                "--requests" => {
+                    i += 1;
+                    requests = Some(parse_num(rest.get(i), "--requests")?);
+                }
+                "--duration-s" => {
+                    i += 1;
+                    duration_s = Some(parse_float(rest.get(i), "--duration-s")?);
+                }
+                "--rate" => {
+                    i += 1;
+                    rate = Some(parse_float(rest.get(i), "--rate")?);
+                }
+                "--fault-percent" => {
+                    i += 1;
+                    fault_percent = Some(parse_num(rest.get(i), "--fault-percent")?);
+                }
                 "--v1" => variant = "v1".to_string(),
                 "--v2" => variant = "v2".to_string(),
                 "--metrics" => metrics = true,
@@ -343,6 +462,31 @@ impl Command {
         }
         if (interval_ms.is_some() || iterations.is_some()) && sub != "top" {
             return Err("--interval-ms/--iterations apply to top".into());
+        }
+        if workload && sub != "batch" {
+            return Err("--workload applies to batch".into());
+        }
+        if out.is_some() && !matches!(sub.as_str(), "gen" | "soak") {
+            return Err("--out applies to gen and soak".into());
+        }
+        let gen_only = count.is_some()
+            || min_terms.is_some()
+            || max_terms.is_some()
+            || zone.is_some()
+            || selectivity.is_some()
+            || tolerance.is_some()
+            || repeat_rate.is_some()
+            || drift_rate.is_some();
+        if gen_only && sub != "gen" {
+            return Err("the generator knobs apply to gen".into());
+        }
+        let soak_only =
+            requests.is_some() || duration_s.is_some() || rate.is_some() || fault_percent.is_some();
+        if soak_only && sub != "soak" {
+            return Err("--requests/--duration-s/--rate/--fault-percent apply to soak".into());
+        }
+        if seed.is_some() && !matches!(sub.as_str(), "gen" | "soak") {
+            return Err("--seed applies to gen and soak".into());
         }
         match sub.as_str() {
             "synth" => {
@@ -390,7 +534,7 @@ impl Command {
             }
             "serve" => Ok(Command::Serve {
                 addr: addr.unwrap_or_else(|| "127.0.0.1:7171".to_string()),
-                workers,
+                workers: workers.unwrap_or(2),
                 cache_capacity,
                 queue_depth,
                 timeout_ms,
@@ -406,6 +550,35 @@ impl Command {
                 concurrency,
                 timeout_ms,
                 retries,
+                workload,
+            }),
+            "gen" => {
+                let d = sia_gen::GenConfig::default();
+                Ok(Command::Gen {
+                    out,
+                    config: sia_gen::GenConfig {
+                        table: table.unwrap_or(d.table),
+                        count: count.unwrap_or(d.count),
+                        seed: seed.unwrap_or(d.seed),
+                        min_terms: min_terms.unwrap_or(d.min_terms),
+                        max_terms: max_terms.unwrap_or(d.max_terms),
+                        zone: zone.unwrap_or(d.zone),
+                        target_selectivity: selectivity.or(d.target_selectivity),
+                        selectivity_tolerance: tolerance.unwrap_or(d.selectivity_tolerance),
+                        repeat_rate: repeat_rate.unwrap_or(d.repeat_rate),
+                        drift_rate: drift_rate.unwrap_or(d.drift_rate),
+                        ..d
+                    },
+                })
+            }
+            "soak" => Ok(Command::Soak {
+                requests: requests.unwrap_or(1000),
+                duration_s: duration_s.unwrap_or(0.0),
+                rate: rate.unwrap_or(80.0),
+                workers: workers.unwrap_or(4),
+                fault_percent: fault_percent.unwrap_or(10),
+                seed: seed.unwrap_or(0x51A_50AC),
+                out,
             }),
             "top" => Ok(Command::Top {
                 addr: addr.unwrap_or_else(|| "127.0.0.1:7171".to_string()),
@@ -428,6 +601,17 @@ fn parse_num<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> Result<T
     arg.ok_or_else(|| format!("{flag} needs a value"))?
         .parse()
         .map_err(|_| format!("{flag} must be an integer"))
+}
+
+fn parse_float(arg: Option<&String>, flag: &str) -> Result<f64, String> {
+    let v: f64 = arg
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} must be a number"))?;
+    if !v.is_finite() {
+        return Err(format!("{flag} must be finite"));
+    }
+    Ok(v)
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) for
@@ -548,12 +732,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         }
         Command::Lint { predicate, format } => {
             let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
-            // Seed the analyzer with the TPC-H benchmark schemas so DATE
-            // and DOUBLE columns are typed; unknown columns default to
+            // Seed the analyzer from the generator's schema registry (all
+            // TPC-H tables plus the synthetic `wide` schema) so DATE and
+            // DOUBLE columns are typed; unknown columns default to
             // INTEGER NOT NULL, matching the synthesizer's encoder.
-            let analyzer = sia_analyze::Analyzer::new()
-                .with_schema(&sia_tpch::lineitem_schema())
-                .with_schema(&sia_tpch::orders_schema());
+            let analyzer = sia_gen::schemas()
+                .iter()
+                .fold(sia_analyze::Analyzer::new(), |a, (_, s)| a.with_schema(s));
             let warnings = analyzer.lint(&p);
             let errors = warnings.iter().filter(|w| w.severity() == "error").count();
             let out = if format == "json" {
@@ -657,6 +842,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 snapshot_interval: snapshot_ms.map(Duration::from_millis),
                 slow_log_file: slow_log,
                 slow_threshold: Duration::from_millis(slow_ms.unwrap_or(1000)),
+                lint_schemas: sia_gen::schemas().into_iter().map(|(_, s)| s).collect(),
             })
             .map_err(|e| format!("cannot start server: {e}"))?;
             // Announce readiness immediately; `run` only returns output
@@ -689,32 +875,48 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             concurrency,
             timeout_ms,
             retries,
+            workload,
         } => {
             let text =
                 std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
             let mut requests = Vec::new();
-            for (lineno, line) in text.lines().enumerate() {
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
+            if workload {
+                // A `sia gen` workload file: typed requests behind a config
+                // header, replayed as plain synthesis requests.
+                let wl = sia_gen::from_str(&text).map_err(|e| format!("{file}: {e}"))?;
+                for r in wl.requests {
+                    requests.push(sia_serve::Request {
+                        id: r.id,
+                        predicate: r.predicate.to_string(),
+                        cols: r.cols,
+                        timeout_ms,
+                        trace: None,
+                    });
                 }
-                match protocol::parse_request(line)
-                    .map_err(|e| format!("{file}:{}: {e}", lineno + 1))?
-                {
-                    protocol::RequestLine::Synth(mut r) => {
-                        if r.timeout_ms.is_none() {
-                            r.timeout_ms = timeout_ms;
-                        }
-                        requests.push(r);
+            } else {
+                for (lineno, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
                     }
-                    protocol::RequestLine::Shutdown
-                    | protocol::RequestLine::Health
-                    | protocol::RequestLine::Stats => {
-                        return Err(format!(
-                            "{file}:{}: control requests are not allowed in a batch",
-                            lineno + 1
-                        )
-                        .into())
+                    match protocol::parse_request(line)
+                        .map_err(|e| format!("{file}:{}: {e}", lineno + 1))?
+                    {
+                        protocol::RequestLine::Synth(mut r) => {
+                            if r.timeout_ms.is_none() {
+                                r.timeout_ms = timeout_ms;
+                            }
+                            requests.push(r);
+                        }
+                        protocol::RequestLine::Shutdown
+                        | protocol::RequestLine::Health
+                        | protocol::RequestLine::Stats => {
+                            return Err(format!(
+                                "{file}:{}: control requests are not allowed in a batch",
+                                lineno + 1
+                            )
+                            .into())
+                        }
                     }
                 }
             }
@@ -771,6 +973,89 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 });
             }
             Ok(out)
+        }
+        Command::Gen { out, config } => {
+            let requests = sia_gen::generate(&config)?;
+            let text = sia_gen::to_string(&config, &requests);
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &text)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    Ok(format!(
+                        "wrote {} requests to {path} (table {}, seed {:#x})",
+                        requests.len(),
+                        config.table,
+                        config.seed
+                    ))
+                }
+                None => Ok(text.trim_end().to_string()),
+            }
+        }
+        Command::Soak {
+            requests,
+            duration_s,
+            rate,
+            workers,
+            fault_percent,
+            seed,
+            out,
+        } => {
+            use sia_bench::soak::{run_soak, silence_injected_panics, SoakConfig};
+            silence_injected_panics();
+            sia_obs::reset();
+            sia_obs::enable();
+            let cfg = SoakConfig {
+                requests,
+                duration: (duration_s > 0.0).then(|| Duration::from_secs_f64(duration_s)),
+                rate,
+                workers,
+                fault_percent,
+                seed,
+                ..SoakConfig::default()
+            };
+            let report = run_soak(&cfg)?;
+            sia_obs::disable();
+            if let Some(path) = &out {
+                std::fs::write(path, format!("{}\n", report.to_json()))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            let summary = format!(
+                "soak: {}/{} answered ({} lost, {} shed) | {} ok / {} degraded / {} timeout\n\
+                 invariants: {} oracle checks, {} violations | cache {}/{} | \
+                 pool healed: {} ({} restarts) | p99 drift {:.2}x | {} faults injected",
+                report.answered,
+                report.offered,
+                report.lost,
+                report.shed,
+                report.ok,
+                report.degraded,
+                report.timeouts,
+                report.oracle_checks,
+                report.violations,
+                report.cache_len,
+                report.cache_capacity,
+                report.pool_healed,
+                report.restarts,
+                report.p99_drift,
+                report.faults_injected
+            );
+            let broken = report.violations > 0
+                || report.lost > 0
+                || !report.pool_healed
+                || report.cache_len > report.cache_capacity;
+            if broken {
+                // The summary still belongs on stdout; the verdict goes to
+                // stderr via the error path (the batch precedent).
+                println!("{summary}");
+                return Err(CliError {
+                    message: format!(
+                        "soak: invariants violated ({} violations, {} lost, pool healed: {})",
+                        report.violations, report.lost, report.pool_healed
+                    ),
+                    code: EXIT_ERROR,
+                });
+            }
+            Ok(summary)
         }
         Command::Top {
             addr,
@@ -1115,6 +1400,152 @@ mod tests {
         assert!(Command::parse(&strs(&["lint"])).is_err());
         assert!(Command::parse(&strs(&["lint", "a < 0", "--format", "yaml"])).is_err());
         assert!(Command::parse(&strs(&["solve", "a < 0", "--format", "json"])).is_err());
+    }
+
+    #[test]
+    fn parse_gen() {
+        let cmd = Command::parse(&strs(&[
+            "gen",
+            "--table",
+            "orders",
+            "--count",
+            "20",
+            "--seed",
+            "7",
+            "--zone",
+            "eligible",
+            "--repeat-rate",
+            "0.4",
+            "--selectivity",
+            "0.3",
+        ]))
+        .unwrap();
+        let Command::Gen { out, config } = cmd else {
+            panic!("expected gen");
+        };
+        assert_eq!(out, None);
+        assert_eq!(config.table, "orders");
+        assert_eq!(config.count, 20);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.zone, sia_gen::ZonePolicy::Eligible);
+        assert_eq!(config.repeat_rate, 0.4);
+        assert_eq!(config.target_selectivity, Some(0.3));
+        // Knob validation and scoping.
+        assert!(Command::parse(&strs(&["gen", "--zone", "sometimes"])).is_err());
+        assert!(Command::parse(&strs(&["gen", "--repeat-rate", "x"])).is_err());
+        assert!(Command::parse(&strs(&["solve", "a < 0", "--count", "3"])).is_err());
+        assert!(Command::parse(&strs(&["serve", "--out", "w.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn parse_soak() {
+        let cmd = Command::parse(&strs(&[
+            "soak",
+            "--requests",
+            "500",
+            "--rate",
+            "40",
+            "--fault-percent",
+            "5",
+            "--out",
+            "soak.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Soak {
+                requests: 500,
+                duration_s: 0.0,
+                rate: 40.0,
+                workers: 4,
+                fault_percent: 5,
+                seed: 0x51A_50AC,
+                out: Some("soak.json".into()),
+            }
+        );
+        // The load flags are soak-only.
+        assert!(Command::parse(&strs(&["serve", "--rate", "10"])).is_err());
+        assert!(Command::parse(&strs(&["batch", "r.jsonl", "--requests", "9"])).is_err());
+    }
+
+    #[test]
+    fn parse_batch_workload() {
+        let cmd = Command::parse(&strs(&["batch", "w.jsonl", "--workload"])).unwrap();
+        assert!(matches!(cmd, Command::Batch { workload: true, .. }));
+        assert!(Command::parse(&strs(&["serve", "--workload"])).is_err());
+    }
+
+    #[test]
+    fn run_gen_roundtrips_and_batch_replays() {
+        // `sia gen --out` writes a workload file that `sia batch
+        // --workload` replays against a live server.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sia_cli_gen_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path").to_string();
+        let config = sia_gen::GenConfig {
+            count: 6,
+            max_terms: 3,
+            zone: sia_gen::ZonePolicy::Eligible,
+            seed: 42,
+            ..sia_gen::GenConfig::default()
+        };
+        let out = run(Command::Gen {
+            out: Some(path_str.clone()),
+            config: config.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote 6 requests"), "{out}");
+        // Stdout mode emits the identical workload text.
+        let text = std::fs::read_to_string(&path).expect("workload written");
+        let printed = run(Command::Gen {
+            out: None,
+            config: config.clone(),
+        })
+        .unwrap();
+        assert_eq!(printed, text.trim_end());
+        let wl = sia_gen::from_str(&text).expect("parses back");
+        assert_eq!(wl.config, config);
+        assert_eq!(wl.requests.len(), 6);
+
+        let handle = sia_serve::server::start(sia_serve::ServeConfig {
+            workers: 2,
+            ..sia_serve::ServeConfig::default()
+        })
+        .expect("server starts");
+        let out = run(Command::Batch {
+            file: path_str,
+            addr: handle.addr().to_string(),
+            concurrency: 2,
+            timeout_ms: Some(30_000),
+            retries: 0,
+            workload: true,
+        })
+        .unwrap();
+        assert!(out.contains("batch: 6 ok / 0 timeout / 0 failed"), "{out}");
+        handle.shutdown().expect("clean shutdown");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_batch_rejects_non_workload_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sia_cli_notwl_{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"id\":\"q0\",\"predicate\":\"a < 1\",\"cols\":\"a\"}\n",
+        )
+        .expect("write");
+        let err = run(Command::Batch {
+            file: path.to_str().expect("utf-8").to_string(),
+            addr: "127.0.0.1:1".into(),
+            concurrency: 1,
+            timeout_ms: None,
+            retries: 0,
+            workload: true,
+        })
+        .unwrap_err();
+        assert!(err.message.contains("sia_workload"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -505,6 +505,45 @@ impl Pred {
         go(self, false)
     }
 
+    /// Bounded disjunctive-normal-form expansion: the list of conjunctive
+    /// disjuncts equivalent to `self`, or `None` once the cross product
+    /// would exceed `limit` disjuncts. Call on a negation-normal-form
+    /// predicate (see [`Pred::nnf`]); any residual `NOT` is treated as an
+    /// opaque leaf. Distribution is a logical equivalence, so analyses that
+    /// are exact per-conjunction stay exact across the expansion.
+    pub fn dnf_within(&self, limit: usize) -> Option<Vec<Pred>> {
+        match self {
+            Pred::Or(ps) => {
+                let mut out: Vec<Pred> = Vec::new();
+                for p in ps {
+                    out.extend(p.dnf_within(limit)?);
+                    if out.len() > limit {
+                        return None;
+                    }
+                }
+                Some(out)
+            }
+            Pred::And(ps) => {
+                let mut out = vec![Pred::true_()];
+                for p in ps {
+                    let kids = p.dnf_within(limit)?;
+                    let mut next = Vec::with_capacity(out.len() * kids.len());
+                    for head in &out {
+                        for kid in &kids {
+                            next.push(head.clone().and(kid.clone()));
+                        }
+                    }
+                    if next.len() > limit {
+                        return None;
+                    }
+                    out = next;
+                }
+                Some(out)
+            }
+            p => Some(vec![p.clone()]),
+        }
+    }
+
     /// Size of the AST (number of nodes); used by tests and heuristics.
     pub fn size(&self) -> usize {
         match self {

@@ -156,6 +156,11 @@ impl LinExpr {
     /// Render as an [`Expr`] AST. Rational coefficients are cleared first
     /// (multiplying by a positive constant preserves every comparison with
     /// zero, so callers comparing the result to `0` are unaffected).
+    ///
+    /// Cleared coefficients outside the `i64` range saturate instead of
+    /// panicking: a learned plane with astronomically large weights
+    /// renders to a *wrong* atom rather than killing the worker, and the
+    /// downstream verification step rejects wrong candidates anyway.
     pub fn to_expr(&self) -> Expr {
         let (scaled, _) = self.clear_denominators();
         let mut acc: Option<Expr> = None;
@@ -164,7 +169,7 @@ impl LinExpr {
         let mut ordered: Vec<(&String, &BigRat)> = scaled.terms.iter().collect();
         ordered.sort_by_key(|(_, k)| k.is_negative());
         for (c, k) in ordered {
-            let k = k.numer().to_i64().expect("coefficient fits i64");
+            let k = sat_i64(k.numer());
             let term = match k {
                 1 => Expr::col(c.clone()),
                 -1 => Expr::col(c.clone()),
@@ -187,7 +192,7 @@ impl LinExpr {
                 }
             });
         }
-        let c = scaled.constant.numer().to_i64().expect("constant fits i64");
+        let c = sat_i64(scaled.constant.numer());
         match acc {
             None => Expr::int(c),
             Some(a) if c == 0 => a,
@@ -327,10 +332,17 @@ impl LinAtom {
             constant: BigRat::zero(),
         };
         let rhs = -scaled.constant.clone();
-        lhs.to_expr().cmp(
-            self.op,
-            Expr::int(rhs.numer().to_i64().expect("constant fits i64")),
-        )
+        lhs.to_expr().cmp(self.op, Expr::int(sat_i64(rhs.numer())))
+    }
+}
+
+/// Saturating `BigInt` → `i64` for AST rendering. `i64::MIN` itself is
+/// excluded so callers can negate or take `abs()` without overflow.
+fn sat_i64(n: &BigInt) -> i64 {
+    match n.to_i64() {
+        Some(v) if v != i64::MIN => v,
+        _ if n.is_negative() => i64::MIN + 1,
+        _ => i64::MAX,
     }
 }
 
@@ -474,6 +486,27 @@ mod tests {
         };
         // 2*a1 + a2 + 50 > 0  →  "2 * a1 + a2 > -50"
         assert_eq!(a.to_pred().to_string(), "2 * a1 + a2 > -50");
+    }
+
+    #[test]
+    fn oversized_constants_saturate_instead_of_panicking() {
+        // A learned plane can carry constants far outside i64 (seen in
+        // soak runs); rendering must clamp, not panic — the wrong atom
+        // is caught by downstream verification.
+        let huge = BigRat::from_int(BigInt::from(i64::MAX) * &BigInt::from(16));
+        let a = LinAtom {
+            op: CmpOp::Ge,
+            expr: LinExpr::from_terms(vec![("a".to_string(), BigRat::one())], -huge.clone()),
+        };
+        assert_eq!(a.to_pred().to_string(), format!("a >= {}", i64::MAX));
+        let b = LinAtom {
+            op: CmpOp::Le,
+            expr: LinExpr::from_terms(vec![("a".to_string(), huge.clone())], BigRat::zero()),
+        };
+        // The coefficient clamps too; the sign survives.
+        assert_eq!(b.to_pred().to_string(), format!("{} * a <= 0", i64::MAX));
+        let c = LinExpr::from_terms(Vec::new(), -huge);
+        assert_eq!(c.to_expr().to_string(), (i64::MIN + 1).to_string());
     }
 
     #[test]

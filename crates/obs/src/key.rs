@@ -159,11 +159,33 @@ pub enum Counter {
     /// complement of the ≥95% phase-coverage target
     /// (`serve.phase.other_us`).
     ServePhaseOtherUs,
+    /// Workload-generator requests produced (`gen.requests`).
+    GenRequests,
+    /// Fresh-template redraws while chasing a selectivity target
+    /// (`gen.retries`).
+    GenRetries,
+    /// Quantile-band repairs applied to pull a draw toward its selectivity
+    /// target (`gen.repairs`).
+    GenRepairs,
+    /// Requests that replayed an earlier template — the cache-hit knob
+    /// (`gen.repeats`).
+    GenRepeats,
+    /// Completed soak measurement windows (`soak.windows`).
+    SoakWindows,
+    /// Soak responses re-checked against the solver oracle
+    /// (`soak.oracle_checks`).
+    SoakOracleChecks,
+    /// Soundness violations found by the soak oracle — must stay zero
+    /// (`soak.violations`).
+    SoakViolations,
+    /// Requests the soak driver gave up on after client-side retries —
+    /// must stay zero (`soak.lost`).
+    SoakLost,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 58] = [
+    pub const ALL: [Counter; 66] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -222,6 +244,14 @@ impl Counter {
         Counter::ServePhaseSynthUs,
         Counter::ServePhaseRespondUs,
         Counter::ServePhaseOtherUs,
+        Counter::GenRequests,
+        Counter::GenRetries,
+        Counter::GenRepairs,
+        Counter::GenRepeats,
+        Counter::SoakWindows,
+        Counter::SoakOracleChecks,
+        Counter::SoakViolations,
+        Counter::SoakLost,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -285,6 +315,14 @@ impl Counter {
             Counter::ServePhaseSynthUs => "serve.phase.synth_us",
             Counter::ServePhaseRespondUs => "serve.phase.respond_us",
             Counter::ServePhaseOtherUs => "serve.phase.other_us",
+            Counter::GenRequests => "gen.requests",
+            Counter::GenRetries => "gen.retries",
+            Counter::GenRepairs => "gen.repairs",
+            Counter::GenRepeats => "gen.repeats",
+            Counter::SoakWindows => "soak.windows",
+            Counter::SoakOracleChecks => "soak.oracle_checks",
+            Counter::SoakViolations => "soak.violations",
+            Counter::SoakLost => "soak.lost",
         }
     }
 

@@ -65,7 +65,7 @@ use std::time::{Duration, Instant};
 use sia_analyze::Analyzer;
 use sia_cache::{canonicalize, PredicateCache};
 use sia_core::{SiaConfig, SynthesisError, Synthesizer};
-use sia_expr::Pred;
+use sia_expr::{Pred, Schema};
 use sia_obs::{Counter, Hist, HistData, SpanContext};
 use sia_smt::Budget;
 use sia_sql::parse_predicate;
@@ -127,6 +127,11 @@ pub struct ServeConfig {
     pub slow_log_file: Option<String>,
     /// Latency threshold for the slow log.
     pub slow_threshold: Duration,
+    /// Schemas used to seed the lint analyzer that annotates responses
+    /// with advisory warnings. Empty means an unseeded analyzer, which
+    /// cannot tell date columns from integer ones and so stays silent on
+    /// date/integer confusions.
+    pub lint_schemas: Vec<Schema>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +146,7 @@ impl Default for ServeConfig {
             snapshot_interval: None,
             slow_log_file: None,
             slow_threshold: Duration::from_secs(1),
+            lint_schemas: Vec::new(),
         }
     }
 }
@@ -260,6 +266,7 @@ struct WorkerCtx {
     default_timeout_ms: Option<u64>,
     telemetry: Arc<Telemetry>,
     slow_log: Option<Arc<SlowLog>>,
+    linter: Arc<Analyzer>,
 }
 
 /// One unit of work: a parsed request, its open root span (carrying the
@@ -331,6 +338,12 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         default_timeout_ms: config.default_timeout_ms,
         telemetry: Arc::clone(&telemetry),
         slow_log,
+        linter: Arc::new(
+            config
+                .lint_schemas
+                .iter()
+                .fold(Analyzer::new(), |a, s| a.with_schema(s)),
+        ),
     };
 
     let slots = (0..pool.target)
@@ -755,7 +768,12 @@ fn worker_loop(ctx: &WorkerCtx) {
         // answers the request before the worker dies.
         let mut guard = JobGuard::armed(&job);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            process(&job.request, &ctx.cache, ctx.default_timeout_ms)
+            process(
+                &job.request,
+                &ctx.cache,
+                ctx.default_timeout_ms,
+                &ctx.linter,
+            )
         }));
         guard.disarm();
         let mut response = match result {
@@ -906,7 +924,12 @@ fn degraded(id: &str, original_predicate: &str, reason: &str) -> Response {
 
 /// Run one request to completion (cache hit, synthesis, timeout, or
 /// degraded fallback).
-fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64>) -> Response {
+fn process(
+    req: &Request,
+    cache: &PredicateCache,
+    default_timeout_ms: Option<u64>,
+    linter: &Analyzer,
+) -> Response {
     let start = Instant::now();
     let finish = |mut r: Response| {
         #[allow(clippy::cast_precision_loss)]
@@ -938,7 +961,7 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
     };
     let warnings = {
         let _lint_span = sia_obs::span("lint");
-        lint_warnings(&p)
+        lint_warnings(linter, &p)
     };
     let cache_span = sia_obs::span("cache");
     let canon = canonicalize(&p);
@@ -1003,13 +1026,10 @@ fn process(req: &Request, cache: &PredicateCache, default_timeout_ms: Option<u64
 
 /// Static-analysis lint of the request predicate. Advisory only: the
 /// result rides along on the response's `warnings` field and never
-/// changes the synthesis outcome.
-fn lint_warnings(p: &Pred) -> Vec<String> {
-    let warnings: Vec<String> = Analyzer::new()
-        .lint(p)
-        .iter()
-        .map(ToString::to_string)
-        .collect();
+/// changes the synthesis outcome. The analyzer is built once at startup
+/// from [`ServeConfig::lint_schemas`] and shared by every worker.
+fn lint_warnings(linter: &Analyzer, p: &Pred) -> Vec<String> {
+    let warnings: Vec<String> = linter.lint(p).iter().map(ToString::to_string).collect();
     sia_obs::add(
         Counter::AnalyzeLintWarnings,
         u64::try_from(warnings.len()).unwrap_or(u64::MAX),

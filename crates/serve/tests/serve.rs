@@ -275,3 +275,60 @@ fn cache_persists_across_restarts() {
     handle.shutdown().expect("clean shutdown");
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn seeded_lint_schemas_type_responses() {
+    use sia_expr::{ColumnDef, DataType, Schema};
+
+    // Seed the server with a synthetic schema: two DATE columns. The
+    // worker-side linter must know their types without any TPC-H naming.
+    let handle = server::start(ServeConfig {
+        workers: 1,
+        lint_schemas: vec![Schema::new(vec![
+            ColumnDef::new("w_t0", DataType::Date),
+            ColumnDef::new("w_t1", DataType::Date),
+            ColumnDef::new("w_i0", DataType::Integer),
+        ])],
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // A date compared against a bare integer literal is type-suspect…
+    let suspect = client::request_one(
+        &addr,
+        &Request {
+            id: "s0".into(),
+            predicate: "w_t0 < 19940101".into(),
+            cols: strs(&["w_t0"]),
+            timeout_ms: None,
+            trace: None,
+        },
+    )
+    .expect("suspect run");
+    assert_eq!(suspect.status, Status::Ok, "{suspect:?}");
+    assert!(
+        suspect.warnings.iter().any(|w| w.contains("type-suspect")),
+        "expected a type-suspect warning: {suspect:?}"
+    );
+
+    // …but a date *difference* is an interval, so comparing it with an
+    // integer is legitimate and must stay clean.
+    let interval = client::request_one(
+        &addr,
+        &Request {
+            id: "s1".into(),
+            predicate: "w_t0 - w_t1 < 30 AND w_i0 > 2".into(),
+            cols: strs(&["w_i0"]),
+            timeout_ms: None,
+            trace: None,
+        },
+    )
+    .expect("interval run");
+    assert_eq!(interval.status, Status::Ok, "{interval:?}");
+    assert!(
+        !interval.warnings.iter().any(|w| w.contains("type-suspect")),
+        "date difference is an interval, not type-suspect: {interval:?}"
+    );
+    handle.shutdown().expect("clean shutdown");
+}

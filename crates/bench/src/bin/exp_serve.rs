@@ -195,6 +195,179 @@ fn run_open_loop(addr: &str, pool: &[Request], rate: f64, secs: f64, seed: u64) 
     }
 }
 
+/// One open-loop overload measurement at a multiple of saturation.
+struct OverloadStats {
+    mult: f64,
+    offered: usize,
+    /// In-deadline, non-degraded `Ok` completions — the goodput numerator.
+    good: usize,
+    ok: usize,
+    expired: usize,
+    rejected: usize,
+    retries: usize,
+    /// Arrivals that never got any response (after the retry, if any).
+    lost: usize,
+    goodput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// One overload measurement's parameters.
+struct OverloadPlan {
+    /// Multiple of saturation this run offers (label only).
+    mult: f64,
+    /// Offered arrival rate, req/s.
+    rate: f64,
+    /// Run length in seconds.
+    secs: f64,
+    /// Per-request deadline.
+    deadline: Duration,
+    /// Client retry-token earn rate per fresh request.
+    budget_ratio: f64,
+    seed: u64,
+}
+
+/// Offer `plan.rate` req/s of Poisson arrivals for `plan.secs` seconds
+/// against an overload-hardened server. Every request carries the
+/// deadline as its timeout; `overloaded` rejections are retried at most
+/// once, paying from a shared token-bucket retry budget and sleeping the
+/// server's `retry_after_ms` hint first. Goodput counts only
+/// in-deadline, non-degraded `Ok` completions, measured from the
+/// scheduled arrival.
+fn run_overload(addr: &str, pool: &[Request], plan: &OverloadPlan) -> OverloadStats {
+    let OverloadPlan {
+        mult,
+        rate,
+        secs,
+        deadline,
+        budget_ratio,
+        seed,
+    } = *plan;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let n = (rate * secs).ceil().max(1.0) as usize;
+    let mut rng = SplitMix64::new(seed);
+    let mut offsets = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        t += -(1.0 - unit(&mut rng)).ln() / rate;
+        offsets.push(Duration::from_secs_f64(t));
+    }
+    let deadline_ms = u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX);
+
+    let budget = std::sync::Mutex::new(sia_serve::RetryBudget::new(budget_ratio, 3.0));
+    type Sample = (Duration, Duration, bool, Option<sia_serve::Response>);
+    let (tx, rx) = std::sync::mpsc::channel::<Sample>();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (i, &scheduled) in offsets.iter().enumerate() {
+            if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let mut req = pool[i % pool.len()].clone();
+            req.timeout_ms = Some(deadline_ms);
+            let (tx, budget) = (tx.clone(), &budget);
+            s.spawn(move || {
+                budget.lock().expect("budget lock").earn(1);
+                let mut retried = false;
+                let resp = match client::request_one(addr, &req) {
+                    Ok(first) if first.status == Status::Overloaded => {
+                        if budget.lock().expect("budget lock").spend() {
+                            retried = true;
+                            // Honor the server's back-pressure hint.
+                            std::thread::sleep(Duration::from_millis(
+                                first.retry_after_ms.unwrap_or(20),
+                            ));
+                            client::request_one(addr, &req).ok().or(Some(first))
+                        } else {
+                            Some(first)
+                        }
+                    }
+                    Ok(first) => Some(first),
+                    Err(_) => None,
+                };
+                let _ = tx.send((scheduled, start.elapsed(), retried, resp));
+            });
+        }
+    });
+    drop(tx);
+    let elapsed = start.elapsed();
+
+    let (mut good, mut ok, mut expired, mut rejected, mut retries, mut lost) = (0, 0, 0, 0, 0, 0);
+    let mut lat = Vec::with_capacity(n);
+    for (scheduled, done, retried, resp) in rx {
+        retries += usize::from(retried);
+        let Some(resp) = resp else {
+            lost += 1;
+            continue;
+        };
+        let latency = done.saturating_sub(scheduled);
+        #[allow(clippy::cast_precision_loss)]
+        lat.push(latency.as_micros() as f64);
+        match resp.status {
+            Status::Ok => {
+                ok += 1;
+                if !resp.degraded && latency <= deadline {
+                    good += 1;
+                }
+            }
+            Status::Expired => expired += 1,
+            Status::Overloaded => rejected += 1,
+            _ => {}
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    OverloadStats {
+        mult,
+        offered: n,
+        good,
+        ok,
+        expired,
+        rejected,
+        retries,
+        lost,
+        goodput_rps: good as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&mut lat, 50.0),
+        p99_us: percentile(&mut lat, 99.0),
+    }
+}
+
+fn overload_json(s: &OverloadStats) -> String {
+    format!(
+        "{{\"mult\":{},\"offered\":{},\"goodput_rps\":{},\"good\":{},\"ok\":{},\
+         \"expired\":{},\"rejected\":{},\"retries\":{},\"lost\":{},\"p50_us\":{},\
+         \"p99_us\":{}}}",
+        sia_obs::json_number(s.mult),
+        s.offered,
+        sia_obs::json_number(s.goodput_rps),
+        s.good,
+        s.ok,
+        s.expired,
+        s.rejected,
+        s.retries,
+        s.lost,
+        sia_obs::json_number(s.p50_us),
+        sia_obs::json_number(s.p99_us),
+    )
+}
+
+fn print_overload(s: &OverloadStats) {
+    println!(
+        "{:>4.1}x: goodput {:.1} rps ({} good / {} ok of {}) | {} expired | \
+         {} rejected | {} retries | {} lost | p50 {:.0} us | p99 {:.0} us",
+        s.mult,
+        s.goodput_rps,
+        s.good,
+        s.ok,
+        s.offered,
+        s.expired,
+        s.rejected,
+        s.retries,
+        s.lost,
+        s.p50_us,
+        s.p99_us
+    );
+}
+
 fn load_json(s: &LoadStats) -> String {
     let phases = s
         .phases
@@ -342,12 +515,84 @@ fn main() {
     );
     handle.shutdown().expect("clean shutdown");
 
+    // Overload sweep: offered load at multiples of the measured
+    // (uncached) saturation throughput against a fresh overload-hardened
+    // server — adaptive admission, two-lane shedding, brownout — with a
+    // retry-budgeted client. Cache off, so every completion pays real
+    // synthesis cost and the multiples genuinely oversubscribe the pool.
+    let mults: Vec<f64> = std::env::var("SIA_BENCH_OVERLOAD_MULTS")
+        .unwrap_or_else(|_| "1,2,5".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|m: &f64| *m > 0.0)
+        .collect();
+    let overload_secs = util::env_f64("SIA_BENCH_OVERLOAD_SECS", 3.0);
+    let deadline_ms = util::env_usize("SIA_BENCH_DEADLINE_MS", 1000) as u64;
+    let deadline = Duration::from_millis(deadline_ms);
+    let overloads: Vec<OverloadStats> = if mults.is_empty() {
+        Vec::new()
+    } else {
+        let handle = server::start(ServeConfig {
+            workers,
+            cache_capacity: 0,
+            queue_depth: 256,
+            admission_delay_budget: Some(deadline / 4),
+            ..ServeConfig::default()
+        })
+        .expect("overload server starts");
+        let addr = handle.addr().to_string();
+        println!(
+            "== overload sweep: {overload_secs:.0}s per multiple, saturation {:.1} rps, \
+             deadline {deadline_ms} ms ==",
+            uncached.throughput_rps
+        );
+        let stats = mults
+            .iter()
+            .enumerate()
+            .map(|(i, &mult)| {
+                let s = run_overload(
+                    &addr,
+                    &requests,
+                    &OverloadPlan {
+                        mult,
+                        rate: uncached.throughput_rps * mult,
+                        secs: overload_secs,
+                        deadline,
+                        budget_ratio: 0.1,
+                        seed: 0x51A_0BAD ^ (i as u64),
+                    },
+                );
+                print_overload(&s);
+                s
+            })
+            .collect();
+        let live = handle.stats();
+        println!(
+            "overload server totals: {} completed, {} rejected, {} expired, {} shed, \
+             admission limit {}, brownout L{}",
+            live.completed,
+            live.rejected,
+            live.expired,
+            live.shed,
+            live.admission_limit,
+            live.brownout
+        );
+        handle.shutdown().expect("clean shutdown");
+        stats
+    };
+
     let json = format!(
-        "{{\"experiment\":\"serve\",{},{},\"speedup\":{},\"load\":[{}],\"metrics\":{}}}\n",
+        "{{\"experiment\":\"serve\",{},{},\"speedup\":{},\"load\":[{}],\"overload\":[{}],\
+         \"metrics\":{}}}\n",
         stats_json("cached", &cached),
         stats_json("uncached", &uncached),
         sia_obs::json_number(speedup),
         loads.iter().map(load_json).collect::<Vec<_>>().join(","),
+        overloads
+            .iter()
+            .map(overload_json)
+            .collect::<Vec<_>>()
+            .join(","),
         sia_obs::snapshot().to_json()
     );
     match std::fs::write("BENCH_serve.json", &json) {
@@ -392,6 +637,33 @@ fn main() {
                 100.0 * s.coverage
             );
             assert!(s.ok > 0, "no successful responses at {} rps", s.rate_rps);
+        }
+        // Overload gates: nothing lost, retry volume within the client
+        // budget, and goodput at the highest multiple within
+        // SIA_BENCH_GOODPUT_FRAC of the first (saturation) multiple.
+        for s in &overloads {
+            assert!(s.lost == 0, "{} requests lost at {:.1}x", s.lost, s.mult);
+            assert!(
+                s.retries <= s.offered / 10 + 4,
+                "retry amplification at {:.1}x: {} retries for {} fresh requests",
+                s.mult,
+                s.retries,
+                s.offered
+            );
+        }
+        if overloads.len() >= 2 {
+            let frac = util::env_f64("SIA_BENCH_GOODPUT_FRAC", 0.8);
+            let first = &overloads[0];
+            let last = &overloads[overloads.len() - 1];
+            assert!(
+                last.goodput_rps >= frac * first.goodput_rps,
+                "goodput collapsed under overload: {:.1} rps at {:.1}x vs {:.1} rps at \
+                 {:.1}x (need >= {frac:.2}x)",
+                last.goodput_rps,
+                last.mult,
+                first.goodput_rps,
+                first.mult
+            );
         }
     }
 }

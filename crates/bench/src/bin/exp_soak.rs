@@ -11,6 +11,9 @@
 //!    duration-budgeted) with ~10% fault injection, continuously
 //!    checked invariants: zero soundness violations, zero lost
 //!    requests, bounded cache, healed pool, stable windowed p99.
+//!    Cache persistence runs live: periodic snapshots are written
+//!    mid-soak with the first ones torn apart at the atomic rename,
+//!    and the snapshot must still recover entries after shutdown.
 //!
 //! Results land in `BENCH_soak.json`. Environment knobs:
 //! `SIA_SOAK_REQUESTS` (default 5000), `SIA_SOAK_RATE` (req/s, default
@@ -139,6 +142,13 @@ fn main() {
     }
 
     // ---- Main soak.
+    // Cache persistence rides along: periodic snapshots under live
+    // traffic, with the fault mix tearing the first ones apart — the
+    // report must still recover entries from disk afterwards.
+    let cache_path =
+        std::env::temp_dir().join(format!("sia_soak_cache_{}.bin", std::process::id()));
+    let cache_file = cache_path.to_str().expect("utf-8 temp path").to_string();
+    std::fs::remove_file(&cache_path).ok();
     let cfg = SoakConfig {
         requests,
         duration: (secs > 0.0).then(|| Duration::from_secs_f64(secs)),
@@ -148,6 +158,8 @@ fn main() {
         fault_percent: fault_pct as u32,
         oracle_rate: oracle,
         window: Duration::from_secs_f64(window_secs.max(0.5)),
+        cache_file: Some(cache_file),
+        snapshot_interval: Some(Duration::from_millis(500)),
         seed: seed as u64,
         ..SoakConfig::default()
     };
@@ -195,6 +207,11 @@ fn main() {
         report.p99_drift,
         report.faults_injected
     );
+    println!(
+        "persistence: {} cache entries recovered from the snapshot",
+        report.snapshot_recovered
+    );
+    std::fs::remove_file(&cache_path).ok();
 
     let rep_json = reps
         .iter()
@@ -242,6 +259,10 @@ fn main() {
         assert!(
             report.windows.len() >= 2,
             "need >= 2 windows for a drift gate"
+        );
+        assert!(
+            report.snapshot_recovered > 0,
+            "no cache entries recovered from the persisted snapshot"
         );
         assert!(
             report.p99_drift <= drift_gate,

@@ -61,6 +61,15 @@ pub struct SoakConfig {
     pub window: Duration,
     /// Per-request deadline forwarded to the server.
     pub timeout_ms: Option<u64>,
+    /// Cache persistence file for the soak server. When set together
+    /// with [`SoakConfig::snapshot_interval`], the supervisor writes
+    /// periodic snapshots *during* the soak — and the fault mix tears
+    /// the first two apart (`cache.rename` failpoint) to prove the
+    /// atomic-rename protocol rides out mid-write failures under live
+    /// traffic.
+    pub cache_file: Option<String>,
+    /// Snapshot cadence for `cache_file`.
+    pub snapshot_interval: Option<Duration>,
     /// Seed for arrivals, fault sites, and oracle sampling.
     pub seed: u64,
 }
@@ -86,6 +95,8 @@ impl Default for SoakConfig {
             oracle_rate: 0.05,
             window: Duration::from_secs(5),
             timeout_ms: Some(10_000),
+            cache_file: None,
+            snapshot_interval: None,
             seed: 0x51A_50AC,
         }
     }
@@ -162,6 +173,10 @@ pub struct SoakReport {
     /// Shapes that survived warmup (cacheable inside the deadline) and
     /// were actually offered.
     pub pool_kept: usize,
+    /// Cache entries recovered from the persisted snapshot after
+    /// shutdown (0 when no `cache_file` was configured). With torn
+    /// snapshots injected mid-soak, a non-zero count proves recovery.
+    pub snapshot_recovered: usize,
 }
 
 impl SoakReport {
@@ -193,7 +208,8 @@ impl SoakReport {
              \"cache_len\":{},\"cache_capacity\":{},\"hit_rate\":{},\
              \"derive_static_rate\":{},\"pool_healed\":{},\"restarts\":{},\
              \"faults_injected\":{},\"p99_drift\":{},\"elapsed_s\":{},\
-             \"pool_size\":{},\"pool_kept\":{},\"windows\":[{windows}]}}",
+             \"pool_size\":{},\"pool_kept\":{},\"snapshot_recovered\":{},\
+             \"windows\":[{windows}]}}",
             self.offered,
             self.answered,
             self.lost,
@@ -215,6 +231,7 @@ impl SoakReport {
             sia_obs::json_number(self.elapsed_s),
             self.pool_size,
             self.pool_kept,
+            self.snapshot_recovered,
         )
     }
 }
@@ -339,6 +356,8 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
         workers: cfg.workers,
         cache_capacity: cfg.cache_capacity,
         queue_depth: cfg.queue_depth,
+        cache_file: cfg.cache_file.clone(),
+        snapshot_interval: cfg.snapshot_interval,
         lint_schemas: sia_gen::schemas().into_iter().map(|(_, s)| s).collect(),
         ..ServeConfig::default()
     })
@@ -388,6 +407,12 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
         sia_fault::configure("synth.run", &format!("{half}%error(injected synth error)"))?;
         sia_fault::configure("smt.simplex.pivot", "1%delay(1)")?;
         sia_fault::configure("serve.worker.die", "3*panic(injected worker death)")?;
+        if cfg.cache_file.is_some() && cfg.snapshot_interval.is_some() {
+            // Tear the first two mid-soak snapshots apart at the atomic
+            // rename. Count-limited so the budget is exhausted well
+            // before shutdown's final save, which must succeed.
+            sia_fault::configure("cache.rename", "2*error(injected torn snapshot)")?;
+        }
     }
 
     // Poisson arrival schedule.
@@ -456,6 +481,20 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
     let cache_len = handle.cache().len();
     let hit_rate = handle.cache().stats().hit_rate();
     handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    // Recovery proof: the snapshot on disk — written under live traffic
+    // with torn-snapshot faults armed — must load back into a fresh
+    // cache. A torn write that slipped through would drop records here.
+    let snapshot_recovered = match &cfg.cache_file {
+        Some(path) => {
+            let fresh = sia_cache::PredicateCache::new(cfg.cache_capacity.max(1));
+            fresh
+                .load_file(path)
+                .map_err(|e| format!("snapshot reload from {path}: {e}"))?
+                .recovered
+        }
+        None => 0,
+    };
 
     // Outcome tallies + soundness oracle on a deterministic sample.
     let mut oracle_rng = SplitMix64::new(cfg.seed ^ 0x0AC1E);
@@ -584,5 +623,6 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
         elapsed_s,
         pool_size,
         pool_kept: pool.len(),
+        snapshot_recovered,
     })
 }

@@ -126,6 +126,19 @@ impl PredicateCache {
         self.len() == 0
     }
 
+    /// Side-effect-free membership probe: true when a `lookup` with the
+    /// same arguments would hit. Touches neither the hit/miss statistics
+    /// nor the LRU recency order, so admission-control classification can
+    /// probe without skewing either.
+    pub fn peek(&self, canon: &Canonical, cols: &[String]) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let key = self.key(canon, cols);
+        let shard = self.shard(&key).lock().expect("cache shard poisoned");
+        shard.contains(&key)
+    }
+
     /// Look up the synthesis result for `canon` projected onto `cols`
     /// (original column names). On a hit the cached predicate is mapped
     /// back into the caller's column space.

@@ -44,6 +44,12 @@ impl Shard {
         Some(e.value.clone())
     }
 
+    /// Membership probe that leaves recency untouched — admission-control
+    /// classification must not perturb the LRU order or hit statistics.
+    pub(crate) fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
     /// Insert `key`, evicting the least-recently-used entry when the
     /// shard is at capacity. Returns the number of evictions (0 or 1).
     pub(crate) fn insert(&mut self, key: String, value: CachedResult) -> u64 {

@@ -23,16 +23,20 @@ usage:
   sia rewrite <query-sql> --table <name>        (TPC-H benchmark schema)
   sia baseline <predicate> --cols <c1,c2,…>
   sia serve   [--addr HOST:PORT] [--workers N] [--cache-capacity N]
-              [--queue-depth N] [--timeout-ms N] [--cache-file FILE]
-              [--snapshot-ms N] [--slow-log FILE] [--slow-ms N] [--metrics]
+              [--queue-depth N] [--delay-budget-ms N] [--timeout-ms N]
+              [--cache-file FILE] [--snapshot-ms N] [--slow-log FILE]
+              [--slow-ms N] [--metrics]
   sia batch   <requests.jsonl> [--addr HOST:PORT] [--concurrency N]
-              [--timeout-ms N] [--retries N] [--workload]
+              [--timeout-ms N] [--retries N] [--retry-budget PCT]
+              [--workload]
   sia gen     [--out FILE] [--table NAME] [--count N] [--seed N]
               [--min-terms N] [--max-terms N] [--zone any|eligible|ineligible]
               [--selectivity F] [--tolerance F] [--repeat-rate F]
               [--drift-rate F]
   sia soak    [--requests N] [--duration-s F] [--rate F] [--workers N]
               [--fault-percent N] [--seed N] [--out FILE]
+              (SIA_SOAK_SECS sets the wall-clock budget when
+              --duration-s is absent)
   sia top     [--addr HOST:PORT] [--interval-ms N] [--iterations N]
 
 predicates use the paper's grammar, e.g. \"a - b < 5 AND b < 0\";
@@ -48,10 +52,16 @@ serve speaks line-delimited JSON over TCP (one request object per line,
 see `sia batch` input: {\"id\":…,\"predicate\":…,\"cols\":\"a,b\",\"timeout_ms\":…});
 batch sends a file of such requests and prints one response per line.
 --snapshot-ms makes serve write periodic crash-safe cache snapshots;
+--delay-budget-ms (default 250, 0 = off) turns on overload resilience:
+AIMD admission targeting that queue-delay budget, cheap/expensive
+request lanes with expensive-first shedding, deadline expiry charged
+from admission, and a brownout ladder under sustained pressure;
 --slow-log appends a response exemplar (trace ID + phase breakdown) for
 every request slower than --slow-ms (default 1000) to FILE;
 --retries makes batch retry overloaded/failed requests with jittered
-backoff, shedding client-side (degraded fallback) when retries run out.
+backoff, shedding client-side (degraded fallback) when retries run out;
+--retry-budget caps retry volume at PCT% of fresh requests (default 10)
+so a retrying batch cannot amplify a server overload.
 gen writes a seed-deterministic workload file (header line echoing the
 config, then one request per line) from the typed schema registry;
 --zone steers zone-fragment eligibility, --selectivity targets a
@@ -176,6 +186,9 @@ pub enum Command {
         cache_capacity: usize,
         /// Bounded request-queue depth (admission control).
         queue_depth: usize,
+        /// AIMD queue-delay budget in milliseconds; 0 disables adaptive
+        /// admission, two-lane shedding, and brownout (fixed queue cap).
+        delay_budget_ms: u64,
         /// Default per-request deadline.
         timeout_ms: Option<u64>,
         /// Cache persistence file (loaded at startup, saved on shutdown).
@@ -201,6 +214,9 @@ pub enum Command {
         timeout_ms: Option<u64>,
         /// Retries per request for overloaded/failed sends (0 = off).
         retries: u32,
+        /// Retry-budget cap as a percentage of fresh requests (default
+        /// 10): retries beyond the budget are shed client-side.
+        retry_budget: u32,
         /// Treat the file as a `sia gen` workload (header + typed
         /// requests) instead of raw protocol request lines.
         workload: bool,
@@ -271,8 +287,10 @@ impl Command {
         let mut queue_depth = 64usize;
         let mut cache_file = None;
         let mut snapshot_ms = None;
+        let mut delay_budget_ms: Option<u64> = None;
         let mut concurrency = 4usize;
         let mut retries = 0u32;
+        let mut retry_budget: Option<u32> = None;
         let mut format: Option<String> = None;
         let mut slow_log = None;
         let mut slow_ms = None;
@@ -345,6 +363,10 @@ impl Command {
                     i += 1;
                     snapshot_ms = Some(parse_num(rest.get(i), "--snapshot-ms")?);
                 }
+                "--delay-budget-ms" => {
+                    i += 1;
+                    delay_budget_ms = Some(parse_num(rest.get(i), "--delay-budget-ms")?);
+                }
                 "--slow-log" => {
                     i += 1;
                     slow_log = Some(rest.get(i).ok_or("--slow-log needs a file path")?.clone());
@@ -368,6 +390,10 @@ impl Command {
                 "--retries" => {
                     i += 1;
                     retries = parse_num(rest.get(i), "--retries")?;
+                }
+                "--retry-budget" => {
+                    i += 1;
+                    retry_budget = Some(parse_num(rest.get(i), "--retry-budget")?);
                 }
                 "--format" => {
                     i += 1;
@@ -457,8 +483,12 @@ impl Command {
         if format.is_some() && sub != "lint" {
             return Err("--format applies to lint".into());
         }
-        if (slow_log.is_some() || slow_ms.is_some()) && sub != "serve" {
-            return Err("--slow-log/--slow-ms apply to serve".into());
+        if (slow_log.is_some() || slow_ms.is_some() || delay_budget_ms.is_some()) && sub != "serve"
+        {
+            return Err("--slow-log/--slow-ms/--delay-budget-ms apply to serve".into());
+        }
+        if retry_budget.is_some() && sub != "batch" {
+            return Err("--retry-budget applies to batch".into());
         }
         if (interval_ms.is_some() || iterations.is_some()) && sub != "top" {
             return Err("--interval-ms/--iterations apply to top".into());
@@ -537,6 +567,7 @@ impl Command {
                 workers: workers.unwrap_or(2),
                 cache_capacity,
                 queue_depth,
+                delay_budget_ms: delay_budget_ms.unwrap_or(250),
                 timeout_ms,
                 cache_file,
                 snapshot_ms,
@@ -550,6 +581,7 @@ impl Command {
                 concurrency,
                 timeout_ms,
                 retries,
+                retry_budget: retry_budget.unwrap_or(10),
                 workload,
             }),
             "gen" => {
@@ -821,6 +853,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             workers,
             cache_capacity,
             queue_depth,
+            delay_budget_ms,
             timeout_ms,
             cache_file,
             snapshot_ms,
@@ -837,6 +870,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 workers,
                 cache_capacity,
                 queue_depth,
+                admission_delay_budget: (delay_budget_ms > 0)
+                    .then(|| Duration::from_millis(delay_budget_ms)),
                 default_timeout_ms: timeout_ms,
                 cache_file,
                 snapshot_interval: snapshot_ms.map(Duration::from_millis),
@@ -875,6 +910,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             concurrency,
             timeout_ms,
             retries,
+            retry_budget,
             workload,
         } => {
             let text =
@@ -923,6 +959,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let (responses, retried, shed) = if retries > 0 {
                 let policy = sia_serve::RetryPolicy {
                     attempts: retries.saturating_add(1),
+                    budget_ratio: f64::from(retry_budget) / 100.0,
                     ..sia_serve::RetryPolicy::default()
                 };
                 let outcome = client::run_batch_retry(&addr, &requests, concurrency, &policy);
@@ -935,6 +972,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let mut out = String::new();
             let mut ok = 0usize;
             let mut timeouts = 0usize;
+            let mut expired = 0usize;
             let mut failed = 0usize;
             let mut degraded = 0usize;
             for r in &responses {
@@ -944,6 +982,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 match r.status {
                     sia_serve::Status::Ok => ok += 1,
                     sia_serve::Status::Timeout => timeouts += 1,
+                    // Deadline expiry in the server queue is a deadline
+                    // outcome, not a hard failure: exit code 2.
+                    sia_serve::Status::Expired => expired += 1,
                     _ => failed += 1,
                 }
             }
@@ -951,18 +992,19 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 "batch: {ok} ok / {timeouts} timeout / {failed} failed of {} requests",
                 responses.len()
             ));
-            if degraded + retried + shed > 0 {
+            if degraded + retried + shed + expired > 0 {
                 out.push_str(&format!(
-                    " ({degraded} degraded, {retried} retried, {shed} shed)"
+                    " ({degraded} degraded, {retried} retried, {shed} shed, {expired} expired)"
                 ));
             }
-            if timeouts + failed > 0 {
+            if timeouts + expired + failed > 0 {
                 // Responses still belong on stdout; only the verdict goes to
                 // stderr via the error path.
                 println!("{out}");
                 return Err(CliError {
                     message: format!(
-                        "batch: {timeouts} timed out, {failed} failed of {} requests",
+                        "batch: {timeouts} timed out, {expired} expired, {failed} failed of {} \
+                         requests",
                         responses.len()
                     ),
                     code: if failed == 0 {
@@ -1004,6 +1046,17 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             silence_injected_panics();
             sia_obs::reset();
             sia_obs::enable();
+            // --duration-s wins; otherwise SIA_SOAK_SECS (the CI soak
+            // knob) switches the run to a wall-clock budget.
+            let duration_s = if duration_s > 0.0 {
+                duration_s
+            } else {
+                std::env::var("SIA_SOAK_SECS")
+                    .ok()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .unwrap_or(0.0)
+            };
             let cfg = SoakConfig {
                 requests,
                 duration: (duration_s > 0.0).then(|| Duration::from_secs_f64(duration_s)),
@@ -1106,6 +1159,11 @@ fn render_top(addr: &str, resp: &sia_serve::Response) -> String {
         "requests {} accepted / {} completed / {} rejected\n\
          outcomes {} timeout / {} error / {} degraded / {} slow",
         s.requests, s.completed, s.rejected, s.timeouts, s.errors, s.degraded, s.slow
+    );
+    let _ = writeln!(
+        out,
+        "control  limit {}  brownout L{}  expired {}  shed {}",
+        s.admission_limit, s.brownout, s.expired, s.shed
     );
     let _ = writeln!(
         out,
@@ -1518,6 +1576,7 @@ mod tests {
             concurrency: 2,
             timeout_ms: Some(30_000),
             retries: 0,
+            retry_budget: 10,
             workload: true,
         })
         .unwrap();
@@ -1541,6 +1600,7 @@ mod tests {
             concurrency: 1,
             timeout_ms: None,
             retries: 0,
+            retry_budget: 10,
             workload: true,
         })
         .unwrap_err();

@@ -358,6 +358,21 @@ pub fn tables() -> Vec<TableSpec> {
             ],
         },
         TableSpec {
+            name: "nation",
+            cols: vec![
+                ColumnSpec::new("n_nationkey", Integer, Dist::IntUniform { lo: 0, hi: 24 }),
+                ColumnSpec::new("n_regionkey", Integer, Dist::IntDict { cardinality: 5 }),
+                ColumnSpec::new("n_name", Integer, Dist::IntDict { cardinality: 25 }),
+            ],
+        },
+        TableSpec {
+            name: "region",
+            cols: vec![
+                ColumnSpec::new("r_regionkey", Integer, Dist::IntUniform { lo: 0, hi: 4 }),
+                ColumnSpec::new("r_name", Integer, Dist::IntDict { cardinality: 5 }),
+            ],
+        },
+        TableSpec {
             name: "wide",
             cols: vec![
                 ColumnSpec::new(
@@ -429,7 +444,8 @@ mod tests {
     fn registry_has_tpch_and_wide() {
         let names: Vec<&str> = tables().iter().map(|t| t.name).collect();
         for want in [
-            "orders", "lineitem", "part", "customer", "supplier", "partsupp", "wide",
+            "orders", "lineitem", "part", "customer", "supplier", "partsupp", "nation", "region",
+            "wide",
         ] {
             assert!(names.contains(&want), "missing table {want}");
         }

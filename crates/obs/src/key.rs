@@ -181,11 +181,47 @@ pub enum Counter {
     /// Requests the soak driver gave up on after client-side retries —
     /// must stay zero (`soak.lost`).
     SoakLost,
+    /// Requests whose deadline expired while queued, rejected at dequeue
+    /// without running synthesis (`serve.expired`).
+    ServeExpired,
+    /// Requests the reader classified into the cheap lane — cache hit or
+    /// statically derivable (`serve.admission.cheap`).
+    ServeAdmitCheap,
+    /// Requests the reader classified into the expensive lane — full
+    /// CEGIS expected (`serve.admission.expensive`).
+    ServeAdmitExpensive,
+    /// AIMD additive raises of the admission limit
+    /// (`serve.admission.increase`).
+    ServeAdmissionIncrease,
+    /// AIMD multiplicative cuts of the admission limit — queue delay over
+    /// budget (`serve.admission.decrease`).
+    ServeAdmissionDecrease,
+    /// Expensive-lane requests shed under pressure while cheap requests
+    /// kept flowing (`serve.admission.shed_expensive`).
+    ServeAdmissionShedExpensive,
+    /// Brownout ladder escalations — sustained pressure raised the level
+    /// (`serve.brownout.enter`).
+    ServeBrownoutEnter,
+    /// Brownout ladder de-escalations after hysteresis calm
+    /// (`serve.brownout.exit`).
+    ServeBrownoutExit,
+    /// Requests answered with static `Derivation::Bounds` under brownout
+    /// instead of running synthesis (`serve.brownout.served`).
+    ServeBrownoutServed,
+    /// Total µs spent classifying requests at admission
+    /// (`serve.phase.admit_us`).
+    ServePhaseAdmitUs,
+    /// Retry tokens spent by the client's retry budget
+    /// (`client.retry_budget.spent`).
+    ClientRetryBudgetSpent,
+    /// Retries suppressed because the client's retry budget was empty
+    /// (`client.retry_budget.exhausted`).
+    ClientRetryBudgetExhausted,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 66] = [
+    pub const ALL: [Counter; 78] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -252,6 +288,18 @@ impl Counter {
         Counter::SoakOracleChecks,
         Counter::SoakViolations,
         Counter::SoakLost,
+        Counter::ServeExpired,
+        Counter::ServeAdmitCheap,
+        Counter::ServeAdmitExpensive,
+        Counter::ServeAdmissionIncrease,
+        Counter::ServeAdmissionDecrease,
+        Counter::ServeAdmissionShedExpensive,
+        Counter::ServeBrownoutEnter,
+        Counter::ServeBrownoutExit,
+        Counter::ServeBrownoutServed,
+        Counter::ServePhaseAdmitUs,
+        Counter::ClientRetryBudgetSpent,
+        Counter::ClientRetryBudgetExhausted,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -323,6 +371,18 @@ impl Counter {
             Counter::SoakOracleChecks => "soak.oracle_checks",
             Counter::SoakViolations => "soak.violations",
             Counter::SoakLost => "soak.lost",
+            Counter::ServeExpired => "serve.expired",
+            Counter::ServeAdmitCheap => "serve.admission.cheap",
+            Counter::ServeAdmitExpensive => "serve.admission.expensive",
+            Counter::ServeAdmissionIncrease => "serve.admission.increase",
+            Counter::ServeAdmissionDecrease => "serve.admission.decrease",
+            Counter::ServeAdmissionShedExpensive => "serve.admission.shed_expensive",
+            Counter::ServeBrownoutEnter => "serve.brownout.enter",
+            Counter::ServeBrownoutExit => "serve.brownout.exit",
+            Counter::ServeBrownoutServed => "serve.brownout.served",
+            Counter::ServePhaseAdmitUs => "serve.phase.admit_us",
+            Counter::ClientRetryBudgetSpent => "client.retry_budget.spent",
+            Counter::ClientRetryBudgetExhausted => "client.retry_budget.exhausted",
         }
     }
 
@@ -360,11 +420,14 @@ pub enum Hist {
     /// Per-request queue wait in microseconds, measured at dequeue
     /// (`serve.latency.queue_us`).
     ServeQueueWaitUs,
+    /// Adaptive admission limit sampled at each AIMD control tick
+    /// (`serve.admission.limit`).
+    ServeAdmissionLimit,
 }
 
 impl Hist {
     /// Every histogram, in display order.
-    pub const ALL: [Hist; 9] = [
+    pub const ALL: [Hist; 10] = [
         Hist::SatLearnedLen,
         Hist::QeBlowup,
         Hist::SvmIterations,
@@ -374,6 +437,7 @@ impl Hist {
         Hist::ServeQueueDepth,
         Hist::ServeLatencyUs,
         Hist::ServeQueueWaitUs,
+        Hist::ServeAdmissionLimit,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -388,6 +452,7 @@ impl Hist {
             Hist::ServeQueueDepth => "serve.queue_depth",
             Hist::ServeLatencyUs => "serve.latency_us",
             Hist::ServeQueueWaitUs => "serve.latency.queue_us",
+            Hist::ServeAdmissionLimit => "serve.admission.limit",
         }
     }
 

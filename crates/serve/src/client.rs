@@ -15,6 +15,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use sia_obs::Counter;
+
 use crate::protocol::{
     fresh_trace_id, render_health, render_request, render_shutdown, render_stats, Request,
     Response, Status,
@@ -74,6 +76,13 @@ pub struct RetryPolicy {
     pub max_delay: Duration,
     /// Seed for the deterministic jitter.
     pub seed: u64,
+    /// Retry-budget earn rate: tokens earned per fresh request sent.
+    /// The default 0.1 caps sustained retry volume at 10% of fresh
+    /// traffic, so a retrying client cannot amplify an overload.
+    pub budget_ratio: f64,
+    /// Initial retry-budget allowance, letting small batches retry a
+    /// few times before the earn rate dominates.
+    pub budget_burst: f64,
 }
 
 impl Default for RetryPolicy {
@@ -83,6 +92,8 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(500),
             seed: 0x51A_C11E47,
+            budget_ratio: 0.1,
+            budget_burst: 3.0,
         }
     }
 }
@@ -101,6 +112,54 @@ impl RetryPolicy {
         #[allow(clippy::cast_precision_loss)]
         let scale = 0.5 + (jitter >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
         exp.mul_f64(scale)
+    }
+}
+
+/// A token-bucket retry budget: each fresh request earns `ratio`
+/// tokens, each retry spends one, and the bucket starts with a small
+/// `burst` allowance. With the default ratio of 0.1 a client's retry
+/// volume stays within ~10% of its fresh traffic (plus the burst), so
+/// retries against an overloaded server cannot amplify the overload —
+/// budget-starved requests are shed client-side instead of re-sent.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    tokens: f64,
+    ratio: f64,
+}
+
+impl RetryBudget {
+    /// A budget earning `ratio` tokens per fresh request, starting with
+    /// `burst` tokens in hand.
+    pub fn new(ratio: f64, burst: f64) -> RetryBudget {
+        RetryBudget {
+            tokens: burst.max(0.0),
+            ratio: ratio.max(0.0),
+        }
+    }
+
+    /// Credit the budget for `fresh` first-attempt requests.
+    pub fn earn(&mut self, fresh: usize) {
+        #[allow(clippy::cast_precision_loss)]
+        let fresh = fresh as f64;
+        self.tokens += self.ratio * fresh;
+    }
+
+    /// Try to pay for one retry. Returns false (and leaves the bucket
+    /// untouched) when the budget is exhausted.
+    pub fn spend(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            sia_obs::add(Counter::ClientRetryBudgetSpent, 1);
+            true
+        } else {
+            sia_obs::add(Counter::ClientRetryBudgetExhausted, 1);
+            false
+        }
+    }
+
+    /// Tokens currently in hand (for tests and telemetry).
+    pub fn balance(&self) -> f64 {
+        self.tokens
     }
 }
 
@@ -124,10 +183,14 @@ pub struct BatchOutcome {
 }
 
 /// Send `requests`, retrying `overloaded` rejections and failed lanes
-/// with jittered exponential backoff. Requests still unanswered after
-/// the last attempt are shed client-side: they get a degraded fallback
-/// response (the original predicate, reason `shed`), so every request
-/// has exactly one response and nothing is silently dropped.
+/// with jittered exponential backoff. Retries draw on a token-bucket
+/// [`RetryBudget`] (earned by fresh sends at `policy.budget_ratio`),
+/// and the backoff honors the server's `retry_after_ms` hint when an
+/// `overloaded` rejection carries one. Requests still unanswered after
+/// the last attempt — or whose retries the budget refused to pay for —
+/// are shed client-side: they get a degraded fallback response (the
+/// original predicate, reason `shed`), so every request has exactly one
+/// response and nothing is silently dropped.
 ///
 /// Request ids should be unique within the batch; responses are matched
 /// back to requests by id.
@@ -140,17 +203,28 @@ pub fn run_batch_retry(
     let mut out: Vec<Option<Response>> = vec![None; requests.len()];
     let mut pending: Vec<usize> = (0..requests.len()).collect();
     let mut ever_retried: Vec<bool> = vec![false; requests.len()];
+    let mut budget = RetryBudget::new(policy.budget_ratio, policy.budget_burst);
+    budget.earn(requests.len());
+    let mut hint = Duration::ZERO;
     for attempt in 0..policy.attempts.max(1) {
         if pending.is_empty() {
             break;
         }
         if attempt > 0 {
+            // The budget pays per re-sent request; starved requests
+            // drop out of the pending pool and are shed below.
+            pending.retain(|_| budget.spend());
+            if pending.is_empty() {
+                break;
+            }
             for &i in &pending {
                 ever_retried[i] = true;
             }
-            std::thread::sleep(policy.delay(attempt));
+            std::thread::sleep(policy.delay(attempt).max(hint));
         }
-        pending = send_pending(addr, requests, &pending, concurrency, &mut out);
+        let (still, retry_after) = send_pending(addr, requests, &pending, concurrency, &mut out);
+        pending = still;
+        hint = retry_after;
     }
 
     let mut shed = 0;
@@ -177,15 +251,17 @@ pub fn run_batch_retry(
 }
 
 /// One attempt over the pending subset. Fills `out` for answered
-/// requests and returns the indices that still need another attempt:
-/// lane failures (no response at all) and `overloaded` rejections.
+/// requests and returns the indices that still need another attempt —
+/// lane failures (no response at all) and `overloaded` rejections —
+/// plus the largest `retry_after_ms` hint seen on a rejection (zero
+/// when none carried one).
 fn send_pending(
     addr: &str,
     requests: &[Request],
     pending: &[usize],
     concurrency: usize,
     out: &mut [Option<Response>],
-) -> Vec<usize> {
+) -> (Vec<usize>, Duration) {
     let lanes = concurrency.clamp(1, pending.len());
     let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); lanes];
     for (k, &i) in pending.iter().enumerate() {
@@ -212,6 +288,7 @@ fn send_pending(
     });
 
     let mut still_pending = Vec::new();
+    let mut retry_after = Duration::ZERO;
     for (chunk, result) in lane_results {
         match result {
             Ok(responses) => {
@@ -225,6 +302,9 @@ fn send_pending(
                         continue; // response to nothing we sent; drop it
                     };
                     if resp.status == Status::Overloaded {
+                        if let Some(ms) = resp.retry_after_ms {
+                            retry_after = retry_after.max(Duration::from_millis(ms));
+                        }
                         still_pending.push(i);
                     } else {
                         out[i] = Some(resp);
@@ -238,7 +318,7 @@ fn send_pending(
         }
     }
     still_pending.sort_unstable();
-    still_pending
+    (still_pending, retry_after)
 }
 
 /// Send one request and wait for its response. The round trip runs

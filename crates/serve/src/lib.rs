@@ -41,6 +41,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{BatchOutcome, RetryPolicy};
+pub use client::{BatchOutcome, RetryBudget, RetryPolicy};
 pub use protocol::{fresh_trace_id, HealthInfo, Request, Response, StatsInfo, Status};
 pub use server::{start, ServeConfig, ServerHandle};

@@ -90,8 +90,13 @@ pub enum Status {
     Timeout,
     /// The request was malformed or synthesis failed outright.
     Error,
-    /// The request queue was full; retry later.
+    /// The request queue was full; retry later (the response may carry a
+    /// `retry_after_ms` hint).
     Overloaded,
+    /// The request's deadline expired while it waited in the queue; no
+    /// worker ran it. Counted separately from `timeout`, which means
+    /// synthesis started but ran out of budget.
+    Expired,
     /// Acknowledgement of a shutdown request.
     Bye,
 }
@@ -104,6 +109,7 @@ impl Status {
             Status::Timeout => "timeout",
             Status::Error => "error",
             Status::Overloaded => "overloaded",
+            Status::Expired => "expired",
             Status::Bye => "bye",
         }
     }
@@ -115,6 +121,7 @@ impl Status {
             "timeout" => Some(Status::Timeout),
             "error" => Some(Status::Error),
             "overloaded" => Some(Status::Overloaded),
+            "expired" => Some(Status::Expired),
             "bye" => Some(Status::Bye),
             _ => None,
         }
@@ -175,6 +182,16 @@ pub struct StatsInfo {
     pub p99_us: u64,
     /// 99.9th-percentile request latency, µs.
     pub p999_us: u64,
+    /// Requests whose deadline expired while queued (no worker ran them).
+    pub expired: u64,
+    /// Expensive-lane requests shed under pressure.
+    pub shed: u64,
+    /// Current adaptive admission limit (the fixed queue cap when the
+    /// AIMD controller is disabled).
+    pub admission_limit: u64,
+    /// Current brownout ladder level (0 = normal, 1 = no CEGIS
+    /// refinement, 2 = static bounds only, 3 = shed expensive lane).
+    pub brownout: u64,
 }
 
 impl StatsInfo {
@@ -234,6 +251,10 @@ pub struct Response {
     pub phases: Vec<(String, u64)>,
     /// Live telemetry, present on answers to the `stats` op.
     pub stats: Option<StatsInfo>,
+    /// Back-off hint attached to `overloaded` responses: how long the
+    /// client should wait before retrying. Budgeted retry clients honor
+    /// it; omitted on every other status.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Response {
@@ -259,6 +280,7 @@ impl Response {
             trace: None,
             phases: Vec::new(),
             stats: None,
+            retry_after_ms: None,
         }
     }
 
@@ -296,6 +318,9 @@ impl Response {
         if let Some(r) = &self.reason {
             out.push_str(&format!(",\"reason\":{}", json_string(r)));
         }
+        if let Some(ms) = self.retry_after_ms {
+            out.push_str(&format!(",\"retry_after_ms\":{ms}"));
+        }
         if !self.warnings.is_empty() {
             out.push_str(&format!(
                 ",\"warnings\":{}",
@@ -319,7 +344,8 @@ impl Response {
                  \"stats_degraded\":{},\"stats_cache_hits\":{},\"stats_cache_misses\":{},\
                  \"stats_slow\":{},\"stats_total_us\":{},\"stats_mean_us\":{},\
                  \"stats_p50_us\":{},\"stats_p90_us\":{},\"stats_p99_us\":{},\
-                 \"stats_p999_us\":{}",
+                 \"stats_p999_us\":{},\"stats_expired\":{},\"stats_shed\":{},\
+                 \"stats_admission_limit\":{},\"stats_brownout\":{}",
                 s.uptime_ms,
                 s.requests,
                 s.completed,
@@ -335,7 +361,11 @@ impl Response {
                 s.p50_us,
                 s.p90_us,
                 s.p99_us,
-                s.p999_us
+                s.p999_us,
+                s.expired,
+                s.shed,
+                s.admission_limit,
+                s.brownout
             ));
         }
         if let Some(e) = &self.error {
@@ -376,6 +406,10 @@ impl Response {
                         "p90_us" => &mut stats.p90_us,
                         "p99_us" => &mut stats.p99_us,
                         "p999_us" => &mut stats.p999_us,
+                        "expired" => &mut stats.expired,
+                        "shed" => &mut stats.shed,
+                        "admission_limit" => &mut stats.admission_limit,
+                        "brownout" => &mut stats.brownout,
                         _ => continue,
                     };
                     *slot = as_u64(n);
@@ -400,6 +434,7 @@ impl Response {
                 ("cached", JsonValue::Num(n)) => resp.cached = n != 0.0,
                 ("degraded", JsonValue::Num(n)) => resp.degraded = n != 0.0,
                 ("micros", JsonValue::Num(n)) => resp.micros = as_u64(n),
+                ("retry_after_ms", JsonValue::Num(n)) => resp.retry_after_ms = Some(as_u64(n)),
                 ("trace", JsonValue::Num(n)) => resp.trace = Some(as_u64(n)),
                 ("phases", JsonValue::Str(s)) => {
                     resp.phases = s
@@ -638,6 +673,10 @@ mod tests {
                 p90_us: 150_000,
                 p99_us: 480_000,
                 p999_us: 900_000,
+                expired: 5,
+                shed: 6,
+                admission_limit: 48,
+                brownout: 1,
             }),
             phases: vec![("queue".into(), 500_000), ("synth".into(), 8_000_000)],
             ..Response::plain("", Status::Ok)
@@ -646,6 +685,10 @@ mod tests {
         assert_eq!(back, r);
         let s = back.stats.unwrap();
         assert_eq!(s.p999_us, 900_000);
+        assert_eq!(s.expired, 5);
+        assert_eq!(s.shed, 6);
+        assert_eq!(s.admission_limit, 48);
+        assert_eq!(s.brownout, 1);
         assert!((s.hit_rate() - 60.0 / 97.0).abs() < 1e-9);
         // The stats payload does not clobber the response-level flags.
         assert!(!back.degraded);
@@ -702,6 +745,30 @@ mod tests {
         assert!(!Response::plain("q", Status::Ok)
             .to_line()
             .contains("degraded"));
+    }
+
+    #[test]
+    fn expired_and_retry_hint_round_trip() {
+        let r = Response {
+            predicate: Some("x < 10".into()),
+            degraded: true,
+            reason: Some("expired".into()),
+            ..Response::plain("q6", Status::Expired)
+        };
+        let line = r.to_line();
+        assert!(line.contains("\"status\":\"expired\""), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), r);
+        let o = Response {
+            retry_after_ms: Some(120),
+            ..Response::plain("q7", Status::Overloaded)
+        };
+        let line = o.to_line();
+        assert!(line.contains("\"retry_after_ms\":120"), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), o);
+        // The hint is opt-in on the wire.
+        assert!(!Response::plain("q", Status::Ok)
+            .to_line()
+            .contains("retry_after_ms"));
     }
 
     #[test]

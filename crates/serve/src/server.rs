@@ -5,24 +5,38 @@
 //!
 //! - An **accept thread** takes connections and spawns one reader thread
 //!   per connection.
-//! - **Reader threads** parse request lines and `try_send` jobs into a
-//!   bounded [`mpsc::sync_channel`]. A full queue is the admission
-//!   control: the reader answers `overloaded` immediately instead of
-//!   letting latency grow without bound. `health` and `stats` requests
-//!   are answered inline by the reader, bypassing the queue, so health
-//!   and live telemetry stay observable even when the pool is saturated.
-//!   Each synthesis request gets a trace ID (the client's if it sent
-//!   one, a fresh one otherwise) and an open `serve.request` root span
-//!   ([`sia_obs::SpanContext`]) that travels with the job through the
-//!   queue.
-//! - **Worker threads** share the receiver behind a mutex, drain the
-//!   queue, adopt the job's span context (so every span they record —
-//!   parse, lint, cache probe, the synthesizer's own `synth/...` tree —
-//!   nests under `serve.request` and carries the request's trace ID),
-//!   and run synthesis with a per-request [`Budget`] deadline.
-//!   The budget is polled inside the SMT solver's CDCL and simplex
-//!   loops, so a 10 ms deadline on a hard instance returns `timeout`
-//!   without wedging the worker. Each request runs under
+//! - **Reader threads** parse request lines, classify each request into
+//!   a **cheap or expensive lane** (cache-template probe + static
+//!   derivability — see [`sia_analyze::Analyzer::derive`]), anchor the
+//!   request's deadline and [`Budget`] *at admission*, and push jobs
+//!   into the bounded two-lane [`JobQueue`]. A queue at its admission
+//!   limit is the admission control: the reader answers `overloaded`
+//!   (with a `retry_after_ms` back-off hint) immediately instead of
+//!   letting latency grow without bound, and under pressure the
+//!   expensive lane is shed first while cheap requests keep flowing.
+//!   The limit itself is either the fixed `queue_depth` or, when
+//!   [`ServeConfig::admission_delay_budget`] is set, moved by an AIMD
+//!   controller targeting that queue-delay budget. `health` and `stats`
+//!   requests are answered inline by the reader, bypassing the queue, so
+//!   health and live telemetry stay observable even when the pool is
+//!   saturated. Each synthesis request gets a trace ID (the client's if
+//!   it sent one, a fresh one otherwise) and an open `serve.request`
+//!   root span ([`sia_obs::SpanContext`]) that travels with the job
+//!   through the queue.
+//! - **Worker threads** drain the queue (cheap lane first), adopt the
+//!   job's span context (so every span they record — lint, cache probe,
+//!   the synthesizer's own `synth/...` tree — nests under
+//!   `serve.request` and carries the request's trace ID), and run
+//!   synthesis with the admission-anchored [`Budget`]: queue wait is
+//!   charged against the deadline, and a job whose deadline already
+//!   passed while queued is answered `expired` without running
+//!   synthesis at all. The budget is polled inside the SMT solver's
+//!   CDCL and simplex loops, so a 10 ms deadline on a hard instance
+//!   returns `timeout` without wedging the worker. Under sustained
+//!   pressure a **brownout ladder** (driven by the AIMD controller's
+//!   hysteresis) first disables CEGIS refinement rounds, then serves
+//!   static `Derivation::Bounds` results flagged `degraded:"brownout"`,
+//!   then sheds the expensive lane outright. Each request runs under
 //!   [`std::panic::catch_unwind`]: a panic answers the request with a
 //!   degraded fallback (the original predicate) instead of killing the
 //!   connection.
@@ -57,13 +71,12 @@ use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sia_analyze::Analyzer;
-use sia_cache::{canonicalize, PredicateCache};
+use sia_analyze::{Analyzer, Derivation};
+use sia_cache::{canonicalize, Canonical, PredicateCache};
 use sia_core::{SiaConfig, SynthesisError, Synthesizer};
 use sia_expr::{Pred, Schema};
 use sia_obs::{Counter, Hist, HistData, SpanContext};
@@ -96,6 +109,23 @@ const STORM_LIMIT: usize = 16;
 
 /// Sliding window for restart-storm detection.
 const STORM_WINDOW: Duration = Duration::from_secs(2);
+
+/// AIMD control-tick interval: how often the supervisor re-evaluates the
+/// admission limit and brownout level from the queue waits observed
+/// since the last tick.
+const CONTROL_TICK: Duration = Duration::from_millis(100);
+
+/// Consecutive over-budget control ticks before the brownout ladder
+/// escalates one level.
+const BROWNOUT_ENTER_STREAK: u32 = 3;
+
+/// Consecutive calm control ticks before the brownout ladder steps back
+/// down one level — the exit hysteresis.
+const BROWNOUT_EXIT_STREAK: u32 = 5;
+
+/// Top of the brownout ladder: 0 = normal, 1 = no CEGIS refinement,
+/// 2 = serve static bounds, 3 = shed the whole expensive lane.
+const BROWNOUT_MAX_LEVEL: usize = 3;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -132,6 +162,14 @@ pub struct ServeConfig {
     /// cannot tell date columns from integer ones and so stays silent on
     /// date/integer confusions.
     pub lint_schemas: Vec<Schema>,
+    /// Queue-delay budget for the adaptive (AIMD) admission controller.
+    /// `None` keeps the legacy fixed cap at [`ServeConfig::queue_depth`].
+    /// When set, the admission limit is cut multiplicatively whenever the
+    /// p99 queue wait of a control window exceeds this budget and raised
+    /// additively otherwise, and sustained pressure walks the brownout
+    /// ladder (see [`StatsInfo::brownout`]). A reasonable value is ¼ of
+    /// the default request deadline.
+    pub admission_delay_budget: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -147,8 +185,157 @@ impl Default for ServeConfig {
             slow_log_file: None,
             slow_threshold: Duration::from_secs(1),
             lint_schemas: Vec::new(),
+            admission_delay_budget: None,
         }
     }
+}
+
+/// Shared overload-control state: the live admission limit, the brownout
+/// level, and the queue-wait window feeding the AIMD controller. Readers
+/// consult it at admission, workers feed it at dequeue, and the
+/// supervisor runs the control ticks.
+#[derive(Debug)]
+struct Overload {
+    /// False = legacy fixed queue cap; the atomics below never move.
+    enabled: bool,
+    delay_budget_us: u64,
+    max_limit: usize,
+    /// Current admission limit (jobs in queue beyond it are rejected).
+    limit: AtomicUsize,
+    /// Current brownout ladder level.
+    level: AtomicUsize,
+    /// Queue waits (µs) observed since the last control tick.
+    waits: Mutex<Vec<u64>>,
+    /// p99 queue wait of the last control window — the basis of the
+    /// `retry_after_ms` hint on `overloaded` responses.
+    last_p99_us: AtomicU64,
+}
+
+impl Overload {
+    fn new(queue_depth: usize, delay_budget: Option<Duration>) -> Overload {
+        let max_limit = queue_depth.max(1);
+        Overload {
+            enabled: delay_budget.is_some(),
+            delay_budget_us: delay_budget
+                .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
+            max_limit,
+            limit: AtomicUsize::new(max_limit),
+            level: AtomicUsize::new(0),
+            waits: Mutex::new(Vec::new()),
+            last_p99_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Cap on the expensive lane at the current admission `limit`:
+    /// `None` = never shed (controller disabled), `Some(0)` = shed every
+    /// expensive request (brownout level 3), otherwise half the limit so
+    /// cheap requests always have room to flow.
+    fn expensive_cap(&self, limit: usize) -> Option<usize> {
+        if !self.enabled {
+            return None;
+        }
+        if self.level.load(Ordering::Relaxed) >= BROWNOUT_MAX_LEVEL {
+            return Some(0);
+        }
+        Some(limit.div_ceil(2))
+    }
+
+    /// Back-off hint for `overloaded` responses: roughly two control
+    /// windows of observed queue delay, clamped to a sane range.
+    fn retry_after_ms(&self) -> u64 {
+        if self.enabled {
+            (2 * self.last_p99_us.load(Ordering::Relaxed) / 1000).clamp(10, 2000)
+        } else {
+            50
+        }
+    }
+
+    /// Record one dequeue's queue wait into the current control window.
+    fn observe_wait(&self, wait_us: u64) {
+        if self.enabled {
+            lock(&self.waits).push(wait_us);
+        }
+    }
+}
+
+/// The AIMD + brownout control law, kept pure (fed by the supervisor,
+/// no clocks of its own) so the hysteresis is unit-testable.
+#[derive(Debug)]
+struct Governor {
+    delay_budget_us: u64,
+    min_limit: usize,
+    max_limit: usize,
+    limit: usize,
+    level: usize,
+    over_streak: u32,
+    calm_streak: u32,
+}
+
+impl Governor {
+    fn new(delay_budget_us: u64, max_limit: usize) -> Governor {
+        let max_limit = max_limit.max(1);
+        Governor {
+            delay_budget_us,
+            min_limit: 1,
+            max_limit,
+            limit: max_limit,
+            level: 0,
+            over_streak: 0,
+            calm_streak: 0,
+        }
+    }
+
+    /// One control tick over the queue waits observed since the last
+    /// tick. Over budget: cut the limit in half (multiplicative
+    /// decrease). Otherwise: raise it by one (additive increase). Three
+    /// consecutive over-budget ticks climb the brownout ladder; five
+    /// consecutive calm ticks (p99 under half the budget, or an idle
+    /// window) step back down. Returns the window's p99 (0 when empty).
+    fn tick(&mut self, waits_us: &[u64]) -> u64 {
+        let p99 = percentile_99(waits_us);
+        let over = !waits_us.is_empty() && p99 > self.delay_budget_us;
+        let calm = waits_us.is_empty() || p99 <= self.delay_budget_us / 2;
+        if over {
+            let cut = (self.limit / 2).max(self.min_limit);
+            if cut < self.limit {
+                sia_obs::add(Counter::ServeAdmissionDecrease, 1);
+            }
+            self.limit = cut;
+            self.over_streak += 1;
+            self.calm_streak = 0;
+        } else {
+            if self.limit < self.max_limit {
+                self.limit += 1;
+                sia_obs::add(Counter::ServeAdmissionIncrease, 1);
+            }
+            self.over_streak = 0;
+            self.calm_streak = if calm { self.calm_streak + 1 } else { 0 };
+        }
+        if self.over_streak >= BROWNOUT_ENTER_STREAK {
+            if self.level < BROWNOUT_MAX_LEVEL {
+                self.level += 1;
+                sia_obs::add(Counter::ServeBrownoutEnter, 1);
+            }
+            self.over_streak = 0;
+        }
+        if self.calm_streak >= BROWNOUT_EXIT_STREAK && self.level > 0 {
+            self.level -= 1;
+            sia_obs::add(Counter::ServeBrownoutExit, 1);
+            self.calm_streak = 0;
+        }
+        p99
+    }
+}
+
+/// p99 of a control window (0 for an empty window). Windows are small
+/// (one tick's dequeues), so a sort is fine.
+fn percentile_99(waits_us: &[u64]) -> u64 {
+    if waits_us.is_empty() {
+        return 0;
+    }
+    let mut sorted = waits_us.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)]
 }
 
 /// Shared worker-pool bookkeeping, read by health requests.
@@ -174,6 +361,8 @@ struct Telemetry {
     errors: AtomicU64,
     rejected: AtomicU64,
     degraded: AtomicU64,
+    expired: AtomicU64,
+    shed: AtomicU64,
     slow: AtomicU64,
     total_us: AtomicU64,
     latency: Mutex<HistData>,
@@ -190,6 +379,8 @@ impl Telemetry {
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             slow: AtomicU64::new(0),
             total_us: AtomicU64::new(0),
             latency: Mutex::new(HistData::EMPTY),
@@ -199,7 +390,7 @@ impl Telemetry {
 
     /// A point-in-time [`StatsInfo`] for the `stats` op. Cache hit/miss
     /// counts come from the shared predicate cache itself.
-    fn stats(&self, cache: &PredicateCache) -> StatsInfo {
+    fn stats(&self, cache: &PredicateCache, overload: &Overload) -> StatsInfo {
         let lat = *lock(&self.latency);
         let cache_stats = cache.stats();
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -221,6 +412,10 @@ impl Telemetry {
             p90_us: us(lat.p90()),
             p99_us: us(lat.p99()),
             p999_us: us(lat.p999()),
+            expired: self.expired.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            admission_limit: overload.limit.load(Ordering::Relaxed) as u64,
+            brownout: overload.level.load(Ordering::Relaxed) as u64,
         }
     }
 
@@ -256,26 +451,196 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Everything a worker thread needs; cloned per (re)spawn.
+/// Everything a worker thread needs; cloned per (re)spawn. Workers hold
+/// the queue directly (not a [`QueueSender`] lease) so the queue closes
+/// once the accept thread and every reader have dropped their senders.
 #[derive(Clone)]
 struct WorkerCtx {
-    rx: Arc<Mutex<Receiver<Job>>>,
+    queue: Arc<JobQueue>,
     cache: Arc<PredicateCache>,
     queue_len: Arc<AtomicI64>,
     pool: Arc<PoolState>,
-    default_timeout_ms: Option<u64>,
     telemetry: Arc<Telemetry>,
     slow_log: Option<Arc<SlowLog>>,
     linter: Arc<Analyzer>,
+    overload: Arc<Overload>,
+}
+
+/// Scheduling lane, decided by the reader at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    /// Likely fast: cached template or statically derivable — kept
+    /// flowing even under pressure.
+    Cheap,
+    /// Likely a full CEGIS run — shed first under pressure.
+    Expensive,
 }
 
 /// One unit of work: a parsed request, its open root span (carrying the
-/// trace ID across the thread handoff), and where to write the answer.
+/// trace ID across the thread handoff), its admission-time deadline and
+/// budget, and where to write the answer.
 struct Job {
     request: Request,
+    /// Parse + canonicalization result, computed once by the reader and
+    /// reused by the worker (classification needs it anyway).
+    parsed: Result<(Pred, Canonical), String>,
+    lane: Lane,
+    /// Solver budget anchored at *admission*: queue wait is charged
+    /// against the request's deadline.
+    budget: Budget,
+    /// Absolute deadline; a job still queued past it is answered
+    /// `expired` at dequeue without running synthesis.
+    deadline: Option<Instant>,
+    /// Reader-side phase timings (parse, admit), replayed by the worker
+    /// under the adopted span so the response's phase breakdown still
+    /// covers them.
+    pre_phases: Vec<(&'static str, Duration)>,
     span: SpanContext,
     enqueued: Instant,
     out: Arc<Mutex<TcpStream>>,
+}
+
+/// The bounded two-lane work queue. Cheap jobs are always popped before
+/// expensive ones, the admission limit is dynamic (the AIMD controller
+/// moves it), and the expensive lane has its own cap so a burst of slow
+/// requests cannot crowd out cheap ones.
+#[derive(Debug)]
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    /// Live [`QueueSender`] leases; the last drop closes the queue,
+    /// mirroring `sync_channel`'s sender-drop drain semantics.
+    senders: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    cheap: VecDeque<Job>,
+    expensive: VecDeque<Job>,
+    closed: bool,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.request.id)
+            .field("lane", &self.lane)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a job was not admitted; the job is handed back (boxed — it is a
+/// large struct and the error path should stay thin) so the reader can
+/// answer it.
+enum AdmitError {
+    /// Queue at the admission limit.
+    Full(Box<Job>),
+    /// Expensive lane at its cap (or brownout level 3): shed.
+    Shed(Box<Job>),
+    /// Server shutting down.
+    Closed(Box<Job>),
+}
+
+impl JobQueue {
+    fn new() -> (Arc<JobQueue>, QueueSender) {
+        let queue = Arc::new(JobQueue {
+            state: Mutex::new(QueueState {
+                cheap: VecDeque::new(),
+                expensive: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        let sender = QueueSender(Arc::clone(&queue));
+        (queue, sender)
+    }
+
+    /// Admit a job under the current limit, or hand it back. Returns the
+    /// queue depth after the push.
+    fn admit(
+        &self,
+        job: Job,
+        limit: usize,
+        expensive_cap: Option<usize>,
+    ) -> Result<usize, AdmitError> {
+        let mut st = lock(&self.state);
+        if st.closed {
+            return Err(AdmitError::Closed(Box::new(job)));
+        }
+        let depth = st.cheap.len() + st.expensive.len();
+        if depth >= limit {
+            return Err(AdmitError::Full(Box::new(job)));
+        }
+        match job.lane {
+            Lane::Cheap => st.cheap.push_back(job),
+            Lane::Expensive => {
+                if expensive_cap.is_some_and(|cap| st.expensive.len() >= cap) {
+                    return Err(AdmitError::Shed(Box::new(job)));
+                }
+                st.expensive.push_back(job);
+            }
+        }
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth + 1)
+    }
+
+    /// Block until a job is available (cheap lane first) or the queue is
+    /// closed *and* drained.
+    fn pop(&self) -> Option<Job> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(job) = st.cheap.pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = st.expensive.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A counted lease on the queue's send side. Held by the accept loop and
+/// cloned into every reader; when the last lease drops (accept thread
+/// gone, every reader drained) the queue closes and the workers exit
+/// once it is empty.
+#[derive(Debug)]
+struct QueueSender(Arc<JobQueue>);
+
+impl QueueSender {
+    fn admit(
+        &self,
+        job: Job,
+        limit: usize,
+        expensive_cap: Option<usize>,
+    ) -> Result<usize, AdmitError> {
+        self.0.admit(job, limit, expensive_cap)
+    }
+}
+
+impl Clone for QueueSender {
+    fn clone(&self) -> QueueSender {
+        self.0.senders.fetch_add(1, Ordering::SeqCst);
+        QueueSender(Arc::clone(&self.0))
+    }
+}
+
+impl Drop for QueueSender {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.0.close();
+        }
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -285,6 +650,7 @@ pub struct ServerHandle {
     cache: Arc<PredicateCache>,
     pool: Arc<PoolState>,
     telemetry: Arc<Telemetry>,
+    overload: Arc<Overload>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
@@ -309,7 +675,11 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     }
 
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+    let (queue, tx) = JobQueue::new();
+    let overload = Arc::new(Overload::new(
+        config.queue_depth,
+        config.admission_delay_budget,
+    ));
     let pool = Arc::new(PoolState {
         target: config.workers.max(1),
         alive: AtomicUsize::new(0),
@@ -331,11 +701,10 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         None => None,
     };
     let ctx = WorkerCtx {
-        rx: Arc::new(Mutex::new(rx)),
+        queue,
         cache: Arc::clone(&cache),
         queue_len: Arc::new(AtomicI64::new(0)),
         pool: Arc::clone(&pool),
-        default_timeout_ms: config.default_timeout_ms,
         telemetry: Arc::clone(&telemetry),
         slow_log,
         linter: Arc::new(
@@ -344,6 +713,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
                 .iter()
                 .fold(Analyzer::new(), |a, s| a.with_schema(s)),
         ),
+        overload: Arc::clone(&overload),
     };
 
     let slots = (0..pool.target)
@@ -371,6 +741,9 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
             pool: Arc::clone(&pool),
             cache: Arc::clone(&cache),
             telemetry: Arc::clone(&telemetry),
+            overload: Arc::clone(&overload),
+            linter: Arc::clone(&ctx.linter),
+            default_timeout_ms: config.default_timeout_ms,
         };
         std::thread::Builder::new()
             .name("sia-accept".to_string())
@@ -382,6 +755,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         cache,
         pool,
         telemetry,
+        overload,
         stop,
         accept: Some(accept),
         supervisor: Some(supervisor),
@@ -420,7 +794,7 @@ impl ServerHandle {
     /// Live telemetry — the same numbers the `stats` op reports over
     /// the wire.
     pub fn stats(&self) -> StatsInfo {
-        self.telemetry.stats(&self.cache)
+        self.telemetry.stats(&self.cache, &self.overload)
     }
 
     /// Cumulative per-phase wall-time totals across completed requests,
@@ -515,8 +889,28 @@ fn supervise(
     let mut spawned_at: Vec<Instant> = vec![now; slots.len()];
     let mut recent_respawns: VecDeque<Instant> = VecDeque::new();
     let mut last_snapshot = now;
+    let mut governor = ctx
+        .overload
+        .enabled
+        .then(|| Governor::new(ctx.overload.delay_budget_us, ctx.overload.max_limit));
+    let mut last_control = now;
     loop {
         let stopping = stop.load(Ordering::SeqCst);
+
+        // AIMD control tick: fold the queue waits observed since the
+        // last tick into a new admission limit and brownout level.
+        if let Some(g) = governor.as_mut() {
+            if last_control.elapsed() >= CONTROL_TICK {
+                let waits = std::mem::take(&mut *lock(&ctx.overload.waits));
+                let p99 = g.tick(&waits);
+                ctx.overload.limit.store(g.limit, Ordering::Relaxed);
+                ctx.overload.level.store(g.level, Ordering::Relaxed);
+                ctx.overload.last_p99_us.store(p99, Ordering::Relaxed);
+                #[allow(clippy::cast_precision_loss)]
+                sia_obs::record(Hist::ServeAdmissionLimit, g.limit as f64);
+                last_control = Instant::now();
+            }
+        }
 
         // Reap finished workers. Outside a shutdown, any exit is a death
         // (workers only return cleanly once the queue disconnects).
@@ -577,14 +971,17 @@ fn supervise(
 }
 
 /// Everything a reader thread needs; cloned per connection (cloning the
-/// queue sender with it).
+/// queue-sender lease with it).
 #[derive(Clone)]
 struct ReaderCtx {
-    tx: SyncSender<Job>,
+    tx: QueueSender,
     queue_len: Arc<AtomicI64>,
     pool: Arc<PoolState>,
     cache: Arc<PredicateCache>,
     telemetry: Arc<Telemetry>,
+    overload: Arc<Overload>,
+    linter: Arc<Analyzer>,
+    default_timeout_ms: Option<u64>,
 }
 
 fn accept_loop(listener: &TcpListener, addr: SocketAddr, stop: &Arc<AtomicBool>, ctx: &ReaderCtx) {
@@ -656,7 +1053,7 @@ fn reader_loop(stream: TcpStream, addr: SocketAddr, stop: &AtomicBool, ctx: &Rea
                     &out,
                     &Response {
                         health: Some(pool_health(ctx)),
-                        stats: Some(ctx.telemetry.stats(&ctx.cache)),
+                        stats: Some(ctx.telemetry.stats(&ctx.cache, &ctx.overload)),
                         phases: ctx.telemetry.phase_totals(),
                         ..Response::plain("", Status::Ok)
                     },
@@ -669,21 +1066,80 @@ fn reader_loop(stream: TcpStream, addr: SocketAddr, stop: &AtomicBool, ctx: &Rea
                 // the request starting on the thread that accepted it.
                 let trace = request.trace.unwrap_or_else(fresh_trace_id);
                 request.trace = Some(trace);
+                let span = SpanContext::begin("serve.request", trace);
+
+                // Parse once, at admission: classification needs the
+                // predicate anyway, and the worker reuses the result.
+                let parse_start = Instant::now();
+                let parsed = match parse_predicate(&request.predicate) {
+                    Ok(p) => {
+                        let canon = canonicalize(&p);
+                        Ok((p, canon))
+                    }
+                    Err(e) => Err(e.to_string()),
+                };
+                let parse_time = parse_start.elapsed();
+
+                // Classify into a lane: a cached template or a statically
+                // derivable predicate is cheap; everything else is a
+                // likely CEGIS run. Malformed requests are cheap — they
+                // fail fast in the worker.
+                let admit_start = Instant::now();
+                let lane = match &parsed {
+                    Ok((p, canon)) => {
+                        if ctx.cache.peek(canon, &request.cols)
+                            || ctx
+                                .linter
+                                .derive(p, &request.cols)
+                                .is_some_and(|d| d.is_exact())
+                        {
+                            Lane::Cheap
+                        } else {
+                            Lane::Expensive
+                        }
+                    }
+                    Err(_) => Lane::Cheap,
+                };
+                let admit_time = admit_start.elapsed();
+                sia_obs::add(
+                    match lane {
+                        Lane::Cheap => Counter::ServeAdmitCheap,
+                        Lane::Expensive => Counter::ServeAdmitExpensive,
+                    },
+                    1,
+                );
+
+                // The deadline clock starts *here*, at admission: queue
+                // wait is charged against the request's budget.
+                let now = Instant::now();
+                let deadline = request
+                    .timeout_ms
+                    .or(ctx.default_timeout_ms)
+                    .map(|ms| now + Duration::from_millis(ms));
+                let budget = deadline.map_or_else(Budget::unlimited, Budget::with_deadline_at);
+
                 let job = Job {
                     request,
-                    span: SpanContext::begin("serve.request", trace),
-                    enqueued: Instant::now(),
+                    parsed,
+                    lane,
+                    budget,
+                    deadline,
+                    pre_phases: vec![("parse", parse_time), ("admit", admit_time)],
+                    span,
+                    enqueued: now,
                     out: Arc::clone(&out),
                 };
-                match ctx.tx.try_send(job) {
-                    Ok(()) => {
-                        let depth = ctx.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+                let limit = ctx.overload.limit.load(Ordering::Relaxed);
+                let expensive_cap = ctx.overload.expensive_cap(limit);
+                match ctx.tx.admit(job, limit, expensive_cap) {
+                    Ok(depth) => {
+                        ctx.queue_len.fetch_add(1, Ordering::Relaxed);
                         ctx.telemetry.requests.fetch_add(1, Ordering::Relaxed);
                         sia_obs::add(Counter::ServeRequests, 1);
                         #[allow(clippy::cast_precision_loss)]
-                        sia_obs::record(Hist::ServeQueueDepth, depth.max(0) as f64);
+                        sia_obs::record(Hist::ServeQueueDepth, depth as f64);
                     }
-                    Err(TrySendError::Full(job)) => {
+                    Err(AdmitError::Full(job)) => {
                         ctx.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
                         sia_obs::add(Counter::ServeRejected, 1);
                         // The request dies at admission: close its root
@@ -693,11 +1149,27 @@ fn reader_loop(stream: TcpStream, addr: SocketAddr, stop: &AtomicBool, ctx: &Rea
                             &out,
                             &Response {
                                 trace: Some(trace),
+                                retry_after_ms: Some(ctx.overload.retry_after_ms()),
                                 ..Response::plain(&id, Status::Overloaded)
                             },
                         );
                     }
-                    Err(TrySendError::Disconnected(job)) => {
+                    Err(AdmitError::Shed(job)) => {
+                        ctx.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
+                        ctx.telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                        sia_obs::add(Counter::ServeRejected, 1);
+                        sia_obs::add(Counter::ServeAdmissionShedExpensive, 1);
+                        let _ = job.span.finish();
+                        respond(
+                            &out,
+                            &Response {
+                                trace: Some(trace),
+                                retry_after_ms: Some(ctx.overload.retry_after_ms()),
+                                ..Response::plain(&id, Status::Overloaded)
+                            },
+                        );
+                    }
+                    Err(AdmitError::Closed(job)) => {
                         let _ = job.span.finish();
                         respond(
                             &out,
@@ -744,11 +1216,7 @@ fn worker_loop(ctx: &WorkerCtx) {
         if let Some(msg) = sia_fault::fire("serve.worker.die") {
             panic!("{msg}");
         }
-        let job = {
-            let rx = ctx.rx.lock().unwrap_or_else(PoisonError::into_inner);
-            rx.recv()
-        };
-        let Ok(job) = job else {
+        let Some(job) = ctx.queue.pop() else {
             break; // queue drained and all senders gone
         };
         ctx.queue_len.fetch_sub(1, Ordering::Relaxed);
@@ -756,25 +1224,47 @@ fn worker_loop(ctx: &WorkerCtx) {
         // nests under `serve.request` and carries its trace ID. The
         // request-local recorder captures the same phases into a private
         // map so the response can report them even when the global
-        // collector is off.
+        // collector is off. The reader's pre-queue phases (parse,
+        // classification) are replayed first so the breakdown still
+        // covers the whole request.
         let adopted = job.span.adopt();
         sia_obs::local_begin();
+        for (name, dur) in &job.pre_phases {
+            sia_obs::record_complete(name, *dur);
+        }
         let queue_wait = job.enqueued.elapsed();
         sia_obs::record_complete("queue", queue_wait);
+        let wait_us = u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX);
         #[allow(clippy::cast_precision_loss)]
-        sia_obs::record(Hist::ServeQueueWaitUs, queue_wait.as_micros() as f64);
+        sia_obs::record(Hist::ServeQueueWaitUs, wait_us as f64);
+        ctx.overload.observe_wait(wait_us);
         // Belt and braces: if anything below unwinds past catch_unwind
         // (it cannot today, but this code evolves), the guard still
         // answers the request before the worker dies.
         let mut guard = JobGuard::armed(&job);
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            process(
-                &job.request,
-                &ctx.cache,
-                ctx.default_timeout_ms,
-                &ctx.linter,
-            )
-        }));
+        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+        let result = if expired {
+            // The deadline passed while the job was queued: answer
+            // `expired` without burning a worker on doomed synthesis.
+            sia_obs::add(Counter::ServeExpired, 1);
+            Ok(Response {
+                predicate: Some(job.request.predicate.clone()),
+                reason: Some("expired".into()),
+                ..degraded_body(&job.request.id, Status::Expired)
+            })
+        } else {
+            let level = ctx.overload.level.load(Ordering::Relaxed);
+            catch_unwind(AssertUnwindSafe(|| {
+                process(
+                    &job.request,
+                    &job.parsed,
+                    &ctx.cache,
+                    &job.budget,
+                    &ctx.linter,
+                    level,
+                )
+            }))
+        };
         guard.disarm();
         let mut response = match result {
             Ok(response) => response,
@@ -825,6 +1315,9 @@ fn finish_request(ctx: &WorkerCtx, response: &Response, total: Duration, respond
         Status::Error => {
             t.errors.fetch_add(1, Ordering::Relaxed);
         }
+        Status::Expired => {
+            t.expired.fetch_add(1, Ordering::Relaxed);
+        }
         _ => {}
     }
     if response.degraded {
@@ -868,6 +1361,7 @@ fn phase_counter(path: &str) -> Counter {
     match path {
         "queue" => Counter::ServePhaseQueueUs,
         "parse" => Counter::ServePhaseParseUs,
+        "admit" => Counter::ServePhaseAdmitUs,
         "lint" => Counter::ServePhaseLintUs,
         "cache" => Counter::ServePhaseCacheUs,
         "synth" => Counter::ServePhaseSynthUs,
@@ -923,12 +1417,18 @@ fn degraded(id: &str, original_predicate: &str, reason: &str) -> Response {
 }
 
 /// Run one request to completion (cache hit, synthesis, timeout, or
-/// degraded fallback).
+/// degraded fallback). The predicate was already parsed and
+/// canonicalized at admission; the budget was anchored there too, so
+/// queue wait has been charged against the deadline. `brownout_level`
+/// degrades the work: ≥1 disables CEGIS refinement rounds, ≥2 serves
+/// static bounds when the analyzer can derive them.
 fn process(
     req: &Request,
+    parsed: &Result<(Pred, Canonical), String>,
     cache: &PredicateCache,
-    default_timeout_ms: Option<u64>,
+    budget: &Budget,
     linter: &Analyzer,
+    brownout_level: usize,
 ) -> Response {
     let start = Instant::now();
     let finish = |mut r: Response| {
@@ -946,26 +1446,22 @@ fn process(
         return finish(degraded(&req.id, &req.predicate, "internal"));
     }
 
-    let parse_span = sia_obs::span("parse");
-    let parsed = parse_predicate(&req.predicate);
-    drop(parse_span);
-    let p = match parsed {
-        Ok(p) => p,
+    let (p, canon) = match parsed {
+        Ok(pair) => pair,
         Err(e) => {
             sia_obs::add(Counter::ServeErrors, 1);
             return finish(Response {
-                error: Some(e.to_string()),
+                error: Some(e.clone()),
                 ..Response::plain(&req.id, Status::Error)
             });
         }
     };
     let warnings = {
         let _lint_span = sia_obs::span("lint");
-        lint_warnings(linter, &p)
+        lint_warnings(linter, p)
     };
     let cache_span = sia_obs::span("cache");
-    let canon = canonicalize(&p);
-    let hit = cache.lookup(&canon, &req.cols);
+    let hit = cache.lookup(canon, &req.cols);
     drop(cache_span);
     if let Some(hit) = hit {
         return finish(Response {
@@ -977,18 +1473,36 @@ fn process(
         });
     }
 
-    let timeout_ms = req.timeout_ms.or(default_timeout_ms);
-    let budget = timeout_ms.map_or_else(Budget::unlimited, |ms| {
-        Budget::with_deadline(Duration::from_millis(ms))
-    });
-    let mut syn = Synthesizer::new(SiaConfig {
-        budget,
+    // Brownout level 2+: if static zone projection yields sound bounds,
+    // serve them as a flagged degraded result instead of synthesizing.
+    // (An *exact* derivation falls through — the synthesizer discharges
+    // it statically anyway, no CEGIS needed.)
+    if brownout_level >= 2 {
+        if let Some(Derivation::Bounds(bounds)) = linter.derive(p, &req.cols) {
+            sia_obs::add(Counter::ServeBrownoutServed, 1);
+            return finish(Response {
+                predicate: Some(bounds.to_string()),
+                reason: Some("brownout".into()),
+                warnings,
+                ..degraded_body(&req.id, Status::Ok)
+            });
+        }
+    }
+
+    let mut config = SiaConfig {
+        budget: budget.clone(),
         ..SiaConfig::default()
-    });
-    match syn.synthesize(&p, &req.cols) {
+    };
+    if brownout_level >= 1 {
+        // Brownout level 1+: no CEGIS refinement rounds — take whatever
+        // the first round (static derivation + one learner pass) yields.
+        config.max_iterations = 1;
+    }
+    let mut syn = Synthesizer::new(config);
+    match syn.synthesize(p, &req.cols) {
         Ok(result) => {
             let predicate = result.predicate.unwrap_or_else(Pred::true_);
-            cache.insert(&canon, &req.cols, &predicate, result.optimal);
+            cache.insert(canon, &req.cols, &predicate, result.optimal);
             finish(Response {
                 predicate: (!predicate.is_true()).then(|| predicate.to_string()),
                 optimal: result.optimal,
@@ -1053,4 +1567,109 @@ fn respond(out: &Mutex<TcpStream>, response: &Response) {
     let mut stream = out.lock().unwrap_or_else(PoisonError::into_inner);
     let _ = writeln!(stream, "{}", response.to_line());
     let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aimd_governor_halves_under_pressure_and_recovers_additively() {
+        let mut g = Governor::new(1_000, 64);
+        assert_eq!(g.limit, 64);
+        let slow = vec![10_000_u64; 20];
+        g.tick(&slow);
+        assert_eq!(g.limit, 32, "multiplicative decrease");
+        g.tick(&slow);
+        assert_eq!(g.limit, 16);
+        g.tick(&[]);
+        assert_eq!(g.limit, 17, "additive increase on an idle window");
+        let fast = vec![100_u64; 20];
+        g.tick(&fast);
+        assert_eq!(g.limit, 18, "additive increase under budget");
+    }
+
+    #[test]
+    fn governor_limit_never_leaves_bounds() {
+        let mut g = Governor::new(1_000, 4);
+        let slow = vec![1_000_000_u64; 4];
+        for _ in 0..20 {
+            g.tick(&slow);
+        }
+        assert_eq!(g.limit, 1, "floor is one slot");
+        for _ in 0..200 {
+            g.tick(&[]);
+        }
+        assert_eq!(g.limit, 4, "recovery stops at the configured cap");
+    }
+
+    #[test]
+    fn brownout_ladder_enters_and_exits_with_hysteresis() {
+        let mut g = Governor::new(1_000, 64);
+        let slow = vec![50_000_u64; 8];
+        g.tick(&slow);
+        g.tick(&slow);
+        assert_eq!(
+            g.level, 0,
+            "two over-budget ticks are not sustained pressure"
+        );
+        g.tick(&slow);
+        assert_eq!(g.level, 1, "three consecutive over-budget ticks escalate");
+        g.tick(&[]);
+        assert_eq!(g.level, 1, "one calm tick does not de-escalate");
+        for _ in 0..4 {
+            g.tick(&[]);
+        }
+        assert_eq!(g.level, 0, "five consecutive calm ticks de-escalate");
+        for _ in 0..9 {
+            g.tick(&slow);
+        }
+        assert_eq!(g.level, 3, "sustained pressure climbs to shedding");
+        for _ in 0..10 {
+            g.tick(&slow);
+        }
+        assert_eq!(g.level, 3, "the ladder is capped");
+    }
+
+    #[test]
+    fn brownout_interrupted_calm_does_not_exit() {
+        let mut g = Governor::new(1_000, 64);
+        let slow = vec![50_000_u64; 8];
+        for _ in 0..3 {
+            g.tick(&slow);
+        }
+        assert_eq!(g.level, 1);
+        // Calm streaks broken by borderline (under-budget but not calm)
+        // windows never reach the exit threshold.
+        let borderline = vec![900_u64; 8];
+        for _ in 0..20 {
+            g.tick(&[]);
+            g.tick(&[]);
+            g.tick(&borderline);
+        }
+        assert_eq!(g.level, 1, "borderline windows reset the calm streak");
+    }
+
+    #[test]
+    fn overload_expensive_cap_tracks_the_ladder() {
+        let fixed = Overload::new(64, None);
+        assert_eq!(fixed.expensive_cap(64), None, "legacy mode never sheds");
+        let adaptive = Overload::new(64, Some(Duration::from_millis(100)));
+        assert_eq!(adaptive.expensive_cap(64), Some(32));
+        assert_eq!(adaptive.expensive_cap(5), Some(3));
+        adaptive.level.store(BROWNOUT_MAX_LEVEL, Ordering::Relaxed);
+        assert_eq!(
+            adaptive.expensive_cap(64),
+            Some(0),
+            "level 3 sheds the whole expensive lane"
+        );
+    }
+
+    #[test]
+    fn percentile_99_is_sane() {
+        assert_eq!(percentile_99(&[]), 0);
+        assert_eq!(percentile_99(&[7]), 7);
+        let many: Vec<u64> = (1..=200).collect();
+        assert_eq!(percentile_99(&many), 199);
+    }
 }

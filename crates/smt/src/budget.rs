@@ -44,6 +44,18 @@ impl Budget {
         }
     }
 
+    /// A budget that expires at an absolute instant — used when the clock
+    /// started before this call, e.g. a serve deadline set at admission
+    /// that must charge queue wait against the request.
+    pub fn with_deadline_at(deadline: Instant) -> Budget {
+        Budget {
+            inner: Some(Arc::new(BudgetInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
     /// A budget with no deadline that can still be cancelled via
     /// [`Budget::cancel`] on any clone.
     pub fn cancellable() -> Budget {
@@ -126,6 +138,15 @@ mod tests {
         assert!(b.is_exhausted());
         assert!(!b.is_cancelled());
         let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(!b.is_exhausted());
+        assert!(b.remaining().expect("has deadline") > Duration::from_secs(3599));
+    }
+
+    #[test]
+    fn absolute_deadline_charges_elapsed_time() {
+        let b = Budget::with_deadline_at(Instant::now());
+        assert!(b.is_exhausted());
+        let b = Budget::with_deadline_at(Instant::now() + Duration::from_secs(3600));
         assert!(!b.is_exhausted());
         assert!(b.remaining().expect("has deadline") > Duration::from_secs(3599));
     }

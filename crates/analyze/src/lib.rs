@@ -43,6 +43,7 @@ use std::collections::BTreeSet;
 use sia_expr::{CmpOp, DataType, Expr, Pred, Schema};
 
 mod atom;
+mod closure;
 mod interval;
 mod lint;
 mod project;
@@ -51,6 +52,7 @@ mod tri;
 mod zone;
 
 pub use atom::{CanonAtom, FormKey};
+pub use closure::{Closure, ColumnClasses};
 pub use interval::{Bound, Interval};
 pub use lint::Warning;
 pub use project::Derivation;

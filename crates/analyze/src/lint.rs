@@ -30,11 +30,13 @@ pub struct Warning {
 impl Warning {
     /// Severity bucket for exit codes and structured output: a
     /// `contradiction` means the predicate (or part of it) provably does
-    /// the wrong amount of work and is reported as `"error"`; every other
-    /// code is advisory and reported as `"warning"`.
+    /// the wrong amount of work and is reported as `"error"`, as are the
+    /// plan-level contradictions found by `sia lint --plan`
+    /// (`plan-unreachable-filter`, `plan-join-contradiction`); every
+    /// other code is advisory and reported as `"warning"`.
     pub fn severity(&self) -> &'static str {
         match self.code {
-            "contradiction" => "error",
+            "contradiction" | "plan-unreachable-filter" | "plan-join-contradiction" => "error",
             _ => "warning",
         }
     }

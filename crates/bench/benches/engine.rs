@@ -55,7 +55,11 @@ fn bench_pushdown_ablation(c: &mut Criterion) {
     for (name, pushdown) in [("on", true), ("off", false)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &pushdown, |b, &p| {
             b.iter(|| {
-                let r = db.run(&q, OptimizerConfig { pushdown: p }).unwrap();
+                let config = OptimizerConfig {
+                    pushdown: p,
+                    ..OptimizerConfig::default()
+                };
+                let r = db.run(&q, config).unwrap();
                 sia_bench::microbench::black_box(r.table.num_rows());
             });
         });

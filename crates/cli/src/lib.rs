@@ -19,6 +19,8 @@ usage:
               [--timeout-ms N] [--metrics] [--trace FILE]
   sia solve   <predicate>
   sia lint    <predicate> [--format text|json]
+  sia lint    <query-sql> --plan [--format text|json]
+  sia plan    <query-sql> [--mode off|static|synth] [--explain]
   sia project <predicate> --keep <c1,c2,…>
   sia rewrite <query-sql> --table <name>        (TPC-H benchmark schema)
   sia baseline <predicate> --cols <c1,c2,…>
@@ -46,6 +48,14 @@ type-suspect comparisons (the generator registry's column types —
 TPC-H plus the synthetic schemas — are pre-seeded);
 --format json emits one machine-readable object with per-finding
 severities, and error-severity findings (contradictions) exit 3.
+lint --plan lints a whole query plan against the registry schemas:
+unreachable filters and join equalities contradicting scan filters are
+error severity (exit 3), redundant derived predicates are warnings.
+plan prints the optimized tree for a query over the registry tables;
+--mode picks how far predicate move-around goes (off, static pull-up/
+transition/push-down, or synth to also learn predicates at blocked
+join boundaries) and --explain adds the pre-optimization tree and the
+per-scan derivation report.
 --metrics prints a per-phase wall-time and solver-counter breakdown;
 --trace streams every span/counter event as JSONL to FILE.
 serve speaks line-delimited JSON over TCP (one request object per line,
@@ -148,12 +158,27 @@ pub enum Command {
         predicate: String,
     },
     /// Statically analyze a predicate for contradictions, tautologies,
-    /// and type-suspect comparisons.
+    /// and type-suspect comparisons — or, with `--plan`, lint a whole
+    /// query plan for unreachable filters, redundant predicates, and
+    /// join equalities that contradict scan filters.
     Lint {
-        /// The predicate source.
+        /// The predicate source (a full SQL query when `plan` is set).
         predicate: String,
         /// Output format: "text" (default) or "json".
         format: String,
+        /// Lint the optimizer plan of a SQL query instead of a predicate.
+        plan: bool,
+    },
+    /// Plan a SQL query against the generator registry and show what the
+    /// move-around pass derives.
+    Plan {
+        /// The query source.
+        sql: String,
+        /// Move-around mode: "off", "static" (default), or "synth".
+        mode: String,
+        /// Show the pre-optimization tree and the per-scan derivation
+        /// report alongside the optimized plan.
+        explain: bool,
     },
     /// Project the predicate onto the kept columns (∃-eliminate the rest).
     Project {
@@ -311,6 +336,9 @@ impl Command {
         let mut duration_s: Option<f64> = None;
         let mut rate: Option<f64> = None;
         let mut fault_percent: Option<u32> = None;
+        let mut mode: Option<String> = None;
+        let mut explain = false;
+        let mut plan = false;
         let mut i = 0;
         while i < rest.len() {
             match rest[i].as_str() {
@@ -461,6 +489,14 @@ impl Command {
                     i += 1;
                     fault_percent = Some(parse_num(rest.get(i), "--fault-percent")?);
                 }
+                "--mode" => {
+                    i += 1;
+                    let m = rest.get(i).ok_or("--mode needs a value")?.clone();
+                    sia_engine::MoveAround::parse(&m)?;
+                    mode = Some(m);
+                }
+                "--explain" => explain = true,
+                "--plan" => plan = true,
                 "--v1" => variant = "v1".to_string(),
                 "--v2" => variant = "v2".to_string(),
                 "--metrics" => metrics = true,
@@ -482,6 +518,12 @@ impl Command {
         }
         if format.is_some() && sub != "lint" {
             return Err("--format applies to lint".into());
+        }
+        if (mode.is_some() || explain) && sub != "plan" {
+            return Err("--mode/--explain apply to plan".into());
+        }
+        if plan && sub != "lint" {
+            return Err("--plan applies to lint".into());
         }
         if (slow_log.is_some() || slow_ms.is_some() || delay_budget_ms.is_some()) && sub != "serve"
         {
@@ -539,6 +581,12 @@ impl Command {
             "lint" => Ok(Command::Lint {
                 predicate: positional,
                 format: format.unwrap_or_else(|| "text".to_string()),
+                plan,
+            }),
+            "plan" => Ok(Command::Plan {
+                sql: positional,
+                mode: mode.unwrap_or_else(|| "static".to_string()),
+                explain,
             }),
             "project" => {
                 if keep.is_empty() {
@@ -664,6 +712,16 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// A planning-only database: every generator-registry table registered
+/// empty, so `plan`/`lint --plan` can resolve columns without data.
+fn registry_db() -> sia_engine::Database {
+    let mut db = sia_engine::Database::new();
+    for spec in sia_gen::tables() {
+        db.insert(spec.name, sia_engine::Table::empty(spec.schema()));
+    }
+    db
+}
+
 /// Execute a command, returning its printable output. Failures carry the
 /// process exit code: 1 for errors, 2 for synthesis timeouts.
 pub fn run(cmd: Command) -> Result<String, CliError> {
@@ -762,16 +820,30 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 SmtResult::Unknown => Ok("unknown (budget exhausted)".to_string()),
             }
         }
-        Command::Lint { predicate, format } => {
-            let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
-            // Seed the analyzer from the generator's schema registry (all
-            // TPC-H tables plus the synthetic `wide` schema) so DATE and
-            // DOUBLE columns are typed; unknown columns default to
-            // INTEGER NOT NULL, matching the synthesizer's encoder.
-            let analyzer = sia_gen::schemas()
-                .iter()
-                .fold(sia_analyze::Analyzer::new(), |a, (_, s)| a.with_schema(s));
-            let warnings = analyzer.lint(&p);
+        Command::Lint {
+            predicate,
+            format,
+            plan,
+        } => {
+            let warnings = if plan {
+                // Plan lint: build the optimizer plan of a full query
+                // against the registry schemas and analyze it globally.
+                let query = parse_query(&predicate).map_err(|e| e.to_string())?;
+                let db = registry_db();
+                let p = db.plan(&query).map_err(|e| e.to_string())?;
+                sia_engine::lint_plan(&p, &|t| db.schema_of(t))
+            } else {
+                let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
+                // Seed the analyzer from the generator's schema registry
+                // (all TPC-H tables plus the synthetic `wide` schema) so
+                // DATE and DOUBLE columns are typed; unknown columns
+                // default to INTEGER NOT NULL, matching the synthesizer's
+                // encoder.
+                let analyzer = sia_gen::schemas()
+                    .iter()
+                    .fold(sia_analyze::Analyzer::new(), |a, (_, s)| a.with_schema(s));
+                analyzer.lint(&p)
+            };
             let errors = warnings.iter().filter(|w| w.severity() == "error").count();
             let out = if format == "json" {
                 let findings: Vec<String> = warnings
@@ -809,6 +881,40 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 });
             }
             Ok(out)
+        }
+        Command::Plan { sql, mode, explain } => {
+            let query = parse_query(&sql).map_err(|e| e.to_string())?;
+            let mode = sia_engine::MoveAround::parse(&mode)?;
+            let db = registry_db();
+            let before = db.plan(&query).map_err(|e| e.to_string())?;
+            let (moved, report) =
+                sia_engine::move_around(before.clone(), &|t| db.schema_of(t), mode);
+            let optimized = sia_engine::optimize(
+                moved,
+                &|t| {
+                    db.schema_of(t)
+                        .map(|s| s.columns().iter().map(|c| c.name.clone()).collect())
+                        .unwrap_or_default()
+                },
+                sia_engine::OptimizerConfig::default(),
+            );
+            let mut out = String::new();
+            if explain {
+                out.push_str("== before ==\n");
+                out.push_str(&before.to_string());
+                out.push_str("== after ==\n");
+            }
+            out.push_str(&optimized.to_string());
+            if explain {
+                out.push_str("== move-around ==\n");
+                out.push_str(&report.to_string());
+                out.push_str(&format!(
+                    "filters below joins: {} -> {}",
+                    before.filters_below_joins(),
+                    optimized.filters_below_joins()
+                ));
+            }
+            Ok(out.trim_end().to_string())
         }
         Command::Project { predicate, keep } => {
             let p = parse_predicate(&predicate).map_err(|e| e.to_string())?;
@@ -1379,6 +1485,7 @@ mod tests {
         let err = run(Command::Lint {
             predicate: "l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1994-01-01'".into(),
             format: "text".into(),
+            plan: false,
         })
         .unwrap_err();
         assert_eq!(err.code, EXIT_LINT);
@@ -1388,6 +1495,7 @@ mod tests {
         let out = run(Command::Lint {
             predicate: "l_shipdate < 19940101".into(),
             format: "text".into(),
+            plan: false,
         })
         .unwrap();
         assert!(out.contains("DATE"), "{out}");
@@ -1395,6 +1503,7 @@ mod tests {
         let out = run(Command::Lint {
             predicate: "l_quantity < 24 AND l_discount >= 0".into(),
             format: "text".into(),
+            plan: false,
         })
         .unwrap();
         assert_eq!(out, "no warnings");
@@ -1402,6 +1511,7 @@ mod tests {
         assert!(run(Command::Lint {
             predicate: "a <".into(),
             format: "text".into(),
+            plan: false,
         })
         .is_err());
     }
@@ -1412,6 +1522,7 @@ mod tests {
         let out = run(Command::Lint {
             predicate: "l_shipdate < 19940101".into(),
             format: "json".into(),
+            plan: false,
         })
         .unwrap();
         assert!(out.starts_with("{\"findings\":["), "{out}");
@@ -1425,6 +1536,7 @@ mod tests {
         let err = run(Command::Lint {
             predicate: "l_quantity < 0 AND l_quantity > 10".into(),
             format: "json".into(),
+            plan: false,
         })
         .unwrap_err();
         assert_eq!(err.code, EXIT_LINT);
@@ -1432,6 +1544,7 @@ mod tests {
         let out = run(Command::Lint {
             predicate: "l_quantity < 24".into(),
             format: "json".into(),
+            plan: false,
         })
         .unwrap();
         assert_eq!(out, "{\"findings\":[],\"errors\":0,\"warnings\":0}");
@@ -1445,6 +1558,7 @@ mod tests {
             Command::Lint {
                 predicate: "a < 0 AND a > 10".into(),
                 format: "text".into(),
+                plan: false,
             }
         );
         let cmd = Command::parse(&strs(&["lint", "a < 0", "--format", "json"])).unwrap();
@@ -1453,11 +1567,131 @@ mod tests {
             Command::Lint {
                 predicate: "a < 0".into(),
                 format: "json".into(),
+                plan: false,
             }
         );
         assert!(Command::parse(&strs(&["lint"])).is_err());
         assert!(Command::parse(&strs(&["lint", "a < 0", "--format", "yaml"])).is_err());
         assert!(Command::parse(&strs(&["solve", "a < 0", "--format", "json"])).is_err());
+    }
+
+    #[test]
+    fn parse_plan() {
+        let cmd = Command::parse(&strs(&["plan", "SELECT * FROM nation"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Plan {
+                sql: "SELECT * FROM nation".into(),
+                mode: "static".into(),
+                explain: false,
+            }
+        );
+        let cmd = Command::parse(&strs(&[
+            "plan",
+            "SELECT * FROM nation",
+            "--mode",
+            "synth",
+            "--explain",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Plan {
+                sql: "SELECT * FROM nation".into(),
+                mode: "synth".into(),
+                explain: true,
+            }
+        );
+        // Mode names are validated at parse time; flags are scoped.
+        assert!(Command::parse(&strs(&["plan", "SELECT * FROM t", "--mode", "fast"])).is_err());
+        assert!(Command::parse(&strs(&["solve", "a < 0", "--explain"])).is_err());
+        assert!(Command::parse(&strs(&["plan", "SELECT * FROM t", "--plan"])).is_err());
+        let cmd = Command::parse(&strs(&["lint", "SELECT * FROM nation", "--plan"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                predicate: "SELECT * FROM nation".into(),
+                format: "text".into(),
+                plan: true,
+            }
+        );
+    }
+
+    #[test]
+    fn run_plan_explain_shows_derived_predicates() {
+        // The registry chain: a selective region filter reaches the other
+        // scans through the join equalities.
+        let out = run(Command::Plan {
+            sql: "SELECT * FROM customer, nation, region \
+                  WHERE c_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+                  AND r_regionkey >= 3"
+                .into(),
+            mode: "static".into(),
+            explain: true,
+        })
+        .unwrap();
+        assert!(out.contains("== before =="), "{out}");
+        assert!(out.contains("== after =="), "{out}");
+        assert!(out.contains("== move-around =="), "{out}");
+        assert!(out.contains("derived for scan nation"), "{out}");
+        assert!(out.contains("filters below joins:"), "{out}");
+        // Off mode still plans, just derives nothing.
+        let out = run(Command::Plan {
+            sql: "SELECT * FROM nation WHERE n_nationkey < 5".into(),
+            mode: "off".into(),
+            explain: false,
+        })
+        .unwrap();
+        assert!(out.contains("SeqScan on nation"), "{out}");
+        assert!(!out.contains("move-around"), "{out}");
+    }
+
+    #[test]
+    fn run_lint_plan() {
+        // A filter that can never be TRUE below a join: error severity,
+        // exit 3.
+        let err = run(Command::Lint {
+            predicate: "SELECT * FROM nation, region \
+                        WHERE n_regionkey = r_regionkey AND n_nationkey < 0 \
+                        AND n_nationkey > 10"
+                .into(),
+            format: "text".into(),
+            plan: true,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_LINT);
+        // A join equality contradicting the scan filters.
+        let err = run(Command::Lint {
+            predicate: "SELECT * FROM nation, region \
+                        WHERE n_regionkey = r_regionkey AND n_regionkey < 1 \
+                        AND r_regionkey > 3"
+                .into(),
+            format: "text".into(),
+            plan: true,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_LINT);
+        // A redundant predicate is advisory: exit 0, JSON reports it.
+        let out = run(Command::Lint {
+            predicate: "SELECT * FROM nation \
+                        WHERE n_nationkey < 5 AND n_nationkey < 10"
+                .into(),
+            format: "json".into(),
+            plan: true,
+        })
+        .unwrap();
+        assert!(out.contains("plan-redundant-predicate"), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+        // A clean plan lints clean.
+        let out = run(Command::Lint {
+            predicate: "SELECT * FROM nation, region \
+                        WHERE n_regionkey = r_regionkey AND r_regionkey >= 3"
+                .into(),
+            format: "text".into(),
+            plan: true,
+        })
+        .unwrap();
+        assert_eq!(out, "no warnings");
     }
 
     #[test]

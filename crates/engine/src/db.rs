@@ -2,10 +2,11 @@
 //! entry point used by the benchmark harness.
 
 use crate::exec::{execute, ExecError, ExecStats};
+use crate::moveraround::{move_around, MoveAroundReport};
 use crate::optimize::{optimize, OptimizerConfig};
 use crate::plan::Plan;
 use crate::table::Table;
-use sia_expr::Pred;
+use sia_expr::{Pred, Schema};
 use sia_sql::{Query, SelectList};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -27,6 +28,8 @@ pub struct QueryResult {
     pub stats: ExecStats,
     /// The optimized plan that ran.
     pub plan: Plan,
+    /// What the move-around pass did (empty when the mode is `Off`).
+    pub moved: MoveAroundReport,
 }
 
 impl Database {
@@ -55,6 +58,11 @@ impl Database {
             .get(table)
             .map(|t| t.schema.columns().iter().map(|c| c.name.clone()).collect())
             .unwrap_or_default()
+    }
+
+    /// Schema of a registered table (oracle for the move-around pass).
+    pub fn schema_of(&self, table: &str) -> Option<Schema> {
+        self.tables.get(table).map(|t| t.schema.clone())
     }
 
     /// Which table (among the query's FROM list) owns a column.
@@ -149,9 +157,12 @@ impl Database {
         Ok(plan)
     }
 
-    /// Plan, optimize, and execute a query.
+    /// Plan, optimize, and execute a query. The move-around pass (if
+    /// enabled in `config`) runs before the local rewrite rules, which
+    /// then merge and route whatever it attached.
     pub fn run(&self, query: &Query, config: OptimizerConfig) -> Result<QueryResult, ExecError> {
         let plan = self.plan(query)?;
+        let (plan, moved) = move_around(plan, &|t| self.schema_of(t), config.move_around);
         let plan = optimize(plan, &|t| self.columns_of(t), config);
         let (table, elapsed, stats) = execute(&plan, self)?;
         Ok(QueryResult {
@@ -159,6 +170,7 @@ impl Database {
             elapsed,
             stats,
             plan,
+            moved,
         })
     }
 
@@ -256,8 +268,16 @@ mod tests {
         let sql = "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
                    AND l_shipdate - o_orderdate < 8 AND l_shipdate < 10";
         let q = sia_sql::parse_query(sql).unwrap();
-        let with = db.run(&q, OptimizerConfig { pushdown: true }).unwrap();
-        let without = db.run(&q, OptimizerConfig { pushdown: false }).unwrap();
+        let with = db.run(&q, OptimizerConfig::default()).unwrap();
+        let without = db
+            .run(
+                &q,
+                OptimizerConfig {
+                    pushdown: false,
+                    ..OptimizerConfig::default()
+                },
+            )
+            .unwrap();
         assert_eq!(with.table.num_rows(), without.table.num_rows());
         assert!(with.plan.filters_below_joins() > 0);
         assert_eq!(without.plan.filters_below_joins(), 0);

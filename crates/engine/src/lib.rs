@@ -12,6 +12,8 @@
 //! * [`compile`] — name-resolved predicate compilation for the hot loop;
 //! * [`plan`] — logical plans and EXPLAIN printing;
 //! * [`optimize`](mod@crate::optimize) — split/merge/push-down rules to fixed point;
+//! * [`moveraround`] — plan-wide pull-up / transition / push-down with
+//!   synthesis at blocked join boundaries;
 //! * [`exec`] — scans, filters, hash joins, with counters;
 //! * [`db`] — the [`Database`] façade: `plan` / `run` / `run_sql`.
 
@@ -20,6 +22,7 @@
 pub mod compile;
 pub mod db;
 pub mod exec;
+pub mod moveraround;
 pub mod optimize;
 pub mod plan;
 pub mod table;
@@ -27,6 +30,7 @@ pub mod table;
 pub use compile::{compile_pred, CPred};
 pub use db::{Database, QueryResult};
 pub use exec::{execute, ExecError, ExecStats};
+pub use moveraround::{lint_plan, move_around, GatheredPred, MoveAround, MoveAroundReport};
 pub use optimize::{optimize, OptimizerConfig};
 pub use plan::Plan;
 pub use table::{Column, ColumnData, Table};

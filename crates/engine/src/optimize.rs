@@ -6,6 +6,7 @@
 //! split AND chains into individual conjuncts, merge adjacent filters,
 //! and drop trivial ones. Rules run to a fixed point.
 
+use crate::moveraround::MoveAround;
 use crate::plan::Plan;
 use sia_expr::{Pred, Schema};
 use std::collections::BTreeSet;
@@ -16,11 +17,17 @@ pub struct OptimizerConfig {
     /// Enable predicate push-down below joins. Turning this off is the
     /// ablation that shows where Sia's runtime win comes from.
     pub pushdown: bool,
+    /// Plan-wide predicate move-around mode (runs as a pre-pass before
+    /// the local rules; see [`crate::moveraround`]).
+    pub move_around: MoveAround,
 }
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
-        OptimizerConfig { pushdown: true }
+        OptimizerConfig {
+            pushdown: true,
+            move_around: MoveAround::Off,
+        }
     }
 }
 
@@ -177,7 +184,11 @@ mod tests {
         let plan = Plan::scan("lineitem")
             .hash_join(Plan::scan("orders"), "l_orderkey", "o_orderkey")
             .filter(col("l_shipdate").lt(lit(100)));
-        let opt = optimize(plan, &schemas, OptimizerConfig { pushdown: false });
+        let config = OptimizerConfig {
+            pushdown: false,
+            ..OptimizerConfig::default()
+        };
+        let opt = optimize(plan, &schemas, config);
         assert_eq!(opt.filters_below_joins(), 0);
     }
 

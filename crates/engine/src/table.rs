@@ -123,10 +123,63 @@ impl Table {
         Table { schema, columns }
     }
 
-    /// Build from a schema and columns.
+    /// Build from row-major values (e.g. `sia-gen` samples, which encode
+    /// dates as day-offset ints): `Null` becomes a validity-mask hole and
+    /// integers widen to doubles in DOUBLE columns.
     ///
     /// # Panics
-    /// Panics if column counts or lengths are inconsistent.
+    /// Panics if a row's width differs from the schema.
+    pub fn from_rows(schema: Schema, rows: &[Vec<Value>]) -> Self {
+        let n = schema.len();
+        let mut data: Vec<ColumnData> = schema
+            .columns()
+            .iter()
+            .map(|c| match c.ty {
+                DataType::Double => ColumnData::Double(Vec::with_capacity(rows.len())),
+                _ => ColumnData::Int(Vec::with_capacity(rows.len())),
+            })
+            .collect();
+        let mut validity: Vec<Vec<bool>> = vec![Vec::with_capacity(rows.len()); n];
+        let mut any_null = vec![false; n];
+        for row in rows {
+            assert_eq!(row.len(), n, "row width mismatch");
+            for (i, v) in row.iter().enumerate() {
+                let valid = !matches!(v, Value::Null);
+                validity[i].push(valid);
+                any_null[i] |= !valid;
+                match &mut data[i] {
+                    ColumnData::Int(out) => out.push(match v {
+                        Value::Int(x) => *x,
+                        Value::Bool(b) => i64::from(*b),
+                        _ => 0,
+                    }),
+                    ColumnData::Double(out) => out.push(match v {
+                        Value::Double(x) => *x,
+                        Value::Int(x) => {
+                            #[allow(clippy::cast_precision_loss)]
+                            {
+                                *x as f64
+                            }
+                        }
+                        _ => 0.0,
+                    }),
+                }
+            }
+        }
+        let columns = data
+            .into_iter()
+            .zip(validity)
+            .zip(any_null)
+            .map(|((data, mask), has_null)| Column {
+                data,
+                validity: has_null.then_some(mask),
+            })
+            .collect();
+        Table::new(schema, columns)
+    }
+
+    /// A table from schema and columns (panics on count or length
+    /// mismatches).
     pub fn new(schema: Schema, columns: Vec<Column>) -> Self {
         assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
         if let Some(first) = columns.first() {

@@ -217,11 +217,23 @@ pub enum Counter {
     /// Retries suppressed because the client's retry budget was empty
     /// (`client.retry_budget.exhausted`).
     ClientRetryBudgetExhausted,
+    /// Predicates statically derived by the move-around pass
+    /// (`engine.moveraround.derived`).
+    EngineMoveDerived,
+    /// Scans that received at least one moved predicate
+    /// (`engine.moveraround.pushed`).
+    EngineMovePushed,
+    /// Predicates learned by synthesis at blocked join boundaries
+    /// (`engine.moveraround.synthesized`).
+    EngineMoveSynthesized,
+    /// Join input rows avoided thanks to moved predicates
+    /// (`engine.moveraround.rows_saved`).
+    EngineMoveRowsSaved,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 78] = [
+    pub const ALL: [Counter; 82] = [
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::SatPropagations,
@@ -300,6 +312,10 @@ impl Counter {
         Counter::ServePhaseAdmitUs,
         Counter::ClientRetryBudgetSpent,
         Counter::ClientRetryBudgetExhausted,
+        Counter::EngineMoveDerived,
+        Counter::EngineMovePushed,
+        Counter::EngineMoveSynthesized,
+        Counter::EngineMoveRowsSaved,
     ];
 
     /// The key's canonical `layer.metric` name.
@@ -383,6 +399,10 @@ impl Counter {
             Counter::ServePhaseAdmitUs => "serve.phase.admit_us",
             Counter::ClientRetryBudgetSpent => "client.retry_budget.spent",
             Counter::ClientRetryBudgetExhausted => "client.retry_budget.exhausted",
+            Counter::EngineMoveDerived => "engine.moveraround.derived",
+            Counter::EngineMovePushed => "engine.moveraround.pushed",
+            Counter::EngineMoveSynthesized => "engine.moveraround.synthesized",
+            Counter::EngineMoveRowsSaved => "engine.moveraround.rows_saved",
         }
     }
 
